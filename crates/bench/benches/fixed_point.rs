@@ -1,0 +1,25 @@
+//! Fixed-point kernel throughput in the paper's [28, 10] format: the
+//! CORDIC trigonometry dominates the PTU's per-pixel schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evr_math::fixed::FxCtx;
+
+fn bench_fixed(c: &mut Criterion) {
+    let ctx = FxCtx::q28_10();
+    let a = ctx.from_f64(1.234567);
+    let bv = ctx.from_f64(-0.765432);
+    let mut group = c.benchmark_group("fixed_point_q28_10");
+    group.bench_function("mul", |b| b.iter(|| ctx.mul(std::hint::black_box(a), bv)));
+    group.bench_function("div", |b| b.iter(|| ctx.div(std::hint::black_box(a), bv)));
+    group.bench_function("sqrt", |b| b.iter(|| ctx.sqrt(std::hint::black_box(a))));
+    group.bench_function("sin_cos", |b| b.iter(|| ctx.sin_cos(std::hint::black_box(a))));
+    group.bench_function("atan2", |b| b.iter(|| ctx.atan2(std::hint::black_box(a), bv)));
+    group.bench_function("asin", |b| {
+        let half = ctx.from_f64(0.5);
+        b.iter(|| ctx.asin(std::hint::black_box(half)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed);
+criterion_main!(benches);

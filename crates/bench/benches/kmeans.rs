@@ -1,0 +1,33 @@
+//! Spherical k-means throughput at SAS-ingestion scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evr_math::{Radians, SphericalCoord, Vec3};
+use evr_semantics::kmeans::{kmeans_sphere, select_k};
+
+fn points(n: usize) -> Vec<Vec3> {
+    (0..n)
+        .map(|i| {
+            let lon = (i as f64 * 2.399963) % std::f64::consts::TAU - std::f64::consts::PI;
+            let lat = ((i as f64 * 0.7).sin()) * 0.8;
+            SphericalCoord::new(Radians(lon), Radians(lat)).to_unit_vector()
+        })
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_sphere");
+    for n in [8usize, 32, 128] {
+        let pts = points(n);
+        group.bench_with_input(BenchmarkId::new("k4", n), &pts, |b, pts| {
+            b.iter(|| kmeans_sphere(std::hint::black_box(pts), 4, 7))
+        });
+    }
+    let pts = points(16);
+    group.bench_function("select_k_16pts", |b| {
+        b.iter(|| select_k(std::hint::black_box(&pts), 0.35, 6, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Software (reference) projective-transformation throughput across
+//! projection methods and filters — the work a GPU shader performs per
+//! frame (paper §2/§6.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evr_math::EulerAngles;
+use evr_projection::transform::render_panorama;
+use evr_projection::{FilterMode, FovSpec, Projection, Rgb, Transformer, Viewport};
+
+fn bench_pt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pt_pipeline");
+    group.sample_size(20);
+    let pose = EulerAngles::from_degrees(30.0, -10.0, 0.0);
+    for projection in Projection::ALL {
+        let src = render_panorama(projection, 512, 256, |d| {
+            Rgb::new((d.x * 120.0 + 128.0) as u8, (d.y * 120.0 + 128.0) as u8, 90)
+        });
+        for filter in [FilterMode::Nearest, FilterMode::Bilinear] {
+            let t = Transformer::new(projection, filter, FovSpec::hdk2(), Viewport::new(128, 128));
+            group.bench_function(BenchmarkId::new(projection.to_string(), filter.to_string()), |b| {
+                b.iter(|| t.render_fov(std::hint::black_box(&src), pose))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pt);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! PTE cycle-model throughput: frame analysis (coordinate stream +
+//! line-buffer replay) and bit-exact fixed-point rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evr_math::EulerAngles;
+use evr_projection::transform::render_panorama;
+use evr_projection::{Projection, Rgb, Viewport};
+use evr_pte::{Pte, PteConfig};
+
+fn bench_pte(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pte_engine");
+    group.sample_size(10);
+    let pose = EulerAngles::from_degrees(45.0, 5.0, 0.0);
+
+    let pte = Pte::new(PteConfig::prototype());
+    group.bench_function("analyze_4k_stride4", |b| {
+        b.iter(|| pte.analyze_frame_strided(3840, 2160, std::hint::black_box(pose), 4))
+    });
+
+    let small = Pte::new(PteConfig::prototype().with_viewport(Viewport::new(96, 96)));
+    let src = render_panorama(Projection::Erp, 256, 128, |d| {
+        Rgb::new((d.z * 120.0 + 128.0) as u8, 66, 99)
+    });
+    group.bench_function("render_96x96_bit_exact", |b| {
+        b.iter(|| small.render_frame(std::hint::black_box(&src), pose))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pte);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! PSNR / SSIM throughput — the per-frame cost of the §8.6 quality
+//! assessment use-case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evr_projection::{ImageBuffer, Rgb};
+use evr_video::quality::{psnr, ssim};
+
+fn bench_quality(c: &mut Criterion) {
+    let a = ImageBuffer::from_fn(256, 256, |x, y| {
+        Rgb::new((x ^ y) as u8, (x * 3) as u8, (y * 5) as u8)
+    });
+    let b2 = ImageBuffer::from_fn(256, 256, |x, y| {
+        Rgb::new((x ^ y) as u8 ^ 3, (x * 3) as u8, (y * 5) as u8)
+    });
+    let mut group = c.benchmark_group("quality_256x256");
+    group.bench_function("psnr", |b| b.iter(|| psnr(std::hint::black_box(&a), &b2)));
+    group.bench_function("ssim", |b| b.iter(|| ssim(std::hint::black_box(&a), &b2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Regenerates every table and figure of the paper in one run, sharing
+//! one ingestion cache. See EXPERIMENTS.md for the recorded results.
+
+use evr_bench::{context_from_env, header, pct};
+use evr_core::figures as f;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ctx = context_from_env();
+
+    header("Figure 3", "device power characterisation");
+    for r in f::fig03(&ctx) {
+        println!(
+            "{:10} total {:4.2} W  PT share {}",
+            r.video.to_string(),
+            r.total_watts,
+            pct(r.pt_share)
+        );
+    }
+
+    header("Figure 5", "object coverage (first / all objects)");
+    for c in f::fig05(&ctx) {
+        println!(
+            "{:10} x=1: {:5.1}%   x=all: {:5.1}%",
+            c.video.to_string(),
+            c.coverage_pct[0],
+            c.coverage_pct.last().unwrap()
+        );
+    }
+
+    header("Figure 6", "tracking-duration CDF (>=5 s share)");
+    for c in f::fig06(&ctx) {
+        println!("{:10} {:5.1}%", c.video.to_string(), c.cumulative_pct[5]);
+    }
+
+    header("Figure 11", "fixed-point sweep ([28,10] error)");
+    let chosen = f::fig11()
+        .into_iter()
+        .find(|p| p.total_bits == 28 && p.int_bits == 10)
+        .expect("design point");
+    println!("[28,10] error {:.2e} (threshold 1e-3)", chosen.error);
+
+    header("Figure 12", "S / H / S+H savings");
+    for r in f::fig12(&ctx) {
+        println!(
+            "{:10} compute {} {} {} | device {} {} {}",
+            r.video.to_string(),
+            pct(r.compute_saving[0]),
+            pct(r.compute_saving[1]),
+            pct(r.compute_saving[2]),
+            pct(r.device_saving[0]),
+            pct(r.device_saving[1]),
+            pct(r.device_saving[2])
+        );
+    }
+
+    header("Figure 13", "fps drop / bandwidth / miss rate");
+    for r in f::fig13(&ctx) {
+        println!(
+            "{:10} fps {:4.2}%  bw {:5.1}%  miss {:4.1}%",
+            r.video.to_string(),
+            r.fps_drop_pct,
+            r.bandwidth_saving_pct,
+            r.miss_rate_pct
+        );
+    }
+
+    header("Figure 14", "storage/energy trade-off");
+    for p in f::fig14(&ctx) {
+        println!(
+            "{:10} util {:3.0}%  overhead {:4.2}x  saving {}",
+            p.video.to_string(),
+            100.0 * p.utilization,
+            p.storage_overhead,
+            pct(p.energy_saving)
+        );
+    }
+
+    header("Figure 15", "live / offline H savings");
+    for r in f::fig15(&ctx) {
+        println!(
+            "{:18} {:10} compute {} device {}",
+            r.use_case.to_string(),
+            r.video.to_string(),
+            pct(r.compute_saving),
+            pct(r.device_saving)
+        );
+    }
+
+    header("Figure 16", "S+H vs head-motion prediction");
+    for r in f::fig16(&ctx) {
+        println!(
+            "{:10} S+H {}  HMP {}  ideal {}",
+            r.video.to_string(),
+            pct(r.s_plus_h),
+            pct(r.perfect_hmp),
+            pct(r.ideal_hmp)
+        );
+    }
+
+    header("Figure 17", "PTE quality assessment");
+    for r in f::fig17() {
+        println!(
+            "{}x{} {:4}  reduction {:5.1}%",
+            r.resolution.0,
+            r.resolution.1,
+            r.projection.to_string(),
+            r.reduction_pct
+        );
+    }
+
+    header("§7.2", "PTE prototype");
+    for r in f::proto_pte() {
+        println!("{} PTU: {:5.1} FPS at {:4.0} mW", r.ptus, r.fps, 1000.0 * r.power_w);
+    }
+
+    println!("\ntotal wall time: {:?}", t0.elapsed());
+}

@@ -1,0 +1,37 @@
+//! Comparison against the related-work baseline: tile-based view-guided
+//! streaming (paper §2/§9). Tiling saves bandwidth; EVR saves energy.
+
+use evr_bench::{header, pct, scale_from_args};
+use evr_core::tiled::compare_tiled;
+use evr_core::EvrSystem;
+use evr_sas::TileGrid;
+use evr_video::library::VideoId;
+
+fn main() {
+    let mut scale = scale_from_args(std::env::args().skip(1));
+    if scale.users > 16 {
+        scale.users = 16;
+    }
+    header("Baseline comparison", "tiled view-guided streaming vs EVR S+H");
+    println!(
+        "{:10} | {:>9} {:>9} | {:>9} {:>9} | {:>7} {:>7} {:>7}",
+        "video", "tiled bw", "EVR bw", "tiled ΔE", "EVR ΔE", "base W", "tiled W", "EVR W"
+    );
+    for video in VideoId::EVALUATION {
+        let system = EvrSystem::build(video, scale.sas, scale.duration_s);
+        let c = compare_tiled(&system, TileGrid::default(), scale.users);
+        println!(
+            "{:10} | {:>9} {:>9} | {:>9} {:>9} | {:>6.2}W {:>6.2}W {:>6.2}W",
+            video.to_string(),
+            pct(c.tiled_bandwidth_saving),
+            pct(c.evr_bandwidth_saving),
+            pct(c.tiled_device_saving),
+            pct(c.evr_device_saving),
+            c.baseline_w,
+            c.tiled_w,
+            c.evr_w,
+        );
+    }
+    println!("(the paper's §2 point: view-guided tiling cuts bandwidth but keeps the PT");
+    println!(" operations — and therefore the energy — on the device)");
+}

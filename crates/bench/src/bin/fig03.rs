@@ -1,0 +1,38 @@
+//! Figure 3: power and energy characterisation of the VR device.
+//!
+//! (a) per-component power during baseline 360° playback;
+//! (b) projective transformation's share of compute+memory energy.
+
+use evr_bench::{context_from_env, header, pct};
+use evr_core::figures::fig03;
+use evr_energy::Component;
+
+fn main() {
+    let ctx = context_from_env();
+    header("Figure 3a", "device power by component (baseline playback)");
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "video", "display", "network", "storage", "memory", "compute", "total"
+    );
+    let rows = fig03(&ctx);
+    for r in &rows {
+        print!("{:10}", r.video.to_string());
+        for w in r.component_watts {
+            print!(" {w:7.2}W");
+        }
+        println!(" {:7.2}W", r.total_watts);
+    }
+    println!();
+    header("Figure 3b", "PT contribution to compute+memory energy");
+    for r in &rows {
+        println!("{:10} {}", r.video.to_string(), pct(r.pt_share));
+    }
+    let avg = rows.iter().map(|r| r.pt_share).sum::<f64>() / rows.len() as f64;
+    println!("{:10} {}   (paper: ~40%, up to 53% for Rhino)", "average", pct(avg));
+    let display_share = rows
+        .iter()
+        .map(|r| r.component_watts[Component::ALL.iter().position(|c| *c == Component::Display).unwrap()] / r.total_watts)
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!("\ndisplay share {} (paper: ~7%)", pct(display_share));
+}

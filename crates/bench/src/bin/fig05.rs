@@ -1,0 +1,18 @@
+//! Figure 5: percentage of frames in which at least one of the top-x
+//! identified objects appears in users' viewing areas.
+
+use evr_bench::{context_from_env, header};
+use evr_core::figures::fig05;
+
+fn main() {
+    let ctx = context_from_env();
+    header("Figure 5", "object coverage of user viewing areas");
+    for curve in fig05(&ctx) {
+        print!("{:10}", curve.video.to_string());
+        for (x, pct) in curve.coverage_pct.iter().enumerate() {
+            print!(" x={:<2}:{:5.1}%", x + 1, pct);
+        }
+        println!();
+    }
+    println!("(paper: one object covers 60–80% of frames; all objects reach 80–100%)");
+}

@@ -1,0 +1,24 @@
+//! Figure 6: cumulative distribution of object-tracking durations.
+
+use evr_bench::{context_from_env, header};
+use evr_core::figures::fig06;
+
+fn main() {
+    let ctx = context_from_env();
+    header("Figure 6", "cumulative time distribution of tracking durations");
+    let curves = fig06(&ctx);
+    print!("{:10}", "video");
+    for x in &curves[0].xs {
+        print!(" {:>7}", format!(">={x}s"));
+    }
+    println!();
+    for c in &curves {
+        print!("{:10}", c.video.to_string());
+        for v in &c.cumulative_pct {
+            print!(" {v:6.1}%");
+        }
+        println!();
+    }
+    let at5 = curves.iter().map(|c| c.cumulative_pct[5]).sum::<f64>() / curves.len() as f64;
+    println!("average time in episodes >= 5 s: {at5:.1}%  (paper: ~47%)");
+}

@@ -1,0 +1,23 @@
+//! Figure 11: pixel error of the fixed-point PT datapath across
+//! representations; the paper selects [28, 10].
+
+use evr_bench::header;
+use evr_core::figures::fig11;
+
+fn main() {
+    header("Figure 11", "fixed-point pixel error vs bit allocation");
+    println!("{:>6} {:>5} {:>7} {:>12}  note", "total", "int", "int%", "error");
+    for p in fig11() {
+        let note = if p.total_bits == 28 && p.int_bits == 10 {
+            "  <= paper's chosen design [28, 10]"
+        } else if p.error > 1e-3 {
+            "  above acceptability threshold (1e-3)"
+        } else {
+            ""
+        };
+        println!(
+            "{:>6} {:>5} {:>6.1}% {:>12.3e}{}",
+            p.total_bits, p.int_bits, p.int_pct, p.error, note
+        );
+    }
+}

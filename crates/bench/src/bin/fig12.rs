@@ -1,0 +1,45 @@
+//! Figure 12: compute and device energy savings of S / H / S+H under
+//! online streaming.
+
+use evr_bench::{context_from_env, header, pct};
+use evr_core::figures::fig12;
+
+fn main() {
+    let ctx = context_from_env();
+    header("Figure 12", "energy savings vs baseline (online streaming)");
+    println!(
+        "{:10} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
+        "video", "S", "H", "S+H", "S", "H", "S+H"
+    );
+    println!("{:10} | {:^23} | {:^23}", "", "compute (SoC) saving", "device saving");
+    let rows = fig12(&ctx);
+    let mut sums = [0.0f64; 6];
+    for r in &rows {
+        println!(
+            "{:10} | {} {} {} | {} {} {}",
+            r.video.to_string(),
+            pct(r.compute_saving[0]),
+            pct(r.compute_saving[1]),
+            pct(r.compute_saving[2]),
+            pct(r.device_saving[0]),
+            pct(r.device_saving[1]),
+            pct(r.device_saving[2]),
+        );
+        for i in 0..3 {
+            sums[i] += r.compute_saving[i];
+            sums[3 + i] += r.device_saving[i];
+        }
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:10} | {} {} {} | {} {} {}",
+        "average",
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+        pct(sums[4] / n),
+        pct(sums[5] / n),
+    );
+    println!("(paper: compute S 22% / H 38% / S+H 41% avg, S+H up to 58%; device S+H 29% avg, up to 42%)");
+}

@@ -1,0 +1,30 @@
+//! Figure 13: FPS drop and bandwidth savings of S+H, plus the FOV-miss
+//! rates reported in §8.2.
+
+use evr_bench::{context_from_env, header};
+use evr_core::figures::fig13;
+
+fn main() {
+    let ctx = context_from_env();
+    header("Figure 13", "user-experience impact and bandwidth savings (S+H)");
+    println!("{:10} {:>10} {:>12} {:>10}", "video", "fps drop", "bw saving", "miss rate");
+    let rows = fig13(&ctx);
+    for r in &rows {
+        println!(
+            "{:10} {:>9.2}% {:>11.1}% {:>9.1}%",
+            r.video.to_string(),
+            r.fps_drop_pct,
+            r.bandwidth_saving_pct,
+            r.miss_rate_pct
+        );
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:10} {:>9.2}% {:>11.1}% {:>9.1}%",
+        "average",
+        rows.iter().map(|r| r.fps_drop_pct).sum::<f64>() / n,
+        rows.iter().map(|r| r.bandwidth_saving_pct).sum::<f64>() / n,
+        rows.iter().map(|r| r.miss_rate_pct).sum::<f64>() / n,
+    );
+    println!("(paper: ~1% fps drop; bandwidth savings up to 34%, avg 28%; miss rate 5.3–12.0%, avg 7.7%)");
+}

@@ -1,0 +1,21 @@
+//! Figure 15: H-only savings in the live-streaming and offline-playback
+//! use-cases.
+
+use evr_bench::{context_from_env, header, pct};
+use evr_core::figures::fig15;
+
+fn main() {
+    let ctx = context_from_env();
+    header("Figure 15", "H savings for live streaming and offline playback");
+    println!("{:18} {:10} {:>9} {:>9}", "use-case", "video", "compute", "device");
+    for r in fig15(&ctx) {
+        println!(
+            "{:18} {:10} {:>9} {:>9}",
+            r.use_case.to_string(),
+            r.video.to_string(),
+            pct(r.compute_saving),
+            pct(r.device_saving)
+        );
+    }
+    println!("(paper: live 38% compute / 21% device; offline slightly higher device, ~23%)");
+}

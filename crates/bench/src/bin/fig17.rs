@@ -1,0 +1,19 @@
+//! Figure 17: PTE vs GPU energy for real-time 360° video quality
+//! assessment (§8.6).
+
+use evr_bench::header;
+use evr_core::figures::fig17;
+
+fn main() {
+    header("Figure 17", "energy reduction of PTE-based quality assessment");
+    println!("{:>12} {:>6} {:>11}", "resolution", "proj", "reduction");
+    for r in fig17() {
+        println!(
+            "{:>12} {:>6} {:>10.1}%",
+            format!("{}x{}", r.resolution.0, r.resolution.1),
+            r.projection.to_string(),
+            r.reduction_pct
+        );
+    }
+    println!("(paper: up to 40% reduction, shrinking as resolution grows)");
+}

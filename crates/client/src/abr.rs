@@ -1,0 +1,276 @@
+//! Adaptive-bitrate streaming over a constrained, time-varying link.
+//!
+//! The paper evaluates under an uncongested 300 Mbps WiFi link (§8.2);
+//! this module asks the follow-on question its bandwidth results imply:
+//! on a *constrained* link (cellular-class), how much does EVR's smaller
+//! FOV traffic help playback robustness? It implements the standard
+//! buffer-based client loop — throughput-EWMA rung selection with a
+//! safety factor, stall accounting — over real per-rung segment sizes
+//! from [`evr_sas::ladder`].
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant bandwidth-over-time trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// `(start time s, bits/s)` breakpoints, time-ascending; the first
+    /// entry's rate also applies before its time.
+    points: Vec<(f64, f64)>,
+}
+
+impl BandwidthTrace {
+    /// A constant-rate link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not positive.
+    pub fn constant(bps: f64) -> Self {
+        assert!(bps > 0.0, "bandwidth must be positive");
+        BandwidthTrace { points: vec![(0.0, bps)] }
+    }
+
+    /// Builds a trace from breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, unsorted, or any rate is non-positive.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "trace needs at least one point");
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0), "breakpoints must ascend");
+        assert!(points.iter().all(|(_, bps)| *bps > 0.0), "rates must be positive");
+        BandwidthTrace { points }
+    }
+
+    /// A link that alternates between `high_bps` and `low_bps` every
+    /// `period_s/2` seconds — the classic congestion sawtooth.
+    pub fn square_wave(high_bps: f64, low_bps: f64, period_s: f64, total_s: f64) -> Self {
+        assert!(period_s > 0.0 && total_s > 0.0, "periods must be positive");
+        let mut points = Vec::new();
+        let mut t = 0.0;
+        let mut high = true;
+        while t < total_s {
+            points.push((t, if high { high_bps } else { low_bps }));
+            high = !high;
+            t += period_s / 2.0;
+        }
+        BandwidthTrace::from_points(points)
+    }
+
+    /// The rate at time `t`, bits/s.
+    pub fn bps_at(&self, t: f64) -> f64 {
+        match self.points.iter().rev().find(|(pt, _)| *pt <= t) {
+            Some((_, bps)) => *bps,
+            None => self.points[0].1,
+        }
+    }
+
+    /// Time to download `bytes` starting at `t` (integrating across
+    /// breakpoints).
+    pub fn download_time(&self, mut t: f64, bytes: u64) -> f64 {
+        let mut remaining_bits = bytes as f64 * 8.0;
+        let start = t;
+        loop {
+            let rate = self.bps_at(t);
+            let next_bp = self
+                .points
+                .iter()
+                .map(|(pt, _)| *pt)
+                .find(|pt| *pt > t)
+                .unwrap_or(f64::INFINITY);
+            let window = next_bp - t;
+            let can = rate * window;
+            if remaining_bits <= can {
+                return t + remaining_bits / rate - start;
+            }
+            remaining_bits -= can;
+            t = next_bp;
+        }
+    }
+}
+
+/// The rung-selection policy: throughput EWMA with a safety margin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AbrPolicy {
+    /// Fraction of estimated throughput the chosen rung may consume.
+    pub safety: f64,
+    /// EWMA smoothing factor for throughput estimates, `[0, 1)` (0 = use
+    /// the last sample only).
+    pub smoothing: f64,
+}
+
+impl Default for AbrPolicy {
+    fn default() -> Self {
+        AbrPolicy { safety: 0.8, smoothing: 0.6 }
+    }
+}
+
+/// Result of one ABR playback simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbrOutcome {
+    /// Total stall (rebuffering) time, seconds.
+    pub stall_time_s: f64,
+    /// Stall events.
+    pub stalls: u64,
+    /// Mean selected rung (0 = coarsest).
+    pub mean_rung: f64,
+    /// Rung switches.
+    pub switches: u64,
+    /// Total bytes downloaded.
+    pub bytes: u64,
+}
+
+/// Simulates buffer-based streaming of `segment_ladder` (per segment, the
+/// byte size of each rung, coarsest first) over `link`.
+///
+/// The client starts playing after the first segment arrives, keeps at
+/// most a few segments buffered, estimates throughput from each
+/// download, and picks the highest rung whose projected download rate
+/// fits within `policy.safety` of the estimate.
+///
+/// # Panics
+///
+/// Panics if the ladder is empty or ragged.
+pub fn simulate_abr(
+    segment_ladder: &[Vec<u64>],
+    segment_duration_s: f64,
+    link: &BandwidthTrace,
+    policy: AbrPolicy,
+) -> AbrOutcome {
+    assert!(!segment_ladder.is_empty(), "ladder must contain segments");
+    let rungs = segment_ladder[0].len();
+    assert!(rungs > 0, "segments need at least one rung");
+    assert!(segment_ladder.iter().all(|s| s.len() == rungs), "ragged ladder");
+
+    let mut wall = 0.0f64; // wall-clock time
+    let mut buffer = 0.0f64; // seconds of video buffered
+    let mut started = false; // playback begins after the first segment
+    let mut throughput = link.bps_at(0.0); // start optimistic; EWMA corrects
+    let mut rung = 0usize;
+    let mut outcome = AbrOutcome {
+        stall_time_s: 0.0,
+        stalls: 0,
+        mean_rung: 0.0,
+        switches: 0,
+        bytes: 0,
+    };
+
+    for seg in segment_ladder {
+        // Pick the highest rung that fits the throughput estimate.
+        let budget_bps = throughput * policy.safety;
+        let pick = (0..rungs)
+            .rev()
+            .find(|&r| seg[r] as f64 * 8.0 / segment_duration_s <= budget_bps)
+            .unwrap_or(0);
+        if pick != rung {
+            outcome.switches += 1;
+            rung = pick;
+        }
+        outcome.mean_rung += rung as f64;
+        let bytes = seg[rung];
+        outcome.bytes += bytes;
+
+        let dl = link.download_time(wall, bytes);
+        wall += dl;
+        if started {
+            // Playback consumed `dl` seconds of buffer meanwhile.
+            buffer -= dl;
+            if buffer < 0.0 {
+                outcome.stall_time_s += -buffer;
+                outcome.stalls += 1;
+                buffer = 0.0;
+            }
+        } else {
+            // Startup: playback begins once the first segment is in; the
+            // join delay is not a stall.
+            started = true;
+        }
+        buffer += segment_duration_s;
+        // Keep at most 3 segments ahead: idle (don't download) otherwise.
+        let cap = 3.0 * segment_duration_s;
+        if buffer > cap {
+            wall += buffer - cap;
+            buffer = cap;
+        }
+        // Throughput sample from this download.
+        let sample = bytes as f64 * 8.0 / dl.max(1e-9);
+        throughput = policy.smoothing * throughput + (1.0 - policy.smoothing) * sample;
+    }
+    outcome.mean_rung /= segment_ladder.len() as f64;
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 10 segments of 1 s whose rungs cost 1 / 2 / 4 Mbit each.
+    fn ladder() -> Vec<Vec<u64>> {
+        (0..10).map(|_| vec![125_000, 250_000, 500_000]).collect()
+    }
+
+    #[test]
+    fn fat_link_picks_the_top_rung_without_stalls() {
+        let out = simulate_abr(
+            &ladder(),
+            1.0,
+            &BandwidthTrace::constant(50e6),
+            AbrPolicy::default(),
+        );
+        assert_eq!(out.stalls, 0);
+        assert!(out.mean_rung > 1.8, "mean rung {}", out.mean_rung);
+    }
+
+    #[test]
+    fn thin_link_downshifts_instead_of_stalling() {
+        // 1.5 Mbps link: only the bottom rung (1 Mbit/s) fits.
+        let out = simulate_abr(
+            &ladder(),
+            1.0,
+            &BandwidthTrace::constant(1.5e6),
+            AbrPolicy::default(),
+        );
+        assert!(out.mean_rung < 0.5, "mean rung {}", out.mean_rung);
+        assert!(out.stall_time_s < 0.5, "stall {}", out.stall_time_s);
+    }
+
+    #[test]
+    fn fluctuating_link_causes_switches() {
+        // 10-second phases between a fat and a sub-rung-0 link, with a
+        // reactive estimator: the client must shift down and back up.
+        let link = BandwidthTrace::square_wave(20e6, 1.0e6, 20.0, 100.0);
+        let long: Vec<Vec<u64>> = (0..60).map(|_| vec![125_000, 250_000, 500_000]).collect();
+        let policy = AbrPolicy { safety: 0.8, smoothing: 0.3 };
+        let out = simulate_abr(&long, 1.0, &link, policy);
+        assert!(out.switches >= 3, "switches {}", out.switches);
+        // It oscillates between rungs rather than pinning to one.
+        assert!(out.mean_rung > 0.2 && out.mean_rung < 1.9, "mean rung {}", out.mean_rung);
+    }
+
+    #[test]
+    fn smaller_segments_stall_less_on_the_same_link() {
+        // Halving every size (EVR's FOV streams vs originals) must not
+        // make things worse on a borderline link.
+        let link = BandwidthTrace::square_wave(3e6, 0.8e6, 6.0, 30.0);
+        let full = simulate_abr(&ladder(), 1.0, &link, AbrPolicy::default());
+        let halved: Vec<Vec<u64>> =
+            ladder().iter().map(|s| s.iter().map(|b| b / 2).collect()).collect();
+        let small = simulate_abr(&halved, 1.0, &link, AbrPolicy::default());
+        assert!(small.stall_time_s <= full.stall_time_s + 1e-9);
+        assert!(small.mean_rung >= full.mean_rung);
+    }
+
+    #[test]
+    fn download_time_integrates_across_breakpoints() {
+        // 1 Mbps for 1 s, then 9 Mbps: 2 Mbit takes 1 s + (1 Mbit / 9 Mbps).
+        let link = BandwidthTrace::from_points(vec![(0.0, 1e6), (1.0, 9e6)]);
+        let t = link.download_time(0.0, 250_000);
+        assert!((t - (1.0 + 1.0 / 9.0)).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_ladder_panics() {
+        let bad = vec![vec![1, 2], vec![1]];
+        let _ = simulate_abr(&bad, 1.0, &BandwidthTrace::constant(1e6), AbrPolicy::default());
+    }
+}

@@ -1,0 +1,125 @@
+//! The streaming link model.
+//!
+//! Paper §8.2 evaluates "under the WiFi environment (with an effective
+//! bandwidth of 300 Mbps)" and reports that "every re-buffering of a
+//! missed segment pauses rendering for at most 8 milliseconds": on a
+//! miss the client only waits for the segment's leading intra frame;
+//! the remainder streams faster than it plays.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point link model with loss-driven retransmission overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Effective application-layer bandwidth, bits per second.
+    pub bandwidth_bps: f64,
+    /// Request round-trip time, seconds.
+    pub rtt_s: f64,
+    /// Packet loss probability in `[0, 1)` (failure injection; 0 = the
+    /// clean WiFi link of the paper's testbed).
+    pub loss_prob: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel { bandwidth_bps: 300e6, rtt_s: 0.002, loss_prob: 0.0 }
+    }
+}
+
+impl NetworkModel {
+    /// Returns the model with packet loss injected.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `loss` is in `[0, 1)`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss probability must be in [0, 1)");
+        self.loss_prob = loss;
+        self
+    }
+
+    /// Expected goodput multiplier under loss: each byte is sent
+    /// `1 / (1 − p)` times on average (simple ARQ).
+    fn loss_inflation(&self) -> f64 {
+        1.0 / (1.0 - self.loss_prob)
+    }
+
+    /// Expected time to transfer `bytes`, seconds (excluding the request
+    /// RTT), including retransmissions.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.loss_inflation() / self.bandwidth_bps
+    }
+
+    /// Expected bytes on the air to deliver `bytes` of payload — what the
+    /// radio actually spends energy on under loss.
+    pub fn wire_bytes(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.loss_inflation()).round() as u64
+    }
+
+    /// Rendering pause caused by a mid-segment fallback fetch: one RTT
+    /// (plus loss-expected retries of the request itself) plus the
+    /// transfer of the leading intra frame; the remaining frames stream
+    /// ahead of the 30 FPS playback clock.
+    pub fn rebuffer_time(&self, intra_frame_bytes: u64) -> f64 {
+        self.rtt_s * self.loss_inflation() + self.transfer_time(intra_frame_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let n = NetworkModel::default();
+        // 37.5 MB/s → 1 MB in ~26.7 ms.
+        assert!((n.transfer_time(1_000_000) - 0.0267).abs() < 0.001);
+    }
+
+    #[test]
+    fn rebuffer_of_typical_intra_frame_is_single_digit_ms() {
+        // Paper §8.2: at most 8 ms per missed segment. A 4K intra frame
+        // at ~25 Mbps is roughly 200 kB.
+        let n = NetworkModel::default();
+        let t = n.rebuffer_time(200_000);
+        assert!(t < 0.008, "rebuffer {t} s");
+    }
+
+    #[test]
+    fn rebuffer_includes_rtt() {
+        let n = NetworkModel { bandwidth_bps: 1e12, rtt_s: 0.005, loss_prob: 0.0 };
+        assert!((n.rebuffer_time(100) - 0.005).abs() < 1e-6);
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+
+    #[test]
+    fn loss_inflates_transfer_time_and_wire_bytes() {
+        let clean = NetworkModel::default();
+        let lossy = NetworkModel::default().with_loss(0.2);
+        assert!(lossy.transfer_time(1_000_000) > clean.transfer_time(1_000_000));
+        assert_eq!(lossy.wire_bytes(1_000_000), 1_250_000);
+        assert_eq!(clean.wire_bytes(1_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn rebuffer_grows_smoothly_with_loss() {
+        let mut prev = 0.0;
+        for loss in [0.0, 0.05, 0.1, 0.2, 0.4] {
+            let t = NetworkModel::default().with_loss(loss).rebuffer_time(200_000);
+            assert!(t > prev, "loss {loss}: {t}");
+            prev = t;
+        }
+        // Even at 40% loss a fallback pause stays around one frame slot.
+        assert!(prev < 0.04, "{prev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn full_loss_is_rejected() {
+        let _ = NetworkModel::default().with_loss(1.0);
+    }
+}

@@ -1,0 +1,722 @@
+//! The per-user playback simulation.
+//!
+//! One [`PlaybackSession::run`] replays a head trace against an ingested
+//! video, frame by frame, reproducing the client control flow of the
+//! paper's Fig. 4: fetch → decode → FOV check → (PT on GPU or PTE, or
+//! direct display) → display, while tagging every joule into an
+//! [`EnergyLedger`].
+
+use serde::{Deserialize, Serialize};
+
+use evr_energy::{Activity, Component, DeviceParams, EnergyLedger};
+use evr_pte::{FrameStats, GpuModel, Pte, PteConfig};
+use evr_sas::checker::{CheckOutcome, FovChecker};
+use evr_sas::ingest::FPS;
+use evr_sas::{Request, Response, SasConfig, SasServer};
+use evr_trace::HeadTrace;
+use evr_video::codec::{EncodedFrame, EncodedSegment};
+
+use crate::network::NetworkModel;
+
+/// How the client picks which FOV video to request at a segment boundary.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Request the cluster nearest the *current* head pose (the paper's
+    /// deployed behaviour, §5.3).
+    #[default]
+    CurrentPose,
+    /// Extrapolate the head pose half a segment ahead from its recent
+    /// angular velocity and select for the predicted pose — the
+    /// lightweight client-side prediction the paper names as future work
+    /// (§8.2: "combining head movement prediction with SAS would further
+    /// improve the bandwidth efficiency").
+    LinearPrediction {
+        /// How far ahead to extrapolate, seconds.
+        lookahead_s: f64,
+    },
+}
+
+/// Which hardware performs on-device projective transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Renderer {
+    /// Texture mapping on the mobile GPU (today's path).
+    Gpu,
+    /// The PTE accelerator (HAR).
+    Pte,
+}
+
+/// Where content comes from (paper §8.1's three use-cases, plus the
+/// no-SAS streaming baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContentPath {
+    /// Online streaming through SAS: FOV videos with original fallback.
+    OnlineSas,
+    /// Online streaming of the original video only (the paper's baseline).
+    OnlineBaseline,
+    /// Live streaming: original video, no server pre-processing possible.
+    Live,
+    /// Offline playback from local storage: no network at all.
+    Offline,
+}
+
+impl ContentPath {
+    fn uses_network(self) -> bool {
+        !matches!(self, ContentPath::Offline)
+    }
+
+    fn uses_sas(self) -> bool {
+        matches!(self, ContentPath::OnlineSas)
+    }
+}
+
+/// Configuration of one playback session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Content source.
+    pub path: ContentPath,
+    /// PT hardware for non-hit frames.
+    pub renderer: Renderer,
+    /// SAS configuration (supplies the analysis/target scale model).
+    pub sas: SasConfig,
+    /// Device energy parameters.
+    pub device: DeviceParams,
+    /// GPU model (used when `renderer` is [`Renderer::Gpu`]).
+    pub gpu: GpuModel,
+    /// PTE configuration (used when `renderer` is [`Renderer::Pte`]).
+    pub pte: PteConfig,
+    /// Link model (ignored for [`ContentPath::Offline`]).
+    pub network: NetworkModel,
+    /// Oracle head-motion prediction: the server always pre-rendered the
+    /// right view, so every FOV check hits. Models the perfect-HMP
+    /// systems of the paper's §8.5 comparison (the HMP inference energy
+    /// itself is accounted by the experiment driver).
+    pub oracle_hits: bool,
+    /// FOV-video selection policy at segment boundaries.
+    pub selection: SelectionPolicy,
+}
+
+impl SessionConfig {
+    /// Creates a configuration with default device/GPU/PTE/link models.
+    pub fn new(path: ContentPath, renderer: Renderer, sas: SasConfig) -> Self {
+        SessionConfig {
+            path,
+            renderer,
+            sas,
+            device: DeviceParams::default(),
+            gpu: GpuModel::default(),
+            pte: PteConfig::prototype(),
+            network: NetworkModel::default(),
+            oracle_hits: false,
+            selection: SelectionPolicy::CurrentPose,
+        }
+    }
+}
+
+/// Results of one playback session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaybackReport {
+    /// Energy by component and activity.
+    pub ledger: EnergyLedger,
+    /// Frames presented.
+    pub frames_total: u64,
+    /// FOV-check hits (SAS path only).
+    pub fov_hits: u64,
+    /// FOV-check misses (SAS path only).
+    pub fov_misses: u64,
+    /// Frames rendered through the on-device PT fallback.
+    pub fallback_frames: u64,
+    /// Mid-segment fallback fetches.
+    pub rebuffer_events: u64,
+    /// Total rendering pause from rebuffering, seconds.
+    pub rebuffer_time_s: f64,
+    /// Bytes received over the network (target scale).
+    pub bytes_received: u64,
+    /// Media duration, seconds.
+    pub duration_s: f64,
+}
+
+impl PlaybackReport {
+    /// FOV-miss rate over checked frames (0 when SAS was not used).
+    pub fn miss_rate(&self) -> f64 {
+        let checked = self.fov_hits + self.fov_misses;
+        if checked == 0 {
+            0.0
+        } else {
+            self.fov_misses as f64 / checked as f64
+        }
+    }
+
+    /// Fraction of frames that could not be served from an FOV video —
+    /// the quantity the paper reports as the "FOV-miss rate" (§8.2,
+    /// 5.3%–12.0%): once a segment misses, its remaining frames play from
+    /// the original stream and count as missed too.
+    pub fn fov_miss_fraction(&self) -> f64 {
+        if self.frames_total == 0 {
+            0.0
+        } else {
+            self.fallback_frames as f64 / self.frames_total as f64
+        }
+    }
+
+    /// FPS degradation: the fraction of presentation time lost to
+    /// rebuffer pauses (the paper's Fig. 13 left axis, ≈1%).
+    pub fn fps_drop_fraction(&self) -> f64 {
+        self.rebuffer_time_s / self.duration_s
+    }
+}
+
+/// The playback simulator.
+#[derive(Debug, Clone)]
+pub struct PlaybackSession {
+    cfg: SessionConfig,
+    /// Pre-analysed PTE frame cost (orientation dependence of the memory
+    /// pattern is second-order; one representative analysis is reused).
+    pte_frame: FrameStats,
+}
+
+impl PlaybackSession {
+    /// Creates a session, pre-analysing the PTE cost for the configured
+    /// source/viewport geometry.
+    pub fn new(cfg: SessionConfig) -> Self {
+        let (sw, sh) = cfg.sas.target_src;
+        let pte = Pte::new(cfg.pte);
+        let pte_frame = pte.analyze_frame_strided(sw, sh, evr_math::EulerAngles::default(), 4);
+        PlaybackSession { cfg, pte_frame }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Replays `trace` against tile-based view-guided streaming (the
+    /// related-work baseline of paper §2/§9): per segment, in-view tiles
+    /// stream at high quality and the rest at low quality, cutting
+    /// bandwidth — but every frame still needs full on-device projective
+    /// transformation with the configured renderer.
+    ///
+    /// The `server`'s catalog supplies frame structure and timing; wire
+    /// and decode byte counts come from `tiled`.
+    pub fn run_tiled(
+        &self,
+        server: &SasServer,
+        tiled: &evr_sas::TiledCatalog,
+        trace: &HeadTrace,
+    ) -> PlaybackReport {
+        let cfg = &self.cfg;
+        let catalog = server.catalog();
+        assert_eq!(
+            tiled.segment_count(),
+            catalog.segment_count(),
+            "tiled catalog must cover the same segments"
+        );
+        let src_px = cfg.sas.target_src.0 as u64 * cfg.sas.target_src.1 as u64;
+        let slot = 1.0 / FPS;
+
+        let mut ledger = EnergyLedger::new();
+        let mut frames_total = 0u64;
+        let mut bytes_received = 0u64;
+        for seg in 0..catalog.segment_count() {
+            let original = catalog.original_segment(seg);
+            let n = original.frames.len() as u64;
+            let seg_start_t = original.start_index as f64 / FPS;
+            let pose = trace.pose_at(seg_start_t);
+            let seg_bytes = tiled.segment_bytes(seg, pose, cfg.sas.device_fov);
+            bytes_received += seg_bytes;
+            let mut gpu_used = false;
+            for _ in 0..n {
+                // Full-resolution decode of fewer bits, then full PT.
+                self.account_decode(&mut ledger, src_px, seg_bytes / n);
+                gpu_used |= self.account_pt(&mut ledger, slot);
+                frames_total += 1;
+            }
+            if gpu_used {
+                ledger.add(
+                    Component::Compute,
+                    Activity::ProjectiveTransform,
+                    cfg.gpu.session_energy(n as f64 / FPS),
+                );
+            }
+        }
+
+        let duration_s = frames_total as f64 / FPS;
+        ledger.set_duration(duration_s);
+        let d = &cfg.device;
+        ledger.add(Component::Display, Activity::DisplayScan, d.display_energy(duration_s));
+        ledger.add(
+            Component::Memory,
+            Activity::DisplayScan,
+            d.dram_energy(d.display_dram_bytes(duration_s)),
+        );
+        ledger.add(
+            Component::Network,
+            Activity::NetworkRx,
+            d.network_energy(bytes_received, duration_s),
+        );
+        ledger.add(
+            Component::Storage,
+            Activity::StorageIo,
+            d.storage_energy(bytes_received, duration_s),
+        );
+        ledger.add(Component::Compute, Activity::Base, d.base_energy(duration_s));
+        // Tile selection / multi-stream management: about half of SAS's
+        // client-control cost (no per-frame FOV checking).
+        ledger.add(Component::Compute, Activity::Base, 0.5 * d.sas_client_energy(duration_s));
+        ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
+
+        PlaybackReport {
+            ledger,
+            frames_total,
+            fov_hits: 0,
+            fov_misses: 0,
+            fallback_frames: frames_total,
+            rebuffer_events: 0,
+            rebuffer_time_s: 0.0,
+            bytes_received,
+            duration_s,
+        }
+    }
+
+    /// Replays `trace` against `server`'s video.
+    pub fn run(&self, server: &SasServer, trace: &HeadTrace) -> PlaybackReport {
+        let cfg = &self.cfg;
+        let catalog = server.catalog();
+        let fov_scale = cfg.sas.fov_byte_scale();
+        let src_scale = cfg.sas.src_byte_scale();
+        let src_px = cfg.sas.target_src.0 as u64 * cfg.sas.target_src.1 as u64;
+        let fov_px = cfg.sas.target_fov.0 as u64 * cfg.sas.target_fov.1 as u64;
+        let slot = 1.0 / FPS;
+
+        let mut ledger = EnergyLedger::new();
+        let mut checker = FovChecker::new(cfg.sas.device_fov);
+        let mut fallback_frames = 0u64;
+        let mut frames_total = 0u64;
+        let mut rebuffer_events = 0u64;
+        let mut rebuffer_time_s = 0.0f64;
+        let mut bytes_received = 0u64;
+        let mut storage_read_bytes = 0u64;
+
+        for seg in 0..catalog.segment_count() {
+            let original = catalog.original_segment(seg);
+            let n = original.frames.len() as u64;
+            let seg_start_t = original.start_index as f64 / FPS;
+            let seg_duration = n as f64 / FPS;
+            let orig_bytes = catalog.original_target_bytes(seg);
+            let mut gpu_used = false;
+
+            let chosen = if cfg.path.uses_sas() {
+                server.best_cluster(seg, self.selection_pose(trace, seg_start_t))
+            } else {
+                None
+            };
+
+            match chosen {
+                Some(cluster) => {
+                    let (fov_seg, meta) = match server.handle(Request::FovVideo { segment: seg, cluster }) {
+                        Response::FovVideo { segment, meta, wire_bytes } => {
+                            bytes_received += wire_bytes;
+                            (segment, meta)
+                        }
+                        _ => unreachable!("best_cluster returned a listed cluster"),
+                    };
+                    let mut fell_back = false;
+                    #[allow(clippy::needless_range_loop)] // indexes three parallel sequences
+                    for f in 0..n as usize {
+                        let t = seg_start_t + f as f64 * slot;
+                        let pose = trace.pose_at(t);
+                        if !fell_back {
+                            let outcome = if cfg.oracle_hits {
+                                checker.check(meta[f].orientation, &meta[f])
+                            } else {
+                                checker.check(pose, &meta[f])
+                            };
+                            match outcome {
+                                CheckOutcome::Hit => {
+                                    // Direct display: decode the FOV frame only.
+                                    self.account_decode(
+                                        &mut ledger,
+                                        fov_px,
+                                        frame_wire_bytes(&fov_seg.frames[f], fov_scale),
+                                    );
+                                    frames_total += 1;
+                                    continue;
+                                }
+                                CheckOutcome::Miss => {
+                                    // Fetch the original segment and fall
+                                    // back for the segment's remainder.
+                                    fell_back = true;
+                                    rebuffer_events += 1;
+                                    let intra =
+                                        frame_wire_bytes(&original.frames[0], src_scale);
+                                    rebuffer_time_s += cfg.network.rebuffer_time(intra);
+                                    if cfg.path.uses_network() {
+                                        bytes_received += orig_bytes;
+                                    } else {
+                                        storage_read_bytes += orig_bytes;
+                                    }
+                                    // Catch-up decode: the original's GOP
+                                    // starts at the segment boundary, so
+                                    // reaching frame `f` means decoding
+                                    // its whole reference chain first.
+                                    for g in 0..f {
+                                        self.account_decode(
+                                            &mut ledger,
+                                            src_px,
+                                            frame_wire_bytes(&original.frames[g], src_scale),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        // Fallback path: decode original + on-device PT.
+                        self.account_decode(
+                            &mut ledger,
+                            src_px,
+                            frame_wire_bytes(&original.frames[f], src_scale),
+                        );
+                        gpu_used |= self.account_pt(&mut ledger, slot);
+                        fallback_frames += 1;
+                        frames_total += 1;
+                    }
+                }
+                None => {
+                    // No SAS (or nothing materialised): original path.
+                    if cfg.path.uses_network() {
+                        bytes_received += orig_bytes;
+                    } else {
+                        storage_read_bytes += orig_bytes;
+                    }
+                    for f in 0..n as usize {
+                        self.account_decode(
+                            &mut ledger,
+                            src_px,
+                            frame_wire_bytes(&original.frames[f], src_scale),
+                        );
+                        gpu_used |= self.account_pt(&mut ledger, slot);
+                        fallback_frames += 1;
+                        frames_total += 1;
+                    }
+                }
+            }
+            // Keeping the GPU context alive costs session power for the
+            // whole segment in which the GPU ran at all (§3: invoking the
+            // GPU "necessarily invokes the entire software stack").
+            if gpu_used {
+                ledger.add(
+                    Component::Compute,
+                    Activity::ProjectiveTransform,
+                    cfg.gpu.session_energy(seg_duration),
+                );
+            }
+        }
+
+        let duration_s = frames_total as f64 / FPS;
+        ledger.set_duration(duration_s);
+
+        // Session-wide components.
+        let d = &cfg.device;
+        ledger.add(Component::Display, Activity::DisplayScan, d.display_energy(duration_s));
+        ledger.add(
+            Component::Memory,
+            Activity::DisplayScan,
+            d.dram_energy(d.display_dram_bytes(duration_s)),
+        );
+        if cfg.path.uses_network() {
+            // Under injected loss the radio moves (and pays for) the
+            // retransmitted bytes too.
+            ledger.add(
+                Component::Network,
+                Activity::NetworkRx,
+                d.network_energy(cfg.network.wire_bytes(bytes_received), duration_s),
+            );
+            // Streamed segments are cached to storage (§3: "involved
+            // mainly for temporary caching").
+            ledger.add(
+                Component::Storage,
+                Activity::StorageIo,
+                d.storage_energy(bytes_received, duration_s),
+            );
+        } else {
+            ledger.add(
+                Component::Storage,
+                Activity::StorageIo,
+                d.storage_energy(storage_read_bytes, duration_s),
+            );
+        }
+        ledger.add(Component::Compute, Activity::Base, d.base_energy(duration_s));
+        if cfg.path.uses_sas() {
+            ledger.add(Component::Compute, Activity::Base, d.sas_client_energy(duration_s));
+        }
+        ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
+
+        PlaybackReport {
+            ledger,
+            frames_total,
+            fov_hits: checker.hits(),
+            fov_misses: checker.misses(),
+            fallback_frames,
+            rebuffer_events,
+            rebuffer_time_s,
+            bytes_received,
+            duration_s,
+        }
+    }
+
+    /// The pose used for stream selection at time `t`, per the configured
+    /// policy. Linear prediction extrapolates from the *past* only (the
+    /// client cannot peek ahead in its own IMU stream).
+    fn selection_pose(&self, trace: &HeadTrace, t: f64) -> evr_math::EulerAngles {
+        match self.cfg.selection {
+            SelectionPolicy::CurrentPose => trace.pose_at(t),
+            SelectionPolicy::LinearPrediction { lookahead_s } => {
+                let dt = 0.1;
+                let now = trace.pose_at(t);
+                let before = trace.pose_at((t - dt).max(0.0));
+                let yaw_vel = (now.yaw - before.yaw).wrapped().0 / dt;
+                let pitch_vel = (now.pitch.0 - before.pitch.0) / dt;
+                evr_math::EulerAngles::new(
+                    evr_math::Radians(now.yaw.0 + yaw_vel * lookahead_s),
+                    evr_math::Radians(now.pitch.0 + pitch_vel * lookahead_s),
+                    now.roll,
+                )
+                .normalized()
+            }
+        }
+    }
+
+    fn account_decode(&self, ledger: &mut EnergyLedger, pixels: u64, bytes: u64) {
+        let d = &self.cfg.device;
+        ledger.add(Component::Compute, Activity::Decode, d.decode_energy(pixels, bytes));
+        ledger.add(
+            Component::Memory,
+            Activity::Decode,
+            d.dram_energy(d.decode_dram_bytes(pixels)),
+        );
+    }
+
+    /// Accounts one frame of on-device PT; returns whether the GPU ran.
+    fn account_pt(&self, ledger: &mut EnergyLedger, slot: f64) -> bool {
+        let d = &self.cfg.device;
+        match self.cfg.renderer {
+            Renderer::Gpu => {
+                let cost = self.cfg.gpu.pt_frame(d.panel_pixels);
+                ledger.add(Component::Compute, Activity::ProjectiveTransform, cost.energy_j);
+                ledger.add(
+                    Component::Memory,
+                    Activity::ProjectiveTransform,
+                    d.dram_energy(cost.dram_bytes),
+                );
+                true
+            }
+            Renderer::Pte => {
+                let s = &self.pte_frame;
+                // Datapath + SRAM + leakage for the whole frame slot (the
+                // PTE stays powered across slots it renders in).
+                let idle = (slot - s.frame_time_s()).max(0.0)
+                    * Pte::new(self.cfg.pte).energy_params().leakage_w;
+                ledger.add(
+                    Component::Compute,
+                    Activity::ProjectiveTransform,
+                    s.compute_energy_j + s.sram_energy_j + s.leakage_energy_j + idle,
+                );
+                ledger.add(
+                    Component::Memory,
+                    Activity::ProjectiveTransform,
+                    d.dram_energy(s.dram_read_bytes + s.dram_write_bytes),
+                );
+                false
+            }
+        }
+    }
+}
+
+fn frame_wire_bytes(frame: &EncodedFrame, scale: f64) -> u64 {
+    (frame.payload_bytes() as f64 * scale) as u64 + (frame.bytes - frame.payload_bytes())
+}
+
+/// Total target-scale wire bytes of a segment (helper shared with tests
+/// and experiment drivers).
+pub fn segment_wire_bytes(segment: &EncodedSegment, scale: f64) -> u64 {
+    segment.frames.iter().map(|f| frame_wire_bytes(f, scale)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_sas::{ingest_video, SasConfig};
+    use evr_trace::behavior::{generate_user_trace, params_for};
+    use evr_video::library::{scene_for, VideoId};
+
+    fn setup(video: VideoId, secs: f64) -> (SasServer, HeadTrace) {
+        let scene = scene_for(video);
+        let server = SasServer::new(ingest_video(&scene, &SasConfig::tiny_for_tests(), secs));
+        let trace = generate_user_trace(&scene, &params_for(video), 3, secs, 30.0);
+        (server, trace)
+    }
+
+    fn run(path: ContentPath, renderer: Renderer, server: &SasServer, trace: &HeadTrace) -> PlaybackReport {
+        let cfg = SessionConfig::new(path, renderer, SasConfig::tiny_for_tests());
+        PlaybackSession::new(cfg).run(server, trace)
+    }
+
+    #[test]
+    fn baseline_renders_every_frame_on_gpu() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let r = run(ContentPath::OnlineBaseline, Renderer::Gpu, &server, &trace);
+        assert_eq!(r.frames_total, 30);
+        assert_eq!(r.fallback_frames, 30);
+        assert_eq!(r.fov_hits + r.fov_misses, 0);
+        assert!(r.ledger.get(Component::Compute, Activity::ProjectiveTransform) > 0.0);
+    }
+
+    #[test]
+    fn sas_hits_avoid_pt_entirely() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let r = run(ContentPath::OnlineSas, Renderer::Gpu, &server, &trace);
+        assert!(r.fov_hits > 0, "expected some hits");
+        // PT energy strictly below baseline.
+        let base = run(ContentPath::OnlineBaseline, Renderer::Gpu, &server, &trace);
+        assert!(
+            r.ledger.activity_total(Activity::ProjectiveTransform)
+                < base.ledger.activity_total(Activity::ProjectiveTransform)
+        );
+    }
+
+    #[test]
+    fn pte_renderer_uses_less_pt_energy_than_gpu() {
+        let (server, trace) = setup(VideoId::Rs, 1.0);
+        let gpu = run(ContentPath::OnlineBaseline, Renderer::Gpu, &server, &trace);
+        let pte = run(ContentPath::OnlineBaseline, Renderer::Pte, &server, &trace);
+        let pt = |r: &PlaybackReport| r.ledger.activity_total(Activity::ProjectiveTransform);
+        assert!(pt(&pte) < pt(&gpu) / 3.0, "pte {} gpu {}", pt(&pte), pt(&gpu));
+        // And less total device energy.
+        assert!(pte.ledger.total() < gpu.ledger.total());
+    }
+
+    #[test]
+    fn offline_has_no_network_energy() {
+        let (server, trace) = setup(VideoId::Timelapse, 1.0);
+        let r = run(ContentPath::Offline, Renderer::Pte, &server, &trace);
+        assert_eq!(r.ledger.component_total(Component::Network), 0.0);
+        assert!(r.ledger.component_total(Component::Storage) > 0.0);
+        assert_eq!(r.bytes_received, 0);
+    }
+
+    #[test]
+    fn sas_reduces_received_bytes_for_tracking_user() {
+        // A user who stares at the herd never misses; SAS then streams
+        // only the (smaller) FOV videos — the Fig. 13 bandwidth effect.
+        let scene = scene_for(VideoId::Rhino);
+        let server = SasServer::new(ingest_video(&scene, &SasConfig::tiny_for_tests(), 2.0));
+        let herd = scene.objects()[0].position(0.0);
+        let s = evr_math::SphericalCoord::from_vector(herd).unwrap();
+        let pose = evr_math::EulerAngles::new(s.lon, s.lat, evr_math::Radians(0.0));
+        let samples: Vec<_> = (0..61)
+            .map(|i| evr_trace::PoseSample { t: i as f64 / 30.0, pose })
+            .collect();
+        let trace = HeadTrace::from_samples(samples);
+
+        let sas = run(ContentPath::OnlineSas, Renderer::Pte, &server, &trace);
+        let base = run(ContentPath::OnlineBaseline, Renderer::Pte, &server, &trace);
+        // Cluster centroids drift segment to segment (detector noise,
+        // k-means variation); a staring user still hits almost always.
+        assert!(
+            sas.fov_miss_fraction() < 0.4,
+            "staring user misses {:.0}% of frames",
+            100.0 * sas.fov_miss_fraction()
+        );
+        assert!(
+            sas.bytes_received < base.bytes_received,
+            "sas {} baseline {}",
+            sas.bytes_received,
+            base.bytes_received
+        );
+    }
+
+    #[test]
+    fn misses_cause_rebuffering_and_fallback() {
+        // Force misses by streaming with zero margin and a twitchy user.
+        let scene = scene_for(VideoId::Rs);
+        let mut sas_cfg = SasConfig::tiny_for_tests();
+        sas_cfg.fov_margin = evr_math::Degrees(0.5);
+        let server = SasServer::new(ingest_video(&scene, &sas_cfg, 2.0));
+        let trace = generate_user_trace(&scene, &params_for(VideoId::Rs), 9, 2.0, 30.0);
+        let cfg = SessionConfig::new(ContentPath::OnlineSas, Renderer::Gpu, sas_cfg);
+        let r = PlaybackSession::new(cfg).run(&server, &trace);
+        assert!(r.fov_misses > 0);
+        assert_eq!(r.rebuffer_events > 0, r.fov_misses > 0);
+        assert!(r.rebuffer_time_s > 0.0);
+        assert!(r.fps_drop_fraction() < 0.2);
+        assert!(r.fallback_frames > 0);
+    }
+
+    #[test]
+    fn report_duration_matches_frames() {
+        let (server, trace) = setup(VideoId::Paris, 1.0);
+        let r = run(ContentPath::Live, Renderer::Pte, &server, &trace);
+        assert!((r.duration_s - r.frames_total as f64 / 30.0).abs() < 1e-9);
+        assert!(r.ledger.total_power() > 1.0, "device draws watts");
+    }
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+    use evr_sas::{ingest_video, SasConfig};
+    use evr_trace::PoseSample;
+    use evr_video::library::{scene_for, VideoId};
+
+    /// A user sweeping steadily rightward at 30°/s: linear prediction
+    /// should select the stream ahead of the sweep.
+    fn sweeping_trace(secs: f64) -> HeadTrace {
+        let samples = (0..=(secs * 30.0) as u64)
+            .map(|i| {
+                let t = i as f64 / 30.0;
+                PoseSample {
+                    t,
+                    pose: evr_math::EulerAngles::from_degrees(t * 30.0 - 30.0, -8.0, 0.0),
+                }
+            })
+            .collect();
+        HeadTrace::from_samples(samples)
+    }
+
+    #[test]
+    fn linear_prediction_does_not_hurt_a_sweeping_user() {
+        let scene = scene_for(VideoId::Paris);
+        let sas = SasConfig::tiny_for_tests();
+        let server = SasServer::new(ingest_video(&scene, &sas, 2.0));
+        let trace = sweeping_trace(2.0);
+
+        let run = |selection: SelectionPolicy| {
+            let mut cfg = SessionConfig::new(ContentPath::OnlineSas, Renderer::Pte, sas);
+            cfg.selection = selection;
+            PlaybackSession::new(cfg).run(&server, &trace)
+        };
+        let cur = run(SelectionPolicy::CurrentPose);
+        let pred = run(SelectionPolicy::LinearPrediction { lookahead_s: 0.5 });
+        assert!(
+            pred.fov_miss_fraction() <= cur.fov_miss_fraction() + 1e-9,
+            "pred {} vs cur {}",
+            pred.fov_miss_fraction(),
+            cur.fov_miss_fraction()
+        );
+    }
+
+    #[test]
+    fn prediction_with_zero_lookahead_equals_current_pose() {
+        let scene = scene_for(VideoId::Rhino);
+        let sas = SasConfig::tiny_for_tests();
+        let server = SasServer::new(ingest_video(&scene, &sas, 1.0));
+        let trace = sweeping_trace(1.0);
+        let run = |selection: SelectionPolicy| {
+            let mut cfg = SessionConfig::new(ContentPath::OnlineSas, Renderer::Pte, sas);
+            cfg.selection = selection;
+            PlaybackSession::new(cfg).run(&server, &trace)
+        };
+        assert_eq!(
+            run(SelectionPolicy::CurrentPose),
+            run(SelectionPolicy::LinearPrediction { lookahead_s: 0.0 })
+        );
+    }
+}

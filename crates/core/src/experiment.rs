@@ -1,0 +1,181 @@
+//! Multi-user experiment running and aggregation.
+//!
+//! The paper replays 59 users per video (§8.1); user sessions are
+//! independent, so the runner replays them on a thread pool and averages
+//! the resulting ledgers and statistics.
+
+use evr_client::session::PlaybackReport;
+use evr_energy::EnergyLedger;
+
+use crate::system::{EvrSystem, UseCase, Variant};
+
+/// How an experiment sweeps users.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of study users to replay (paper: 59).
+    pub users: u64,
+    /// Threads for the user sweep.
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { users: evr_trace::dataset::USER_COUNT as u64, threads: 8 }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for unit tests.
+    pub fn quick(users: u64) -> Self {
+        ExperimentConfig { users, threads: 4 }
+    }
+}
+
+/// Averaged results across users.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateReport {
+    /// Mean energy ledger (per-user average).
+    pub ledger: EnergyLedger,
+    /// Mean per-check FOV-miss rate.
+    pub miss_rate: f64,
+    /// Mean fraction of frames served from the original stream (the
+    /// paper's reported FOV-miss rate).
+    pub fov_miss_fraction: f64,
+    /// Mean FPS-drop fraction.
+    pub fps_drop: f64,
+    /// Mean bytes received per user.
+    pub bytes_received: f64,
+    /// Mean rebuffer time per user, seconds.
+    pub rebuffer_time_s: f64,
+    /// Users aggregated.
+    pub users: u64,
+}
+
+impl AggregateReport {
+    fn from_reports(reports: Vec<PlaybackReport>) -> AggregateReport {
+        assert!(!reports.is_empty(), "aggregate requires at least one report");
+        let n = reports.len() as f64;
+        let mut ledger = EnergyLedger::new();
+        let mut duration = 0.0;
+        let mut miss_rate = 0.0;
+        let mut fov_miss_fraction = 0.0;
+        let mut fps_drop = 0.0;
+        let mut bytes = 0.0;
+        let mut rebuffer = 0.0;
+        for r in &reports {
+            ledger.merge(&r.ledger);
+            duration += r.duration_s;
+            miss_rate += r.miss_rate();
+            fov_miss_fraction += r.fov_miss_fraction();
+            fps_drop += r.fps_drop_fraction();
+            bytes += r.bytes_received as f64;
+            rebuffer += r.rebuffer_time_s;
+        }
+        // Scale the merged ledger down to a per-user mean.
+        let mut mean = EnergyLedger::new();
+        for c in evr_energy::Component::ALL {
+            for a in ACTIVITIES {
+                let j = ledger.get(c, a) / n;
+                if j > 0.0 {
+                    mean.add(c, a, j);
+                }
+            }
+        }
+        mean.set_duration(duration / n);
+        AggregateReport {
+            ledger: mean,
+            miss_rate: miss_rate / n,
+            fov_miss_fraction: fov_miss_fraction / n,
+            fps_drop: fps_drop / n,
+            bytes_received: bytes / n,
+            rebuffer_time_s: rebuffer / n,
+            users: reports.len() as u64,
+        }
+    }
+}
+
+const ACTIVITIES: [evr_energy::Activity; 8] = [
+    evr_energy::Activity::Decode,
+    evr_energy::Activity::ProjectiveTransform,
+    evr_energy::Activity::Base,
+    evr_energy::Activity::DisplayScan,
+    evr_energy::Activity::NetworkRx,
+    evr_energy::Activity::StorageIo,
+    evr_energy::Activity::HeadMotionPrediction,
+    evr_energy::Activity::QualityAssessment,
+];
+
+/// Runs `variant` for all users in `use_case`, in parallel, and averages.
+pub fn run_variant(
+    system: &EvrSystem,
+    use_case: UseCase,
+    variant: Variant,
+    cfg: &ExperimentConfig,
+) -> AggregateReport {
+    assert!(cfg.users > 0, "experiment needs at least one user");
+    let threads = cfg.threads.clamp(1, 64);
+    let session = system.session_for(use_case, variant);
+    let reports = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in 0..threads as u64 {
+            let system = &system;
+            let session = &session;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut user = chunk;
+                while user < cfg.users {
+                    out.push((user, system.run_with(session, user)));
+                    user += threads as u64;
+                }
+                out
+            }));
+        }
+        let mut all: Vec<(u64, PlaybackReport)> =
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
+        all.sort_by_key(|(u, _)| *u);
+        all.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
+    });
+    AggregateReport::from_reports(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_sas::SasConfig;
+    use evr_video::library::VideoId;
+
+    #[test]
+    fn parallel_run_is_deterministic() {
+        let system = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 1.0);
+        let cfg = ExperimentConfig::quick(4);
+        let a = run_variant(&system, UseCase::OnlineStreaming, Variant::SPlusH, &cfg);
+        let b = run_variant(&system, UseCase::OnlineStreaming, Variant::SPlusH, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.users, 4);
+    }
+
+    #[test]
+    fn aggregate_preserves_energy_scale() {
+        let system = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 1.0);
+        let cfg = ExperimentConfig::quick(2);
+        let agg = run_variant(&system, UseCase::OnlineStreaming, Variant::Baseline, &cfg);
+        let single = system.run_user(Variant::Baseline, 0);
+        // The mean ledger is the same order of magnitude as one user's.
+        let ratio = agg.ledger.total() / single.ledger.total();
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+        // Average device power is in the watts range the paper measures.
+        assert!((2.0..8.0).contains(&agg.ledger.total_power()), "{}", agg.ledger.total_power());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        let system = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 1.0);
+        let _ = run_variant(
+            &system,
+            UseCase::OnlineStreaming,
+            Variant::H,
+            &ExperimentConfig { users: 0, threads: 1 },
+        );
+    }
+}

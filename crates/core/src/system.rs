@@ -1,0 +1,285 @@
+//! System variants, use-cases and the end-to-end wiring.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use evr_client::session::{ContentPath, PlaybackReport, PlaybackSession, Renderer, SessionConfig};
+use evr_sas::{ingest_video, SasConfig, SasServer};
+use evr_trace::behavior::{generate_user_trace, params_for};
+use evr_trace::HeadTrace;
+use evr_video::library::{scene_for, VideoId};
+use evr_video::scene::Scene;
+
+/// The EVR variants of the paper's §8.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Today's system: stream originals, PT on the GPU.
+    Baseline,
+    /// Semantic-aware streaming only (`S`): FOV videos, GPU fallback.
+    S,
+    /// Hardware-accelerated rendering only (`H`): originals, PTE.
+    H,
+    /// Both (`S+H`): FOV videos, PTE fallback.
+    SPlusH,
+    /// §8.5 comparison: SAS with a perfect on-device DNN head-motion
+    /// predictor (inference energy charged by the experiment driver).
+    PerfectHmp,
+    /// §8.5 upper bound: perfect prediction with zero overhead.
+    IdealHmp,
+}
+
+impl Variant {
+    /// The three EVR variants of Fig. 12, in plot order.
+    pub const EVR: [Variant; 3] = [Variant::S, Variant::H, Variant::SPlusH];
+
+    fn session(self, use_case: UseCase, sas: SasConfig) -> SessionConfig {
+        let (path, renderer, oracle) = match (use_case, self) {
+            (UseCase::OnlineStreaming, Variant::Baseline) => {
+                (ContentPath::OnlineBaseline, Renderer::Gpu, false)
+            }
+            (UseCase::OnlineStreaming, Variant::S) => (ContentPath::OnlineSas, Renderer::Gpu, false),
+            (UseCase::OnlineStreaming, Variant::H) => {
+                (ContentPath::OnlineBaseline, Renderer::Pte, false)
+            }
+            (UseCase::OnlineStreaming, Variant::SPlusH) => {
+                (ContentPath::OnlineSas, Renderer::Pte, false)
+            }
+            (UseCase::OnlineStreaming, Variant::PerfectHmp | Variant::IdealHmp) => {
+                (ContentPath::OnlineSas, Renderer::Pte, true)
+            }
+            (UseCase::LiveStreaming, v) => (
+                ContentPath::Live,
+                if v == Variant::H { Renderer::Pte } else { Renderer::Gpu },
+                false,
+            ),
+            (UseCase::OfflinePlayback, v) => (
+                ContentPath::Offline,
+                if v == Variant::H { Renderer::Pte } else { Renderer::Gpu },
+                false,
+            ),
+        };
+        let mut cfg = SessionConfig::new(path, renderer, sas);
+        cfg.oracle_hits = oracle;
+        cfg
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Variant::Baseline => "Baseline",
+            Variant::S => "S",
+            Variant::H => "H",
+            Variant::SPlusH => "S+H",
+            Variant::PerfectHmp => "Perfect HMP",
+            Variant::IdealHmp => "Perfect HMP w/ No Overhead",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three VR use-cases of the paper's evaluation (§8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UseCase {
+    /// Content streamed from a SAS-capable server: all variants apply.
+    OnlineStreaming,
+    /// Broadcast with real-time constraints: no server pre-processing,
+    /// only `H` applies.
+    LiveStreaming,
+    /// Playback from local storage: only `H` applies.
+    OfflinePlayback,
+}
+
+impl UseCase {
+    /// Variants the paper evaluates for this use-case.
+    pub fn applicable_variants(self) -> &'static [Variant] {
+        match self {
+            UseCase::OnlineStreaming => &[Variant::S, Variant::H, Variant::SPlusH],
+            UseCase::LiveStreaming | UseCase::OfflinePlayback => &[Variant::H],
+        }
+    }
+}
+
+impl fmt::Display for UseCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UseCase::OnlineStreaming => "online-streaming",
+            UseCase::LiveStreaming => "live-streaming",
+            UseCase::OfflinePlayback => "offline-playback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One video ingested and ready to serve any variant/use-case/user.
+#[derive(Debug)]
+pub struct EvrSystem {
+    video: VideoId,
+    scene: Scene,
+    server: SasServer,
+    sas: SasConfig,
+    duration_s: f64,
+}
+
+impl EvrSystem {
+    /// Ingests `video` (the expensive server-side step, done once) over
+    /// `duration_s` seconds of content.
+    pub fn build(video: VideoId, sas: SasConfig, duration_s: f64) -> Self {
+        let scene = scene_for(video);
+        let duration_s = duration_s.min(scene.duration());
+        let server = SasServer::new(ingest_video(&scene, &sas, duration_s));
+        EvrSystem { video, scene, server, sas, duration_s }
+    }
+
+    /// The video this system serves.
+    pub fn video(&self) -> VideoId {
+        self.video
+    }
+
+    /// The SAS server (catalog access for storage metrics).
+    pub fn server(&self) -> &SasServer {
+        &self.server
+    }
+
+    /// The SAS configuration.
+    pub fn sas_config(&self) -> &SasConfig {
+        &self.sas
+    }
+
+    /// The ingested content duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// The scene (ground truth for trace generation and analytics).
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Generates the head trace of one study user.
+    pub fn user_trace(&self, user: u64) -> HeadTrace {
+        let seed = user ^ ((self.video as u64) << 32);
+        generate_user_trace(
+            &self.scene,
+            &params_for(self.video),
+            seed,
+            self.duration_s,
+            evr_sas::ingest::FPS,
+        )
+    }
+
+    /// Runs one user's playback under `variant` in the online-streaming
+    /// use-case.
+    pub fn run_user(&self, variant: Variant, user: u64) -> PlaybackReport {
+        self.run_user_in(UseCase::OnlineStreaming, variant, user)
+    }
+
+    /// Runs one user's playback under `variant` in `use_case`.
+    pub fn run_user_in(&self, use_case: UseCase, variant: Variant, user: u64) -> PlaybackReport {
+        self.run_with(&self.session_for(use_case, variant), user)
+    }
+
+    /// Builds the (reusable) playback session for a use-case/variant.
+    /// Construction pre-analyses the PTE memory pattern, so experiment
+    /// sweeps should build once and [`EvrSystem::run_with`] per user.
+    pub fn session_for(&self, use_case: UseCase, variant: Variant) -> PlaybackSession {
+        PlaybackSession::new(variant.session(use_case, self.sas))
+    }
+
+    /// Runs one user through a pre-built session.
+    pub fn run_with(&self, session: &PlaybackSession, user: u64) -> PlaybackReport {
+        session.run(&self.server, &self.user_trace(user))
+    }
+
+    /// Derives a system whose store keeps only `utilization` of the
+    /// objects' FOV videos (the Fig. 14 sweep), without re-ingesting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` exceeds the ingested utilisation.
+    pub fn with_utilization(&self, utilization: f64) -> EvrSystem {
+        let catalog = self.server.catalog().with_utilization(utilization);
+        let mut sas = self.sas;
+        sas.object_utilization = utilization;
+        EvrSystem {
+            video: self.video,
+            scene: self.scene.clone(),
+            server: SasServer::new(catalog),
+            sas,
+            duration_s: self.duration_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_energy::{Activity, Component};
+
+    fn tiny_system() -> EvrSystem {
+        EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 1.0)
+    }
+
+    #[test]
+    fn variants_order_energy_sensibly() {
+        let sys = tiny_system();
+        let base = sys.run_user(Variant::Baseline, 1);
+        let h = sys.run_user(Variant::H, 1);
+        let sh = sys.run_user(Variant::SPlusH, 1);
+        assert!(h.ledger.total() < base.ledger.total(), "H beats baseline");
+        assert!(sh.ledger.total() < base.ledger.total(), "S+H beats baseline");
+        // PT energy ordering: baseline (GPU every frame) is the worst.
+        let pt = |r: &evr_client::session::PlaybackReport| {
+            r.ledger.activity_total(Activity::ProjectiveTransform)
+        };
+        assert!(pt(&h) < pt(&base));
+        assert!(pt(&sh) <= pt(&h));
+    }
+
+    #[test]
+    fn oracle_variants_never_miss() {
+        let sys = tiny_system();
+        let r = sys.run_user(Variant::PerfectHmp, 2);
+        assert_eq!(r.fov_misses, 0);
+        assert!(r.fov_hits > 0);
+        assert_eq!(r.fallback_frames, 0);
+        assert_eq!(r.ledger.activity_total(Activity::ProjectiveTransform), 0.0);
+    }
+
+    #[test]
+    fn live_and_offline_only_apply_h() {
+        assert_eq!(UseCase::LiveStreaming.applicable_variants(), &[Variant::H]);
+        assert_eq!(UseCase::OfflinePlayback.applicable_variants(), &[Variant::H]);
+        assert_eq!(UseCase::OnlineStreaming.applicable_variants().len(), 3);
+    }
+
+    #[test]
+    fn offline_h_has_no_network_energy() {
+        let sys = tiny_system();
+        let r = sys.run_user_in(UseCase::OfflinePlayback, Variant::H, 0);
+        assert_eq!(r.ledger.component_total(Component::Network), 0.0);
+    }
+
+    #[test]
+    fn live_baseline_vs_h_differ_only_in_renderer() {
+        let sys = tiny_system();
+        let base = sys.run_user_in(UseCase::LiveStreaming, Variant::Baseline, 4);
+        let h = sys.run_user_in(UseCase::LiveStreaming, Variant::H, 4);
+        // Same bytes (no SAS either way), less energy with the PTE.
+        assert_eq!(base.bytes_received, h.bytes_received);
+        assert!(h.ledger.total() < base.ledger.total());
+    }
+
+    #[test]
+    fn user_traces_are_deterministic() {
+        let sys = tiny_system();
+        assert_eq!(sys.user_trace(7), sys.user_trace(7));
+        assert_ne!(sys.user_trace(7), sys.user_trace(8));
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Variant::SPlusH.to_string(), "S+H");
+        assert_eq!(UseCase::LiveStreaming.to_string(), "live-streaming");
+    }
+}

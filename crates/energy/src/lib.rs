@@ -1,0 +1,38 @@
+//! The five-component VR-device energy model.
+//!
+//! The paper's §3 characterisation splits device power into **display,
+//! network, storage, memory and compute**, measured on a Jetson TX2 rig:
+//! ~5 W total while rendering VR video (vs a 3.5 W mobile TDP), with
+//! display/network/storage contributing only ~7%/9%/4% and the rest going
+//! to compute (SoC) and memory (DRAM); projective transformation alone is
+//! ~40% of compute+memory energy (Fig. 3).
+//!
+//! This crate provides:
+//!
+//! * [`params`] — component power/energy constants calibrated to that
+//!   breakdown (each constant documents the paper figure it is fitted
+//!   to);
+//! * [`ledger`] — an energy ledger that experiment drivers fill with
+//!   `(component, activity)`-tagged joules and query for the breakdowns
+//!   behind Figures 3, 12, 15 and 16.
+//!
+//! # Example
+//!
+//! ```
+//! use evr_energy::{Activity, Component, EnergyLedger};
+//!
+//! let mut ledger = EnergyLedger::new();
+//! ledger.add(Component::Compute, Activity::ProjectiveTransform, 1.5);
+//! ledger.add(Component::Compute, Activity::Decode, 1.0);
+//! ledger.add(Component::Display, Activity::DisplayScan, 0.5);
+//! assert_eq!(ledger.component_total(Component::Compute), 2.5);
+//! assert_eq!(ledger.total(), 3.0);
+//! ```
+
+pub mod battery;
+pub mod ledger;
+pub mod params;
+
+pub use battery::Battery;
+pub use ledger::{Activity, Component, EnergyLedger};
+pub use params::DeviceParams;

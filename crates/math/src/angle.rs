@@ -1,0 +1,381 @@
+//! Strongly-typed angles and Euler head poses.
+//!
+//! 360° video reasons about angles constantly — field-of-view extents, head
+//! yaw/pitch/roll, longitude/latitude of sphere points — and mixing degrees
+//! with radians is the classic source of silent bugs. Following C-NEWTYPE,
+//! [`Degrees`] and [`Radians`] are distinct types with explicit conversions.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::{PI, TAU};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::mat::Mat3;
+
+/// An angle in degrees.
+///
+/// # Example
+///
+/// ```
+/// use evr_math::{Degrees, Radians};
+/// let d = Degrees(180.0);
+/// assert!((d.to_radians().0 - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Degrees(pub f64);
+
+/// An angle in radians.
+///
+/// # Example
+///
+/// ```
+/// use evr_math::Radians;
+/// let r = Radians(std::f64::consts::PI);
+/// assert!((r.to_degrees().0 - 180.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Radians(pub f64);
+
+impl Degrees {
+    /// Converts this angle to [`Radians`].
+    pub fn to_radians(self) -> Radians {
+        Radians(self.0.to_radians())
+    }
+
+    /// Wraps the angle into `[-180, 180)`.
+    ///
+    /// ```
+    /// use evr_math::Degrees;
+    /// assert!((Degrees(270.0).wrapped().0 - (-90.0)).abs() < 1e-12);
+    /// ```
+    pub fn wrapped(self) -> Degrees {
+        Degrees(wrap_half_open(self.0, 360.0))
+    }
+
+    /// Absolute value of the angle.
+    pub fn abs(self) -> Degrees {
+        Degrees(self.0.abs())
+    }
+}
+
+impl Radians {
+    /// A full turn, `2π`.
+    pub const FULL_TURN: Radians = Radians(TAU);
+    /// Half a turn, `π`.
+    pub const HALF_TURN: Radians = Radians(PI);
+
+    /// Converts this angle to [`Degrees`].
+    pub fn to_degrees(self) -> Degrees {
+        Degrees(self.0.to_degrees())
+    }
+
+    /// Wraps the angle into `[-π, π)`.
+    ///
+    /// ```
+    /// use evr_math::Radians;
+    /// use std::f64::consts::PI;
+    /// assert!((Radians(1.5 * PI).wrapped().0 - (-0.5 * PI)).abs() < 1e-12);
+    /// ```
+    pub fn wrapped(self) -> Radians {
+        Radians(wrap_half_open(self.0, TAU))
+    }
+
+    /// Absolute value of the angle.
+    pub fn abs(self) -> Radians {
+        Radians(self.0.abs())
+    }
+
+    /// Sine of the angle.
+    pub fn sin(self) -> f64 {
+        self.0.sin()
+    }
+
+    /// Cosine of the angle.
+    pub fn cos(self) -> f64 {
+        self.0.cos()
+    }
+
+    /// Tangent of the angle.
+    pub fn tan(self) -> f64 {
+        self.0.tan()
+    }
+
+    /// Smallest absolute angular difference to `other`, in `[0, π]`.
+    ///
+    /// This is the metric the FOV checker uses: the difference between a
+    /// desired yaw of `179°` and a stream yaw of `-179°` is `2°`, not `358°`.
+    ///
+    /// ```
+    /// use evr_math::{Degrees, Radians};
+    /// let a = Degrees(179.0).to_radians();
+    /// let b = Degrees(-179.0).to_radians();
+    /// assert!((a.angular_distance(b).to_degrees().0 - 2.0).abs() < 1e-9);
+    /// ```
+    pub fn angular_distance(self, other: Radians) -> Radians {
+        Radians((self - other).wrapped().0.abs())
+    }
+}
+
+fn wrap_half_open(x: f64, period: f64) -> f64 {
+    let half = period / 2.0;
+    let y = (x + half).rem_euclid(period) - half;
+    // rem_euclid can return exactly `half` due to rounding; fold it back.
+    if y >= half {
+        y - period
+    } else {
+        y
+    }
+}
+
+macro_rules! angle_ops {
+    ($t:ident) => {
+        impl Add for $t {
+            type Output = $t;
+            fn add(self, rhs: $t) -> $t {
+                $t(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            fn sub(self, rhs: $t) -> $t {
+                $t(self.0 - rhs.0)
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            fn neg(self) -> $t {
+                $t(-self.0)
+            }
+        }
+        impl Mul<f64> for $t {
+            type Output = $t;
+            fn mul(self, rhs: f64) -> $t {
+                $t(self.0 * rhs)
+            }
+        }
+        impl Div<f64> for $t {
+            type Output = $t;
+            fn div(self, rhs: f64) -> $t {
+                $t(self.0 / rhs)
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, stringify!($t))
+            }
+        }
+    };
+}
+
+angle_ops!(Degrees);
+angle_ops!(Radians);
+
+impl From<Degrees> for Radians {
+    fn from(d: Degrees) -> Radians {
+        d.to_radians()
+    }
+}
+
+impl From<Radians> for Degrees {
+    fn from(r: Radians) -> Degrees {
+        r.to_degrees()
+    }
+}
+
+/// A head orientation expressed as intrinsic yaw / pitch / roll.
+///
+/// In the 360°-video rendering model only *rotational* motion matters
+/// (paper §2); a pose is exactly one `EulerAngles`. Conventions:
+///
+/// * `yaw` rotates about the +y (up) axis; positive yaw looks right.
+/// * `pitch` rotates about the +x (right) axis; positive pitch looks up.
+/// * `roll` rotates about the +z (forward) axis.
+///
+/// The composed rotation is `R = Ry(yaw) · Rx(−pitch) · Rz(roll)` applied
+/// to view-space vectors, matching the two sparse rotation matrices of the
+/// PTE's perspective-update stage (paper §6.2).
+///
+/// # Example
+///
+/// ```
+/// use evr_math::{Degrees, EulerAngles, Vec3};
+/// let up_pose = EulerAngles::from_degrees(0.0, 90.0, 0.0);
+/// let v = up_pose.to_matrix() * Vec3::FORWARD;
+/// assert!((v - Vec3::UP).norm() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EulerAngles {
+    /// Rotation about the up axis (look left/right).
+    pub yaw: Radians,
+    /// Rotation about the right axis (look up/down).
+    pub pitch: Radians,
+    /// Rotation about the forward axis (head tilt).
+    pub roll: Radians,
+}
+
+impl EulerAngles {
+    /// Creates a pose from radian components.
+    pub fn new(yaw: Radians, pitch: Radians, roll: Radians) -> Self {
+        EulerAngles { yaw, pitch, roll }
+    }
+
+    /// Creates a pose from degree components.
+    pub fn from_degrees(yaw: f64, pitch: f64, roll: f64) -> Self {
+        EulerAngles {
+            yaw: Degrees(yaw).to_radians(),
+            pitch: Degrees(pitch).to_radians(),
+            roll: Degrees(roll).to_radians(),
+        }
+    }
+
+    /// The composed rotation matrix `Ry(yaw) · Rx(−pitch) · Rz(roll)`.
+    ///
+    /// The pitch axis rotation is negated so that *positive pitch looks up*,
+    /// matching the positive-latitude-is-up convention of
+    /// [`crate::SphericalCoord`].
+    pub fn to_matrix(self) -> Mat3 {
+        Mat3::rotation_y(self.yaw) * Mat3::rotation_x(-self.pitch) * Mat3::rotation_z(self.roll)
+    }
+
+    /// The view direction (rotated forward axis) of this pose.
+    ///
+    /// ```
+    /// use evr_math::{EulerAngles, Vec3};
+    /// let d = EulerAngles::from_degrees(90.0, 0.0, 0.0).view_direction();
+    /// assert!((d - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-12);
+    /// ```
+    pub fn view_direction(self) -> crate::Vec3 {
+        self.to_matrix() * crate::Vec3::FORWARD
+    }
+
+    /// Wraps yaw into `[-π, π)` and clamps pitch into `[-π/2, π/2]`.
+    ///
+    /// Head-mounted displays physically cannot pitch beyond straight up or
+    /// straight down, and the behaviour model relies on this invariant.
+    pub fn normalized(self) -> Self {
+        EulerAngles {
+            yaw: self.yaw.wrapped(),
+            pitch: Radians(self.pitch.0.clamp(-PI / 2.0, PI / 2.0)),
+            roll: self.roll.wrapped(),
+        }
+    }
+
+    /// Great-circle angle between the view directions of two poses.
+    pub fn view_angle_to(self, other: EulerAngles) -> Radians {
+        let a = self.view_direction();
+        let b = other.view_direction();
+        Radians(a.dot(b).clamp(-1.0, 1.0).acos())
+    }
+}
+
+impl fmt::Display for EulerAngles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "(yaw {:.2}°, pitch {:.2}°, roll {:.2}°)",
+            self.yaw.to_degrees().0,
+            self.pitch.to_degrees().0,
+            self.roll.to_degrees().0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+    use proptest::prelude::*;
+
+    #[test]
+    fn degree_radian_roundtrip() {
+        for x in [-720.0, -180.0, -1.0, 0.0, 0.5, 90.0, 359.0] {
+            let d = Degrees(x);
+            assert!((d.to_radians().to_degrees().0 - x).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrapping_degrees() {
+        assert!((Degrees(360.0).wrapped().0).abs() < 1e-12);
+        // 540° is half a turn past 360°, landing on the -180° boundary.
+        assert!((Degrees(540.0).wrapped().0 - (-180.0)).abs() < 1e-12);
+        assert_eq!(Degrees(-180.0).wrapped().0, -180.0);
+        assert!((Degrees(181.0).wrapped().0 - (-179.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapping_radians_boundaries() {
+        assert!((Radians(TAU).wrapped().0).abs() < 1e-12);
+        assert_eq!(Radians(-PI).wrapped().0, -PI);
+        assert!(Radians(PI).wrapped().0 < PI);
+    }
+
+    #[test]
+    fn angular_distance_across_seam() {
+        let a = Degrees(179.0).to_radians();
+        let b = Degrees(-179.0).to_radians();
+        assert!((a.angular_distance(b).to_degrees().0 - 2.0).abs() < 1e-9);
+        assert!((b.angular_distance(a).to_degrees().0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_pose_looks_forward() {
+        let p = EulerAngles::default();
+        assert!((p.view_direction() - Vec3::FORWARD).norm() < 1e-12);
+    }
+
+    #[test]
+    fn yaw_rotates_right() {
+        let p = EulerAngles::from_degrees(90.0, 0.0, 0.0);
+        assert!((p.view_direction() - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn pitch_rotates_up() {
+        let p = EulerAngles::from_degrees(0.0, 90.0, 0.0);
+        assert!((p.view_direction() - Vec3::UP).norm() < 1e-12);
+    }
+
+    #[test]
+    fn roll_preserves_view_direction() {
+        let p = EulerAngles::from_degrees(30.0, 10.0, 45.0);
+        let q = EulerAngles::from_degrees(30.0, 10.0, 0.0);
+        assert!(p.view_angle_to(q).0 < 1e-12);
+    }
+
+    #[test]
+    fn normalized_clamps_pitch() {
+        let p = EulerAngles::from_degrees(0.0, 135.0, 0.0).normalized();
+        assert!((p.pitch.to_degrees().0 - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_in_degrees() {
+        let s = EulerAngles::from_degrees(10.0, -5.0, 0.0).to_string();
+        assert!(s.contains("10.00°") && s.contains("-5.00°"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_wrap_is_idempotent(x in -1e6f64..1e6) {
+            let once = Radians(x).wrapped();
+            let twice = once.wrapped();
+            prop_assert!((once.0 - twice.0).abs() < 1e-9);
+            prop_assert!(once.0 >= -PI && once.0 < PI);
+        }
+
+        #[test]
+        fn prop_angular_distance_symmetric_and_bounded(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let d1 = Radians(a).angular_distance(Radians(b));
+            let d2 = Radians(b).angular_distance(Radians(a));
+            prop_assert!((d1.0 - d2.0).abs() < 1e-9);
+            prop_assert!(d1.0 >= 0.0 && d1.0 <= PI + 1e-9);
+        }
+
+        #[test]
+        fn prop_view_direction_is_unit(yaw in -4.0f64..4.0, pitch in -1.5f64..1.5, roll in -3.0f64..3.0) {
+            let p = EulerAngles::new(Radians(yaw), Radians(pitch), Radians(roll));
+            prop_assert!((p.view_direction().norm() - 1.0).abs() < 1e-9);
+        }
+    }
+}

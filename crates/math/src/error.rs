@@ -1,0 +1,65 @@
+//! Error types for the math substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or operating on math-layer values.
+///
+/// # Example
+///
+/// ```
+/// use evr_math::fixed::FxFormat;
+///
+/// // 4 integer bits cannot exceed a 3-bit total width.
+/// let err = FxFormat::new(3, 4).unwrap_err();
+/// assert!(err.to_string().contains("fixed-point"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// A fixed-point format was requested with an invalid bit allocation.
+    InvalidFixedFormat {
+        /// Requested total bit width (including sign).
+        total_bits: u32,
+        /// Requested integer bit width (including sign).
+        int_bits: u32,
+    },
+    /// An operation required a non-zero-length vector but received one with
+    /// (near-)zero norm.
+    ZeroVector,
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::InvalidFixedFormat { total_bits, int_bits } => write!(
+                f,
+                "invalid fixed-point format: total {total_bits} bits, integer {int_bits} bits \
+                 (need 2 <= int <= total <= 63)"
+            ),
+            MathError::ZeroVector => write!(f, "operation requires a non-zero vector"),
+        }
+    }
+}
+
+impl Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = MathError::InvalidFixedFormat { total_bits: 3, int_bits: 9 };
+        let s = e.to_string();
+        assert!(s.starts_with("invalid fixed-point"));
+        assert!(s.contains('3') && s.contains('9'));
+        assert_eq!(MathError::ZeroVector.to_string(), "operation requires a non-zero vector");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

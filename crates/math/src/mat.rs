@@ -1,0 +1,213 @@
+//! 3×3 rotation matrices.
+//!
+//! The PTE's *perspective update* stage (paper §6.2) multiplies each pixel's
+//! coordinate vector with two sparse 3×3 rotation matrices. [`Mat3`] is the
+//! software reference for that hardware datapath; the axis-rotation
+//! constructors produce exactly the sparse matrices the four-way MAC unit
+//! exploits.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Mul;
+
+use crate::{Radians, Vec3};
+
+/// A row-major 3×3 matrix.
+///
+/// # Example
+///
+/// ```
+/// use evr_math::{Mat3, Radians, Vec3};
+/// use std::f64::consts::FRAC_PI_2;
+/// let r = Mat3::rotation_y(Radians(FRAC_PI_2));
+/// let v = r * Vec3::FORWARD;
+/// assert!((v - Vec3::RIGHT).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix, each a `[f64; 3]`.
+    rows: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 =
+        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+
+    /// Creates a matrix from row-major rows.
+    pub fn from_rows(rows: [[f64; 3]; 3]) -> Self {
+        Mat3 { rows }
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row > 2` or `col > 2`.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+    }
+
+    /// Right-handed rotation about the `+x` (right) axis by `angle`
+    /// (`+y` rotates towards `+z`). Note [`crate::EulerAngles`] negates the
+    /// pitch before calling this so that positive pitch looks up.
+    ///
+    /// Sparse structure: 4 non-trivial entries, as exploited by the PTU's
+    /// four-way MAC unit.
+    pub fn rotation_x(angle: Radians) -> Mat3 {
+        let (s, c) = (angle.sin(), angle.cos());
+        Mat3::from_rows([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    }
+
+    /// Rotation about the `+y` (up) axis by `angle`; positive looks right.
+    pub fn rotation_y(angle: Radians) -> Mat3 {
+        let (s, c) = (angle.sin(), angle.cos());
+        Mat3::from_rows([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    }
+
+    /// Rotation about the `+z` (forward) axis by `angle`.
+    pub fn rotation_z(angle: Radians) -> Mat3 {
+        let (s, c) = (angle.sin(), angle.cos());
+        Mat3::from_rows([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// The transpose. For rotation matrices this equals the inverse.
+    pub fn transposed(&self) -> Mat3 {
+        let m = &self.rows;
+        Mat3::from_rows([
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        ])
+    }
+
+    /// The determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.rows;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Number of entries that are structurally trivial (0 or ±1) — the
+    /// sparsity measure that motivates the PTU's four-way MAC design.
+    ///
+    /// ```
+    /// use evr_math::{Mat3, Radians};
+    /// // An axis rotation has 5 trivial entries; the MAC unit only needs
+    /// // to compute the remaining 4 products.
+    /// assert_eq!(Mat3::rotation_x(Radians(0.3)).trivial_entries(), 5);
+    /// ```
+    pub fn trivial_entries(&self) -> usize {
+        self.rows
+            .iter()
+            .flatten()
+            .filter(|&&v| v == 0.0 || v == 1.0 || v == -1.0)
+            .count()
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.rows[i][k] * rhs.rows[k][j]).sum();
+            }
+        }
+        Mat3::from_rows(out)
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.rows[0][0] * v.x + self.rows[0][1] * v.y + self.rows[0][2] * v.z,
+            self.rows[1][0] * v.x + self.rows[1][1] * v.y + self.rows[1][2] * v.z,
+            self.rows[2][0] * v.x + self.rows[2][1] * v.y + self.rows[2][2] * v.z,
+        )
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "[{:10.6} {:10.6} {:10.6}]", row[0], row[1], row[2])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn identity_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY * v, v);
+    }
+
+    #[test]
+    fn rotation_x_moves_up_to_forward() {
+        let r = Mat3::rotation_x(Radians(FRAC_PI_2));
+        assert!((r * Vec3::UP - Vec3::FORWARD).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_y_moves_forward_to_right() {
+        let r = Mat3::rotation_y(Radians(FRAC_PI_2));
+        assert!((r * Vec3::FORWARD - Vec3::RIGHT).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_z_moves_right_to_up() {
+        let r = Mat3::rotation_z(Radians(FRAC_PI_2));
+        assert!((r * Vec3::RIGHT - Vec3::UP).norm() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::rotation_y(Radians(0.7)) * Mat3::rotation_x(Radians(-0.3));
+        let v = Vec3::new(0.1, 0.2, 0.9);
+        let back = r.transposed() * (r * v);
+        assert!((back - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn axis_rotations_are_sparse() {
+        for r in [
+            Mat3::rotation_x(Radians(0.4)),
+            Mat3::rotation_y(Radians(0.4)),
+            Mat3::rotation_z(Radians(0.4)),
+        ] {
+            assert_eq!(r.trivial_entries(), 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotations_preserve_norm(yaw in -4.0f64..4.0, pitch in -4.0f64..4.0,
+                                         x in -5.0f64..5.0, y in -5.0f64..5.0, z in -5.0f64..5.0) {
+            let r = Mat3::rotation_y(Radians(yaw)) * Mat3::rotation_x(Radians(pitch));
+            let v = Vec3::new(x, y, z);
+            prop_assert!(((r * v).norm() - v.norm()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_rotation_determinant_is_one(a in -4.0f64..4.0, b in -4.0f64..4.0, c in -4.0f64..4.0) {
+            let r = Mat3::rotation_y(Radians(a)) * Mat3::rotation_x(Radians(b)) * Mat3::rotation_z(Radians(c));
+            prop_assert!((r.det() - 1.0).abs() < 1e-9);
+        }
+    }
+}

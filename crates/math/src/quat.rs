@@ -1,0 +1,275 @@
+//! Unit quaternions for head-pose composition and interpolation.
+//!
+//! The IMU replay path ([`evr-trace`](https://docs.rs/evr-trace)) resamples
+//! recorded head poses at the display refresh rate; slerping quaternions is
+//! the standard way to do that without gimbal artifacts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Mul;
+
+use crate::{EulerAngles, Mat3, Radians, Vec3};
+
+/// A unit quaternion `w + xi + yj + zk` representing a rotation.
+///
+/// # Example
+///
+/// ```
+/// use evr_math::{EulerAngles, Quat, Vec3};
+/// let q = Quat::from_euler(EulerAngles::from_degrees(90.0, 0.0, 0.0));
+/// let v = q.rotate(Vec3::FORWARD);
+/// assert!((v - Vec3::RIGHT).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// `i` component.
+    pub x: f64,
+    /// `j` component.
+    pub y: f64,
+    /// `k` component.
+    pub z: f64,
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from raw components (not normalized).
+    pub fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` about the (unit) `axis`.
+    pub fn from_axis_angle(axis: Vec3, angle: Radians) -> Self {
+        let half = angle.0 / 2.0;
+        let s = half.sin();
+        Quat { w: half.cos(), x: axis.x * s, y: axis.y * s, z: axis.z * s }
+    }
+
+    /// Builds the quaternion equivalent of `Ry(yaw)·Rx(−pitch)·Rz(roll)`,
+    /// matching [`EulerAngles::to_matrix`] (positive pitch looks up).
+    pub fn from_euler(e: EulerAngles) -> Self {
+        let qy = Quat::from_axis_angle(Vec3::UP, e.yaw);
+        let qx = Quat::from_axis_angle(Vec3::RIGHT, -e.pitch);
+        let qz = Quat::from_axis_angle(Vec3::FORWARD, e.roll);
+        qy * qx * qz
+    }
+
+    /// Extracts yaw/pitch/roll matching the `Ry·Rx·Rz` convention.
+    ///
+    /// ```
+    /// use evr_math::{EulerAngles, Quat};
+    /// let e = EulerAngles::from_degrees(35.0, -20.0, 10.0);
+    /// let back = Quat::from_euler(e).to_euler();
+    /// assert!((back.yaw.0 - e.yaw.0).abs() < 1e-9);
+    /// assert!((back.pitch.0 - e.pitch.0).abs() < 1e-9);
+    /// assert!((back.roll.0 - e.roll.0).abs() < 1e-9);
+    /// ```
+    pub fn to_euler(self) -> EulerAngles {
+        let m = self.to_matrix();
+        // For R = Ry(yaw)·Rx(−pitch)·Rz(roll):
+        //   m[1][2] =  sin(pitch)
+        //   m[0][2] =  cos(pitch)·sin(yaw),  m[2][2] = cos(pitch)·cos(yaw)
+        //   m[1][0] =  cos(pitch)·sin(roll), m[1][1] = cos(pitch)·cos(roll)
+        let pitch = m.at(1, 2).clamp(-1.0, 1.0).asin();
+        let (yaw, roll) = if pitch.cos().abs() > 1e-9 {
+            (m.at(0, 2).atan2(m.at(2, 2)), m.at(1, 0).atan2(m.at(1, 1)))
+        } else {
+            // Gimbal lock: fold all horizontal rotation into yaw.
+            ((-m.at(2, 0)).atan2(m.at(0, 0)), 0.0)
+        };
+        EulerAngles::new(Radians(yaw), Radians(pitch), Radians(roll))
+    }
+
+    /// The squared norm `w² + x² + y² + z²`.
+    pub fn norm_squared(self) -> f64 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Returns the normalized (unit) quaternion.
+    pub fn normalized(self) -> Quat {
+        let n = self.norm_squared().sqrt();
+        if n < 1e-12 {
+            Quat::IDENTITY
+        } else {
+            Quat { w: self.w / n, x: self.x / n, y: self.y / n, z: self.z / n }
+        }
+    }
+
+    /// The conjugate (inverse rotation for unit quaternions).
+    pub fn conjugate(self) -> Quat {
+        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotates a vector by this quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = q * (0, v) * q⁻¹ expanded to avoid constructing temporaries.
+        let u = Vec3::new(self.x, self.y, self.z);
+        let s = self.w;
+        u * (2.0 * u.dot(v)) + v * (s * s - u.dot(u)) + u.cross(v) * (2.0 * s)
+    }
+
+    /// Converts to a rotation matrix.
+    pub fn to_matrix(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_rows([
+            [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
+            [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
+            [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+        ])
+    }
+
+    /// Spherical linear interpolation from `self` (t = 0) to `rhs` (t = 1).
+    ///
+    /// Takes the shorter arc; falls back to normalized lerp for nearly
+    /// identical rotations.
+    pub fn slerp(self, rhs: Quat, t: f64) -> Quat {
+        let mut dot =
+            self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z;
+        let mut end = rhs;
+        if dot < 0.0 {
+            dot = -dot;
+            end = Quat { w: -rhs.w, x: -rhs.x, y: -rhs.y, z: -rhs.z };
+        }
+        if dot > 0.9995 {
+            return Quat {
+                w: self.w + (end.w - self.w) * t,
+                x: self.x + (end.x - self.x) * t,
+                y: self.y + (end.y - self.y) * t,
+                z: self.z + (end.z - self.z) * t,
+            }
+            .normalized();
+        }
+        let theta = dot.clamp(-1.0, 1.0).acos();
+        let sin_theta = theta.sin();
+        let a = ((1.0 - t) * theta).sin() / sin_theta;
+        let b = (t * theta).sin() / sin_theta;
+        Quat {
+            w: self.w * a + end.w * b,
+            x: self.x * a + end.x * b,
+            y: self.y * a + end.y * b,
+            z: self.z * a + end.z * b,
+        }
+    }
+
+    /// Angle of the rotation taking `self` to `rhs`, in `[0, π]`.
+    pub fn angle_to(self, rhs: Quat) -> Radians {
+        let d = self.conjugate() * rhs;
+        Radians(2.0 * d.normalized().w.abs().clamp(0.0, 1.0).acos())
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    fn mul(self, r: Quat) -> Quat {
+        Quat {
+            w: self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            x: self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            y: self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            z: self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        }
+    }
+}
+
+impl fmt::Display for Quat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}i + {}j + {}k)", self.w, self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        (a - b).norm() < 1e-9
+    }
+
+    #[test]
+    fn quat_matches_matrix_rotation() {
+        let e = EulerAngles::from_degrees(40.0, -25.0, 15.0);
+        let q = Quat::from_euler(e);
+        let m = e.to_matrix();
+        let v = Vec3::new(0.3, -0.2, 0.9);
+        assert!(close(q.rotate(v), m * v));
+    }
+
+    #[test]
+    fn conjugate_undoes_rotation() {
+        let q = Quat::from_euler(EulerAngles::from_degrees(70.0, 10.0, -5.0));
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(close(q.conjugate().rotate(q.rotate(v)), v));
+    }
+
+    #[test]
+    fn euler_roundtrip() {
+        let e = EulerAngles::from_degrees(123.0, -45.0, 30.0);
+        let back = Quat::from_euler(e).to_euler();
+        assert!((back.yaw.0 - e.yaw.0).abs() < 1e-9);
+        assert!((back.pitch.0 - e.pitch.0).abs() < 1e-9);
+        assert!((back.roll.0 - e.roll.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slerp_endpoints_and_midpoint() {
+        let a = Quat::IDENTITY;
+        let b = Quat::from_axis_angle(Vec3::UP, Radians(std::f64::consts::FRAC_PI_2));
+        assert!(close(a.slerp(b, 0.0).rotate(Vec3::FORWARD), Vec3::FORWARD));
+        assert!(close(a.slerp(b, 1.0).rotate(Vec3::FORWARD), Vec3::RIGHT));
+        let mid = a.slerp(b, 0.5).rotate(Vec3::FORWARD);
+        let expect = Vec3::new(1.0, 0.0, 1.0).normalized().unwrap();
+        assert!(close(mid, expect));
+    }
+
+    #[test]
+    fn slerp_takes_short_arc() {
+        let a = Quat::from_axis_angle(Vec3::UP, Radians(3.0));
+        let b = Quat::from_axis_angle(Vec3::UP, Radians(-3.0));
+        // Short arc between 172° and -172° passes through 180°, not 0°.
+        let mid = a.slerp(b, 0.5);
+        let d = mid.rotate(Vec3::FORWARD);
+        assert!(d.z < -0.99);
+    }
+
+    #[test]
+    fn angle_to_self_is_zero() {
+        let q = Quat::from_euler(EulerAngles::from_degrees(10.0, 20.0, 30.0));
+        assert!(q.angle_to(q).0 < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotation_preserves_norm(yaw in -3.0f64..3.0, pitch in -1.5f64..1.5, roll in -3.0f64..3.0,
+                                         x in -5.0f64..5.0, y in -5.0f64..5.0, z in -5.0f64..5.0) {
+            let q = Quat::from_euler(EulerAngles::new(Radians(yaw), Radians(pitch), Radians(roll)));
+            let v = Vec3::new(x, y, z);
+            prop_assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_quat_matrix_agree(yaw in -3.0f64..3.0, pitch in -1.5f64..1.5, roll in -3.0f64..3.0) {
+            let e = EulerAngles::new(Radians(yaw), Radians(pitch), Radians(roll));
+            let q = Quat::from_euler(e);
+            let m = e.to_matrix();
+            let v = Vec3::new(0.2, 0.5, 0.8);
+            prop_assert!((q.rotate(v) - m * v).norm() < 1e-9);
+        }
+
+        #[test]
+        fn prop_slerp_unit(t in 0.0f64..1.0, a in -3.0f64..3.0, b in -3.0f64..3.0) {
+            let qa = Quat::from_axis_angle(Vec3::UP, Radians(a));
+            let qb = Quat::from_axis_angle(Vec3::RIGHT, Radians(b));
+            prop_assert!((qa.slerp(qb, t).norm_squared() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the projection pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running projective transformations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProjectionError {
+    /// A viewport or source image dimension was zero.
+    EmptyDimension {
+        /// Which dimension was empty (e.g. `"viewport width"`).
+        what: &'static str,
+    },
+    /// A field of view was outside the physically meaningful range.
+    InvalidFov {
+        /// Offending extent in degrees.
+        degrees: f64,
+    },
+}
+
+impl fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectionError::EmptyDimension { what } => {
+                write!(f, "dimension must be non-zero: {what}")
+            }
+            ProjectionError::InvalidFov { degrees } => {
+                write!(f, "field of view out of range (0, 180]: {degrees}°")
+            }
+        }
+    }
+}
+
+impl Error for ProjectionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ProjectionError::EmptyDimension { what: "viewport width" };
+        assert!(e.to_string().contains("viewport width"));
+        let e = ProjectionError::InvalidFov { degrees: 190.0 };
+        assert!(e.to_string().contains("190"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The *perspective update* stage of the PT pipeline (paper §6.1).
+//!
+//! For every pixel `P(i, j)` of the output FOV frame this stage computes
+//! the point `P′` on the unit sphere that the pixel observes under the
+//! current head orientation: a pinhole ray construction followed by the
+//! rotation `Ry(yaw)·Rx(−pitch)·Rz(roll)` — "an affine transformation that
+//! multiplies the coordinate vector with two 3×3 rotation matrices preceded
+//! by a few pre-processing steps".
+
+use evr_math::{EulerAngles, Mat3, Vec3};
+
+use crate::fov::{FovSpec, Viewport};
+
+/// Precomputed per-frame state for the perspective-update stage.
+///
+/// Constructing one of these corresponds to the PTE's per-frame
+/// configuration-register write: the tangent half-extents and the rotation
+/// matrix are computed once per frame, then every pixel runs only MACs.
+///
+/// # Example
+///
+/// ```
+/// use evr_projection::{perspective::PerspectiveUpdate, FovSpec, Viewport};
+/// use evr_math::{EulerAngles, Vec3};
+///
+/// let p = PerspectiveUpdate::new(
+///     FovSpec::from_degrees(90.0, 90.0),
+///     Viewport::new(100, 100),
+///     EulerAngles::default(),
+/// );
+/// // The centre pixel of an identity pose looks straight ahead.
+/// let dir = p.pixel_direction(50, 50);
+/// assert!((dir - Vec3::FORWARD).norm() < 0.03);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerspectiveUpdate {
+    viewport: Viewport,
+    tan_half_h: f64,
+    tan_half_v: f64,
+    rotation: Mat3,
+}
+
+impl PerspectiveUpdate {
+    /// Precomputes the frame state for one (FOV, viewport, orientation)
+    /// triple.
+    pub fn new(fov: FovSpec, viewport: Viewport, orientation: EulerAngles) -> Self {
+        PerspectiveUpdate {
+            viewport,
+            tan_half_h: (fov.h_radians().0 / 2.0).tan(),
+            tan_half_v: (fov.v_radians().0 / 2.0).tan(),
+            rotation: orientation.to_matrix(),
+        }
+    }
+
+    /// The unit sphere point `P′` observed by output pixel `(i, j)`.
+    ///
+    /// Pixels are sampled at their centres; `i` grows rightward, `j` grows
+    /// downward (raster order).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `(i, j)` lies outside the viewport.
+    pub fn pixel_direction(&self, i: u32, j: u32) -> Vec3 {
+        debug_assert!(i < self.viewport.width && j < self.viewport.height);
+        let ray = self.pixel_ray(i, j);
+        self.rotation * ray.normalized().expect("pinhole ray cannot be zero")
+    }
+
+    /// The un-rotated, un-normalised pinhole ray for pixel `(i, j)` in view
+    /// space (z forward). Exposed for the fixed-point datapath, which
+    /// normalises in fixed point.
+    pub fn pixel_ray(&self, i: u32, j: u32) -> Vec3 {
+        let ndc_x = (2.0 * (i as f64 + 0.5) / self.viewport.width as f64) - 1.0;
+        let ndc_y = 1.0 - (2.0 * (j as f64 + 0.5) / self.viewport.height as f64);
+        Vec3::new(ndc_x * self.tan_half_h, ndc_y * self.tan_half_v, 1.0)
+    }
+
+    /// The rotation matrix applied after ray construction.
+    pub fn rotation(&self) -> &Mat3 {
+        &self.rotation
+    }
+
+    /// Tangent of half the horizontal FOV (a PTE config-register value).
+    pub fn tan_half_h(&self) -> f64 {
+        self.tan_half_h
+    }
+
+    /// Tangent of half the vertical FOV (a PTE config-register value).
+    pub fn tan_half_v(&self) -> f64 {
+        self.tan_half_v
+    }
+
+    /// The output viewport.
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn setup(yaw: f64, pitch: f64) -> PerspectiveUpdate {
+        PerspectiveUpdate::new(
+            FovSpec::from_degrees(100.0, 100.0),
+            Viewport::new(201, 201),
+            EulerAngles::from_degrees(yaw, pitch, 0.0),
+        )
+    }
+
+    #[test]
+    fn center_pixel_looks_along_pose() {
+        let p = setup(0.0, 0.0);
+        assert!((p.pixel_direction(100, 100) - Vec3::FORWARD).norm() < 1e-9);
+
+        let p = setup(90.0, 0.0);
+        assert!((p.pixel_direction(100, 100) - Vec3::RIGHT).norm() < 1e-9);
+
+        let p = setup(0.0, 90.0);
+        assert!((p.pixel_direction(100, 100) - Vec3::UP).norm() < 1e-9);
+    }
+
+    #[test]
+    fn horizontal_extremes_span_the_fov() {
+        let p = setup(0.0, 0.0);
+        let left = p.pixel_direction(0, 100);
+        let right = p.pixel_direction(200, 100);
+        let angle = left.angle_to(right).unwrap().to_degrees();
+        // Edge pixels are half a pixel inside the FOV boundary.
+        assert!(angle < 100.0 && angle > 97.0, "span = {angle}");
+    }
+
+    #[test]
+    fn left_pixels_have_negative_x() {
+        let p = setup(0.0, 0.0);
+        assert!(p.pixel_direction(0, 100).x < 0.0);
+        assert!(p.pixel_direction(200, 100).x > 0.0);
+    }
+
+    #[test]
+    fn top_pixels_look_up() {
+        let p = setup(0.0, 0.0);
+        assert!(p.pixel_direction(100, 0).y > 0.0);
+        assert!(p.pixel_direction(100, 200).y < 0.0);
+    }
+
+    #[test]
+    fn roll_rotates_image_plane() {
+        let no_roll = PerspectiveUpdate::new(
+            FovSpec::from_degrees(90.0, 90.0),
+            Viewport::new(101, 101),
+            EulerAngles::from_degrees(0.0, 0.0, 0.0),
+        );
+        let rolled = PerspectiveUpdate::new(
+            FovSpec::from_degrees(90.0, 90.0),
+            Viewport::new(101, 101),
+            EulerAngles::from_degrees(0.0, 0.0, 90.0),
+        );
+        // The pixel right of centre maps (after a 90° roll) to where the
+        // pixel above centre used to look.
+        let a = rolled.pixel_direction(75, 50);
+        let b = no_roll.pixel_direction(50, 25);
+        assert!((a - b).norm() < 0.02, "{a} vs {b}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_directions_are_unit(i in 0u32..64, j in 0u32..64, yaw in -180.0f64..180.0, pitch in -89.0f64..89.0) {
+            let p = PerspectiveUpdate::new(
+                FovSpec::from_degrees(110.0, 110.0),
+                Viewport::new(64, 64),
+                EulerAngles::from_degrees(yaw, pitch, 0.0),
+            );
+            prop_assert!((p.pixel_direction(i, j).norm() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_all_pixels_within_fov_cone(i in 0u32..64, j in 0u32..64) {
+            let fov = FovSpec::from_degrees(110.0, 110.0);
+            let p = PerspectiveUpdate::new(fov, Viewport::new(64, 64), EulerAngles::default());
+            let dir = p.pixel_direction(i, j);
+            // No pixel can look further from the view axis than the FOV diagonal.
+            let max_half_diag = (p.tan_half_h().hypot(p.tan_half_v())).atan();
+            prop_assert!(dir.angle_to(Vec3::FORWARD).unwrap() <= max_half_diag + 1e-9);
+        }
+    }
+}

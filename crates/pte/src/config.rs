@@ -1,0 +1,135 @@
+//! PTE configuration — the model of the accelerator's memory-mapped
+//! register file (paper §6.2: "the PTE provides a set of memory-mapped
+//! registers for configuration purposes", giving it "just enough
+//! configurability" across projection methods, FOV sizes and display
+//! resolutions).
+
+use serde::{Deserialize, Serialize};
+
+use evr_math::fixed::FxFormat;
+use evr_projection::{FilterMode, FovSpec, Projection, Viewport};
+
+/// Static configuration of a PTE instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PteConfig {
+    /// Number of projective-transformation units (prototype: 2).
+    pub num_ptus: u32,
+    /// Clock frequency in Hz (prototype: 100 MHz).
+    pub clock_hz: f64,
+    /// Input-pixel memory capacity in bytes (prototype: 512 KB).
+    pub pmem_bytes: u32,
+    /// Output staging memory capacity in bytes (prototype: 256 KB).
+    pub smem_bytes: u32,
+    /// DMA transfer width in bytes per cycle (AXI-128 at core clock).
+    pub dma_bytes_per_cycle: u32,
+    /// Projection method register.
+    pub projection: Projection,
+    /// Filtering function register.
+    pub filter: FilterMode,
+    /// Output field of view.
+    pub fov: FovSpec,
+    /// Output resolution.
+    pub viewport: Viewport,
+    /// Datapath fixed-point format (prototype: `[28, 10]`).
+    pub format: FxFormat,
+}
+
+impl PteConfig {
+    /// The paper's Zynq-7000 prototype configuration: 2 PTUs at 100 MHz,
+    /// 512 KB P-MEM / 256 KB S-MEM, ERP + bilinear, HDK2 FOV, 2560×1440
+    /// output, `[28, 10]` arithmetic.
+    pub fn prototype() -> Self {
+        PteConfig {
+            num_ptus: 2,
+            clock_hz: 100e6,
+            pmem_bytes: 512 * 1024,
+            smem_bytes: 256 * 1024,
+            dma_bytes_per_cycle: 16,
+            projection: Projection::Erp,
+            filter: FilterMode::Bilinear,
+            fov: FovSpec::hdk2(),
+            viewport: Viewport::new(2560, 1440),
+            format: FxFormat::q28_10(),
+        }
+    }
+
+    /// Returns the configuration with a different projection register.
+    pub fn with_projection(mut self, projection: Projection) -> Self {
+        self.projection = projection;
+        self
+    }
+
+    /// Returns the configuration with a different filter register.
+    pub fn with_filter(mut self, filter: FilterMode) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Returns the configuration with a different output viewport.
+    pub fn with_viewport(mut self, viewport: Viewport) -> Self {
+        self.viewport = viewport;
+        self
+    }
+
+    /// Returns the configuration with a different output field of view.
+    pub fn with_fov(mut self, fov: FovSpec) -> Self {
+        self.fov = fov;
+        self
+    }
+
+    /// Returns the configuration with a different PTU count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_ptus(mut self, n: u32) -> Self {
+        assert!(n > 0, "PTE needs at least one PTU");
+        self.num_ptus = n;
+        self
+    }
+
+    /// Peak pixel throughput (pixels/second) ignoring memory stalls.
+    pub fn peak_throughput(&self) -> f64 {
+        self.num_ptus as f64 * self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_matches_paper() {
+        let c = PteConfig::prototype();
+        assert_eq!(c.num_ptus, 2);
+        assert_eq!(c.clock_hz, 100e6);
+        assert_eq!(c.pmem_bytes, 512 * 1024);
+        assert_eq!(c.smem_bytes, 256 * 1024);
+        assert_eq!(c.format.total_bits(), 28);
+        assert_eq!(c.format.int_bits(), 10);
+    }
+
+    #[test]
+    fn peak_throughput_supports_50fps_1440p() {
+        let c = PteConfig::prototype();
+        let frame_px = c.viewport.pixels() as f64;
+        assert!(c.peak_throughput() / frame_px > 50.0);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = PteConfig::prototype()
+            .with_projection(Projection::Eac)
+            .with_filter(FilterMode::Nearest)
+            .with_ptus(4);
+        assert_eq!(c.projection, Projection::Eac);
+        assert_eq!(c.filter, FilterMode::Nearest);
+        assert_eq!(c.num_ptus, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PTU")]
+    fn zero_ptus_panics() {
+        let _ = PteConfig::prototype().with_ptus(0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The PTE engine model: cycle accounting, memory traffic and energy for
+//! whole frames, plus bit-exact rendering through the fixed-point
+//! datapath.
+
+use evr_math::EulerAngles;
+use evr_projection::fixed::FixedTransformer;
+use evr_projection::transform::Transformer;
+use evr_projection::{FilterMode, ImageBuffer, PixelSource};
+
+use crate::config::PteConfig;
+use crate::energy::{OpCounts, PteEnergyParams};
+use crate::mem::PmemCache;
+
+/// Fraction of a block-fill latency exposed as pipeline stall; the rest
+/// is hidden by the prefetching DMA (double-buffered block fills).
+const EXPOSED_FILL_FRACTION: f64 = 0.2;
+
+/// Per-frame statistics reported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameStats {
+    /// Output pixels produced.
+    pub out_pixels: u64,
+    /// Cycles spent issuing pixels (pipelined, `pixels / num_ptus`).
+    pub active_cycles: u64,
+    /// Cycles stalled on P-MEM line fills.
+    pub stall_cycles: u64,
+    /// DRAM bytes read (input line fills).
+    pub dram_read_bytes: u64,
+    /// DRAM bytes written (output frame).
+    pub dram_write_bytes: u64,
+    /// P-MEM line-buffer hits.
+    pub pmem_hits: u64,
+    /// P-MEM line-buffer misses.
+    pub pmem_misses: u64,
+    /// Dynamic datapath energy, joules.
+    pub compute_energy_j: f64,
+    /// SRAM access energy, joules.
+    pub sram_energy_j: f64,
+    /// DRAM access energy, joules.
+    pub dram_energy_j: f64,
+    /// Leakage energy over the frame time, joules.
+    pub leakage_energy_j: f64,
+    clock_hz: f64,
+}
+
+impl FrameStats {
+    /// Total cycles for the frame.
+    pub fn total_cycles(&self) -> u64 {
+        self.active_cycles + self.stall_cycles
+    }
+
+    /// Frame latency in seconds.
+    pub fn frame_time_s(&self) -> f64 {
+        self.total_cycles() as f64 / self.clock_hz
+    }
+
+    /// Sustained frame rate if frames are produced back to back.
+    pub fn fps(&self) -> f64 {
+        1.0 / self.frame_time_s()
+    }
+
+    /// Total energy for the frame, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.compute_energy_j + self.sram_energy_j + self.dram_energy_j + self.leakage_energy_j
+    }
+
+    /// Average power while producing this frame, watts.
+    pub fn power_watts(&self) -> f64 {
+        self.energy_j() / self.frame_time_s()
+    }
+
+    /// Energy at a fixed display rate: the engine renders the frame, then
+    /// idles (leakage only) until the next frame slot. Returns the energy
+    /// of one `1/fps`-second slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine cannot sustain `fps`.
+    pub fn energy_at_fps(&self, fps: f64, leakage_w: f64) -> f64 {
+        let slot = 1.0 / fps;
+        let busy = self.frame_time_s();
+        assert!(busy <= slot, "engine cannot sustain {fps} FPS (frame takes {busy} s)");
+        self.energy_j() + (slot - busy) * leakage_w
+    }
+}
+
+/// The PTE engine.
+///
+/// Two evaluation entry points:
+///
+/// * [`Pte::analyze_frame`] — runs only the coordinate stream against the
+///   line-buffer model: cycles, traffic and energy, no pixels. Used by
+///   the experiment drivers where thousands of frames are simulated.
+/// * [`Pte::render_frame`] — additionally produces the output frame
+///   through the bit-exact fixed-point datapath.
+#[derive(Debug, Clone)]
+pub struct Pte {
+    config: PteConfig,
+    energy: PteEnergyParams,
+}
+
+impl Pte {
+    /// Creates an engine with default (paper-calibrated) energy parameters.
+    pub fn new(config: PteConfig) -> Self {
+        Pte { config, energy: PteEnergyParams::default() }
+    }
+
+    /// Creates an engine with explicit energy parameters.
+    pub fn with_energy(config: PteConfig, energy: PteEnergyParams) -> Self {
+        Pte { config, energy }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PteConfig {
+        &self.config
+    }
+
+    /// The energy parameters.
+    pub fn energy_params(&self) -> &PteEnergyParams {
+        &self.energy
+    }
+
+    /// Analyzes one frame: drives the output scan's source-line access
+    /// pattern through the P-MEM model and accounts cycles and energy.
+    pub fn analyze_frame(&self, src_width: u32, src_height: u32, orientation: EulerAngles) -> FrameStats {
+        self.analyze_frame_strided(src_width, src_height, orientation, 1)
+    }
+
+    /// Like [`Pte::analyze_frame`] but sampling every `stride`-th pixel in
+    /// each axis and scaling the counts, trading line-index fidelity for
+    /// speed in multi-thousand-frame experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn analyze_frame_strided(
+        &self,
+        src_width: u32,
+        src_height: u32,
+        orientation: EulerAngles,
+        stride: u32,
+    ) -> FrameStats {
+        assert!(
+            (1..=8).contains(&stride),
+            "stride must be in 1..=8 (beyond 8 the sampling would skip whole P-MEM blocks)"
+        );
+        let cfg = &self.config;
+        let mut pmem = PmemCache::new(cfg.pmem_bytes, src_width, src_height);
+        // The f64 reference supplies the coordinate stream; its addresses
+        // differ from the fixed datapath by at most one texel, which is
+        // immaterial for block-granular traffic.
+        let mapper = Transformer::new(cfg.projection, cfg.filter, cfg.fov, cfg.viewport);
+        let scale = (stride * stride) as u64;
+
+        let mut sampled_misses = 0u64;
+        let mut sampled_hits = 0u64;
+        for j in (0..cfg.viewport.height).step_by(stride as usize) {
+            for i in (0..cfg.viewport.width).step_by(stride as usize) {
+                let (u, v) = mapper.map_pixel(i, j, orientation);
+                let x = ((u * src_width as f64) as u32).min(src_width - 1);
+                let y = ((v * src_height as f64) as u32).min(src_height - 1);
+                let mut touch = |xx: u32, yy: u32| {
+                    let hit = pmem.access(xx, yy);
+                    sampled_hits += hit as u64;
+                    sampled_misses += !hit as u64;
+                };
+                touch(x, y);
+                if cfg.filter == FilterMode::Bilinear {
+                    let x1 = (x + 1).min(src_width - 1);
+                    let y1 = (y + 1).min(src_height - 1);
+                    touch(x1, y);
+                    touch(x, y1);
+                    touch(x1, y1);
+                }
+            }
+        }
+        // Scale sampled counts back to full-frame estimates. Hits scale
+        // with pixel count; misses are block-granular and do NOT scale
+        // with stride (the same blocks get filled regardless of sampling
+        // rate, as long as stride stays below the block size).
+        let out_pixels = cfg.viewport.pixels();
+        let pmem_misses = sampled_misses;
+        let pmem_hits = sampled_hits * scale;
+        let dram_read_bytes = pmem.stats().dram_bytes;
+        let dram_write_bytes = out_pixels * 3;
+
+        let active_cycles = out_pixels.div_ceil(cfg.num_ptus as u64);
+        // Block fills mostly overlap compute via prefetch; the exposed
+        // fraction serializes on the DMA port.
+        let stall_cycles = pmem_misses
+            * PmemCache::fill_stall_cycles(cfg.dma_bytes_per_cycle, EXPOSED_FILL_FRACTION);
+
+        let ops = OpCounts::for_pipeline(cfg.projection, cfg.filter);
+        let compute_energy_j = ops.compute_energy(out_pixels, &self.energy);
+        let sram_energy_j = ops.sram_energy(out_pixels, &self.energy);
+        let dram_energy_j =
+            (dram_read_bytes + dram_write_bytes) as f64 * self.energy.dram_byte_j;
+        let time_s = (active_cycles + stall_cycles) as f64 / cfg.clock_hz;
+        let leakage_energy_j = self.energy.leakage_w * time_s;
+
+        FrameStats {
+            out_pixels,
+            active_cycles,
+            stall_cycles,
+            dram_read_bytes,
+            dram_write_bytes,
+            pmem_hits,
+            pmem_misses,
+            compute_energy_j,
+            sram_energy_j,
+            dram_energy_j,
+            leakage_energy_j,
+            clock_hz: cfg.clock_hz,
+        }
+    }
+
+    /// Renders one frame bit-exactly through the fixed-point datapath and
+    /// returns it with the frame statistics.
+    pub fn render_frame(
+        &self,
+        src: &impl PixelSource,
+        orientation: EulerAngles,
+    ) -> (ImageBuffer, FrameStats) {
+        let cfg = &self.config;
+        let fixed = FixedTransformer::new(
+            cfg.format,
+            cfg.projection,
+            cfg.filter,
+            cfg.fov,
+            cfg.viewport,
+        );
+        let image = fixed.render_fov(src, orientation);
+        let stats = self.analyze_frame(src.width(), src.height(), orientation);
+        (image, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_projection::{Projection, Rgb, Viewport};
+
+    fn prototype() -> Pte {
+        Pte::new(PteConfig::prototype())
+    }
+
+    #[test]
+    fn prototype_sustains_50_fps_at_1440p() {
+        let stats = prototype().analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        assert!(stats.fps() > 45.0, "fps = {}", stats.fps());
+        assert!(stats.fps() < 60.0, "fps = {}", stats.fps());
+    }
+
+    #[test]
+    fn prototype_power_matches_post_layout_194mw() {
+        let stats = prototype().analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        let p = stats.power_watts();
+        assert!(
+            (0.15..=0.25).contains(&p),
+            "power {p} W should be near the paper's 194 mW"
+        );
+    }
+
+    #[test]
+    fn stalls_are_a_small_fraction_of_cycles() {
+        // Scan coherence means line fills hide behind thousands of hits.
+        let stats = prototype().analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        assert!(stats.stall_cycles * 10 < stats.active_cycles);
+    }
+
+    #[test]
+    fn dram_reads_bounded_by_source_size() {
+        let stats = prototype().analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        // Can't read more than ~the touched span of the source per frame;
+        // certainly not more than a whole 4K frame.
+        assert!(stats.dram_read_bytes <= 3840 * 2160 * 3);
+        assert!(stats.dram_read_bytes > 0);
+    }
+
+    #[test]
+    fn more_ptus_increase_throughput() {
+        let one = Pte::new(PteConfig::prototype().with_ptus(1))
+            .analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        let four = Pte::new(PteConfig::prototype().with_ptus(4))
+            .analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        assert!(four.fps() > 1.9 * one.fps());
+    }
+
+    #[test]
+    fn render_frame_produces_pixels_and_stats() {
+        let cfg = PteConfig::prototype().with_viewport(Viewport::new(16, 16));
+        let pte = Pte::new(cfg);
+        let src = ImageBuffer::from_fn(64, 32, |x, _| Rgb::new((x * 4) as u8, 0, 0));
+        let (img, stats) = pte.render_frame(&src, EulerAngles::default());
+        assert_eq!(img.width(), 16);
+        assert_eq!(stats.out_pixels, 256);
+        assert!(stats.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn energy_at_fps_adds_idle_leakage() {
+        let stats = prototype().analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        let e30 = stats.energy_at_fps(30.0, PteEnergyParams::default().leakage_w);
+        assert!(e30 > stats.energy_j());
+        // Average power at 30 FPS is below the flat-out power.
+        assert!(e30 * 30.0 < stats.power_watts());
+    }
+
+    #[test]
+    fn eac_costs_more_energy_than_cmp() {
+        let run = |p: Projection| {
+            Pte::new(PteConfig::prototype().with_projection(p))
+                .analyze_frame_strided(3840, 2160, EulerAngles::default(), 4)
+                .compute_energy_j
+        };
+        assert!(run(Projection::Eac) > run(Projection::Cmp));
+    }
+}

@@ -1,0 +1,121 @@
+//! The mobile-GPU baseline for projective transformation.
+//!
+//! Today's VR clients cast PT as texture mapping and run it on the GPU
+//! (paper §2/§6.1), paying for generality: texture caches sized for
+//! arbitrary access patterns, the full OpenGL ES software stack, and a
+//! power-hungry shader array. This model captures the GPU at the level
+//! the paper measures it — time and energy per PT frame — with parameters
+//! representative of the Tegra X2-class part in the evaluation platform.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of one PT frame on the GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuFrameCost {
+    /// Kernel execution time, seconds.
+    pub time_s: f64,
+    /// Energy consumed by the kernel (GPU rails), joules.
+    pub energy_j: f64,
+    /// DRAM bytes moved (texture fetches + framebuffer).
+    pub dram_bytes: u64,
+}
+
+/// Analytical mobile-GPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Power while PT kernels execute, watts (shader array + TMUs).
+    pub active_power_w: f64,
+    /// Power of keeping the GPU context alive between kernels, watts
+    /// (clocked-up idle, driver threads) — paid whenever the rendering
+    /// path uses the GPU at all during a playback session.
+    pub session_power_w: f64,
+    /// Sustained texture-mapping throughput, output pixels per second.
+    pub throughput_px_s: f64,
+    /// DRAM bytes per output pixel (texture cache misses + framebuffer
+    /// write; generic caches move more data than the PTE's line buffers).
+    pub dram_bytes_per_px: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            active_power_w: 1.9,
+            session_power_w: 0.28,
+            throughput_px_s: 2.35e8,
+            dram_bytes_per_px: 7.0,
+        }
+    }
+}
+
+impl GpuModel {
+    /// Cost of transforming one frame with `out_pixels` output pixels
+    /// (session power not included; see [`GpuModel::session_energy`]).
+    pub fn pt_frame(&self, out_pixels: u64) -> GpuFrameCost {
+        let time_s = out_pixels as f64 / self.throughput_px_s;
+        GpuFrameCost {
+            time_s,
+            energy_j: time_s * self.active_power_w,
+            dram_bytes: (out_pixels as f64 * self.dram_bytes_per_px) as u64,
+        }
+    }
+
+    /// Session-overhead energy for keeping the GPU path alive for
+    /// `duration_s` seconds.
+    pub fn session_energy(&self, duration_s: f64) -> f64 {
+        self.session_power_w * duration_s
+    }
+
+    /// Average GPU power when transforming `fps` frames of `out_pixels`
+    /// per second (kernel duty cycle + session overhead) — the quantity
+    /// the paper's Figure 3b attributes to PT.
+    pub fn average_power(&self, out_pixels: u64, fps: f64) -> f64 {
+        let per_frame = self.pt_frame(out_pixels);
+        per_frame.energy_j * fps + self.session_power_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PX_1440P: u64 = 2560 * 1440;
+
+    #[test]
+    fn gpu_pt_at_30fps_draws_over_a_watt() {
+        let gpu = GpuModel::default();
+        let p = gpu.average_power(PX_1440P, 30.0);
+        assert!((1.0..1.8).contains(&p), "GPU PT power {p} W");
+    }
+
+    #[test]
+    fn pte_is_an_order_of_magnitude_below_gpu_active_power() {
+        // Paper §7.2: "one order of magnitude power reduction compared to
+        // a typical mobile GPU."
+        let gpu = GpuModel::default();
+        assert!(gpu.active_power_w / 0.194 > 9.0);
+    }
+
+    #[test]
+    fn frame_cost_scales_with_pixels() {
+        let gpu = GpuModel::default();
+        let small = gpu.pt_frame(PX_1440P / 4);
+        let big = gpu.pt_frame(PX_1440P);
+        assert!((big.energy_j / small.energy_j - 4.0).abs() < 1e-9);
+        assert!(big.dram_bytes > small.dram_bytes);
+    }
+
+    #[test]
+    fn gpu_sustains_realtime_1440p() {
+        let gpu = GpuModel::default();
+        let c = gpu.pt_frame(PX_1440P);
+        assert!(c.time_s < 1.0 / 30.0, "frame time {}", c.time_s);
+    }
+
+    #[test]
+    fn gpu_moves_more_dram_per_pixel_than_pte() {
+        // The architectural claim behind HAR: generic texture caching
+        // moves several× the traffic of stencil-aware line buffering.
+        let gpu = GpuModel::default();
+        assert!(gpu.dram_bytes_per_px > 4.0);
+    }
+}

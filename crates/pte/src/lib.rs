@@ -1,0 +1,50 @@
+//! The Projective Transformation Engine (PTE) — cycle-level and
+//! energy-level model of the paper's hardware accelerator (§6.2, §7.2).
+//!
+//! The prototype the paper lays out on a Xilinx Zynq-7000:
+//!
+//! * **2 PTUs**, each fully pipelined to accept one pixel per cycle;
+//! * **100 MHz** clock → 2×10⁸ pixels/s → ~50 FPS at a 2560×1440 output;
+//! * **P-MEM 512 KB** (input-frame line buffer) and **S-MEM 256 KB**
+//!   (output staging), DMA-filled — replacing the GPU's texture caches;
+//! * fixed-point `[28, 10]` datapath;
+//! * **194 mW** total power — "one order of magnitude power reduction
+//!   compared to a typical mobile GPU".
+//!
+//! This crate models that design at the level the paper's evaluation
+//! needs: per-frame cycle counts with memory-stall accounting
+//! ([`engine`]), DRAM traffic from the line-buffer model ([`mem`]), and a
+//! bottom-up energy model calibrated to the 194 mW post-layout figure
+//! ([`energy`]). [`gpu`] provides the mobile-GPU baseline the paper
+//! measures against, and [`systolic`] the SCALE-Sim-style DNN accelerator
+//! model used by the §8.5 head-motion-prediction comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use evr_pte::{Pte, PteConfig};
+//! use evr_projection::{FovSpec, Viewport};
+//! use evr_math::EulerAngles;
+//!
+//! let pte = Pte::new(PteConfig::prototype());
+//! let stats = pte.analyze_frame(3840, 2160, EulerAngles::default());
+//! // The prototype sustains real-time 1440p: > 30 FPS.
+//! assert!(stats.fps() > 30.0);
+//! // And draws on the order of 200 mW.
+//! assert!(stats.power_watts() > 0.1 && stats.power_watts() < 0.3);
+//! ```
+
+pub mod config;
+pub mod energy;
+pub mod engine;
+pub mod gpu;
+pub mod mem;
+pub mod regs;
+pub mod systolic;
+
+pub use config::PteConfig;
+pub use energy::PteEnergyParams;
+pub use engine::{FrameStats, Pte};
+pub use gpu::GpuModel;
+pub use regs::PteDevice;
+pub use systolic::{Layer, SystolicArray};

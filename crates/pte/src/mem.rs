@@ -1,0 +1,187 @@
+//! The P-MEM model: a software-managed cache of 2-D source-frame blocks.
+//!
+//! Paper §6.2: holding whole frames on-chip "would require tens of MBs";
+//! instead the PT's stencil-like access pattern (adjacent output pixels
+//! touch adjacent, overlapping input pixels) lets P-MEM hold only the
+//! active working set, "similar to the line-buffer used in Image Signal
+//! Processor designs". Because the ERP mapping curves across an output
+//! scanline, the resident set is organised as small 2-D blocks rather
+//! than full source lines: each block is DMA-filled once on first touch
+//! and then serves the whole stencil neighbourhood from SRAM.
+//!
+//! Fills are streamed by a prefetching DMA; only a configurable fraction
+//! of the fill latency is exposed as pipeline stall.
+
+use std::collections::HashMap;
+
+/// Block geometry: 32×8 pixels of 3-byte RGB.
+pub const BLOCK_W: u32 = 32;
+/// See [`BLOCK_W`].
+pub const BLOCK_H: u32 = 8;
+/// Bytes per block.
+pub const BLOCK_BYTES: u32 = BLOCK_W * BLOCK_H * 3;
+
+/// Statistics accumulated by the block cache over one frame.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PmemStats {
+    /// Accesses that found their block resident.
+    pub hits: u64,
+    /// Accesses that triggered a block fill.
+    pub misses: u64,
+    /// Bytes DMA-transferred from DRAM.
+    pub dram_bytes: u64,
+}
+
+/// An LRU cache of source-frame blocks backing the PTU's filtering stage.
+///
+/// # Example
+///
+/// ```
+/// use evr_pte::mem::{PmemCache, BLOCK_BYTES};
+///
+/// let mut pmem = PmemCache::new(4 * BLOCK_BYTES, 3840, 2160);
+/// assert!(!pmem.access(0, 0));   // cold miss
+/// assert!(pmem.access(5, 3));    // same 32×8 block
+/// assert!(!pmem.access(100, 0)); // a different block
+/// assert_eq!(pmem.stats().misses, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PmemCache {
+    capacity_blocks: u32,
+    blocks_x: u32,
+    resident: HashMap<u32, u64>,
+    tick: u64,
+    stats: PmemStats,
+}
+
+impl PmemCache {
+    /// Creates a cache of `capacity_bytes` over a `src_width`×`src_height`
+    /// frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds fewer than 4 blocks (the bilinear
+    /// stencil can straddle up to 4 blocks).
+    pub fn new(capacity_bytes: u32, src_width: u32, src_height: u32) -> Self {
+        assert!(src_width > 0 && src_height > 0, "source dimensions must be non-zero");
+        let capacity_blocks = capacity_bytes / BLOCK_BYTES;
+        assert!(
+            capacity_blocks >= 4,
+            "P-MEM must hold at least 4 blocks ({capacity_bytes} B)"
+        );
+        PmemCache {
+            capacity_blocks,
+            blocks_x: src_width.div_ceil(BLOCK_W),
+            resident: HashMap::with_capacity(capacity_blocks as usize + 1),
+            tick: 0,
+            stats: PmemStats::default(),
+        }
+    }
+
+    /// Number of blocks the cache can hold.
+    pub fn capacity_blocks(&self) -> u32 {
+        self.capacity_blocks
+    }
+
+    /// Touches source pixel `(x, y)`; returns `true` on hit. A miss fills
+    /// the enclosing block from DRAM and evicts LRU if full.
+    pub fn access(&mut self, x: u32, y: u32) -> bool {
+        self.tick += 1;
+        let key = (y / BLOCK_H) * self.blocks_x + x / BLOCK_W;
+        if let Some(last) = self.resident.get_mut(&key) {
+            *last = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        self.stats.dram_bytes += BLOCK_BYTES as u64;
+        if self.resident.len() as u32 >= self.capacity_blocks {
+            let lru = self
+                .resident
+                .iter()
+                .min_by_key(|(_, &t)| t)
+                .map(|(&k, _)| k)
+                .expect("cache is non-empty when full");
+            self.resident.remove(&lru);
+        }
+        self.resident.insert(key, self.tick);
+        false
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PmemStats {
+        self.stats
+    }
+
+    /// Pipeline stall cycles for one block fill: the DMA streams
+    /// `BLOCK_BYTES` at `dma_bytes_per_cycle`, and prefetching hides
+    /// `1 − exposed_fraction` of it.
+    pub fn fill_stall_cycles(dma_bytes_per_cycle: u32, exposed_fraction: f64) -> u64 {
+        let raw = (BLOCK_BYTES as u64).div_ceil(dma_bytes_per_cycle as u64);
+        (raw as f64 * exposed_fraction).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn raster_scan_misses_once_per_block() {
+        let mut pmem = PmemCache::new(64 * BLOCK_BYTES, 256, 64);
+        for y in 0..16u32 {
+            for x in 0..256u32 {
+                pmem.access(x, y);
+            }
+        }
+        // 16 rows cover 2 block rows of 8 blocks each.
+        assert_eq!(pmem.stats().misses, 16);
+        assert_eq!(pmem.stats().dram_bytes, 16 * BLOCK_BYTES as u64);
+    }
+
+    #[test]
+    fn lru_keeps_recently_touched_blocks() {
+        let mut pmem = PmemCache::new(4 * BLOCK_BYTES, 1024, 1024);
+        pmem.access(0, 0); // block A
+        pmem.access(40, 0); // block B
+        pmem.access(80, 0); // block C
+        pmem.access(0, 0); // refresh A
+        pmem.access(120, 0); // block D
+        pmem.access(160, 0); // block E → evicts B (LRU)
+        assert!(pmem.access(0, 0), "A must still be resident");
+        assert!(!pmem.access(40, 0), "B must have been evicted");
+    }
+
+    #[test]
+    fn prototype_pmem_holds_hundreds_of_blocks() {
+        let pmem = PmemCache::new(512 * 1024, 3840, 2160);
+        assert!(pmem.capacity_blocks() > 500);
+    }
+
+    #[test]
+    fn stall_cycles_respect_prefetch_overlap() {
+        let full = PmemCache::fill_stall_cycles(16, 1.0);
+        let overlapped = PmemCache::fill_stall_cycles(16, 0.2);
+        assert_eq!(full, 48);
+        assert_eq!(overlapped, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 blocks")]
+    fn too_small_capacity_panics() {
+        let _ = PmemCache::new(BLOCK_BYTES, 64, 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dram_bytes_track_misses(coords in proptest::collection::vec((0u32..512, 0u32..512), 1..300)) {
+            let mut pmem = PmemCache::new(8 * BLOCK_BYTES, 512, 512);
+            for (x, y) in coords {
+                pmem.access(x, y);
+            }
+            let s = pmem.stats();
+            prop_assert_eq!(s.dram_bytes, s.misses * BLOCK_BYTES as u64);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! A systolic-array DNN accelerator model (the SCALE-Sim substitute).
+//!
+//! Paper §8.5 compares SAS against on-device head-motion prediction (HMP)
+//! with a DNN, modelling the client's NPU as "a 24×24 systolic array
+//! operating at 1 GHz to represent a typical mobile DNN accelerator",
+//! simulated with SCALE-Sim. This module reproduces that at the fidelity
+//! Figure 16 needs: MAC counts per layer, output-stationary cycle
+//! estimates with a utilisation factor, and an energy model covering MACs
+//! plus on/off-chip data movement.
+
+use serde::{Deserialize, Serialize};
+
+/// A network layer, described by its arithmetic shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution over `h×w` spatial input.
+    Conv {
+        /// Input channels.
+        c_in: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        w: u32,
+        /// Output channels.
+        c_out: u32,
+        /// Kernel size (square).
+        k: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Fully connected layer.
+    Fc {
+        /// Input features.
+        inputs: u32,
+        /// Output features.
+        outputs: u32,
+    },
+    /// LSTM cell step (4 gates).
+    Lstm {
+        /// Input features.
+        inputs: u32,
+        /// Hidden size.
+        hidden: u32,
+    },
+}
+
+impl Layer {
+    /// Multiply-accumulates needed for one forward pass of this layer.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Layer::Conv { c_in, h, w, c_out, k, stride } => {
+                let oh = (h / stride).max(1) as u64;
+                let ow = (w / stride).max(1) as u64;
+                oh * ow * c_out as u64 * c_in as u64 * (k as u64) * (k as u64)
+            }
+            Layer::Fc { inputs, outputs } => inputs as u64 * outputs as u64,
+            Layer::Lstm { inputs, hidden } => {
+                4 * (inputs as u64 + hidden as u64) * hidden as u64
+            }
+        }
+    }
+
+    /// Activation bytes produced by the layer (8-bit activations).
+    pub fn output_bytes(&self) -> u64 {
+        match *self {
+            Layer::Conv { h, w, c_out, stride, .. } => {
+                ((h / stride).max(1) as u64) * ((w / stride).max(1) as u64) * c_out as u64
+            }
+            Layer::Fc { outputs, .. } => outputs as u64,
+            Layer::Lstm { hidden, .. } => hidden as u64,
+        }
+    }
+}
+
+/// Result of running a network on the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceStats {
+    /// Total multiply-accumulates.
+    pub macs: u64,
+    /// Estimated cycles.
+    pub cycles: u64,
+    /// Latency at the array clock, seconds.
+    pub latency_s: f64,
+    /// Energy per inference, joules.
+    pub energy_j: f64,
+}
+
+/// The systolic array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    /// PE rows (paper: 24).
+    pub rows: u32,
+    /// PE columns (paper: 24).
+    pub cols: u32,
+    /// Clock, Hz (paper: 1 GHz).
+    pub clock_hz: f64,
+    /// Average PE utilisation across layer shapes.
+    pub utilization: f64,
+    /// Energy per 8-bit MAC including local register traffic, joules.
+    pub mac_j: f64,
+    /// SRAM energy per MAC (weight/activation staging), joules.
+    pub sram_per_mac_j: f64,
+    /// DRAM energy per byte of activations/weights spilled, joules.
+    pub dram_byte_j: f64,
+    /// Static power, watts.
+    pub leakage_w: f64,
+}
+
+impl SystolicArray {
+    /// The paper's §8.5 configuration: 24×24 PEs at 1 GHz.
+    pub fn mobile_24x24() -> Self {
+        SystolicArray {
+            rows: 24,
+            cols: 24,
+            clock_hz: 1e9,
+            utilization: 0.65,
+            mac_j: 0.9e-12,
+            sram_per_mac_j: 1.4e-12,
+            dram_byte_j: 95.0e-12,
+            leakage_w: 0.03,
+        }
+    }
+
+    /// Runs a network (one forward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn run(&self, layers: &[Layer]) -> InferenceStats {
+        assert!(!layers.is_empty(), "network must have at least one layer");
+        let macs: u64 = layers.iter().map(Layer::macs).sum();
+        let act_bytes: u64 = layers.iter().map(Layer::output_bytes).sum();
+        let pes = (self.rows * self.cols) as f64;
+        let cycles = (macs as f64 / (pes * self.utilization)).ceil() as u64;
+        let latency_s = cycles as f64 / self.clock_hz;
+        let energy_j = macs as f64 * (self.mac_j + self.sram_per_mac_j)
+            + act_bytes as f64 * 2.0 * self.dram_byte_j
+            + self.leakage_w * latency_s;
+        InferenceStats { macs, cycles, latency_s, energy_j }
+    }
+
+    /// Average power of running `rate_hz` inferences per second,
+    /// including idle leakage between inferences.
+    pub fn average_power(&self, layers: &[Layer], rate_hz: f64) -> f64 {
+        let per = self.run(layers);
+        per.energy_j * rate_hz + self.leakage_w * (1.0 - per.latency_s * rate_hz).max(0.0)
+    }
+}
+
+/// The head-motion-prediction network of the §8.5 comparison: a saliency
+/// CNN over a downsampled panorama plus an LSTM over the gaze history
+/// (after Nguyen et al., the predictor the paper integrates).
+pub fn hmp_network() -> Vec<Layer> {
+    vec![
+        Layer::Conv { c_in: 3, h: 256, w: 128, c_out: 32, k: 5, stride: 2 },
+        Layer::Conv { c_in: 32, h: 128, w: 64, c_out: 64, k: 3, stride: 2 },
+        Layer::Conv { c_in: 64, h: 64, w: 32, c_out: 128, k: 3, stride: 1 },
+        Layer::Conv { c_in: 128, h: 64, w: 32, c_out: 128, k: 3, stride: 2 },
+        Layer::Fc { inputs: 128 * 32 * 16, outputs: 512 },
+        Layer::Lstm { inputs: 512 + 3, hidden: 256 },
+        Layer::Fc { inputs: 256, outputs: 3 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_mac_counts() {
+        assert_eq!(Layer::Fc { inputs: 10, outputs: 20 }.macs(), 200);
+        assert_eq!(Layer::Lstm { inputs: 8, hidden: 4 }.macs(), 4 * 12 * 4);
+        let c = Layer::Conv { c_in: 3, h: 8, w: 8, c_out: 2, k: 3, stride: 1 };
+        assert_eq!(c.macs(), 8 * 8 * 2 * 3 * 9);
+    }
+
+    #[test]
+    fn hmp_network_is_hundreds_of_mmacs() {
+        let macs: u64 = hmp_network().iter().map(Layer::macs).sum();
+        assert!(macs > 100_000_000, "{macs}");
+        assert!(macs < 2_000_000_000, "{macs}");
+    }
+
+    #[test]
+    fn array_meets_realtime_for_hmp() {
+        let arr = SystolicArray::mobile_24x24();
+        let stats = arr.run(&hmp_network());
+        // One inference per frame at 30 FPS must fit.
+        assert!(stats.latency_s < 1.0 / 30.0, "latency {}", stats.latency_s);
+    }
+
+    #[test]
+    fn hmp_at_30hz_costs_a_few_hundred_milliwatts() {
+        // The Figure 16 premise: on-device prediction adds a noticeable
+        // (but not dominant) power draw.
+        let arr = SystolicArray::mobile_24x24();
+        let p = arr.average_power(&hmp_network(), 30.0);
+        assert!((0.05..0.5).contains(&p), "HMP power {p} W");
+    }
+
+    #[test]
+    fn energy_scales_with_network_size() {
+        let arr = SystolicArray::mobile_24x24();
+        let small = arr.run(&[Layer::Fc { inputs: 100, outputs: 100 }]);
+        let big = arr.run(&hmp_network());
+        assert!(big.energy_j > small.energy_j * 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_panics() {
+        let _ = SystolicArray::mobile_24x24().run(&[]);
+    }
+}

@@ -1,0 +1,204 @@
+//! The client-side FOV checker (paper §5.4).
+//!
+//! "For each (FOV) frame that will be rendered, the playback application
+//! checks the real-time head pose and compares it against the associated
+//! metadata of the frame. If the desired FOV indicated by the current
+//! head pose is covered by the corresponding FOV frame (FOV-hit), the FOV
+//! frame can be directly rendered on the display. Otherwise (FOV-miss),
+//! the client will request the original video segment."
+
+use serde::{Deserialize, Serialize};
+
+use evr_math::EulerAngles;
+use evr_projection::{FovFrameMeta, FovSpec};
+
+/// Outcome of one per-frame check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckOutcome {
+    /// The pre-rendered frame covers the desired view: display directly.
+    Hit,
+    /// It does not: fall back to the original segment.
+    Miss,
+}
+
+/// Stateful FOV checker with hit/miss accounting.
+///
+/// # Example
+///
+/// ```
+/// use evr_sas::checker::{CheckOutcome, FovChecker};
+/// use evr_projection::{FovFrameMeta, FovSpec};
+/// use evr_math::{Degrees, EulerAngles};
+///
+/// let device = FovSpec::hdk2();
+/// let mut checker = FovChecker::new(device);
+/// let meta = FovFrameMeta::new(EulerAngles::default(), device.expanded(Degrees(10.0)));
+/// assert_eq!(checker.check(EulerAngles::from_degrees(3.0, 0.0, 0.0), &meta), CheckOutcome::Hit);
+/// assert_eq!(checker.check(EulerAngles::from_degrees(40.0, 0.0, 0.0), &meta), CheckOutcome::Miss);
+/// assert!((checker.miss_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FovChecker {
+    device_fov: FovSpec,
+    coverage_requirement: f64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default fraction of the device FOV (centred on the gaze) that a
+/// pre-rendered frame must cover for a hit — see
+/// [`FovFrameMeta::covers_fraction`] for the perceptual rationale.
+pub const DEFAULT_COVERAGE_REQUIREMENT: f64 = 0.65;
+
+impl FovChecker {
+    /// Creates a checker for a device with `device_fov`, using the
+    /// default coverage requirement.
+    pub fn new(device_fov: FovSpec) -> Self {
+        FovChecker {
+            device_fov,
+            coverage_requirement: DEFAULT_COVERAGE_REQUIREMENT,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the checker with a different coverage requirement
+    /// (1.0 = the full viewport must be pre-rendered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `required` is outside `(0, 1]`.
+    pub fn with_requirement(mut self, required: f64) -> Self {
+        assert!(required > 0.0 && required <= 1.0, "required fraction must be in (0, 1]");
+        self.coverage_requirement = required;
+        self
+    }
+
+    /// The device FOV being checked against.
+    pub fn device_fov(&self) -> FovSpec {
+        self.device_fov
+    }
+
+    /// The coverage requirement in use.
+    pub fn coverage_requirement(&self) -> f64 {
+        self.coverage_requirement
+    }
+
+    /// Checks one frame and records the outcome.
+    pub fn check(&mut self, desired: EulerAngles, frame_meta: &FovFrameMeta) -> CheckOutcome {
+        if frame_meta.covers_fraction(desired, self.device_fov, self.coverage_requirement) {
+            self.hits += 1;
+            CheckOutcome::Hit
+        } else {
+            self.misses += 1;
+            CheckOutcome::Miss
+        }
+    }
+
+    /// Frames checked so far.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Recorded hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Recorded misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `[0, 1]` (0 if nothing checked yet).
+    pub fn miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.total() as f64
+        }
+    }
+
+    /// Resets the counters (e.g. per video).
+    pub fn reset(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_math::Degrees;
+
+    fn meta_at(yaw: f64, margin: f64) -> FovFrameMeta {
+        FovFrameMeta::new(
+            EulerAngles::from_degrees(yaw, 0.0, 0.0),
+            FovSpec::hdk2().expanded(Degrees(margin)),
+        )
+    }
+
+    #[test]
+    fn exact_pose_hits() {
+        let mut c = FovChecker::new(FovSpec::hdk2());
+        let out = c.check(EulerAngles::from_degrees(10.0, 0.0, 0.0), &meta_at(10.0, 10.0));
+        assert_eq!(out, CheckOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn wide_deviation_misses() {
+        let mut c = FovChecker::new(FovSpec::hdk2());
+        let out = c.check(EulerAngles::from_degrees(60.0, 0.0, 0.0), &meta_at(0.0, 10.0));
+        assert_eq!(out, CheckOutcome::Miss);
+        assert_eq!(c.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn rate_accumulates_and_resets() {
+        let mut c = FovChecker::new(FovSpec::hdk2());
+        for i in 0..10 {
+            let yaw = if i < 3 { 90.0 } else { 0.0 };
+            c.check(EulerAngles::from_degrees(yaw, 0.0, 0.0), &meta_at(0.0, 10.0));
+        }
+        assert_eq!(c.total(), 10);
+        assert!((c.miss_rate() - 0.3).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn strict_requirement_with_zero_margin_needs_exact_orientation() {
+        let mut c = FovChecker::new(FovSpec::hdk2()).with_requirement(1.0);
+        assert_eq!(
+            c.check(EulerAngles::from_degrees(0.2, 0.0, 0.0), &meta_at(0.0, 0.0)),
+            CheckOutcome::Miss
+        );
+        assert_eq!(
+            c.check(EulerAngles::default(), &meta_at(0.0, 0.0)),
+            CheckOutcome::Hit
+        );
+    }
+
+    #[test]
+    fn default_requirement_tolerates_moderate_gaze_offsets() {
+        let mut c = FovChecker::new(FovSpec::hdk2());
+        // Slack = (120 − 0.65·110)/2 = 24.25° per axis.
+        assert_eq!(
+            c.check(EulerAngles::from_degrees(22.0, 0.0, 0.0), &meta_at(0.0, 10.0)),
+            CheckOutcome::Hit
+        );
+        assert_eq!(
+            c.check(EulerAngles::from_degrees(27.0, 0.0, 0.0), &meta_at(0.0, 10.0)),
+            CheckOutcome::Miss
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "required fraction")]
+    fn invalid_requirement_panics() {
+        let _ = FovChecker::new(FovSpec::hdk2()).with_requirement(0.0);
+    }
+}

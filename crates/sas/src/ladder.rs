@@ -1,0 +1,165 @@
+//! Multi-rung (adaptive-bitrate) encoding of the original stream.
+//!
+//! The paper's content provider ("published to a content provider such as
+//! YouTube and then streamed... upon requests", §2) serves every video as
+//! a bitrate ladder. This module ingests the original panorama at several
+//! quantiser rungs — rendering each segment's source frames once and
+//! encoding them per rung — so the client-side ABR simulator
+//! (`evr-client`'s `abr` module) can run against *real* per-rung sizes
+//! rather than an assumed rate curve.
+
+use serde::{Deserialize, Serialize};
+
+use evr_projection::ImageBuffer;
+use evr_video::codec::{CodecConfig, EncodedSegment, Encoder};
+use evr_video::scene::Scene;
+
+use crate::config::SasConfig;
+use crate::ingest::FPS;
+
+/// Per-segment, per-rung wire sizes (target scale) of one video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LadderCatalog {
+    /// The quantiser of each rung, in ascending quality order:
+    /// `quantizers[0]` is the coarsest (cheapest) rung.
+    quantizers: Vec<u8>,
+    /// `bytes[segment][rung]`, target scale.
+    bytes: Vec<Vec<u64>>,
+    /// Segment duration, seconds.
+    segment_duration_s: f64,
+}
+
+impl LadderCatalog {
+    /// The rung quantisers, coarsest (cheapest) first.
+    pub fn quantizers(&self) -> &[u8] {
+        &self.quantizers
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Segment duration, seconds.
+    pub fn segment_duration(&self) -> f64 {
+        self.segment_duration_s
+    }
+
+    /// Wire bytes of `segment` at `rung`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn bytes(&self, segment: u32, rung: usize) -> u64 {
+        self.bytes[segment as usize][rung]
+    }
+
+    /// The whole `bytes[segment][rung]` matrix.
+    pub fn matrix(&self) -> &[Vec<u64>] {
+        &self.bytes
+    }
+
+    /// Mean bitrate of a rung across the video, bits/second.
+    pub fn rung_bitrate_bps(&self, rung: usize) -> f64 {
+        let total: u64 = self.bytes.iter().map(|seg| seg[rung]).sum();
+        total as f64 * 8.0 / (self.bytes.len() as f64 * self.segment_duration_s)
+    }
+}
+
+/// Ingests `scene` at every quantiser in `quantizers` (given coarsest
+/// first; the order is preserved as the rung order).
+///
+/// # Panics
+///
+/// Panics if `quantizers` is empty or not strictly decreasing in
+/// coarseness (i.e. values must be strictly descending: coarser = larger
+/// quantiser first).
+pub fn ingest_ladder(
+    scene: &Scene,
+    config: &SasConfig,
+    quantizers: &[u8],
+    duration_s: f64,
+) -> LadderCatalog {
+    assert!(!quantizers.is_empty(), "ladder needs at least one rung");
+    assert!(
+        quantizers.windows(2).all(|w| w[0] > w[1]),
+        "rung quantisers must be strictly descending (coarsest first)"
+    );
+    let (src_w, src_h) = config.analysis_src;
+    let duration = duration_s.min(scene.duration());
+    let total_frames = (duration * FPS).floor() as u64;
+    let seg_len = config.segment_frames as u64;
+    let segment_count = total_frames.div_ceil(seg_len);
+    let scale = config.src_byte_scale();
+
+    let mut bytes = Vec::with_capacity(segment_count as usize);
+    for seg in 0..segment_count {
+        let start = seg * seg_len;
+        let end = (start + seg_len).min(total_frames);
+        let sources: Vec<ImageBuffer> = (start..end)
+            .map(|i| {
+                scene.render_image(i as f64 / FPS, evr_projection::Projection::Erp, src_w, src_h)
+            })
+            .collect();
+        let mut row = Vec::with_capacity(quantizers.len());
+        for &q in quantizers {
+            let mut enc = Encoder::new(CodecConfig::new(config.segment_frames, q));
+            enc.force_intra();
+            let seg = EncodedSegment {
+                start_index: start,
+                frames: sources.iter().map(|img| enc.encode_frame(img)).collect(),
+            };
+            row.push(seg.scaled_bytes(scale));
+        }
+        bytes.push(row);
+    }
+    LadderCatalog {
+        quantizers: quantizers.to_vec(),
+        bytes,
+        segment_duration_s: seg_len as f64 / FPS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_video::library::{scene_for, VideoId};
+
+    fn catalog() -> LadderCatalog {
+        ingest_ladder(
+            &scene_for(VideoId::Rhino),
+            &SasConfig::tiny_for_tests(),
+            &[30, 18, 10],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn rungs_are_monotone_in_size() {
+        let c = catalog();
+        assert_eq!(c.quantizers(), &[30, 18, 10]);
+        for seg in 0..c.segment_count() {
+            assert!(c.bytes(seg, 0) < c.bytes(seg, 1), "segment {seg}");
+            assert!(c.bytes(seg, 1) < c.bytes(seg, 2), "segment {seg}");
+        }
+        assert!(c.rung_bitrate_bps(0) < c.rung_bitrate_bps(2));
+    }
+
+    #[test]
+    fn segment_geometry_matches_config() {
+        let c = catalog();
+        assert_eq!(c.segment_count(), 4); // 30 frames at 8 per segment
+        assert!((c.segment_duration() - 8.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly descending")]
+    fn unordered_rungs_panic() {
+        let _ = ingest_ladder(
+            &scene_for(VideoId::Rs),
+            &SasConfig::tiny_for_tests(),
+            &[10, 18],
+            0.5,
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! The SAS request handler.
+//!
+//! Paper §5.3, "Handling Client Requests": the server differentiates two
+//! request types — FOV-video requests "made at the beginning of each
+//! video segment when the client decides what object cluster the user is
+//! most likely interested in", and original-video requests made on an
+//! FOV miss, served as whole segments.
+
+use serde::{Deserialize, Serialize};
+
+use evr_math::EulerAngles;
+use evr_projection::FovFrameMeta;
+use evr_video::codec::EncodedSegment;
+
+use crate::ingest::SasCatalog;
+
+/// A client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// The FOV video of `cluster` for `segment`.
+    FovVideo {
+        /// Temporal segment index.
+        segment: u32,
+        /// Cluster index.
+        cluster: usize,
+    },
+    /// The original segment (FOV-miss fallback).
+    Original {
+        /// Temporal segment index.
+        segment: u32,
+    },
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response<'a> {
+    /// A pre-rendered FOV segment with its orientation metadata.
+    FovVideo {
+        /// The encoded stream (analysis scale).
+        segment: &'a EncodedSegment,
+        /// Per-frame orientation metadata.
+        meta: &'a [FovFrameMeta],
+        /// Wire size at target (paper) scale, bytes.
+        wire_bytes: u64,
+    },
+    /// An original segment.
+    Original {
+        /// The encoded stream (analysis scale).
+        segment: &'a EncodedSegment,
+        /// Wire size at target (paper) scale, bytes.
+        wire_bytes: u64,
+    },
+    /// The requested stream does not exist (no such segment, or the
+    /// cluster was not materialised under the utilisation budget).
+    NotFound,
+}
+
+/// The SAS server for one ingested video.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SasServer {
+    catalog: SasCatalog,
+}
+
+impl SasServer {
+    /// Wraps an ingested catalog.
+    pub fn new(catalog: SasCatalog) -> Self {
+        SasServer { catalog }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &SasCatalog {
+        &self.catalog
+    }
+
+    /// Handles one request.
+    pub fn handle(&self, request: Request) -> Response<'_> {
+        match request {
+            Request::FovVideo { segment, cluster } => {
+                match self.catalog.fov_stream(segment, cluster) {
+                    Some(stream) => {
+                        let (data, meta) = self.catalog.read_fov(stream);
+                        Response::FovVideo {
+                            segment: data,
+                            meta,
+                            wire_bytes: self.catalog.fov_target_bytes(stream),
+                        }
+                    }
+                    None => Response::NotFound,
+                }
+            }
+            Request::Original { segment } => {
+                if segment >= self.catalog.segment_count() {
+                    return Response::NotFound;
+                }
+                Response::Original {
+                    segment: self.catalog.original_segment(segment),
+                    wire_bytes: self.catalog.original_target_bytes(segment),
+                }
+            }
+        }
+    }
+
+    /// Picks the cluster whose FOV video best covers a user looking at
+    /// `pose` at the start of `segment` — the client-side selection rule
+    /// of §5.3, exposed here because it only needs the stream metadata
+    /// that accompanies the segment listing.
+    pub fn best_cluster(&self, segment: u32, pose: EulerAngles) -> Option<usize> {
+        let view = pose.view_direction();
+        self.catalog
+            .clusters_in_segment(segment)
+            .into_iter()
+            .map(|c| {
+                let stream = self.catalog.fov_stream(segment, c).expect("listed cluster exists");
+                let (_, meta) = self.catalog.read_fov(stream);
+                let dot = meta[0].orientation.view_direction().dot(view);
+                (c, dot)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("dot products are finite"))
+            .map(|(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SasConfig;
+    use crate::ingest::ingest_video;
+    use evr_video::library::{scene_for, VideoId};
+
+    fn server(video: VideoId) -> SasServer {
+        let catalog = ingest_video(&scene_for(video), &SasConfig::tiny_for_tests(), 1.0);
+        SasServer::new(catalog)
+    }
+
+    #[test]
+    fn serves_fov_videos() {
+        let s = server(VideoId::Rhino);
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        match s.handle(Request::FovVideo { segment: 0, cluster }) {
+            Response::FovVideo { segment, meta, wire_bytes } => {
+                assert_eq!(segment.frames.len(), meta.len());
+                assert!(wire_bytes > 0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_original_on_request() {
+        let s = server(VideoId::Rhino);
+        match s.handle(Request::Original { segment: 1 }) {
+            Response::Original { segment, wire_bytes } => {
+                assert_eq!(segment.start_index, 8);
+                assert!(wire_bytes > 0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_streams_are_not_found() {
+        let s = server(VideoId::Rs);
+        assert_eq!(s.handle(Request::FovVideo { segment: 0, cluster: 99 }), Response::NotFound);
+        assert_eq!(s.handle(Request::Original { segment: 999 }), Response::NotFound);
+    }
+
+    #[test]
+    fn fov_video_is_smaller_on_the_wire_than_original() {
+        // The bandwidth argument of Fig. 13: an FOV stream carries fewer
+        // target-scale bytes than the full panoramic segment.
+        let s = server(VideoId::Rhino);
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        let fov_bytes = match s.handle(Request::FovVideo { segment: 0, cluster }) {
+            Response::FovVideo { wire_bytes, .. } => wire_bytes,
+            _ => unreachable!(),
+        };
+        let orig_bytes = match s.handle(Request::Original { segment: 0 }) {
+            Response::Original { wire_bytes, .. } => wire_bytes,
+            _ => unreachable!(),
+        };
+        assert!(fov_bytes < orig_bytes, "fov {fov_bytes} orig {orig_bytes}");
+    }
+
+    #[test]
+    fn best_cluster_picks_the_nearest_stream() {
+        let s = server(VideoId::Rhino);
+        let clusters = s.catalog().clusters_in_segment(0);
+        for &c in &clusters {
+            let stream = s.catalog().fov_stream(0, c).unwrap();
+            let (_, meta) = s.catalog().read_fov(stream);
+            let pose = meta[0].orientation;
+            assert_eq!(s.best_cluster(0, pose), Some(c), "looking straight at cluster {c}");
+        }
+    }
+
+    #[test]
+    fn best_cluster_none_when_segment_empty() {
+        let scene = scene_for(VideoId::Rs);
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.object_utilization = 0.0;
+        let s = SasServer::new(ingest_video(&scene, &cfg, 1.0));
+        assert_eq!(s.best_cluster(0, evr_math::EulerAngles::default()), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! The log-structured SAS store.
+//!
+//! Paper §5.3: "The FOV videos are stored in the log-structured manner.
+//! We place the associated metadata in a separate log rather than mixing
+//! them with frame data. This allows us to decouple the metadata with
+//! video encoding."
+//!
+//! [`LogStore`] is the generic building block: an append-only record log
+//! with stable offsets. The SAS catalog keeps two of them — a data log of
+//! encoded segments and a metadata log of per-frame orientations — plus a
+//! small index, exactly the decoupling the paper describes. Records are
+//! kept as structured values with an explicit wire-size accessor rather
+//! than opaque bytes; the size accounting (what Fig. 14 measures) uses
+//! the codec's modelled wire sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a record in a [`LogStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(u64);
+
+impl RecordId {
+    /// The raw log offset.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+/// An append-only record log with stable ids.
+///
+/// # Example
+///
+/// ```
+/// use evr_sas::store::LogStore;
+///
+/// let mut log: LogStore<String> = LogStore::new();
+/// let a = log.append("hello".into(), 5);
+/// let b = log.append("world!".into(), 6);
+/// assert_eq!(log.read(a), Some(&"hello".to_string()));
+/// assert_eq!(log.read(b), Some(&"world!".to_string()));
+/// assert_eq!(log.total_bytes(), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogStore<T> {
+    records: Vec<(T, u64)>,
+    total_bytes: u64,
+}
+
+impl<T> Default for LogStore<T> {
+    fn default() -> Self {
+        LogStore { records: Vec::new(), total_bytes: 0 }
+    }
+}
+
+impl<T> LogStore<T> {
+    /// An empty log.
+    pub fn new() -> Self {
+        LogStore::default()
+    }
+
+    /// Appends a record of `wire_bytes` accounted size; returns its id.
+    /// Existing records are never moved or mutated (append-only).
+    pub fn append(&mut self, record: T, wire_bytes: u64) -> RecordId {
+        let id = RecordId(self.records.len() as u64);
+        self.records.push((record, wire_bytes));
+        self.total_bytes += wire_bytes;
+        id
+    }
+
+    /// Reads a record by id.
+    pub fn read(&self, id: RecordId) -> Option<&T> {
+        self.records.get(id.0 as usize).map(|(r, _)| r)
+    }
+
+    /// The accounted wire size of a record.
+    pub fn record_bytes(&self, id: RecordId) -> Option<u64> {
+        self.records.get(id.0 as usize).map(|(_, b)| *b)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total accounted bytes across all records.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Iterates over `(id, record)` pairs in append order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &T)> {
+        self.records.iter().enumerate().map(|(i, (r, _))| (RecordId(i as u64), r))
+    }
+
+    /// Log compaction: rewrites the log keeping only the records `live`
+    /// accepts, in their original order. Returns the compacted log and
+    /// the old-id → new-id mapping (dropped records are absent from the
+    /// map). This is the garbage-collection half of the log-structured
+    /// store: after the index stops referencing a record (e.g. a lowered
+    /// object-utilisation budget), compaction reclaims its bytes.
+    pub fn compact(self, mut live: impl FnMut(RecordId) -> bool) -> (LogStore<T>, std::collections::HashMap<RecordId, RecordId>) {
+        let mut out = LogStore::new();
+        let mut remap = std::collections::HashMap::new();
+        for (i, (record, bytes)) in self.records.into_iter().enumerate() {
+            let old = RecordId(i as u64);
+            if live(old) {
+                let new = out.append(record, bytes);
+                remap.insert(old, new);
+            }
+        }
+        (out, remap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ids_are_stable_across_appends() {
+        let mut log = LogStore::new();
+        let a = log.append(1u32, 10);
+        for i in 0..100u32 {
+            log.append(i, 1);
+        }
+        assert_eq!(log.read(a), Some(&1));
+        assert_eq!(log.record_bytes(a), Some(10));
+    }
+
+    #[test]
+    fn missing_ids_return_none() {
+        let log: LogStore<u8> = LogStore::new();
+        assert_eq!(log.read(RecordId(3)), None);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn iter_preserves_append_order() {
+        let mut log = LogStore::new();
+        log.append("a", 1);
+        log.append("b", 1);
+        let order: Vec<_> = log.iter().map(|(_, r)| *r).collect();
+        assert_eq!(order, vec!["a", "b"]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_bytes_is_sum(sizes in proptest::collection::vec(0u64..10_000, 0..50)) {
+            let mut log = LogStore::new();
+            for (i, s) in sizes.iter().enumerate() {
+                log.append(i, *s);
+            }
+            prop_assert_eq!(log.total_bytes(), sizes.iter().sum::<u64>());
+            prop_assert_eq!(log.len(), sizes.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+
+    #[test]
+    fn compact_keeps_live_records_in_order() {
+        let mut log = LogStore::new();
+        let ids: Vec<_> = (0..6).map(|i| log.append(i * 10, 100)).collect();
+        let keep = [ids[1], ids[3], ids[4]];
+        let (compacted, remap) = log.compact(|id| keep.contains(&id));
+        assert_eq!(compacted.len(), 3);
+        assert_eq!(compacted.total_bytes(), 300);
+        assert_eq!(compacted.read(remap[&ids[1]]), Some(&10));
+        assert_eq!(compacted.read(remap[&ids[3]]), Some(&30));
+        assert_eq!(compacted.read(remap[&ids[4]]), Some(&40));
+        assert!(!remap.contains_key(&ids[0]));
+        // Order preserved: new ids are ascending with old order.
+        assert!(remap[&ids[1]] < remap[&ids[3]]);
+        assert!(remap[&ids[3]] < remap[&ids[4]]);
+    }
+
+    #[test]
+    fn compact_of_empty_selection_empties_the_log() {
+        let mut log = LogStore::new();
+        log.append("x", 5);
+        let (compacted, remap) = log.compact(|_| false);
+        assert!(compacted.is_empty());
+        assert_eq!(compacted.total_bytes(), 0);
+        assert!(remap.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Tile-based view-guided streaming — the related-work baseline.
+//!
+//! The approaches the paper positions SAS against (§2, §9: Gaddam et al.,
+//! Zare et al., Qian et al., ...) "divide a frame into tiles and use
+//! non-uniform image resolutions across tiles according to users' sight".
+//! They reduce *bandwidth*, but every frame still arrives as panoramic
+//! content and "the power-hungry PT operation is still a necessary step
+//! on the VR device".
+//!
+//! This module implements that baseline for real: the ERP frame splits
+//! into a tile grid, every tile is encoded independently at a high and a
+//! low quality, and a client streams in-view tiles high / out-of-view
+//! tiles low. `evr-core::tiled` drives the energy comparison.
+
+use serde::{Deserialize, Serialize};
+
+use evr_math::{EulerAngles, Radians, SphericalCoord};
+use evr_projection::{FovSpec, ImageBuffer, PixelSource, Rgb};
+use evr_video::codec::{CodecConfig, EncodedSegment, Encoder};
+use evr_video::scene::Scene;
+
+use crate::config::SasConfig;
+use crate::ingest::FPS;
+
+/// The tile grid over an equirectangular frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileGrid {
+    /// Tile columns (longitude divisions).
+    pub cols: u32,
+    /// Tile rows (latitude divisions).
+    pub rows: u32,
+}
+
+impl Default for TileGrid {
+    /// The 8×4 grid common in the tiling literature (45°×45° tiles).
+    fn default() -> Self {
+        TileGrid { cols: 8, rows: 4 }
+    }
+}
+
+impl TileGrid {
+    /// Total tiles.
+    pub fn len(&self) -> usize {
+        (self.cols * self.rows) as usize
+    }
+
+    /// Whether the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.cols == 0 || self.rows == 0
+    }
+
+    /// The sphere direction at the centre of tile `(col, row)`.
+    pub fn tile_center(&self, col: u32, row: u32) -> SphericalCoord {
+        let lon = ((col as f64 + 0.5) / self.cols as f64 - 0.5) * std::f64::consts::TAU;
+        let lat = (0.5 - (row as f64 + 0.5) / self.rows as f64) * std::f64::consts::PI;
+        SphericalCoord::new(Radians(lon), Radians(lat))
+    }
+
+    /// Which tiles a device with `fov` at `pose` can see. A tile is
+    /// visible if its centre lies within the FOV extents plus a quarter
+    /// tile of slack per axis (the over-fetch margin tiling systems use).
+    pub fn visible_tiles(&self, pose: EulerAngles, fov: FovSpec) -> Vec<bool> {
+        let half_h = fov.h_radians().0 / 2.0 + std::f64::consts::FRAC_PI_2 / self.cols as f64;
+        let half_v = fov.v_radians().0 / 2.0 + std::f64::consts::FRAC_PI_4 / self.rows as f64;
+        let mut out = Vec::with_capacity(self.len());
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let c = self.tile_center(col, row);
+                let d_yaw = pose.yaw.angular_distance(c.lon);
+                let d_pitch = pose.pitch.angular_distance(c.lat);
+                let lat_scale = c.lat.0.cos().abs().max(0.5);
+                out.push(d_yaw.0 * lat_scale <= half_h && d_pitch.0 <= half_v);
+            }
+        }
+        out
+    }
+}
+
+/// One tile's two quality layers for one segment (target-scale bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileBytes {
+    /// High-quality layer wire size.
+    pub high: u64,
+    /// Low-quality layer wire size.
+    pub low: u64,
+}
+
+/// Per-segment tile sizes for a whole video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledCatalog {
+    grid: TileGrid,
+    /// `segments[s][tile]` sizes.
+    segments: Vec<Vec<TileBytes>>,
+}
+
+impl TiledCatalog {
+    /// The grid in use.
+    pub fn grid(&self) -> TileGrid {
+        self.grid
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> u32 {
+        self.segments.len() as u32
+    }
+
+    /// Wire bytes to stream segment `seg` for a viewer at `pose`:
+    /// visible tiles at high quality, the rest at low quality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn segment_bytes(&self, seg: u32, pose: EulerAngles, fov: FovSpec) -> u64 {
+        let visible = self.grid.visible_tiles(pose, fov);
+        self.segments[seg as usize]
+            .iter()
+            .zip(&visible)
+            .map(|(t, &v)| if v { t.high } else { t.low })
+            .sum()
+    }
+
+    /// Wire bytes if every tile streamed at high quality (≈ the untiled
+    /// original, modulo the per-tile coding overhead).
+    pub fn segment_bytes_all_high(&self, seg: u32) -> u64 {
+        self.segments[seg as usize].iter().map(|t| t.high).sum()
+    }
+}
+
+/// A view of one tile of a larger image (zero-copy crop).
+struct TileView<'a> {
+    src: &'a ImageBuffer,
+    x0: u32,
+    y0: u32,
+    w: u32,
+    h: u32,
+}
+
+impl PixelSource for TileView<'_> {
+    fn width(&self) -> u32 {
+        self.w
+    }
+    fn height(&self) -> u32 {
+        self.h
+    }
+    fn pixel(&self, x: u32, y: u32) -> Rgb {
+        self.src.get(self.x0 + x, self.y0 + y)
+    }
+}
+
+/// Ingests a video for tiled view-guided streaming: per segment, every
+/// tile is independently encoded at the configured quantiser (high) and
+/// at `low_quantizer` with 2× spatial downsampling (low).
+///
+/// Byte sizes are reported at the target scale of `config`.
+///
+/// # Panics
+///
+/// Panics if the analysis frame does not divide evenly into the grid.
+pub fn ingest_tiled(
+    scene: &Scene,
+    config: &SasConfig,
+    grid: TileGrid,
+    low_quantizer: u8,
+    duration_s: f64,
+) -> TiledCatalog {
+    let (src_w, src_h) = config.analysis_src;
+    assert!(
+        src_w.is_multiple_of(grid.cols) && src_h.is_multiple_of(grid.rows),
+        "analysis frame {src_w}x{src_h} must divide into the {}x{} grid",
+        grid.cols,
+        grid.rows
+    );
+    let tile_w = src_w / grid.cols;
+    let tile_h = src_h / grid.rows;
+    // Tiles must align to the codec's 8×8 transform grid, or block
+    // padding inflates every tile and distorts the byte comparison.
+    assert!(
+        tile_w.is_multiple_of(8) && tile_h.is_multiple_of(8),
+        "tiles of {tile_w}x{tile_h} are not 8-aligned; choose a finer analysis raster"
+    );
+    let duration = duration_s.min(scene.duration());
+    let total_frames = (duration * FPS).floor() as u64;
+    let seg_len = config.segment_frames as u64;
+    let segment_count = total_frames.div_ceil(seg_len);
+    let scale = config.src_byte_scale();
+
+    let mut segments = Vec::with_capacity(segment_count as usize);
+    for seg in 0..segment_count {
+        let start = seg * seg_len;
+        let end = (start + seg_len).min(total_frames);
+        let sources: Vec<ImageBuffer> = (start..end)
+            .map(|i| {
+                scene.render_image(i as f64 / FPS, evr_projection::Projection::Erp, src_w, src_h)
+            })
+            .collect();
+
+        let mut tiles = Vec::with_capacity(grid.len());
+        for row in 0..grid.rows {
+            for col in 0..grid.cols {
+                let crop = |img: &ImageBuffer| {
+                    let view =
+                        TileView { src: img, x0: col * tile_w, y0: row * tile_h, w: tile_w, h: tile_h };
+                    ImageBuffer::from_fn(tile_w, tile_h, |x, y| view.pixel(x, y))
+                };
+                let encode = |imgs: &[ImageBuffer], q: u8| -> EncodedSegment {
+                    let mut enc = Encoder::new(CodecConfig::new(config.segment_frames, q));
+                    enc.force_intra();
+                    EncodedSegment {
+                        start_index: start,
+                        frames: imgs.iter().map(|i| enc.encode_frame(i)).collect(),
+                    }
+                };
+                let highs: Vec<ImageBuffer> = sources.iter().map(crop).collect();
+                let high = encode(&highs, config.codec.quantizer).scaled_bytes(scale);
+                // Low layer: 2× downsampled pixels (quarter the data) at a
+                // coarser quantiser.
+                let lows: Vec<ImageBuffer> = highs
+                    .iter()
+                    .map(evr_projection::pixel::downsample2x)
+                    .collect();
+                let low =
+                    encode(&lows, low_quantizer).scaled_bytes(scale / 4.0);
+                tiles.push(TileBytes { high, low });
+            }
+        }
+        segments.push(tiles);
+    }
+    TiledCatalog { grid, segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_video::library::{scene_for, VideoId};
+
+    fn catalog() -> TiledCatalog {
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.analysis_src = (128, 64); // 8×4 grid of 16×16 tiles
+        ingest_tiled(&scene_for(VideoId::Rhino), &cfg, TileGrid::default(), 30, 1.0)
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let g = TileGrid::default();
+        assert_eq!(g.len(), 32);
+        // Centre of tile (4, 2) for an 8×4 grid is just right/below of the
+        // frame centre.
+        let c = g.tile_center(4, 2);
+        assert!(c.lon.0 > 0.0 && c.lon.0 < 0.5);
+        assert!(c.lat.0 < 0.0 && c.lat.0 > -0.8);
+    }
+
+    #[test]
+    fn forward_gaze_excludes_rear_tiles() {
+        // With a 110°×110° FOV plus conservative slack, deployed tilers
+        // fetch well over half the panorama at high quality — but never
+        // the tiles directly behind the viewer.
+        let g = TileGrid::default();
+        let visible = g.visible_tiles(EulerAngles::default(), FovSpec::hdk2());
+        let n = visible.iter().filter(|v| **v).count();
+        assert!(n >= 4, "{n} tiles visible");
+        assert!(n < g.len(), "{n} of {} tiles visible", g.len());
+        // The mid-latitude tile behind the viewer (col 0, row 1: lon
+        // ≈ -157°) must be out of view.
+        let behind = g.visible_tiles(EulerAngles::default(), FovSpec::hdk2())[8];
+        assert!(!behind, "rear tile fetched at high quality");
+    }
+
+    #[test]
+    fn view_guided_bytes_below_all_high() {
+        let cat = catalog();
+        for seg in 0..cat.segment_count() {
+            let guided =
+                cat.segment_bytes(seg, EulerAngles::default(), FovSpec::hdk2());
+            let all = cat.segment_bytes_all_high(seg);
+            assert!(guided < all, "segment {seg}: {guided} vs {all}");
+        }
+    }
+
+    #[test]
+    fn looking_elsewhere_changes_the_selection() {
+        let cat = catalog();
+        let a = cat.segment_bytes(0, EulerAngles::default(), FovSpec::hdk2());
+        let b = cat.segment_bytes(
+            0,
+            EulerAngles::from_degrees(180.0, 0.0, 0.0),
+            FovSpec::hdk2(),
+        );
+        // Different views select different tile sets; sizes differ unless
+        // the content is perfectly symmetric.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn misaligned_grid_panics() {
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.analysis_src = (100, 48);
+        let _ = ingest_tiled(&scene_for(VideoId::Rs), &cfg, TileGrid::default(), 30, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-aligned")]
+    fn unaligned_tiles_panic() {
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.analysis_src = (96, 48); // 12×12 tiles: divides, but pads the DCT
+        let _ = ingest_tiled(&scene_for(VideoId::Rs), &cfg, TileGrid::default(), 30, 0.5);
+    }
+}

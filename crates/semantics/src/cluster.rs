@@ -1,0 +1,213 @@
+//! Cluster trajectories: the orientation path each FOV video follows.
+//!
+//! After key-frame clustering, SAS tracks each *cluster of objects* across
+//! the segment's tracking frames (paper §5.3, Fig. 7). A cluster's
+//! trajectory is the renormalised mean of its member tracks, smoothed so
+//! the pre-rendered FOV video pans like a camera operator rather than
+//! twitching with per-frame detector noise.
+
+use serde::{Deserialize, Serialize};
+
+use evr_math::{EulerAngles, Radians, SphericalCoord, Vec3};
+
+use crate::kmeans::Clustering;
+use crate::tracker::ObjectTrack;
+
+/// The smoothed centroid path of one object cluster over a segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTrajectory {
+    /// Cluster index within the segment's clustering.
+    pub cluster: usize,
+    /// Track ids of the member objects.
+    pub members: Vec<u32>,
+    /// `(time, centroid direction)` samples, time-ascending, smoothed.
+    pub samples: Vec<(f64, Vec3)>,
+    /// Angular radius needed to contain all members around the centroid,
+    /// maximised over the segment (sizing input for the FOV margin).
+    pub spread: Radians,
+}
+
+impl ClusterTrajectory {
+    /// Builds cluster trajectories for one segment.
+    ///
+    /// * `clustering` — key-frame clustering of the tracks (point `i` of
+    ///   the clustering corresponds to `tracks[i]`).
+    /// * `times` — the segment's frame timestamps.
+    /// * `smoothing` — exponential smoothing factor in `[0, 1)`; 0 means
+    ///   no smoothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clustering.assignment.len() != tracks.len()`, `times` is
+    /// empty, or `smoothing` is outside `[0, 1)`.
+    pub fn build_all(
+        clustering: &Clustering,
+        tracks: &[ObjectTrack],
+        times: &[f64],
+        smoothing: f64,
+    ) -> Vec<ClusterTrajectory> {
+        assert_eq!(
+            clustering.assignment.len(),
+            tracks.len(),
+            "clustering/tracks length mismatch"
+        );
+        assert!(!times.is_empty(), "segment must contain frames");
+        assert!((0.0..1.0).contains(&smoothing), "smoothing must be in [0, 1)");
+
+        (0..clustering.k())
+            .filter_map(|c| {
+                let member_idx = clustering.members(c);
+                if member_idx.is_empty() {
+                    return None;
+                }
+                let members: Vec<u32> =
+                    member_idx.iter().map(|&i| tracks[i].track_id).collect();
+                let mut samples = Vec::with_capacity(times.len());
+                let mut spread = 0.0f64;
+                let mut smoothed: Option<Vec3> = None;
+                for &t in times {
+                    let mut sum = Vec3::ZERO;
+                    for &i in &member_idx {
+                        sum += tracks[i].position_at(t);
+                    }
+                    let centroid = sum.normalized().unwrap_or(Vec3::FORWARD);
+                    let dir = match smoothed {
+                        Some(prev) => prev
+                            .slerp(centroid, 1.0 - smoothing)
+                            .normalized()
+                            .unwrap_or(centroid),
+                        None => centroid,
+                    };
+                    smoothed = Some(dir);
+                    for &i in &member_idx {
+                        let ang =
+                            dir.dot(tracks[i].position_at(t)).clamp(-1.0, 1.0).acos();
+                        spread = spread.max(ang);
+                    }
+                    samples.push((t, dir));
+                }
+                Some(ClusterTrajectory { cluster: c, members, samples, spread: Radians(spread) })
+            })
+            .collect()
+    }
+
+    /// Centroid direction at time `t` (clamped to segment ends).
+    pub fn direction_at(&self, t: f64) -> Vec3 {
+        if t <= self.samples[0].0 {
+            return self.samples[0].1;
+        }
+        if t >= self.samples.last().unwrap().0 {
+            return self.samples.last().unwrap().1;
+        }
+        for pair in self.samples.windows(2) {
+            let (t0, a) = pair[0];
+            let (t1, b) = pair[1];
+            if t <= t1 {
+                let f = if t1 > t0 { (t - t0) / (t1 - t0) } else { 1.0 };
+                return a.slerp(b, f);
+            }
+        }
+        self.samples.last().unwrap().1
+    }
+
+    /// The head orientation (yaw/pitch, zero roll) a FOV frame at time `t`
+    /// should be rendered for.
+    pub fn orientation_at(&self, t: f64) -> EulerAngles {
+        let s = SphericalCoord::from_vector(self.direction_at(t))
+            .expect("centroids are unit vectors");
+        EulerAngles::new(s.lon, s.lat, Radians(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::SyntheticDetector;
+    use crate::kmeans::select_k;
+    use crate::tracker::Tracker;
+    use evr_video::library::{scene_for, VideoId};
+
+    fn segment_pipeline(video: VideoId) -> (Vec<ObjectTrack>, Vec<f64>) {
+        let scene = scene_for(video);
+        let det = SyntheticDetector::perfect();
+        let mut tracker = Tracker::new(Radians(0.15), 3);
+        let times: Vec<f64> = (0..30).map(|i| i as f64 / 30.0).collect();
+        for &t in &times {
+            tracker.observe(t, &det.detect(&scene, t));
+        }
+        (tracker.into_tracks(), times)
+    }
+
+    #[test]
+    fn builds_one_trajectory_per_nonempty_cluster() {
+        let (tracks, times) = segment_pipeline(VideoId::Rhino);
+        let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
+        let clustering = select_k(&points, 0.6, 5, 1);
+        let trajs = ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.3);
+        assert!(!trajs.is_empty());
+        let total_members: usize = trajs.iter().map(|t| t.members.len()).sum();
+        assert_eq!(total_members, tracks.len());
+    }
+
+    #[test]
+    fn centroid_contains_members_within_spread() {
+        let (tracks, times) = segment_pipeline(VideoId::Elephant);
+        let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
+        let clustering = select_k(&points, 0.5, 4, 2);
+        for traj in ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.0) {
+            for &t in &times {
+                let dir = traj.direction_at(t);
+                for tr in tracks.iter().filter(|tr| traj.members.contains(&tr.track_id)) {
+                    let ang = dir.dot(tr.position_at(t)).clamp(-1.0, 1.0).acos();
+                    assert!(ang <= traj.spread.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_jerk() {
+        let scene = scene_for(VideoId::Rs);
+        let det = SyntheticDetector { localization_noise: 0.03, miss_rate: 0.0, spurious_rate: 0.0, seed: 4 };
+        let mut tracker = Tracker::new(Radians(0.3), 3);
+        let times: Vec<f64> = (0..60).map(|i| i as f64 / 30.0).collect();
+        for &t in &times {
+            tracker.observe(t, &det.detect(&scene, t));
+        }
+        let tracks = tracker.into_tracks();
+        let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
+        let clustering = select_k(&points, 0.6, 3, 3);
+
+        let jerk = |trajs: &[ClusterTrajectory]| -> f64 {
+            trajs
+                .iter()
+                .flat_map(|tr| {
+                    tr.samples
+                        .windows(2)
+                        .map(|w| w[0].1.dot(w[1].1).clamp(-1.0, 1.0).acos())
+                        .collect::<Vec<_>>()
+                })
+                .sum()
+        };
+        let raw = jerk(&ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.0));
+        let smooth = jerk(&ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.7));
+        assert!(smooth < raw, "smooth {smooth} raw {raw}");
+    }
+
+    #[test]
+    fn orientation_has_zero_roll() {
+        let (tracks, times) = segment_pipeline(VideoId::Paris);
+        let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
+        let clustering = select_k(&points, 0.6, 4, 5);
+        let trajs = ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.2);
+        let o = trajs[0].orientation_at(0.5);
+        assert_eq!(o.roll.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let clustering = Clustering { centroids: vec![Vec3::FORWARD], assignment: vec![0, 0] };
+        let _ = ClusterTrajectory::build_all(&clustering, &[], &[0.0], 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Detector and tracker evaluation against scene ground truth.
+//!
+//! The paper leans on YOLOv2 "for its superior accuracy" (§7.1) but never
+//! quantifies what detector quality SAS actually needs. Because the
+//! synthetic scenes carry exact ground truth, this module can measure the
+//! substitute detector (precision/recall/F1, localisation error) and the
+//! tracker (purity, fragmentation) — the numbers behind the robustness
+//! claims in DESIGN.md §2.
+
+use std::collections::HashMap;
+
+use evr_math::Radians;
+use evr_video::scene::Scene;
+
+use crate::detector::SyntheticDetector;
+use crate::tracker::ObjectTrack;
+
+/// Detection-quality summary over a frame range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionQuality {
+    /// Matched detections / all detections.
+    pub precision: f64,
+    /// Matched objects / all ground-truth objects.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Mean angular localisation error of matched detections, radians.
+    pub mean_error: Radians,
+}
+
+/// Evaluates `detector` on `scene` over `frames` frames at 30 FPS,
+/// matching detections to ground truth within `gate`.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn evaluate_detector(
+    scene: &Scene,
+    detector: &SyntheticDetector,
+    frames: u32,
+    gate: Radians,
+) -> DetectionQuality {
+    assert!(frames > 0, "evaluation needs at least one frame");
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut fn_ = 0u64;
+    let mut err_sum = 0.0;
+    for i in 0..frames {
+        let t = i as f64 / 30.0;
+        let truth = scene.object_positions(t);
+        let detections = detector.detect(scene, t);
+        let mut matched = vec![false; truth.len()];
+        for d in &detections {
+            let best = truth
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| !matched[*k])
+                .map(|(k, (_, p))| (k, d.dir.dot(*p).clamp(-1.0, 1.0).acos()))
+                .filter(|(_, ang)| *ang <= gate.0)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            match best {
+                Some((k, ang)) => {
+                    matched[k] = true;
+                    tp += 1;
+                    err_sum += ang;
+                }
+                None => fp += 1,
+            }
+        }
+        fn_ += matched.iter().filter(|m| !**m).count() as u64;
+    }
+    let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    DetectionQuality {
+        precision,
+        recall,
+        f1,
+        mean_error: Radians(if tp == 0 { 0.0 } else { err_sum / tp as f64 }),
+    }
+}
+
+/// Tracking-quality summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingQuality {
+    /// Fraction of track samples whose nearest ground-truth object equals
+    /// the track's dominant object (identity consistency).
+    pub purity: f64,
+    /// Tracks produced per ground-truth object (1.0 = no fragmentation).
+    pub fragmentation: f64,
+}
+
+/// Evaluates `tracks` (from a segment of `scene`) against ground truth.
+///
+/// # Panics
+///
+/// Panics if `tracks` is empty or the scene has no objects.
+pub fn evaluate_tracks(scene: &Scene, tracks: &[ObjectTrack]) -> TrackingQuality {
+    assert!(!tracks.is_empty(), "evaluation needs tracks");
+    assert!(!scene.objects().is_empty(), "scene has no objects");
+    let mut pure = 0u64;
+    let mut total = 0u64;
+    for track in tracks {
+        // Dominant ground-truth identity: most frequent nearest object.
+        let mut votes: HashMap<u32, u64> = HashMap::new();
+        let nearest: Vec<u32> = track
+            .samples
+            .iter()
+            .map(|(t, dir)| {
+                scene
+                    .object_positions(*t)
+                    .into_iter()
+                    .min_by(|a, b| {
+                        dir.dot(b.1).partial_cmp(&dir.dot(a.1)).expect("finite")
+                    })
+                    .map(|(id, _)| id)
+                    .expect("non-empty scene")
+            })
+            .collect();
+        for &id in &nearest {
+            *votes.entry(id).or_insert(0) += 1;
+        }
+        let (&dominant, _) = votes.iter().max_by_key(|(_, &v)| v).expect("non-empty track");
+        pure += nearest.iter().filter(|&&id| id == dominant).count() as u64;
+        total += nearest.len() as u64;
+    }
+    TrackingQuality {
+        purity: pure as f64 / total as f64,
+        fragmentation: tracks.len() as f64 / scene.objects().len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::Tracker;
+    use evr_video::library::{scene_for, VideoId};
+
+    #[test]
+    fn perfect_detector_scores_perfectly() {
+        let scene = scene_for(VideoId::Rs);
+        let q = evaluate_detector(&scene, &SyntheticDetector::perfect(), 15, Radians(0.1));
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+        assert!(q.mean_error.0 < 1e-6); // acos rounding noise only
+    }
+
+    #[test]
+    fn eval_grade_detector_is_strong_but_imperfect() {
+        let scene = scene_for(VideoId::Paris);
+        let q = evaluate_detector(
+            &scene,
+            &SyntheticDetector::default_for_eval(7),
+            30,
+            Radians(0.1),
+        );
+        assert!(q.recall > 0.9 && q.recall < 1.0, "recall {}", q.recall);
+        assert!(q.precision > 0.9, "precision {}", q.precision);
+        assert!(q.mean_error.0 > 0.0 && q.mean_error.0 < 0.05);
+    }
+
+    #[test]
+    fn noisier_detectors_score_worse() {
+        let scene = scene_for(VideoId::Rhino);
+        let clean = evaluate_detector(
+            &scene,
+            &SyntheticDetector::default_for_eval(1),
+            20,
+            Radians(0.1),
+        );
+        let noisy = evaluate_detector(
+            &scene,
+            &SyntheticDetector {
+                localization_noise: 0.05,
+                miss_rate: 0.3,
+                spurious_rate: 0.5,
+                seed: 1,
+            },
+            20,
+            Radians(0.1),
+        );
+        assert!(noisy.f1 < clean.f1, "noisy {} clean {}", noisy.f1, clean.f1);
+        assert!(noisy.mean_error.0 > clean.mean_error.0);
+    }
+
+    #[test]
+    fn tracker_on_clean_detections_is_pure_and_unfragmented() {
+        let scene = scene_for(VideoId::Rhino);
+        let det = SyntheticDetector::perfect();
+        let mut tracker = Tracker::new(Radians(0.15), 3);
+        for i in 0..45 {
+            let t = i as f64 / 30.0;
+            tracker.observe(t, &det.detect(&scene, t));
+        }
+        let q = evaluate_tracks(&scene, tracker.tracks());
+        assert!(q.purity > 0.95, "purity {}", q.purity);
+        assert!((q.fragmentation - 1.0).abs() < 0.2, "fragmentation {}", q.fragmentation);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs tracks")]
+    fn empty_tracks_panic() {
+        let scene = scene_for(VideoId::Rs);
+        let _ = evaluate_tracks(&scene, &[]);
+    }
+}

@@ -1,0 +1,298 @@
+//! k-means clustering on the unit sphere.
+//!
+//! The SAS server uses "the classic k-means algorithm for object
+//! clustering, based on the intuition that users tend to watch objects
+//! that are close to each other" (paper §7.1). Object positions live on
+//! the unit sphere, so assignment uses cosine similarity and centroids are
+//! renormalised means (spherical k-means).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use evr_math::Vec3;
+
+/// Result of clustering `n` points into `k` groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster centroids (unit vectors), `k` entries.
+    pub centroids: Vec<Vec3>,
+    /// For each input point, the index of its cluster.
+    pub assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Indices of the points in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mean angular distance (radians) from each point to its centroid —
+    /// the distortion measure used for k selection.
+    pub fn mean_distortion(&self, points: &[Vec3]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        points
+            .iter()
+            .zip(&self.assignment)
+            .map(|(p, &a)| p.dot(self.centroids[a]).clamp(-1.0, 1.0).acos())
+            .sum::<f64>()
+            / points.len() as f64
+    }
+
+    /// Largest angular distance (radians) from any point to its centroid.
+    pub fn max_distortion(&self, points: &[Vec3]) -> f64 {
+        points
+            .iter()
+            .zip(&self.assignment)
+            .map(|(p, &a)| p.dot(self.centroids[a]).clamp(-1.0, 1.0).acos())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Spherical k-means with k-means++-style seeding.
+///
+/// Deterministic for a given `seed`. `k` is clamped to `points.len()`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use evr_semantics::kmeans::kmeans_sphere;
+/// use evr_math::Vec3;
+///
+/// let pts = vec![
+///     Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.05, 0.0, 1.0).normalized()?,
+///     Vec3::new(1.0, 0.0, 0.0), Vec3::new(1.0, 0.05, 0.0).normalized()?,
+/// ];
+/// let c = kmeans_sphere(&pts, 2, 42);
+/// assert_eq!(c.k(), 2);
+/// // The two forward points share a cluster; the two rightward ones share the other.
+/// assert_eq!(c.assignment[0], c.assignment[1]);
+/// assert_eq!(c.assignment[2], c.assignment[3]);
+/// assert_ne!(c.assignment[0], c.assignment[2]);
+/// # Ok::<(), evr_math::MathError>(())
+/// ```
+pub fn kmeans_sphere(points: &[Vec3], k: usize, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "k-means requires at least one point");
+    assert!(k > 0, "k must be non-zero");
+    let k = k.min(points.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k-means++ seeding on angular distance.
+    let mut centroids: Vec<Vec3> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())]);
+    while centroids.len() < k {
+        let weights: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| p.dot(*c).clamp(-1.0, 1.0).acos())
+                    .fold(f64::INFINITY, f64::min)
+                    .powi(2)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 1e-12 {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())]);
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                chosen = i;
+                break;
+            }
+            pick -= w;
+        }
+        centroids.push(points[chosen]);
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    p.dot(**a).partial_cmp(&p.dot(**b)).expect("finite dot")
+                })
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids as renormalised means.
+        let mut sums = vec![Vec3::ZERO; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignment) {
+            sums[a] += *p;
+            counts[a] += 1;
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] > 0 {
+                if let Ok(mean) = sums[j].normalized() {
+                    *c = mean;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Clustering { centroids, assignment }
+}
+
+/// Picks the number of clusters: the smallest `k` whose clustering keeps
+/// every point within `max_spread` radians of its centroid (capped at
+/// `max_k`). Matches SAS's goal that one FOV video per cluster can contain
+/// the whole cluster inside the streamed FOV.
+pub fn select_k(points: &[Vec3], max_spread: f64, max_k: usize, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "k selection requires at least one point");
+    let cap = max_k.clamp(1, points.len());
+    let mut best = kmeans_sphere(points, 1, seed);
+    for k in 1..=cap {
+        let c = kmeans_sphere(points, k, seed);
+        let done = c.max_distortion(points) <= max_spread;
+        best = c;
+        if done {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_math::{Radians, SphericalCoord};
+    use proptest::prelude::*;
+
+    fn at(lon_deg: f64, lat_deg: f64) -> Vec3 {
+        SphericalCoord::new(
+            Radians(lon_deg.to_radians()),
+            Radians(lat_deg.to_radians()),
+        )
+        .to_unit_vector()
+    }
+
+    fn three_groups() -> Vec<Vec3> {
+        vec![
+            at(0.0, 0.0),
+            at(4.0, 2.0),
+            at(-3.0, -1.0),
+            at(120.0, 10.0),
+            at(123.0, 8.0),
+            at(-120.0, -20.0),
+            at(-118.0, -22.0),
+        ]
+    }
+
+    #[test]
+    fn separates_well_separated_groups() {
+        let pts = three_groups();
+        let c = kmeans_sphere(&pts, 3, 1);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_eq!(c.assignment[5], c.assignment[6]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+        assert_ne!(c.assignment[3], c.assignment[5]);
+    }
+
+    #[test]
+    fn centroids_are_unit() {
+        let c = kmeans_sphere(&three_groups(), 3, 2);
+        for cen in &c.centroids {
+            assert!((cen.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distortion_decreases_with_k() {
+        let pts = three_groups();
+        let d1 = kmeans_sphere(&pts, 1, 5).mean_distortion(&pts);
+        let d3 = kmeans_sphere(&pts, 3, 5).mean_distortion(&pts);
+        assert!(d3 < d1);
+    }
+
+    #[test]
+    fn select_k_finds_three_groups() {
+        let pts = three_groups();
+        let c = select_k(&pts, 0.2, 6, 7);
+        assert_eq!(c.k(), 3);
+        assert!(c.max_distortion(&pts) <= 0.2);
+    }
+
+    #[test]
+    fn select_k_respects_cap() {
+        // Spread points demand many clusters, but cap at 2.
+        let pts = vec![at(0.0, 0.0), at(90.0, 0.0), at(180.0, 0.0), at(-90.0, 0.0)];
+        let c = select_k(&pts, 0.1, 2, 3);
+        assert_eq!(c.k(), 2);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![at(0.0, 0.0), at(10.0, 0.0)];
+        let c = kmeans_sphere(&pts, 10, 0);
+        assert!(c.k() <= 2);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let pts = three_groups();
+        let c = kmeans_sphere(&pts, 3, 3);
+        let mut all: Vec<usize> = (0..c.k()).flat_map(|j| c.members(j)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panic() {
+        let _ = kmeans_sphere(&[], 2, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_assignment_is_locally_optimal(seed in 0u64..100) {
+            let pts = three_groups();
+            let c = kmeans_sphere(&pts, 3, seed);
+            // Every point is assigned to its nearest centroid.
+            for (p, &a) in pts.iter().zip(&c.assignment) {
+                for (j, cen) in c.centroids.iter().enumerate() {
+                    prop_assert!(p.dot(c.centroids[a]) >= p.dot(*cen) - 1e-9, "point misassigned to {a} over {j}");
+                }
+            }
+        }
+
+        #[test]
+        fn prop_deterministic(seed in 0u64..50) {
+            let pts = three_groups();
+            prop_assert_eq!(kmeans_sphere(&pts, 3, seed), kmeans_sphere(&pts, 3, seed));
+        }
+    }
+}

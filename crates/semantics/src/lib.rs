@@ -1,0 +1,45 @@
+//! Object-semantics extraction: detection, clustering and tracking.
+//!
+//! The SAS server (paper §5.3) "extracts object information and groups
+//! objects into different clusters; each cluster contains a unique set of
+//! objects that users tend to watch together", then tracks each cluster
+//! across the frames of a temporal segment. The paper uses YOLOv2 for
+//! detection and classic k-means for clustering.
+//!
+//! This crate supplies those stages:
+//!
+//! * [`detector`] — a synthetic detector standing in for YOLOv2: it
+//!   perturbs the scene's ground-truth object positions with localisation
+//!   noise, missed detections and spurious detections, so downstream code
+//!   sees realistic, imperfect bounding information.
+//! * [`kmeans`] — k-means on the unit sphere (cosine-similarity
+//!   assignment, renormalised mean centroids) with a k-selection rule
+//!   based on intra-cluster angular spread.
+//! * [`tracker`] — greedy nearest-neighbour association of detections
+//!   across tracking frames, producing per-object tracks.
+//! * [`cluster`] — cluster trajectories: the smoothed centroid path each
+//!   FOV video follows.
+//!
+//! # Example
+//!
+//! ```
+//! use evr_semantics::detector::SyntheticDetector;
+//! use evr_video::library::{scene_for, VideoId};
+//!
+//! let scene = scene_for(VideoId::Rhino);
+//! let detector = SyntheticDetector::default_for_eval(1);
+//! let detections = detector.detect(&scene, 0.0);
+//! // Most of Rhino's 11 objects are found.
+//! assert!(detections.len() >= 8);
+//! ```
+
+pub mod cluster;
+pub mod detector;
+pub mod eval;
+pub mod kmeans;
+pub mod tracker;
+
+pub use cluster::ClusterTrajectory;
+pub use detector::{Detection, SyntheticDetector};
+pub use kmeans::{kmeans_sphere, select_k, Clustering};
+pub use tracker::{ObjectTrack, Tracker};

@@ -1,0 +1,257 @@
+//! Cross-frame object tracking.
+//!
+//! Within a temporal segment, SAS detects objects explicitly only in the
+//! *key frame*; in the subsequent *tracking frames* "objects within the
+//! same cluster are then tracked, effectively creating a trajectory of the
+//! object cluster" (paper §5.3). This module implements the underlying
+//! per-object tracker: greedy nearest-neighbour association with an
+//! angular gate and a miss tolerance.
+
+use serde::{Deserialize, Serialize};
+
+use evr_math::{Radians, Vec3};
+
+use crate::detector::Detection;
+
+/// A tracked object's timestamped path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectTrack {
+    /// Tracker-assigned identity (stable across the segment).
+    pub track_id: u32,
+    /// `(time, direction)` samples, time-ascending.
+    pub samples: Vec<(f64, Vec3)>,
+    /// Consecutive frames with no matching detection (internal aging).
+    misses: u32,
+}
+
+impl ObjectTrack {
+    /// Latest known direction.
+    pub fn last_dir(&self) -> Vec3 {
+        self.samples.last().expect("tracks are never empty").1
+    }
+
+    /// Position at time `t`, interpolating along the great circle between
+    /// samples and clamping at the ends.
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        let samples = &self.samples;
+        if t <= samples[0].0 {
+            return samples[0].1;
+        }
+        if t >= samples.last().unwrap().0 {
+            return samples.last().unwrap().1;
+        }
+        for pair in samples.windows(2) {
+            let (t0, a) = pair[0];
+            let (t1, b) = pair[1];
+            if t <= t1 {
+                let f = if t1 > t0 { (t - t0) / (t1 - t0) } else { 1.0 };
+                return a.slerp(b, f);
+            }
+        }
+        samples.last().unwrap().1
+    }
+
+    /// Track length in samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the track has no samples (never true once created).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Greedy nearest-neighbour multi-object tracker.
+///
+/// # Example
+///
+/// ```
+/// use evr_semantics::tracker::Tracker;
+/// use evr_semantics::detector::SyntheticDetector;
+/// use evr_video::library::{scene_for, VideoId};
+///
+/// let scene = scene_for(VideoId::Rs);
+/// let det = SyntheticDetector::perfect();
+/// let mut tracker = Tracker::new(evr_math::Radians(0.15), 3);
+/// for i in 0..30 {
+///     let t = i as f64 / 30.0;
+///     tracker.observe(t, &det.detect(&scene, t));
+/// }
+/// // All three RS objects yield one continuous track each.
+/// assert_eq!(tracker.tracks().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tracker {
+    gate: Radians,
+    max_misses: u32,
+    next_id: u32,
+    tracks: Vec<ObjectTrack>,
+}
+
+impl Tracker {
+    /// Creates a tracker.
+    ///
+    /// * `gate` — maximum angular distance for associating a detection to
+    ///   an existing track.
+    /// * `max_misses` — frames a track survives without a detection before
+    ///   being dropped.
+    pub fn new(gate: Radians, max_misses: u32) -> Self {
+        Tracker { gate, max_misses, next_id: 0, tracks: Vec::new() }
+    }
+
+    /// Live tracks.
+    pub fn tracks(&self) -> &[ObjectTrack] {
+        &self.tracks
+    }
+
+    /// Consumes the tracker, returning its tracks.
+    pub fn into_tracks(self) -> Vec<ObjectTrack> {
+        self.tracks
+    }
+
+    /// Feeds one frame of detections at time `t`.
+    ///
+    /// Greedy association: repeatedly match the globally closest
+    /// (track, detection) pair within the gate; leftover detections start
+    /// new tracks; unmatched tracks age and eventually drop.
+    pub fn observe(&mut self, t: f64, detections: &[Detection]) {
+        let mut track_used = vec![false; self.tracks.len()];
+        let mut det_used = vec![false; detections.len()];
+
+        // Build all candidate pairs within the gate, sorted by distance.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for (ti, track) in self.tracks.iter().enumerate() {
+            let last = track.last_dir();
+            for (di, det) in detections.iter().enumerate() {
+                let ang = last.dot(det.dir).clamp(-1.0, 1.0).acos();
+                if ang <= self.gate.0 {
+                    pairs.push((ang, ti, di));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("angles are finite"));
+        for (_, ti, di) in pairs {
+            if track_used[ti] || det_used[di] {
+                continue;
+            }
+            track_used[ti] = true;
+            det_used[di] = true;
+            let track = &mut self.tracks[ti];
+            track.samples.push((t, detections[di].dir));
+            track.misses = 0;
+        }
+
+        // Age unmatched tracks.
+        for (ti, used) in track_used.iter().enumerate() {
+            if !used {
+                self.tracks[ti].misses += 1;
+            }
+        }
+        let max = self.max_misses;
+        self.tracks.retain(|tr| tr.misses <= max);
+
+        // Births.
+        for (di, used) in det_used.iter().enumerate() {
+            if !used {
+                self.tracks.push(ObjectTrack {
+                    track_id: self.next_id,
+                    samples: vec![(t, detections[di].dir)],
+                    misses: 0,
+                });
+                self.next_id += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::SyntheticDetector;
+    use evr_video::library::{scene_for, VideoId};
+
+    fn run_tracker(video: VideoId, det: SyntheticDetector, frames: u32) -> Tracker {
+        let scene = scene_for(video);
+        let mut tracker = Tracker::new(Radians(0.15), 3);
+        for i in 0..frames {
+            let t = i as f64 / 30.0;
+            tracker.observe(t, &det.detect(&scene, t));
+        }
+        tracker
+    }
+
+    #[test]
+    fn perfect_detections_give_one_track_per_object() {
+        let tracker = run_tracker(VideoId::Rhino, SyntheticDetector::perfect(), 60);
+        assert_eq!(tracker.tracks().len(), 11);
+        for tr in tracker.tracks() {
+            assert_eq!(tr.len(), 60, "track {} has {} samples", tr.track_id, tr.len());
+        }
+    }
+
+    #[test]
+    fn tracks_survive_intermittent_misses() {
+        let det = SyntheticDetector {
+            localization_noise: 0.005,
+            miss_rate: 0.1,
+            spurious_rate: 0.0,
+            seed: 6,
+        };
+        let tracker = run_tracker(VideoId::Elephant, det, 90);
+        // With a 3-frame miss tolerance, 10% misses rarely kill tracks:
+        // expect close to the true 8 objects, certainly not 8 × fragments.
+        let n = tracker.tracks().len();
+        assert!((8..=12).contains(&n), "{n} tracks");
+    }
+
+    #[test]
+    fn stale_tracks_are_dropped() {
+        let scene = scene_for(VideoId::Rs);
+        let det = SyntheticDetector::perfect();
+        let mut tracker = Tracker::new(Radians(0.15), 2);
+        for i in 0..10 {
+            tracker.observe(i as f64 / 30.0, &det.detect(&scene, i as f64 / 30.0));
+        }
+        assert_eq!(tracker.tracks().len(), 3);
+        // Now feed empty frames; all tracks should age out.
+        for i in 10..15 {
+            tracker.observe(i as f64 / 30.0, &[]);
+        }
+        assert!(tracker.tracks().is_empty());
+    }
+
+    #[test]
+    fn position_at_interpolates() {
+        let track = ObjectTrack {
+            track_id: 0,
+            samples: vec![(0.0, Vec3::FORWARD), (1.0, Vec3::RIGHT)],
+            misses: 0,
+        };
+        let mid = track.position_at(0.5);
+        let expect = Vec3::new(1.0, 0.0, 1.0).normalized().unwrap();
+        assert!((mid - expect).norm() < 1e-9);
+        assert_eq!(track.position_at(-5.0), Vec3::FORWARD);
+        assert_eq!(track.position_at(9.0), Vec3::RIGHT);
+    }
+
+    #[test]
+    fn tracks_follow_moving_objects() {
+        let scene = scene_for(VideoId::Rs);
+        let det = SyntheticDetector::perfect();
+        let mut tracker = Tracker::new(Radians(0.2), 3);
+        for i in 0..150 {
+            let t = i as f64 / 30.0;
+            tracker.observe(t, &det.detect(&scene, t));
+        }
+        // The RS landmark sweeps substantially over 5 s; its track must too.
+        let longest = tracker
+            .tracks()
+            .iter()
+            .max_by_key(|t| t.len())
+            .unwrap();
+        let start = longest.samples[0].1;
+        let end = longest.last_dir();
+        assert!(start.angle_to(end).unwrap() > 0.2);
+    }
+}

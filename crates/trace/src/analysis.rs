@@ -1,0 +1,245 @@
+//! Trace analytics: the measurements behind the paper's Figures 5 and 6.
+//!
+//! * [`coverage_curve`] — for each `x`, the percentage of frames in which
+//!   at least one of the top-`x` objects falls inside the user's viewing
+//!   area (Fig. 5).
+//! * [`tracking_episodes`] / [`duration_cdf`] — contiguous same-object
+//!   tracking runs and the cumulative time distribution of their lengths
+//!   (Fig. 6).
+
+use evr_math::{EulerAngles, Radians, Vec3};
+use evr_projection::FovSpec;
+use evr_video::scene::{ObjectId, Scene};
+
+use crate::sample::HeadTrace;
+
+/// Whether direction `dir` falls inside the viewing area of a device with
+/// `fov` at head pose `pose` (per-axis angular test, roll ignored as in
+/// [`evr_projection::FovFrameMeta::covers`]).
+pub fn in_viewing_area(pose: EulerAngles, dir: Vec3, fov: FovSpec) -> bool {
+    let s = match evr_math::SphericalCoord::from_vector(dir) {
+        Ok(s) => s,
+        Err(_) => return false,
+    };
+    let d_yaw = pose.yaw.angular_distance(s.lon);
+    let d_pitch = pose.pitch.angular_distance(s.lat);
+    let lat_scale = pose.pitch.cos().abs().max(1e-6);
+    d_yaw.0 * lat_scale <= fov.h_radians().0 / 2.0 && d_pitch.0 <= fov.v_radians().0 / 2.0
+}
+
+/// The object a user is *tracking* at pose `pose`: the nearest object
+/// whose centre is within `threshold` of the view direction.
+pub fn tracked_object(
+    pose: EulerAngles,
+    positions: &[(ObjectId, Vec3)],
+    threshold: Radians,
+) -> Option<ObjectId> {
+    let gaze = pose.view_direction();
+    positions
+        .iter()
+        .map(|(id, p)| (*id, gaze.dot(*p).clamp(-1.0, 1.0).acos()))
+        .filter(|(_, ang)| *ang <= threshold.0)
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("angles are finite"))
+        .map(|(id, _)| id)
+}
+
+/// A contiguous run of samples tracking the same object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackingEpisode {
+    /// The tracked object.
+    pub object: ObjectId,
+    /// Episode start time, seconds.
+    pub start: f64,
+    /// Episode length, seconds.
+    pub duration: f64,
+}
+
+/// Extracts tracking episodes from a trace (gaps shorter than one sample
+/// break an episode).
+pub fn tracking_episodes(
+    trace: &HeadTrace,
+    scene: &Scene,
+    threshold: Radians,
+) -> Vec<TrackingEpisode> {
+    let mut episodes = Vec::new();
+    let mut current: Option<(ObjectId, f64, f64)> = None; // (id, start, last_t)
+    for s in trace.samples() {
+        let positions = scene.object_positions(s.t);
+        let now = tracked_object(s.pose, &positions, threshold);
+        match (current, now) {
+            (Some((id, start, _)), Some(nid)) if nid == id => {
+                current = Some((id, start, s.t));
+            }
+            (Some((id, start, last)), other) => {
+                episodes.push(TrackingEpisode { object: id, start, duration: last - start });
+                current = other.map(|nid| (nid, s.t, s.t));
+            }
+            (None, Some(nid)) => current = Some((nid, s.t, s.t)),
+            (None, None) => {}
+        }
+    }
+    if let Some((id, start, last)) = current {
+        episodes.push(TrackingEpisode { object: id, start, duration: last - start });
+    }
+    episodes
+}
+
+/// Fig. 6's y-axis: for each requested duration `x`, the fraction of the
+/// *total viewing time* spent in tracking episodes of length ≥ `x`
+/// (so `x = 0` gives the total fraction of time spent tracking anything).
+pub fn duration_cdf(episodes: &[TrackingEpisode], total_time: f64, xs: &[f64]) -> Vec<f64> {
+    assert!(total_time > 0.0, "total time must be positive");
+    xs.iter()
+        .map(|&x| {
+            let t: f64 =
+                episodes.iter().filter(|e| e.duration >= x).map(|e| e.duration).sum();
+            t / total_time
+        })
+        .collect()
+}
+
+/// Ranks objects greedily by marginal frame coverage across the trace
+/// ensemble, then returns Fig. 5's curve: `curve[x-1]` is the percentage
+/// of frames (pooled over traces) in which at least one of the top-`x`
+/// objects is inside the user's viewing area.
+pub fn coverage_curve(traces: &[HeadTrace], scene: &Scene, fov: FovSpec) -> Vec<f64> {
+    assert!(!traces.is_empty(), "coverage requires at least one trace");
+    let n_objects = scene.objects().len();
+    // visible[k][frame] = object k visible in that pooled frame.
+    let mut visible: Vec<Vec<bool>> = vec![Vec::new(); n_objects];
+    for trace in traces {
+        for s in trace.samples() {
+            let positions = scene.object_positions(s.t);
+            for (k, (_, dir)) in positions.iter().enumerate() {
+                visible[k].push(in_viewing_area(s.pose, *dir, fov));
+            }
+        }
+    }
+    let frames = visible.first().map(|v| v.len()).unwrap_or(0);
+    if frames == 0 {
+        return vec![0.0; n_objects];
+    }
+
+    let mut covered = vec![false; frames];
+    let mut remaining: Vec<usize> = (0..n_objects).collect();
+    let mut curve = Vec::with_capacity(n_objects);
+    for _ in 0..n_objects {
+        // Pick the object adding the most newly covered frames.
+        let (best_pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &k)| {
+                let gain = visible[k]
+                    .iter()
+                    .zip(&covered)
+                    .filter(|(v, c)| **v && !**c)
+                    .count();
+                (pos, gain)
+            })
+            .max_by_key(|&(_, gain)| gain)
+            .expect("remaining objects");
+        let k = remaining.swap_remove(best_pos);
+        for (c, v) in covered.iter_mut().zip(&visible[k]) {
+            *c |= *v;
+        }
+        let frac = covered.iter().filter(|c| **c).count() as f64 / frames as f64;
+        curve.push(100.0 * frac);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::{generate_user_trace, params_for};
+    use crate::sample::PoseSample;
+    use evr_video::library::{scene_for, VideoId};
+
+    #[test]
+    fn in_viewing_area_basics() {
+        let fov = FovSpec::from_degrees(110.0, 110.0);
+        let pose = EulerAngles::default();
+        assert!(in_viewing_area(pose, Vec3::FORWARD, fov));
+        assert!(!in_viewing_area(pose, -Vec3::FORWARD, fov));
+        // 50° off-axis is inside a 110° FOV; 60° is not.
+        let at = |deg: f64| {
+            evr_math::SphericalCoord::new(evr_math::Degrees(deg).to_radians(), Radians(0.0))
+                .to_unit_vector()
+        };
+        assert!(in_viewing_area(pose, at(50.0), fov));
+        assert!(!in_viewing_area(pose, at(60.0), fov));
+    }
+
+    #[test]
+    fn tracked_object_picks_nearest() {
+        let positions = vec![(0u32, Vec3::FORWARD), (1u32, Vec3::RIGHT)];
+        let pose = EulerAngles::from_degrees(10.0, 0.0, 0.0);
+        assert_eq!(tracked_object(pose, &positions, Radians(0.5)), Some(0));
+        let pose = EulerAngles::from_degrees(80.0, 0.0, 0.0);
+        assert_eq!(tracked_object(pose, &positions, Radians(0.5)), Some(1));
+        let pose = EulerAngles::from_degrees(0.0, -80.0, 0.0);
+        assert_eq!(tracked_object(pose, &positions, Radians(0.5)), None);
+    }
+
+    #[test]
+    fn episodes_split_on_object_change() {
+        let scene = scene_for(VideoId::Rhino);
+        // Synthetic trace: stare at object 0 for 1 s, then object 7 for 1 s.
+        let o0 = scene.objects()[0].position(0.0);
+        let o7 = scene.objects()[7].position(0.0);
+        let mut samples = Vec::new();
+        for i in 0..30 {
+            let t = i as f64 / 30.0;
+            let s = evr_math::SphericalCoord::from_vector(o0).unwrap();
+            samples.push(PoseSample { t, pose: EulerAngles::new(s.lon, s.lat, Radians(0.0)) });
+        }
+        for i in 30..60 {
+            let t = i as f64 / 30.0;
+            let s = evr_math::SphericalCoord::from_vector(o7).unwrap();
+            samples.push(PoseSample { t, pose: EulerAngles::new(s.lon, s.lat, Radians(0.0)) });
+        }
+        let trace = HeadTrace::from_samples(samples);
+        let eps = tracking_episodes(&trace, &scene, Radians(0.35));
+        assert!(eps.len() >= 2, "episodes: {eps:?}");
+        assert_eq!(eps[0].object, 0);
+        assert_eq!(eps.last().unwrap().object, 7);
+    }
+
+    #[test]
+    fn duration_cdf_is_monotone_decreasing() {
+        let scene = scene_for(VideoId::Elephant);
+        let trace = generate_user_trace(&scene, &params_for(VideoId::Elephant), 5, 30.0, 30.0);
+        let eps = tracking_episodes(&trace, &scene, Radians(0.4));
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let cdf = duration_cdf(&eps, trace.duration(), &xs);
+        for w in cdf.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(cdf[0] <= 1.0 + 1e-9);
+        assert!(cdf[0] > 0.4, "tracking fraction {}", cdf[0]);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_high() {
+        let scene = scene_for(VideoId::Rhino);
+        let p = params_for(VideoId::Rhino);
+        let traces: Vec<_> =
+            (0..6).map(|u| generate_user_trace(&scene, &p, u, 20.0, 10.0)).collect();
+        let curve = coverage_curve(&traces, &scene, FovSpec::from_degrees(110.0, 110.0));
+        assert_eq!(curve.len(), scene.objects().len());
+        for w in curve.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+        // Fig. 5: a single object already covers ≥ 60% of frames; all
+        // objects together reach (near) 100%.
+        assert!(curve[0] >= 55.0, "first object covers {:.1}%", curve[0]);
+        assert!(*curve.last().unwrap() >= 80.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_traces_panic() {
+        let scene = scene_for(VideoId::Rhino);
+        let _ = coverage_curve(&[], &scene, FovSpec::hdk2());
+    }
+}

@@ -1,0 +1,171 @@
+//! Trace containers and IMU-style pose interpolation.
+
+use serde::{Deserialize, Serialize};
+
+use evr_math::{EulerAngles, Quat};
+
+/// One timestamped head pose, as an IMU would report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoseSample {
+    /// Seconds since the start of playback.
+    pub t: f64,
+    /// Head orientation.
+    pub pose: EulerAngles,
+}
+
+/// A time-ordered sequence of head poses for one user and one video.
+///
+/// # Example
+///
+/// ```
+/// use evr_trace::sample::{HeadTrace, PoseSample};
+/// use evr_math::EulerAngles;
+///
+/// let trace = HeadTrace::from_samples(vec![
+///     PoseSample { t: 0.0, pose: EulerAngles::from_degrees(0.0, 0.0, 0.0) },
+///     PoseSample { t: 1.0, pose: EulerAngles::from_degrees(90.0, 0.0, 0.0) },
+/// ]);
+/// // Slerp midway: 45° yaw.
+/// let mid = trace.pose_at(0.5);
+/// assert!((mid.yaw.to_degrees().0 - 45.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadTrace {
+    samples: Vec<PoseSample>,
+}
+
+impl HeadTrace {
+    /// Builds a trace from samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or timestamps are not strictly
+    /// increasing.
+    pub fn from_samples(samples: Vec<PoseSample>) -> Self {
+        assert!(!samples.is_empty(), "trace must contain at least one sample");
+        assert!(
+            samples.windows(2).all(|w| w[0].t < w[1].t),
+            "trace timestamps must be strictly increasing"
+        );
+        HeadTrace { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration from first to last sample, seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.last().unwrap().t - self.samples[0].t
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[PoseSample] {
+        &self.samples
+    }
+
+    /// The pose at time `t`, slerping between samples and clamping to the
+    /// trace ends — the replay path that emulates IMU readings (§8.1).
+    pub fn pose_at(&self, t: f64) -> EulerAngles {
+        if t <= self.samples[0].t {
+            return self.samples[0].pose;
+        }
+        if t >= self.samples.last().unwrap().t {
+            return self.samples.last().unwrap().pose;
+        }
+        let idx = self
+            .samples
+            .partition_point(|s| s.t <= t)
+            .min(self.samples.len() - 1);
+        let a = &self.samples[idx - 1];
+        let b = &self.samples[idx];
+        let f = (t - a.t) / (b.t - a.t);
+        let q = Quat::from_euler(a.pose).slerp(Quat::from_euler(b.pose), f);
+        q.to_euler()
+    }
+
+    /// Mean absolute angular velocity (rad/s) between successive samples —
+    /// a sanity statistic for behaviour-model calibration.
+    pub fn mean_angular_velocity(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for w in self.samples.windows(2) {
+            let angle = w[0].pose.view_angle_to(w[1].pose).0;
+            total += angle / (w[1].t - w[0].t);
+        }
+        total / (self.samples.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_point_trace() -> HeadTrace {
+        HeadTrace::from_samples(vec![
+            PoseSample { t: 0.0, pose: EulerAngles::from_degrees(0.0, 0.0, 0.0) },
+            PoseSample { t: 2.0, pose: EulerAngles::from_degrees(60.0, 20.0, 0.0) },
+        ])
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let tr = two_point_trace();
+        assert_eq!(tr.pose_at(-1.0), tr.samples()[0].pose);
+        assert_eq!(tr.pose_at(99.0), tr.samples()[1].pose);
+    }
+
+    #[test]
+    fn interpolation_hits_samples_exactly() {
+        let tr = two_point_trace();
+        let p = tr.pose_at(2.0);
+        assert!((p.yaw.to_degrees().0 - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unordered_samples_panic() {
+        let _ = HeadTrace::from_samples(vec![
+            PoseSample { t: 1.0, pose: EulerAngles::default() },
+            PoseSample { t: 0.5, pose: EulerAngles::default() },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_panics() {
+        let _ = HeadTrace::from_samples(vec![]);
+    }
+
+    #[test]
+    fn angular_velocity_of_steady_sweep() {
+        // 90° of yaw over 1 s at 10 samples.
+        let samples: Vec<_> = (0..=10)
+            .map(|i| PoseSample {
+                t: i as f64 * 0.1,
+                pose: EulerAngles::from_degrees(i as f64 * 9.0, 0.0, 0.0),
+            })
+            .collect();
+        let tr = HeadTrace::from_samples(samples);
+        let v = tr.mean_angular_velocity().to_degrees();
+        assert!((v - 90.0).abs() < 1.0, "v = {v}°/s");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interpolated_yaw_between_endpoints(t in 0.0f64..2.0) {
+            let tr = two_point_trace();
+            let yaw = tr.pose_at(t).yaw.to_degrees().0;
+            prop_assert!((-1e-9..=60.0 + 1e-9).contains(&yaw));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Content-complexity metrics: spatial and temporal information.
+//!
+//! ITU-T P.910's SI/TI are the standard way to characterise how "hard" a
+//! video is to encode: **SI** is the RMS Sobel-gradient magnitude of the
+//! luma (spatial detail), **TI** is the RMS inter-frame luma difference
+//! (motion). The paper's per-video results (Figs. 3b/13/14) all trace
+//! back to content character; these metrics verify that the six synthetic
+//! benchmark scenes differ the way their real counterparts do — RS
+//! maximising TI (ride camera), Paris maximising SI (dense city),
+//! Timelapse minimising TI (tripod).
+
+use evr_projection::ImageBuffer;
+
+/// Spatial information: RMS Sobel magnitude over interior luma pixels.
+///
+/// # Panics
+///
+/// Panics if the image is smaller than 3×3.
+///
+/// # Example
+///
+/// ```
+/// use evr_projection::{ImageBuffer, Rgb};
+/// use evr_video::complexity::spatial_information;
+///
+/// let flat = ImageBuffer::from_fn(16, 16, |_, _| Rgb::new(100, 100, 100));
+/// // 2-pixel stripes (1-pixel stripes alias to zero under a 3×3 Sobel).
+/// let stripes = ImageBuffer::from_fn(16, 16, |x, _| {
+///     if (x / 2) % 2 == 0 { Rgb::BLACK } else { Rgb::WHITE }
+/// });
+/// assert_eq!(spatial_information(&flat), 0.0);
+/// assert!(spatial_information(&stripes) > 100.0);
+/// ```
+pub fn spatial_information(img: &ImageBuffer) -> f64 {
+    let w = img.width();
+    let h = img.height();
+    assert!(w >= 3 && h >= 3, "SI requires at least a 3x3 image");
+    let luma = |x: u32, y: u32| img.get(x, y).luma() as f64;
+    let mut sum_sq = 0.0;
+    let mut n = 0u64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let gx = (luma(x + 1, y - 1) + 2.0 * luma(x + 1, y) + luma(x + 1, y + 1))
+                - (luma(x - 1, y - 1) + 2.0 * luma(x - 1, y) + luma(x - 1, y + 1));
+            let gy = (luma(x - 1, y + 1) + 2.0 * luma(x, y + 1) + luma(x + 1, y + 1))
+                - (luma(x - 1, y - 1) + 2.0 * luma(x, y - 1) + luma(x + 1, y - 1));
+            sum_sq += gx * gx + gy * gy;
+            n += 1;
+        }
+    }
+    (sum_sq / n as f64).sqrt()
+}
+
+/// Temporal information: RMS luma difference between two frames.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn temporal_information(a: &ImageBuffer, b: &ImageBuffer) -> f64 {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "frame dimension mismatch");
+    let mut sum_sq = 0.0;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        let d = pa.luma() as f64 - pb.luma() as f64;
+        sum_sq += d * d;
+    }
+    (sum_sq / a.pixels().len() as f64).sqrt()
+}
+
+/// SI/TI summary of a frame sequence: the P.910 convention reports the
+/// *maximum* over frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complexity {
+    /// Max spatial information over the sequence.
+    pub si: f64,
+    /// Max temporal information over consecutive frame pairs.
+    pub ti: f64,
+}
+
+/// Measures a frame sequence.
+///
+/// # Panics
+///
+/// Panics if `frames` yields fewer than 2 frames.
+pub fn measure(frames: impl IntoIterator<Item = ImageBuffer>) -> Complexity {
+    let mut si: f64 = 0.0;
+    let mut ti: f64 = 0.0;
+    let mut prev: Option<ImageBuffer> = None;
+    let mut count = 0usize;
+    for frame in frames {
+        si = si.max(spatial_information(&frame));
+        if let Some(p) = &prev {
+            ti = ti.max(temporal_information(p, &frame));
+        }
+        prev = Some(frame);
+        count += 1;
+    }
+    assert!(count >= 2, "complexity needs at least two frames");
+    Complexity { si, ti }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::VideoMeta;
+    use crate::library::{scene_for, VideoId};
+    use evr_projection::{Projection, Rgb};
+
+    fn video_complexity(video: VideoId) -> Complexity {
+        let scene = scene_for(video);
+        let meta = VideoMeta::new(128, 64, 30.0, Projection::Erp);
+        measure((0..10).map(|i| scene.render_frame(i * 3, &meta).image))
+    }
+
+    #[test]
+    fn ti_of_identical_frames_is_zero() {
+        let f = ImageBuffer::from_fn(8, 8, |x, y| Rgb::new((x * y) as u8, 0, 0));
+        assert_eq!(temporal_information(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn si_ranks_detail() {
+        let smooth = ImageBuffer::from_fn(32, 32, |x, _| {
+            let v = (x * 4) as u8;
+            Rgb::new(v, v, v)
+        });
+        let busy = ImageBuffer::from_fn(32, 32, |x, y| {
+            let v = (((x * 13 + y * 7) % 8) * 32) as u8;
+            Rgb::new(v, v, v)
+        });
+        assert!(spatial_information(&busy) > 3.0 * spatial_information(&smooth));
+    }
+
+    #[test]
+    fn rs_has_the_highest_temporal_information() {
+        let rs = video_complexity(VideoId::Rs);
+        for video in [VideoId::Timelapse, VideoId::Rhino, VideoId::Paris] {
+            let other = video_complexity(video);
+            assert!(rs.ti > other.ti, "RS TI {:.1} vs {video} TI {:.1}", rs.ti, other.ti);
+        }
+    }
+
+    #[test]
+    fn timelapse_has_the_lowest_temporal_information() {
+        let tl = video_complexity(VideoId::Timelapse);
+        for video in [VideoId::Rs, VideoId::Paris, VideoId::Nyc] {
+            let other = video_complexity(video);
+            assert!(tl.ti < other.ti, "Timelapse TI {:.1} vs {video} TI {:.1}", tl.ti, other.ti);
+        }
+    }
+
+    #[test]
+    fn paris_out_details_the_savanna() {
+        let paris = video_complexity(VideoId::Paris);
+        let rhino = video_complexity(VideoId::Rhino);
+        assert!(paris.si > rhino.si, "Paris SI {:.1} vs Rhino SI {:.1}", paris.si, rhino.si);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two frames")]
+    fn single_frame_panics() {
+        let f = ImageBuffer::new(8, 8);
+        let _ = measure(std::iter::once(f));
+    }
+}

@@ -1,0 +1,134 @@
+//! Video frames and stream metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use evr_projection::{ImageBuffer, PixelSource, Projection, Rgb};
+
+/// Metadata describing a video stream.
+///
+/// # Example
+///
+/// ```
+/// use evr_video::VideoMeta;
+/// use evr_projection::Projection;
+///
+/// let meta = VideoMeta::new(3840, 2160, 30.0, Projection::Erp);
+/// assert_eq!(meta.pixels_per_frame(), 3840 * 2160);
+/// assert!((meta.duration_of(90) - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VideoMeta {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Frames per second.
+    pub fps: f64,
+    /// Projection the panoramic content is stored in.
+    pub projection: Projection,
+}
+
+impl VideoMeta {
+    /// Creates stream metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `fps` is not positive.
+    pub fn new(width: u32, height: u32, fps: f64, projection: Projection) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be non-zero");
+        assert!(fps > 0.0, "fps must be positive");
+        VideoMeta { width, height, fps, projection }
+    }
+
+    /// The paper's evaluation format: 4K (3840×2160) equirectangular at 30 FPS.
+    pub fn uhd_4k() -> Self {
+        VideoMeta::new(3840, 2160, 30.0, Projection::Erp)
+    }
+
+    /// Pixels per frame.
+    pub fn pixels_per_frame(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Wall-clock duration of `n` frames in seconds.
+    pub fn duration_of(&self, n: u64) -> f64 {
+        n as f64 / self.fps
+    }
+
+    /// The timestamp (seconds) of frame `index`.
+    pub fn timestamp(&self, index: u64) -> f64 {
+        index as f64 / self.fps
+    }
+
+    /// Returns metadata scaled to a different resolution (analysis-scale
+    /// encoding; see [`crate::codec`]).
+    pub fn with_resolution(&self, width: u32, height: u32) -> VideoMeta {
+        VideoMeta::new(width, height, self.fps, self.projection)
+    }
+}
+
+impl fmt::Display for VideoMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}×{}@{}fps ({})", self.width, self.height, self.fps, self.projection)
+    }
+}
+
+/// A single decoded video frame: pixels plus its position in the stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Pixel payload.
+    pub image: ImageBuffer,
+    /// Zero-based frame index within the video.
+    pub index: u64,
+    /// Presentation timestamp in seconds.
+    pub timestamp: f64,
+}
+
+impl Frame {
+    /// Wraps an image as frame `index` at `timestamp`.
+    pub fn new(image: ImageBuffer, index: u64, timestamp: f64) -> Self {
+        Frame { image, index, timestamp }
+    }
+}
+
+impl PixelSource for Frame {
+    fn width(&self) -> u32 {
+        self.image.width()
+    }
+    fn height(&self) -> u32 {
+        self.image.height()
+    }
+    fn pixel(&self, x: u32, y: u32) -> Rgb {
+        self.image.get(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_arithmetic() {
+        let m = VideoMeta::uhd_4k();
+        assert_eq!(m.pixels_per_frame(), 8_294_400);
+        assert!((m.timestamp(30) - 1.0).abs() < 1e-12);
+        let half = m.with_resolution(1920, 1080);
+        assert_eq!(half.pixels_per_frame(), 2_073_600);
+        assert_eq!(half.fps, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fps must be positive")]
+    fn zero_fps_panics() {
+        let _ = VideoMeta::new(10, 10, 0.0, Projection::Erp);
+    }
+
+    #[test]
+    fn frame_implements_pixel_source() {
+        let img = ImageBuffer::from_fn(3, 3, |x, y| Rgb::new(x as u8, y as u8, 7));
+        let f = Frame::new(img, 5, 0.1667);
+        assert_eq!(f.width(), 3);
+        assert_eq!(f.pixel(2, 1), Rgb::new(2, 1, 7));
+    }
+}

@@ -1,0 +1,52 @@
+//! Video substrate: frames, synthetic 360° scenes, a block-transform codec
+//! model and full-reference quality metrics.
+//!
+//! The paper evaluates EVR on five 4K YouTube 360° videos viewed by 59
+//! users. Neither the videos nor a hardware H.264 codec are available to a
+//! pure-Rust reproduction, so this crate builds the closest synthetic
+//! equivalents that exercise the same code paths:
+//!
+//! * [`frame`] — RGB frames and video metadata.
+//! * [`yuv`] — BT.601 RGB ↔ YCbCr conversion with 4:2:0 chroma
+//!   subsampling, the representation the codec operates on.
+//! * [`scene`] — a procedural 360° scene renderer: a parametric background
+//!   plus visual objects moving along spherical trajectories, with exact
+//!   ground-truth object positions (the property SAS exploits).
+//! * [`library`] — the six named videos of the paper (Elephant, Paris, RS,
+//!   NYC, Rhino, Timelapse) recreated as scene descriptions whose object
+//!   counts and content statistics match the paper's characterisation.
+//! * [`codec`] — a GOP-structured intra/predicted block-transform codec
+//!   (real 8×8 DCT + quantisation + reconstruction), giving content-
+//!   dependent segment sizes and decode costs without assuming an external
+//!   video library.
+//! * [`quality`] — PSNR and SSIM, used by the paper's §8.6 quality-
+//!   assessment use-case.
+//!
+//! # Example
+//!
+//! ```
+//! use evr_video::library::{VideoId, scene_for};
+//! use evr_projection::Projection;
+//!
+//! let scene = scene_for(VideoId::Rhino);
+//! let image = scene.render_image(0.0, Projection::Erp, 128, 64);
+//! assert_eq!(image.width(), 128);
+//! // Ground truth: Rhino has 11 annotated objects.
+//! assert_eq!(scene.objects().len(), 11);
+//! ```
+
+pub mod codec;
+pub mod complexity;
+pub mod frame;
+pub mod library;
+pub mod quality;
+pub mod rate;
+pub mod scene;
+pub mod yuv;
+
+pub use codec::{CodecConfig, EncodedFrame, EncodedSegment, EncodedVideo, Encoder, FrameKind};
+pub use frame::{Frame, VideoMeta};
+pub use library::VideoId;
+pub use quality::{psnr, ssim};
+pub use rate::{encode_with_rate_control, RateController};
+pub use scene::{ObjectClass, Scene, SceneObject, Trajectory};

@@ -1,0 +1,199 @@
+//! Full-reference quality metrics: PSNR and SSIM.
+//!
+//! The paper's §8.6 use-case — real-time 360° video quality assessment on
+//! content servers — "calculates metrics such as Peak Signal to Noise
+//! Ratio and Structural Similarity Index to assess the video quality"
+//! after projecting content to viewer perspectives. These are those
+//! metrics, computed on luma as is standard.
+
+use evr_projection::ImageBuffer;
+
+/// Peak signal-to-noise ratio between two images, in dB, computed on luma.
+///
+/// Returns `f64::INFINITY` for identical images.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions.
+///
+/// # Example
+///
+/// ```
+/// use evr_projection::{ImageBuffer, Rgb};
+/// use evr_video::quality::psnr;
+///
+/// let a = ImageBuffer::from_fn(16, 16, |x, y| Rgb::new((x * 16) as u8, (y * 16) as u8, 0));
+/// assert!(psnr(&a, &a).is_infinite());
+/// let b = ImageBuffer::from_fn(16, 16, |x, y| Rgb::new((x * 16) as u8 ^ 4, (y * 16) as u8, 0));
+/// let db = psnr(&a, &b);
+/// assert!(db > 30.0 && db < 60.0);
+/// ```
+pub fn psnr(a: &ImageBuffer, b: &ImageBuffer) -> f64 {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "image dimension mismatch");
+    let mut sse = 0.0f64;
+    let n = (a.width() * a.height()) as f64;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        let d = pa.luma() as f64 - pb.luma() as f64;
+        sse += d * d;
+    }
+    if sse == 0.0 {
+        return f64::INFINITY;
+    }
+    let mse = sse / n;
+    10.0 * (255.0 * 255.0 / mse).log10()
+}
+
+/// Structural similarity index between two images (luma, 8×8 windows,
+/// standard `K1 = 0.01`, `K2 = 0.03` constants). Result in `[-1, 1]`,
+/// 1 meaning identical.
+///
+/// # Panics
+///
+/// Panics if the images have different dimensions or are smaller than 8×8.
+///
+/// # Example
+///
+/// ```
+/// use evr_projection::{ImageBuffer, Rgb};
+/// use evr_video::quality::ssim;
+///
+/// let a = ImageBuffer::from_fn(16, 16, |x, _| Rgb::new((x * 16) as u8, 0, 0));
+/// assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+/// ```
+pub fn ssim(a: &ImageBuffer, b: &ImageBuffer) -> f64 {
+    assert_eq!((a.width(), a.height()), (b.width(), b.height()), "image dimension mismatch");
+    assert!(a.width() >= 8 && a.height() >= 8, "ssim requires at least 8×8 images");
+    const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+    const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+
+    let mut total = 0.0;
+    let mut windows = 0u64;
+    let bx = a.width() / 8;
+    let by = a.height() / 8;
+    for wy in 0..by {
+        for wx in 0..bx {
+            let mut sum_a = 0.0;
+            let mut sum_b = 0.0;
+            let mut sum_aa = 0.0;
+            let mut sum_bb = 0.0;
+            let mut sum_ab = 0.0;
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let xa = a.get(wx * 8 + dx, wy * 8 + dy).luma() as f64;
+                    let xb = b.get(wx * 8 + dx, wy * 8 + dy).luma() as f64;
+                    sum_a += xa;
+                    sum_b += xb;
+                    sum_aa += xa * xa;
+                    sum_bb += xb * xb;
+                    sum_ab += xa * xb;
+                }
+            }
+            let n = 64.0;
+            let mu_a = sum_a / n;
+            let mu_b = sum_b / n;
+            let var_a = (sum_aa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sum_bb / n - mu_b * mu_b).max(0.0);
+            let cov = sum_ab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            total += s;
+            windows += 1;
+        }
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_projection::Rgb;
+    use proptest::prelude::*;
+
+    fn noisy(base: &ImageBuffer, amp: i32, seed: u64) -> ImageBuffer {
+        let mut state = seed | 1;
+        ImageBuffer::from_fn(base.width(), base.height(), |x, y| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let n = ((state >> 33) as i32 % (2 * amp + 1)) - amp;
+            let p = base.get(x, y);
+            let c = |v: u8| (v as i32 + n).clamp(0, 255) as u8;
+            Rgb::new(c(p.r), c(p.g), c(p.b))
+        })
+    }
+
+    fn ramp() -> ImageBuffer {
+        ImageBuffer::from_fn(32, 32, |x, y| {
+            let v = ((x * 7 + y * 5) % 256) as u8;
+            Rgb::new(v, v, v)
+        })
+    }
+
+    #[test]
+    fn identical_images_are_perfect() {
+        let img = ramp();
+        assert!(psnr(&img, &img).is_infinite());
+        assert!((ssim(&img, &img) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let img = ramp();
+        let light = psnr(&img, &noisy(&img, 2, 7));
+        let heavy = psnr(&img, &noisy(&img, 30, 7));
+        assert!(light > heavy, "light {light} heavy {heavy}");
+        assert!(light > 35.0);
+        assert!(heavy < 30.0);
+    }
+
+    #[test]
+    fn ssim_decreases_with_noise() {
+        let img = ramp();
+        let light = ssim(&img, &noisy(&img, 2, 3));
+        let heavy = ssim(&img, &noisy(&img, 40, 3));
+        assert!(light > heavy);
+        assert!(heavy < 0.9);
+    }
+
+    #[test]
+    fn ssim_penalises_structure_loss_more_than_brightness_shift() {
+        let img = ramp();
+        // Uniform brightness shift keeps structure.
+        let shifted = ImageBuffer::from_fn(32, 32, |x, y| {
+            let p = img.get(x, y);
+            Rgb::new(p.r.saturating_add(10), p.g.saturating_add(10), p.b.saturating_add(10))
+        });
+        // Flat grey destroys structure.
+        let flat = ImageBuffer::from_fn(32, 32, |_, _| Rgb::new(128, 128, 128));
+        assert!(ssim(&img, &shifted) > ssim(&img, &flat));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dimensions_panic() {
+        let _ = psnr(&ImageBuffer::new(8, 8), &ImageBuffer::new(8, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8×8")]
+    fn tiny_images_panic_for_ssim() {
+        let _ = ssim(&ImageBuffer::new(4, 4), &ImageBuffer::new(4, 4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_metrics_are_symmetric(seed in 0u64..1000) {
+            let a = ramp();
+            let b = noisy(&a, 12, seed);
+            prop_assert!((psnr(&a, &b) - psnr(&b, &a)).abs() < 1e-9);
+            prop_assert!((ssim(&a, &b) - ssim(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_ssim_bounded(seed in 0u64..1000, amp in 0i32..60) {
+            let a = ramp();
+            let b = noisy(&a, amp, seed);
+            let s = ssim(&a, &b);
+            prop_assert!((-1.0..=1.0 + 1e-9).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Rate control: adapting the quantiser to hit a target bitrate.
+//!
+//! Streaming services encode to bitrate budgets, not to fixed quantisers;
+//! the paper's 4K sources are typical ~20–40 Mbps YouTube ladder rungs.
+//! This module implements a GOP-granular multiplicative controller: after
+//! each GOP it scales the quantiser by the square root of the
+//! achieved/target ratio (bits are roughly inversely proportional to the
+//! quantisation step, and the square root damps oscillation).
+
+use serde::{Deserialize, Serialize};
+
+use evr_projection::ImageBuffer;
+
+use crate::codec::{CodecConfig, EncodedSegment, EncodedVideo, Encoder};
+use crate::frame::VideoMeta;
+
+/// The GOP-granular bitrate controller.
+///
+/// # Example
+///
+/// ```
+/// use evr_video::rate::RateController;
+///
+/// let mut rc = RateController::new(8_000_000.0, 30.0, 12);
+/// // A GOP that came out twice too large pushes the quantiser up.
+/// let before = rc.quantizer();
+/// rc.observe_gop(2.0 * 8_000_000.0 / 8.0); // bytes for one second of video
+/// assert!(rc.quantizer() > before);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateController {
+    target_bps: f64,
+    fps: f64,
+    q: f64,
+    min_q: u8,
+    max_q: u8,
+}
+
+impl RateController {
+    /// Creates a controller targeting `target_bps` at `fps`, starting
+    /// from `initial_q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target or fps is not positive, or `initial_q` is
+    /// outside the codec's `1..=50` range.
+    pub fn new(target_bps: f64, fps: f64, initial_q: u8) -> Self {
+        assert!(target_bps > 0.0 && fps > 0.0, "target and fps must be positive");
+        assert!((1..=50).contains(&initial_q), "initial quantizer out of range");
+        RateController { target_bps, fps, q: initial_q as f64, min_q: 1, max_q: 50 }
+    }
+
+    /// The quantiser to use for the next GOP.
+    pub fn quantizer(&self) -> u8 {
+        self.q.round().clamp(self.min_q as f64, self.max_q as f64) as u8
+    }
+
+    /// The bitrate target, bits per second.
+    pub fn target_bps(&self) -> f64 {
+        self.target_bps
+    }
+
+    /// Feeds back the byte size of one completed GOP of `gop_len` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gop_len == 0`.
+    pub fn observe(&mut self, gop_bytes: u64, gop_len: u32) {
+        assert!(gop_len > 0, "gop_len must be non-zero");
+        let secs = gop_len as f64 / self.fps;
+        self.observe_gop(gop_bytes as f64 / secs);
+    }
+
+    /// Feeds back one GOP's achieved bytes-per-second directly.
+    pub fn observe_gop(&mut self, achieved_bytes_per_s: f64) {
+        let achieved_bps = achieved_bytes_per_s * 8.0;
+        let ratio = (achieved_bps / self.target_bps).clamp(0.25, 4.0);
+        self.q = (self.q * ratio.sqrt()).clamp(self.min_q as f64, self.max_q as f64);
+    }
+}
+
+/// Encodes a sequence under rate control: each GOP-aligned segment uses
+/// the controller's current quantiser, then feeds its size back.
+///
+/// Returns the encoded video and the controller's final state.
+///
+/// # Panics
+///
+/// Panics if `gop_len == 0`.
+pub fn encode_with_rate_control(
+    meta: VideoMeta,
+    gop_len: u32,
+    mut rc: RateController,
+    images: impl IntoIterator<Item = ImageBuffer>,
+) -> (EncodedVideo, RateController) {
+    assert!(gop_len > 0, "gop_len must be non-zero");
+    let mut segments: Vec<EncodedSegment> = Vec::new();
+    let mut pending: Vec<ImageBuffer> = Vec::new();
+    let mut start_index = 0u64;
+
+    let flush = |pending: &mut Vec<ImageBuffer>, start_index: &mut u64, rc: &mut RateController, segments: &mut Vec<EncodedSegment>| {
+        if pending.is_empty() {
+            return;
+        }
+        let mut enc = Encoder::new(CodecConfig::new(gop_len, rc.quantizer()));
+        enc.force_intra();
+        let frames: Vec<_> = pending.iter().map(|img| enc.encode_frame(img)).collect();
+        let seg = EncodedSegment { start_index: *start_index, frames };
+        let secs = pending.len() as f64 / meta.fps;
+        rc.observe_gop(seg.bytes() as f64 / secs);
+        *start_index += pending.len() as u64;
+        segments.push(seg);
+        pending.clear();
+    };
+
+    for image in images {
+        pending.push(image);
+        if pending.len() as u32 == gop_len {
+            flush(&mut pending, &mut start_index, &mut rc, &mut segments);
+        }
+    }
+    flush(&mut pending, &mut start_index, &mut rc, &mut segments);
+
+    let config = CodecConfig::new(gop_len, rc.quantizer());
+    (EncodedVideo { meta, config, segments }, rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{scene_for, VideoId};
+    use evr_projection::Projection;
+
+    fn scene_images(video: VideoId, frames: u64) -> (VideoMeta, Vec<ImageBuffer>) {
+        let scene = scene_for(video);
+        let meta = VideoMeta::new(160, 80, 30.0, Projection::Erp);
+        let images = (0..frames).map(|i| scene.render_frame(i, &meta).image).collect();
+        (meta, images)
+    }
+
+    fn converged_bitrate(video: VideoId, target_bps: f64) -> f64 {
+        let (meta, images) = scene_images(video, 60);
+        let rc = RateController::new(target_bps, 30.0, 12);
+        let (video, _) = encode_with_rate_control(meta, 10, rc, images);
+        // Judge convergence on the second half (after the controller has
+        // had a few GOPs of feedback).
+        let tail: Vec<_> = video.segments.iter().skip(3).collect();
+        let bytes: u64 = tail.iter().map(|s| s.bytes()).sum();
+        let frames: usize = tail.iter().map(|s| s.frames.len()).sum();
+        bytes as f64 * 8.0 / (frames as f64 / 30.0)
+    }
+
+    #[test]
+    fn converges_to_target_within_tolerance() {
+        let target = 300_000.0; // reachable in both directions at 160×80
+        let achieved = converged_bitrate(VideoId::Paris, target);
+        let err = (achieved - target).abs() / target;
+        assert!(err < 0.35, "achieved {achieved:.0} bps vs target {target:.0} ({err:.2})");
+    }
+
+    #[test]
+    fn harder_content_gets_a_coarser_quantizer() {
+        let (meta_rs, images_rs) = scene_images(VideoId::Rs, 40);
+        let (meta_tl, images_tl) = scene_images(VideoId::Timelapse, 40);
+        let target = 200_000.0;
+        let (_, rc_rs) =
+            encode_with_rate_control(meta_rs, 10, RateController::new(target, 30.0, 12), images_rs);
+        let (_, rc_tl) =
+            encode_with_rate_control(meta_tl, 10, RateController::new(target, 30.0, 12), images_tl);
+        assert!(
+            rc_rs.quantizer() > rc_tl.quantizer(),
+            "RS q {} vs Timelapse q {}",
+            rc_rs.quantizer(),
+            rc_tl.quantizer()
+        );
+    }
+
+    #[test]
+    fn controller_moves_monotonically_with_feedback() {
+        let mut rc = RateController::new(8_000_000.0, 30.0, 20);
+        // Consistently undershooting drives q down...
+        for _ in 0..10 {
+            rc.observe_gop(8_000_000.0 / 8.0 / 4.0);
+        }
+        assert!(rc.quantizer() < 20);
+        // ...and overshooting drives it back up.
+        let low = rc.quantizer();
+        for _ in 0..10 {
+            rc.observe_gop(8_000_000.0 / 8.0 * 4.0);
+        }
+        assert!(rc.quantizer() > low);
+    }
+
+    #[test]
+    fn quantizer_stays_in_codec_range() {
+        let mut rc = RateController::new(1000.0, 30.0, 25);
+        for _ in 0..50 {
+            rc.observe_gop(1e9);
+        }
+        assert_eq!(rc.quantizer(), 50);
+        let mut rc = RateController::new(1e12, 30.0, 25);
+        for _ in 0..50 {
+            rc.observe_gop(1.0);
+        }
+        assert_eq!(rc.quantizer(), 1);
+    }
+
+    #[test]
+    fn partial_final_gop_is_encoded() {
+        let (meta, images) = scene_images(VideoId::Rhino, 25);
+        let rc = RateController::new(2_000_000.0, 30.0, 12);
+        let (video, _) = encode_with_rate_control(meta, 10, rc, images);
+        assert_eq!(video.segments.len(), 3);
+        assert_eq!(video.segments[2].frames.len(), 5);
+        assert_eq!(video.frame_count(), 25);
+    }
+}

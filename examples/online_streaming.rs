@@ -1,0 +1,72 @@
+//! Online streaming — the paper's primary use-case (§8.2).
+//!
+//! Runs a small user study over one video and prints what the SAS server
+//! stored, how the FOV checker behaved per user, and the averaged energy
+//! savings of all three EVR variants.
+//!
+//! ```sh
+//! cargo run --release -p evr-core --example online_streaming
+//! ```
+
+use evr_core::{run_variant, EvrSystem, ExperimentConfig, UseCase, Variant};
+use evr_energy::Component;
+use evr_sas::SasConfig;
+use evr_video::library::VideoId;
+
+fn main() {
+    let video = VideoId::Paris;
+    let duration = 15.0;
+    let users = 6;
+
+    println!("== SAS server: ingesting {video} ({duration} s) ==");
+    let system = EvrSystem::build(video, SasConfig::default(), duration);
+    let catalog = system.server().catalog();
+    let mut total_streams = 0usize;
+    for seg in 0..catalog.segment_count() {
+        total_streams += catalog.clusters_in_segment(seg).len();
+    }
+    println!(
+        "  {} temporal segments, {} FOV videos total, store overhead {:.2}x",
+        catalog.segment_count(),
+        total_streams,
+        catalog.storage_overhead()
+    );
+    // Peek at one stream's metadata log: the per-frame orientations.
+    let clusters = catalog.clusters_in_segment(0);
+    let stream = catalog.fov_stream(0, clusters[0]).expect("cluster exists");
+    let (_, meta) = catalog.read_fov(stream);
+    println!(
+        "  segment 0 / cluster {}: {} frames, first orientation {}",
+        clusters[0],
+        meta.len(),
+        meta[0].orientation
+    );
+
+    println!("\n== per-user behaviour (S+H) ==");
+    let session = system.session_for(UseCase::OnlineStreaming, Variant::SPlusH);
+    for user in 0..users {
+        let r = system.run_with(&session, user);
+        println!(
+            "  user {user}: hits {:4}  miss-frames {:4.1}%  rebuffers {:2}  ({:.1} MB received)",
+            r.fov_hits,
+            100.0 * r.fov_miss_fraction(),
+            r.rebuffer_events,
+            r.bytes_received as f64 / 1e6
+        );
+    }
+
+    println!("\n== averaged energy (vs baseline) ==");
+    let cfg = ExperimentConfig::quick(users);
+    let base = run_variant(&system, UseCase::OnlineStreaming, Variant::Baseline, &cfg);
+    println!("  baseline device power: {:.2} W", base.ledger.total_power());
+    for variant in Variant::EVR {
+        let agg = run_variant(&system, UseCase::OnlineStreaming, variant, &cfg);
+        println!(
+            "  {:4} compute saving {:5.1}%  device saving {:5.1}%  (network now {:.2} W)",
+            variant.to_string(),
+            100.0 * agg.ledger.compute_saving_vs(&base.ledger),
+            100.0 * agg.ledger.device_saving_vs(&base.ledger),
+            agg.ledger.component_power(Component::Network),
+        );
+    }
+}

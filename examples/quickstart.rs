@@ -1,0 +1,58 @@
+//! Quickstart: ingest one 360° video into the EVR server, replay one
+//! user, and compare today's GPU pipeline against EVR's `S+H`.
+//!
+//! ```sh
+//! cargo run --release -p evr-core --example quickstart
+//! ```
+
+use evr_core::{EvrSystem, Variant};
+use evr_energy::{Activity, Component};
+use evr_sas::SasConfig;
+use evr_video::library::VideoId;
+
+fn main() {
+    // 1. Server side: ingest the video. SAS detects objects, clusters
+    //    them, tracks the clusters and pre-renders one FOV video per
+    //    cluster per 1-second segment (paper §5).
+    println!("ingesting {} (10 s of content)...", VideoId::Rhino);
+    let system = EvrSystem::build(VideoId::Rhino, SasConfig::default(), 10.0);
+    let catalog = system.server().catalog();
+    println!(
+        "  {} segments, {} FOV videos in segment 0, storage overhead {:.2}x",
+        catalog.segment_count(),
+        catalog.clusters_in_segment(0).len(),
+        catalog.storage_overhead()
+    );
+
+    // 2. Client side: replay user 0's head trace through both systems.
+    let baseline = system.run_user(Variant::Baseline, 0);
+    let evr = system.run_user(Variant::SPlusH, 0);
+
+    println!("\nbaseline (stream originals, PT on the GPU):");
+    println!("{}", baseline.ledger);
+    println!("EVR S+H (FOV videos + PTE fallback):");
+    println!("{}", evr.ledger);
+
+    println!(
+        "FOV hits {} / misses {} ({:.1}% of frames fell back to the original stream)",
+        evr.fov_hits,
+        evr.fov_misses,
+        100.0 * evr.fov_miss_fraction()
+    );
+    println!(
+        "PT energy: baseline {:.2} J -> EVR {:.2} J",
+        baseline.ledger.activity_total(Activity::ProjectiveTransform),
+        evr.ledger.activity_total(Activity::ProjectiveTransform),
+    );
+    println!(
+        "device energy saving: {:.1}%  (compute-only: {:.1}%)",
+        100.0 * evr.ledger.device_saving_vs(&baseline.ledger),
+        100.0 * evr.ledger.compute_saving_vs(&baseline.ledger),
+    );
+    println!(
+        "bandwidth: {:.1} MB -> {:.1} MB",
+        baseline.bytes_received as f64 / 1e6,
+        evr.bytes_received as f64 / 1e6
+    );
+    let _ = Component::ALL; // (see `online_streaming` for per-component analysis)
+}

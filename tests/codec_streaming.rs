@@ -1,0 +1,91 @@
+//! Codec ↔ SAS ↔ scene integration: GOP-aligned streaming over real scene
+//! content, mid-segment catch-up decoding, and rate behaviour.
+
+use evr_projection::Projection;
+use evr_video::codec::{CodecConfig, Decoder, Encoder, FrameKind};
+use evr_video::library::{scene_for, VideoId};
+use evr_video::quality::psnr;
+
+#[test]
+fn scene_video_roundtrips_with_broadcast_quality() {
+    let scene = scene_for(VideoId::Elephant);
+    let meta = evr_video::VideoMeta::new(160, 80, 30.0, Projection::Erp);
+    let images: Vec<_> = (0..12).map(|i| scene.render_frame(i, &meta).image).collect();
+    let video = Encoder::encode_video(meta, CodecConfig::new(6, 10), images.clone());
+    assert_eq!(video.segments.len(), 2);
+
+    let mut dec = Decoder::new();
+    for (seg, orig_chunk) in video.segments.iter().zip(images.chunks(6)) {
+        for (ef, orig) in seg.frames.iter().zip(orig_chunk) {
+            let out = dec.decode_frame(ef);
+            let q = psnr(orig, &out);
+            assert!(q > 30.0, "frame psnr {q}");
+        }
+    }
+}
+
+#[test]
+fn mid_segment_access_requires_catch_up_decode() {
+    // The client-session model decodes a fallback segment from its intra
+    // frame; verify the codec really cannot start mid-GOP.
+    let scene = scene_for(VideoId::Rs);
+    let meta = evr_video::VideoMeta::new(128, 64, 30.0, Projection::Erp);
+    let images: Vec<_> = (0..6).map(|i| scene.render_frame(i, &meta).image).collect();
+    let mut enc = Encoder::new(CodecConfig::new(6, 10));
+    let frames: Vec<_> = images.iter().map(|f| enc.encode_frame(f)).collect();
+
+    // Decoding the chain in order reaches frame 4 fine.
+    let mut dec = Decoder::new();
+    for ef in &frames[..5] {
+        let _ = dec.decode_frame(ef);
+    }
+
+    // Jumping straight to frame 4 must panic (no reference).
+    let result = std::panic::catch_unwind(|| {
+        let mut cold = Decoder::new();
+        cold.decode_frame(&frames[4])
+    });
+    assert!(result.is_err(), "P frame without its GOP prefix must be undecodable");
+}
+
+#[test]
+fn motion_compensation_tracks_panning_scenes() {
+    // The RS ride pans; across consecutive frames the encoder should
+    // find non-zero global motion at least sometimes, and P frames must
+    // stay well below intra cost on average.
+    let scene = scene_for(VideoId::Rs);
+    let meta = evr_video::VideoMeta::new(256, 128, 30.0, Projection::Erp);
+    let mut enc = Encoder::new(CodecConfig::new(30, 12));
+    let mut p_total = 0u64;
+    let mut i_size = 0u64;
+    for i in 0..8 {
+        let frame = scene.render_frame(i * 3, &meta); // exaggerate motion
+        let ef = enc.encode_frame(&frame.image);
+        match ef.kind {
+            FrameKind::Intra => i_size = ef.payload_bytes(),
+            FrameKind::Predicted => p_total += ef.payload_bytes(),
+        }
+    }
+    let p_mean = p_total / 7;
+    assert!(p_mean < i_size, "P mean {p_mean} vs I {i_size}");
+}
+
+#[test]
+fn bitrates_rank_by_content_character() {
+    // RS (fast camera) must out-weigh Timelapse (tripod) at equal
+    // settings — the content statistic behind Figs. 3b/13/14.
+    let meta = evr_video::VideoMeta::new(160, 80, 30.0, Projection::Erp);
+    let rate = |video: VideoId| {
+        let scene = scene_for(video);
+        let images = (0..15).map(|i| scene.render_frame(i, &meta).image);
+        Encoder::encode_video(meta, CodecConfig::new(15, 12), images).bitrate_bps()
+    };
+    let rs = rate(VideoId::Rs);
+    let timelapse = rate(VideoId::Timelapse);
+    assert!(
+        rs > 1.5 * timelapse,
+        "RS {:.2} Mbps vs Timelapse {:.2} Mbps",
+        rs / 1e6,
+        timelapse / 1e6
+    );
+}

@@ -1,0 +1,128 @@
+//! Cross-crate parity: the PTE's fixed-point datapath against the `f64`
+//! reference transformer, over real scene content — the §6.3 claim that
+//! `[28, 10]` arithmetic is visually indistinguishable.
+
+use evr_math::fixed::FxFormat;
+use evr_math::EulerAngles;
+use evr_projection::fixed::{pixel_error_vs_reference, FixedTransformer};
+use evr_projection::{FilterMode, FovSpec, Projection, Transformer, Viewport};
+use evr_video::library::{scene_for, VideoId};
+
+fn poses() -> Vec<EulerAngles> {
+    vec![
+        EulerAngles::default(),
+        EulerAngles::from_degrees(60.0, 25.0, 0.0),
+        EulerAngles::from_degrees(-170.0, -40.0, 0.0),
+    ]
+}
+
+#[test]
+fn q28_10_meets_threshold_on_scene_content() {
+    for (video, projection) in [
+        (VideoId::Paris, Projection::Erp),
+        (VideoId::Rhino, Projection::Cmp),
+        (VideoId::Rs, Projection::Eac),
+    ] {
+        let scene = scene_for(video);
+        let src = scene.render_image(1.0, projection, 240, 120);
+        let err = pixel_error_vs_reference(
+            FxFormat::q28_10(),
+            projection,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            // Representative raster: at tiny viewports the handful of
+            // cube-seam pixels would dominate the mean, which is not what
+            // the paper's full-resolution measurement sees.
+            Viewport::new(64, 64),
+            &src,
+            &poses(),
+        );
+        assert!(err < 1e-3, "{video}/{projection}: {err}");
+    }
+}
+
+#[test]
+fn near_pole_error_stays_small() {
+    // Looking straight up crosses cube-face seams, where a 1-LSB
+    // coordinate difference can flip the selected face and pick visibly
+    // different texels. The error is larger there but still a few LSBs'
+    // worth, not a blow-up.
+    let scene = scene_for(VideoId::Rs);
+    for projection in Projection::ALL {
+        let src = scene.render_image(1.0, projection, 240, 120);
+        let err = pixel_error_vs_reference(
+            FxFormat::q28_10(),
+            projection,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            Viewport::new(32, 32),
+            &src,
+            &[EulerAngles::from_degrees(91.0, 89.0, 0.0)],
+        );
+        assert!(err < 5e-3, "{projection}: {err}");
+    }
+}
+
+#[test]
+fn wider_formats_never_do_worse() {
+    let scene = scene_for(VideoId::Nyc);
+    let src = scene.render_image(0.5, Projection::Erp, 160, 80);
+    let err_at = |total: u32, int: u32| {
+        pixel_error_vs_reference(
+            FxFormat::new(total, int).unwrap(),
+            Projection::Erp,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            Viewport::new(24, 24),
+            &src,
+            &poses()[..2],
+        )
+    };
+    let narrow = err_at(24, 10);
+    let chosen = err_at(28, 10);
+    let wide = err_at(48, 10);
+    assert!(chosen <= narrow * 1.5, "narrow {narrow} chosen {chosen}");
+    assert!(wide <= chosen * 1.5, "chosen {chosen} wide {wide}");
+}
+
+#[test]
+fn fixed_path_is_deterministic_across_instances() {
+    let scene = scene_for(VideoId::Elephant);
+    let src = scene.render_image(2.0, Projection::Erp, 160, 80);
+    let mk = || {
+        FixedTransformer::new(
+            FxFormat::q28_10(),
+            Projection::Erp,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            Viewport::new(20, 20),
+        )
+    };
+    let pose = EulerAngles::from_degrees(33.0, -7.0, 0.0);
+    assert_eq!(mk().render_fov(&src, pose), mk().render_fov(&src, pose));
+}
+
+#[test]
+fn reference_and_fixed_agree_on_flat_regions_exactly() {
+    // On constant-colour content every filter must return the constant,
+    // regardless of arithmetic: a whole-system sanity anchor.
+    let src = evr_projection::ImageBuffer::from_fn(64, 32, |_, _| {
+        evr_projection::Rgb::new(17, 130, 201)
+    });
+    for projection in Projection::ALL {
+        let fixed = FixedTransformer::new(
+            FxFormat::q28_10(),
+            projection,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            Viewport::new(16, 16),
+        );
+        let reference =
+            Transformer::new(projection, FilterMode::Bilinear, FovSpec::hdk2(), Viewport::new(16, 16));
+        let pose = EulerAngles::from_degrees(10.0, 5.0, 0.0);
+        let a = fixed.render_fov(&src, pose);
+        let b = reference.render_fov(&src, pose).image;
+        assert_eq!(a, b, "{projection}");
+        assert_eq!(a.get(8, 8), evr_projection::Rgb::new(17, 130, 201));
+    }
+}

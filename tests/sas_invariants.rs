@@ -1,0 +1,96 @@
+//! SAS store/server invariants across the ingest → serve boundary,
+//! including property-based checks over random request streams.
+
+use proptest::prelude::*;
+
+use evr_math::EulerAngles;
+use evr_sas::{ingest_video, Request, Response, SasConfig, SasServer};
+use evr_video::library::{scene_for, VideoId};
+
+fn server() -> SasServer {
+    SasServer::new(ingest_video(&scene_for(VideoId::Rhino), &SasConfig::tiny_for_tests(), 2.0))
+}
+
+#[test]
+fn every_indexed_stream_is_readable_and_consistent() {
+    let s = server();
+    let catalog = s.catalog();
+    for seg in 0..catalog.segment_count() {
+        let original = catalog.original_segment(seg);
+        for cluster in catalog.clusters_in_segment(seg) {
+            let stream = catalog.fov_stream(seg, cluster).expect("listed");
+            let (data, meta) = catalog.read_fov(stream);
+            // One orientation per frame, aligned to the original segment.
+            assert_eq!(data.frames.len(), meta.len());
+            assert_eq!(data.start_index, original.start_index);
+            assert_eq!(data.frames[0].kind, evr_video::codec::FrameKind::Intra);
+            // Metadata FOV = device FOV + margin.
+            assert_eq!(meta[0].fov, catalog.config().stream_fov());
+        }
+    }
+}
+
+#[test]
+fn utilization_filtering_is_nested() {
+    // Streams kept at a lower utilisation are a subset of those kept at
+    // any higher utilisation.
+    let s = server();
+    let full = s.catalog();
+    let half = full.with_utilization(0.5);
+    let quarter = half.with_utilization(0.25);
+    for seg in 0..full.segment_count() {
+        let h: Vec<_> = half.clusters_in_segment(seg);
+        let q: Vec<_> = quarter.clusters_in_segment(seg);
+        for c in &q {
+            assert!(h.contains(c), "segment {seg} cluster {c}");
+        }
+        for c in &h {
+            assert!(full.fov_stream(seg, *c).is_some());
+        }
+    }
+    assert!(quarter.total_fov_target_bytes() <= half.total_fov_target_bytes());
+}
+
+#[test]
+fn best_cluster_always_resolves_to_servable_stream() {
+    let s = server();
+    for seg in 0..s.catalog().segment_count() {
+        for yaw in [-150.0, -60.0, 0.0, 45.0, 120.0] {
+            let pose = EulerAngles::from_degrees(yaw, -10.0, 0.0);
+            if let Some(c) = s.best_cluster(seg, pose) {
+                match s.handle(Request::FovVideo { segment: seg, cluster: c }) {
+                    Response::FovVideo { .. } => {}
+                    other => panic!("best_cluster returned unservable stream: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_random_request_streams_never_crash(
+        requests in proptest::collection::vec((0u32..12, 0usize..8, any::<bool>()), 1..40)
+    ) {
+        let s = server();
+        for (segment, cluster, original) in requests {
+            let req = if original {
+                Request::Original { segment }
+            } else {
+                Request::FovVideo { segment, cluster }
+            };
+            match s.handle(req) {
+                Response::FovVideo { segment, meta, wire_bytes } => {
+                    prop_assert_eq!(segment.frames.len(), meta.len());
+                    prop_assert!(wire_bytes > 0);
+                }
+                Response::Original { segment, wire_bytes } => {
+                    prop_assert!(!segment.frames.is_empty());
+                    prop_assert!(wire_bytes > 0);
+                }
+                Response::NotFound => {}
+            }
+        }
+    }
+}
