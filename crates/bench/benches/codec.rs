@@ -7,7 +7,8 @@ use evr_video::codec::{CodecConfig, Decoder, Encoder};
 
 fn frame(phase: f64) -> ImageBuffer {
     ImageBuffer::from_fn(320, 160, |x, y| {
-        let v = ((x as f64 * 0.2 + phase).sin() * 80.0 + (y as f64 * 0.15).cos() * 60.0 + 128.0) as u8;
+        let v =
+            ((x as f64 * 0.2 + phase).sin() * 80.0 + (y as f64 * 0.15).cos() * 60.0 + 128.0) as u8;
         Rgb::new(v, v / 2 + 64, 255 - v)
     })
 }

@@ -16,12 +16,15 @@ fn bench_coverage(c: &mut Criterion) {
         b.iter(|| generate_user_trace(&scene, &params, std::hint::black_box(3), 30.0, 30.0))
     });
 
-    let traces: Vec<_> = (0..4).map(|u| generate_user_trace(&scene, &params, u, 20.0, 10.0)).collect();
+    let traces: Vec<_> =
+        (0..4).map(|u| generate_user_trace(&scene, &params, u, 20.0, 10.0)).collect();
     group.bench_function("coverage_curve_4users", |b| {
         b.iter(|| coverage_curve(std::hint::black_box(&traces), &scene, FovSpec::hdk2()))
     });
     group.bench_function("tracking_episodes_20s", |b| {
-        b.iter(|| tracking_episodes(std::hint::black_box(&traces[0]), &scene, evr_math::Radians(0.4)))
+        b.iter(|| {
+            tracking_episodes(std::hint::black_box(&traces[0]), &scene, evr_math::Radians(0.4))
+        })
     });
     group.finish();
 }

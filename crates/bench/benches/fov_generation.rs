@@ -28,9 +28,8 @@ fn bench_fovgen(c: &mut Criterion) {
         b.iter(|| t.render_with_map(std::hint::black_box(&src), &map))
     });
     let hi = t.render_with_map(&src, &map);
-    group.bench_function("downsample2x_224", |b| {
-        b.iter(|| downsample2x(std::hint::black_box(&hi)))
-    });
+    group
+        .bench_function("downsample2x_224", |b| b.iter(|| downsample2x(std::hint::black_box(&hi))));
     group.bench_function("scene_render_src_320x160", |b| {
         b.iter(|| scene.render_image(std::hint::black_box(2.5), Projection::Erp, 320, 160))
     });

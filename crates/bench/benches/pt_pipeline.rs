@@ -17,9 +17,10 @@ fn bench_pt(c: &mut Criterion) {
         });
         for filter in [FilterMode::Nearest, FilterMode::Bilinear] {
             let t = Transformer::new(projection, filter, FovSpec::hdk2(), Viewport::new(128, 128));
-            group.bench_function(BenchmarkId::new(projection.to_string(), filter.to_string()), |b| {
-                b.iter(|| t.render_fov(std::hint::black_box(&src), pose))
-            });
+            group.bench_function(
+                BenchmarkId::new(projection.to_string(), filter.to_string()),
+                |b| b.iter(|| t.render_fov(std::hint::black_box(&src), pose)),
+            );
         }
     }
     group.finish();

@@ -19,7 +19,12 @@ fn main() {
     // Quality reference: 2x-supersampled bilinear render.
     let vp = Viewport::new(160, 160);
     let reference = {
-        let t = Transformer::new(Projection::Erp, FilterMode::Bilinear, FovSpec::hdk2(), Viewport::new(320, 320));
+        let t = Transformer::new(
+            Projection::Erp,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            Viewport::new(320, 320),
+        );
         evr_projection::pixel::downsample2x(&t.render_fov(&src, pose).image)
     };
     println!("{:>10} {:>9} {:>10} {:>10}", "filter", "PSNR", "energy/fr", "power");

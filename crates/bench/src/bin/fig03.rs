@@ -31,7 +31,10 @@ fn main() {
     println!("{:10} {}   (paper: ~40%, up to 53% for Rhino)", "average", pct(avg));
     let display_share = rows
         .iter()
-        .map(|r| r.component_watts[Component::ALL.iter().position(|c| *c == Component::Display).unwrap()] / r.total_watts)
+        .map(|r| {
+            r.component_watts[Component::ALL.iter().position(|c| *c == Component::Display).unwrap()]
+                / r.total_watts
+        })
         .sum::<f64>()
         / rows.len() as f64;
     println!("\ndisplay share {} (paper: ~7%)", pct(display_share));

@@ -65,7 +65,9 @@ mod tests {
 
     #[test]
     fn quick_and_overrides() {
-        let s = scale_from_args(["quick".to_string(), "users=3".into(), "duration=4.5".into()].into_iter());
+        let s = scale_from_args(
+            ["quick".to_string(), "users=3".into(), "duration=4.5".into()].into_iter(),
+        );
         assert_eq!(s.users, 3);
         assert_eq!(s.duration_s, 4.5);
     }

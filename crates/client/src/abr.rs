@@ -71,12 +71,8 @@ impl BandwidthTrace {
         let start = t;
         loop {
             let rate = self.bps_at(t);
-            let next_bp = self
-                .points
-                .iter()
-                .map(|(pt, _)| *pt)
-                .find(|pt| *pt > t)
-                .unwrap_or(f64::INFINITY);
+            let next_bp =
+                self.points.iter().map(|(pt, _)| *pt).find(|pt| *pt > t).unwrap_or(f64::INFINITY);
             let window = next_bp - t;
             let can = rate * window;
             if remaining_bits <= can {
@@ -136,6 +132,30 @@ pub fn simulate_abr(
     link: &BandwidthTrace,
     policy: AbrPolicy,
 ) -> AbrOutcome {
+    simulate_abr_observed(
+        segment_ladder,
+        segment_duration_s,
+        link,
+        policy,
+        &evr_obs::Observer::noop(),
+    )
+}
+
+/// Like [`simulate_abr`], but counting ladder switches and stalls into
+/// `observer` (`evr_abr_*` names) and marking each switch in the trace.
+///
+/// # Panics
+///
+/// Panics if the ladder is empty or ragged.
+pub fn simulate_abr_observed(
+    segment_ladder: &[Vec<u64>],
+    segment_duration_s: f64,
+    link: &BandwidthTrace,
+    policy: AbrPolicy,
+    observer: &evr_obs::Observer,
+) -> AbrOutcome {
+    let switches_c = observer.counter(evr_obs::names::ABR_SWITCHES);
+    let stalls_c = observer.counter(evr_obs::names::ABR_STALLS);
     assert!(!segment_ladder.is_empty(), "ladder must contain segments");
     let rungs = segment_ladder[0].len();
     assert!(rungs > 0, "segments need at least one rung");
@@ -146,15 +166,10 @@ pub fn simulate_abr(
     let mut started = false; // playback begins after the first segment
     let mut throughput = link.bps_at(0.0); // start optimistic; EWMA corrects
     let mut rung = 0usize;
-    let mut outcome = AbrOutcome {
-        stall_time_s: 0.0,
-        stalls: 0,
-        mean_rung: 0.0,
-        switches: 0,
-        bytes: 0,
-    };
+    let mut outcome =
+        AbrOutcome { stall_time_s: 0.0, stalls: 0, mean_rung: 0.0, switches: 0, bytes: 0 };
 
-    for seg in segment_ladder {
+    for (seg_idx, seg) in segment_ladder.iter().enumerate() {
         // Pick the highest rung that fits the throughput estimate.
         let budget_bps = throughput * policy.safety;
         let pick = (0..rungs)
@@ -163,6 +178,8 @@ pub fn simulate_abr(
             .unwrap_or(0);
         if pick != rung {
             outcome.switches += 1;
+            switches_c.inc();
+            observer.mark("abr_switch", -1, seg_idx as i64, pick as f64);
             rung = pick;
         }
         outcome.mean_rung += rung as f64;
@@ -177,6 +194,7 @@ pub fn simulate_abr(
             if buffer < 0.0 {
                 outcome.stall_time_s += -buffer;
                 outcome.stalls += 1;
+                stalls_c.inc();
                 buffer = 0.0;
             }
         } else {
@@ -210,12 +228,8 @@ mod tests {
 
     #[test]
     fn fat_link_picks_the_top_rung_without_stalls() {
-        let out = simulate_abr(
-            &ladder(),
-            1.0,
-            &BandwidthTrace::constant(50e6),
-            AbrPolicy::default(),
-        );
+        let out =
+            simulate_abr(&ladder(), 1.0, &BandwidthTrace::constant(50e6), AbrPolicy::default());
         assert_eq!(out.stalls, 0);
         assert!(out.mean_rung > 1.8, "mean rung {}", out.mean_rung);
     }
@@ -223,12 +237,8 @@ mod tests {
     #[test]
     fn thin_link_downshifts_instead_of_stalling() {
         // 1.5 Mbps link: only the bottom rung (1 Mbit/s) fits.
-        let out = simulate_abr(
-            &ladder(),
-            1.0,
-            &BandwidthTrace::constant(1.5e6),
-            AbrPolicy::default(),
-        );
+        let out =
+            simulate_abr(&ladder(), 1.0, &BandwidthTrace::constant(1.5e6), AbrPolicy::default());
         assert!(out.mean_rung < 0.5, "mean rung {}", out.mean_rung);
         assert!(out.stall_time_s < 0.5, "stall {}", out.stall_time_s);
     }
@@ -265,6 +275,21 @@ mod tests {
         let link = BandwidthTrace::from_points(vec![(0.0, 1e6), (1.0, 9e6)]);
         let t = link.download_time(0.0, 250_000);
         assert!((t - (1.0 + 1.0 / 9.0)).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn observed_simulation_counts_switches_and_stalls() {
+        let obs = evr_obs::Observer::enabled();
+        let link = BandwidthTrace::square_wave(20e6, 1.0e6, 20.0, 100.0);
+        let long: Vec<Vec<u64>> = (0..60).map(|_| vec![125_000, 250_000, 500_000]).collect();
+        let policy = AbrPolicy { safety: 0.8, smoothing: 0.3 };
+        let out = simulate_abr_observed(&long, 1.0, &link, policy, &obs);
+        assert_eq!(obs.counter(evr_obs::names::ABR_SWITCHES).get(), out.switches);
+        assert_eq!(obs.counter(evr_obs::names::ABR_STALLS).get(), out.stalls);
+        let switch_marks = obs.events().iter().filter(|e| e.name == "abr_switch").count() as u64;
+        assert_eq!(switch_marks, out.switches);
+        // The observed run is behaviourally identical to the silent one.
+        assert_eq!(out, simulate_abr(&long, 1.0, &link, policy));
     }
 
     #[test]

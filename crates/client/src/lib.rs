@@ -36,4 +36,6 @@ pub mod network;
 pub mod session;
 
 pub use network::NetworkModel;
-pub use session::{ContentPath, PlaybackReport, PlaybackSession, Renderer, SelectionPolicy, SessionConfig};
+pub use session::{
+    ContentPath, PlaybackReport, PlaybackSession, Renderer, SelectionPolicy, SessionConfig,
+};

@@ -7,8 +7,10 @@
 //! [`EnergyLedger`].
 
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 use evr_energy::{Activity, Component, DeviceParams, EnergyLedger};
+use evr_obs::{names, Observer};
 use evr_pte::{FrameStats, GpuModel, Pte, PteConfig};
 use evr_sas::checker::{CheckOutcome, FovChecker};
 use evr_sas::ingest::FPS;
@@ -165,6 +167,53 @@ impl PlaybackReport {
     }
 }
 
+/// Pre-resolved playback metric handles; all detached (free) when the
+/// session's observer is a no-op.
+#[derive(Debug, Clone, Default)]
+struct SessionMetrics {
+    enabled: bool,
+    frames: evr_obs::Counter,
+    fov_hits: evr_obs::Counter,
+    fov_misses: evr_obs::Counter,
+    fallback_frames: evr_obs::Counter,
+    rebuffer_events: evr_obs::Counter,
+    rebuffer_seconds: evr_obs::Gauge,
+    segments: evr_obs::Counter,
+    fetch_bytes: evr_obs::Counter,
+    frame_seconds: evr_obs::Histogram,
+    pt_gpu_frames: evr_obs::Counter,
+    pt_pte_frames: evr_obs::Counter,
+    pte_frames: evr_obs::Counter,
+    pte_active_cycles: evr_obs::Counter,
+    pte_stall_cycles: evr_obs::Counter,
+    pte_pmem_hits: evr_obs::Counter,
+    pte_pmem_misses: evr_obs::Counter,
+}
+
+impl SessionMetrics {
+    fn resolve(observer: &Observer) -> Self {
+        SessionMetrics {
+            enabled: observer.is_enabled(),
+            frames: observer.counter(names::FRAMES),
+            fov_hits: observer.counter(names::FOV_HITS),
+            fov_misses: observer.counter(names::FOV_MISSES),
+            fallback_frames: observer.counter(names::FALLBACK_FRAMES),
+            rebuffer_events: observer.counter(names::REBUFFER_EVENTS),
+            rebuffer_seconds: observer.gauge(names::REBUFFER_SECONDS),
+            segments: observer.counter(names::SEGMENTS),
+            fetch_bytes: observer.counter(names::FETCH_BYTES),
+            frame_seconds: observer.histogram(names::FRAME_SECONDS, &evr_obs::LATENCY_BOUNDS_S),
+            pt_gpu_frames: observer.counter(names::PT_GPU_FRAMES),
+            pt_pte_frames: observer.counter(names::PT_PTE_FRAMES),
+            pte_frames: observer.counter(names::PTE_FRAMES),
+            pte_active_cycles: observer.counter(names::PTE_ACTIVE_CYCLES),
+            pte_stall_cycles: observer.counter(names::PTE_STALL_CYCLES),
+            pte_pmem_hits: observer.counter(names::PTE_PMEM_HITS),
+            pte_pmem_misses: observer.counter(names::PTE_PMEM_MISSES),
+        }
+    }
+}
+
 /// The playback simulator.
 #[derive(Debug, Clone)]
 pub struct PlaybackSession {
@@ -172,16 +221,37 @@ pub struct PlaybackSession {
     /// Pre-analysed PTE frame cost (orientation dependence of the memory
     /// pattern is second-order; one representative analysis is reused).
     pte_frame: FrameStats,
+    observer: Observer,
+    metrics: SessionMetrics,
 }
 
 impl PlaybackSession {
     /// Creates a session, pre-analysing the PTE cost for the configured
     /// source/viewport geometry.
     pub fn new(cfg: SessionConfig) -> Self {
+        Self::with_observer(cfg, Observer::noop())
+    }
+
+    /// Like [`PlaybackSession::new`], but every run emits per-frame
+    /// spans, FOV-check outcomes and playback counters into `observer`.
+    pub fn with_observer(cfg: SessionConfig, observer: Observer) -> Self {
         let (sw, sh) = cfg.sas.target_src;
         let pte = Pte::new(cfg.pte);
         let pte_frame = pte.analyze_frame_strided(sw, sh, evr_math::EulerAngles::default(), 4);
-        PlaybackSession { cfg, pte_frame }
+        let metrics = SessionMetrics::resolve(&observer);
+        PlaybackSession { cfg, pte_frame, observer, metrics }
+    }
+
+    /// Replaces the session's observer (a no-op observer detaches all
+    /// instrumentation).
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.metrics = SessionMetrics::resolve(&observer);
+        self.observer = observer;
+    }
+
+    /// The session's observer (a no-op handle unless one was attached).
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// The configuration.
@@ -213,22 +283,34 @@ impl PlaybackSession {
         let src_px = cfg.sas.target_src.0 as u64 * cfg.sas.target_src.1 as u64;
         let slot = 1.0 / FPS;
 
+        let m = &self.metrics;
         let mut ledger = EnergyLedger::new();
         let mut frames_total = 0u64;
         let mut bytes_received = 0u64;
         for seg in 0..catalog.segment_count() {
+            let _seg_span = self
+                .observer
+                .is_enabled()
+                .then(|| self.observer.span(names::SPAN_SEGMENT, -1, seg as i64));
+            m.segments.inc();
             let original = catalog.original_segment(seg);
             let n = original.frames.len() as u64;
             let seg_start_t = original.start_index as f64 / FPS;
             let pose = trace.pose_at(seg_start_t);
             let seg_bytes = tiled.segment_bytes(seg, pose, cfg.sas.device_fov);
             bytes_received += seg_bytes;
+            m.fetch_bytes.add(seg_bytes);
             let mut gpu_used = false;
             for _ in 0..n {
                 // Full-resolution decode of fewer bits, then full PT.
                 self.account_decode(&mut ledger, src_px, seg_bytes / n);
                 gpu_used |= self.account_pt(&mut ledger, slot);
+                if m.enabled {
+                    self.note_pt_metrics();
+                }
                 frames_total += 1;
+                m.frames.inc();
+                m.fallback_frames.inc();
             }
             if gpu_used {
                 ledger.add(
@@ -263,6 +345,7 @@ impl PlaybackSession {
         // client-control cost (no per-frame FOV checking).
         ledger.add(Component::Compute, Activity::Base, 0.5 * d.sas_client_energy(duration_s));
         ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
+        ledger.mirror_gauges(&self.observer);
 
         PlaybackReport {
             ledger,
@@ -280,6 +363,9 @@ impl PlaybackSession {
     /// Replays `trace` against `server`'s video.
     pub fn run(&self, server: &SasServer, trace: &HeadTrace) -> PlaybackReport {
         let cfg = &self.cfg;
+        let obs = &self.observer;
+        let m = &self.metrics;
+        let observed = obs.is_enabled();
         let catalog = server.catalog();
         let fov_scale = cfg.sas.fov_byte_scale();
         let src_scale = cfg.sas.src_byte_scale();
@@ -297,6 +383,8 @@ impl PlaybackSession {
         let mut storage_read_bytes = 0u64;
 
         for seg in 0..catalog.segment_count() {
+            let _seg_span = observed.then(|| obs.span(names::SPAN_SEGMENT, -1, seg as i64));
+            m.segments.inc();
             let original = catalog.original_segment(seg);
             let n = original.frames.len() as u64;
             let seg_start_t = original.start_index as f64 / FPS;
@@ -312,26 +400,41 @@ impl PlaybackSession {
 
             match chosen {
                 Some(cluster) => {
-                    let (fov_seg, meta) = match server.handle(Request::FovVideo { segment: seg, cluster }) {
-                        Response::FovVideo { segment, meta, wire_bytes } => {
-                            bytes_received += wire_bytes;
-                            (segment, meta)
-                        }
-                        _ => unreachable!("best_cluster returned a listed cluster"),
-                    };
+                    let (fov_seg, meta) =
+                        match server.handle(Request::FovVideo { segment: seg, cluster }) {
+                            Response::FovVideo { segment, meta, wire_bytes } => {
+                                bytes_received += wire_bytes;
+                                m.fetch_bytes.add(wire_bytes);
+                                (segment, meta)
+                            }
+                            _ => unreachable!("best_cluster returned a listed cluster"),
+                        };
                     let mut fell_back = false;
                     #[allow(clippy::needless_range_loop)] // indexes three parallel sequences
                     for f in 0..n as usize {
+                        let frame_idx = frames_total as i64;
+                        let _frame_span =
+                            observed.then(|| obs.span(names::SPAN_FRAME, frame_idx, seg as i64));
+                        let frame_t0 = observed.then(Instant::now);
                         let t = seg_start_t + f as f64 * slot;
                         let pose = trace.pose_at(t);
                         if !fell_back {
-                            let outcome = if cfg.oracle_hits {
-                                checker.check(meta[f].orientation, &meta[f])
-                            } else {
-                                checker.check(pose, &meta[f])
+                            let outcome = {
+                                let _fov_span = observed.then(|| {
+                                    obs.span(names::SPAN_FOV_CHECK, frame_idx, seg as i64)
+                                });
+                                if cfg.oracle_hits {
+                                    checker.check(meta[f].orientation, &meta[f])
+                                } else {
+                                    checker.check(pose, &meta[f])
+                                }
                             };
                             match outcome {
                                 CheckOutcome::Hit => {
+                                    if observed {
+                                        m.fov_hits.inc();
+                                        obs.mark(names::MARK_FOV_HIT, frame_idx, seg as i64, 1.0);
+                                    }
                                     // Direct display: decode the FOV frame only.
                                     self.account_decode(
                                         &mut ledger,
@@ -339,18 +442,41 @@ impl PlaybackSession {
                                         frame_wire_bytes(&fov_seg.frames[f], fov_scale),
                                     );
                                     frames_total += 1;
+                                    if observed {
+                                        m.frames.inc();
+                                        if let Some(t0) = frame_t0 {
+                                            m.frame_seconds.observe(t0.elapsed().as_secs_f64());
+                                        }
+                                    }
                                     continue;
                                 }
                                 CheckOutcome::Miss => {
+                                    if observed {
+                                        m.fov_misses.inc();
+                                        obs.mark(names::MARK_FOV_MISS, frame_idx, seg as i64, 1.0);
+                                    }
                                     // Fetch the original segment and fall
                                     // back for the segment's remainder.
                                     fell_back = true;
                                     rebuffer_events += 1;
-                                    let intra =
-                                        frame_wire_bytes(&original.frames[0], src_scale);
-                                    rebuffer_time_s += cfg.network.rebuffer_time(intra);
+                                    let intra = frame_wire_bytes(&original.frames[0], src_scale);
+                                    let pause = cfg.network.rebuffer_time(intra);
+                                    rebuffer_time_s += pause;
+                                    if observed {
+                                        m.rebuffer_events.inc();
+                                        m.rebuffer_seconds.add(pause);
+                                        obs.mark(
+                                            names::MARK_REBUFFER,
+                                            frame_idx,
+                                            seg as i64,
+                                            pause,
+                                        );
+                                    }
                                     if cfg.path.uses_network() {
                                         bytes_received += orig_bytes;
+                                        if observed {
+                                            m.fetch_bytes.add(orig_bytes);
+                                        }
                                     } else {
                                         storage_read_bytes += orig_bytes;
                                     }
@@ -374,27 +500,59 @@ impl PlaybackSession {
                             src_px,
                             frame_wire_bytes(&original.frames[f], src_scale),
                         );
-                        gpu_used |= self.account_pt(&mut ledger, slot);
+                        {
+                            let _pt_span =
+                                observed.then(|| obs.span(names::SPAN_PT, frame_idx, seg as i64));
+                            gpu_used |= self.account_pt(&mut ledger, slot);
+                        }
                         fallback_frames += 1;
                         frames_total += 1;
+                        if observed {
+                            self.note_pt_metrics();
+                            m.fallback_frames.inc();
+                            m.frames.inc();
+                            if let Some(t0) = frame_t0 {
+                                m.frame_seconds.observe(t0.elapsed().as_secs_f64());
+                            }
+                        }
                     }
                 }
                 None => {
                     // No SAS (or nothing materialised): original path.
                     if cfg.path.uses_network() {
                         bytes_received += orig_bytes;
+                        if observed {
+                            m.fetch_bytes.add(orig_bytes);
+                        }
                     } else {
                         storage_read_bytes += orig_bytes;
                     }
-                    for f in 0..n as usize {
-                        self.account_decode(
-                            &mut ledger,
-                            src_px,
-                            frame_wire_bytes(&original.frames[f], src_scale),
-                        );
-                        gpu_used |= self.account_pt(&mut ledger, slot);
-                        fallback_frames += 1;
-                        frames_total += 1;
+                    if observed {
+                        for f in 0..n as usize {
+                            let frame_idx = frames_total as i64;
+                            let _frame_span = obs.span(names::SPAN_FRAME, frame_idx, seg as i64);
+                            let frame_t0 = Instant::now();
+                            self.account_decode(
+                                &mut ledger,
+                                src_px,
+                                frame_wire_bytes(&original.frames[f], src_scale),
+                            );
+                            {
+                                let _pt_span = obs.span(names::SPAN_PT, frame_idx, seg as i64);
+                                gpu_used |= self.account_pt(&mut ledger, slot);
+                            }
+                            self.note_pt_metrics();
+                            fallback_frames += 1;
+                            frames_total += 1;
+                            m.fallback_frames.inc();
+                            m.frames.inc();
+                            m.frame_seconds.observe(frame_t0.elapsed().as_secs_f64());
+                        }
+                    } else {
+                        gpu_used |=
+                            self.play_original_quiet(&mut ledger, original, src_px, src_scale);
+                        fallback_frames += n;
+                        frames_total += n;
                     }
                 }
             }
@@ -448,6 +606,7 @@ impl PlaybackSession {
             ledger.add(Component::Compute, Activity::Base, d.sas_client_energy(duration_s));
         }
         ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
+        ledger.mirror_gauges(obs);
 
         PlaybackReport {
             ledger,
@@ -484,17 +643,57 @@ impl PlaybackSession {
         }
     }
 
+    #[inline]
     fn account_decode(&self, ledger: &mut EnergyLedger, pixels: u64, bytes: u64) {
         let d = &self.cfg.device;
         ledger.add(Component::Compute, Activity::Decode, d.decode_energy(pixels, bytes));
-        ledger.add(
-            Component::Memory,
-            Activity::Decode,
-            d.dram_energy(d.decode_dram_bytes(pixels)),
-        );
+        ledger.add(Component::Memory, Activity::Decode, d.dram_energy(d.decode_dram_bytes(pixels)));
+    }
+
+    /// The uninstrumented decode + PT loop over one original segment;
+    /// returns whether the GPU ran. Kept out of line so the quiet path
+    /// keeps the tight codegen of an unobserved session regardless of how
+    /// much instrumentation surrounds it in [`PlaybackSession::run`].
+    #[inline(never)]
+    fn play_original_quiet(
+        &self,
+        ledger: &mut EnergyLedger,
+        original: &EncodedSegment,
+        src_px: u64,
+        src_scale: f64,
+    ) -> bool {
+        let slot = 1.0 / FPS;
+        let mut gpu_used = false;
+        for frame in &original.frames {
+            self.account_decode(ledger, src_px, frame_wire_bytes(frame, src_scale));
+            gpu_used |= self.account_pt(ledger, slot);
+        }
+        gpu_used
+    }
+
+    /// Mirrors one rendered frame's PT stats into the metric handles.
+    /// Callers invoke this on observed runs only, keeping the quiet path
+    /// identical to an uninstrumented session.
+    fn note_pt_metrics(&self) {
+        let m = &self.metrics;
+        match self.cfg.renderer {
+            Renderer::Gpu => m.pt_gpu_frames.inc(),
+            Renderer::Pte => {
+                // Mirror the (pre-analysed, representative) PTU stats of
+                // this rendered frame into the engine counters.
+                let s = &self.pte_frame;
+                m.pt_pte_frames.inc();
+                m.pte_frames.inc();
+                m.pte_active_cycles.add(s.active_cycles);
+                m.pte_stall_cycles.add(s.stall_cycles);
+                m.pte_pmem_hits.add(s.pmem_hits);
+                m.pte_pmem_misses.add(s.pmem_misses);
+            }
+        }
     }
 
     /// Accounts one frame of on-device PT; returns whether the GPU ran.
+    #[inline(always)]
     fn account_pt(&self, ledger: &mut EnergyLedger, slot: f64) -> bool {
         let d = &self.cfg.device;
         match self.cfg.renderer {
@@ -554,7 +753,12 @@ mod tests {
         (server, trace)
     }
 
-    fn run(path: ContentPath, renderer: Renderer, server: &SasServer, trace: &HeadTrace) -> PlaybackReport {
+    fn run(
+        path: ContentPath,
+        renderer: Renderer,
+        server: &SasServer,
+        trace: &HeadTrace,
+    ) -> PlaybackReport {
         let cfg = SessionConfig::new(path, renderer, SasConfig::tiny_for_tests());
         PlaybackSession::new(cfg).run(server, trace)
     }
@@ -611,9 +815,8 @@ mod tests {
         let herd = scene.objects()[0].position(0.0);
         let s = evr_math::SphericalCoord::from_vector(herd).unwrap();
         let pose = evr_math::EulerAngles::new(s.lon, s.lat, evr_math::Radians(0.0));
-        let samples: Vec<_> = (0..61)
-            .map(|i| evr_trace::PoseSample { t: i as f64 / 30.0, pose })
-            .collect();
+        let samples: Vec<_> =
+            (0..61).map(|i| evr_trace::PoseSample { t: i as f64 / 30.0, pose }).collect();
         let trace = HeadTrace::from_samples(samples);
 
         let sas = run(ContentPath::OnlineSas, Renderer::Pte, &server, &trace);
@@ -648,6 +851,65 @@ mod tests {
         assert!(r.rebuffer_time_s > 0.0);
         assert!(r.fps_drop_fraction() < 0.2);
         assert!(r.fallback_frames > 0);
+    }
+
+    #[test]
+    fn observed_run_mirrors_report_counters() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let obs = evr_obs::Observer::enabled();
+        let cfg =
+            SessionConfig::new(ContentPath::OnlineSas, Renderer::Pte, SasConfig::tiny_for_tests());
+        let session = PlaybackSession::with_observer(cfg, obs.clone());
+        let r = session.run(&server, &trace);
+
+        use evr_obs::names;
+        assert_eq!(obs.counter(names::FRAMES).get(), r.frames_total);
+        assert_eq!(obs.counter(names::FOV_HITS).get(), r.fov_hits);
+        assert_eq!(obs.counter(names::FOV_MISSES).get(), r.fov_misses);
+        assert_eq!(obs.counter(names::FALLBACK_FRAMES).get(), r.fallback_frames);
+        assert_eq!(obs.counter(names::REBUFFER_EVENTS).get(), r.rebuffer_events);
+        assert_eq!(obs.counter(names::FETCH_BYTES).get(), r.bytes_received);
+        assert!((obs.gauge(names::REBUFFER_SECONDS).get() - r.rebuffer_time_s).abs() < 1e-12);
+        // Frame latency histogram saw every frame.
+        let hist = obs.histogram(names::FRAME_SECONDS, &evr_obs::LATENCY_BOUNDS_S);
+        assert_eq!(hist.snapshot().count, r.frames_total);
+        // PTE renderer: every fallback frame went through the engine mirror.
+        assert_eq!(obs.counter(names::PT_PTE_FRAMES).get(), r.fallback_frames);
+        assert_eq!(obs.counter(names::PT_GPU_FRAMES).get(), 0);
+        if r.fallback_frames > 0 {
+            assert!(obs.counter(names::PTE_ACTIVE_CYCLES).get() > 0);
+        }
+        // Energy gauges mirror the ledger per component.
+        for c in Component::ALL {
+            let gauge = obs.gauge(&names::energy_gauge(&c.to_string()));
+            assert!(
+                (gauge.get() - r.ledger.component_total(c)).abs() < 1e-9,
+                "{c}: gauge {} vs ledger {}",
+                gauge.get(),
+                r.ledger.component_total(c)
+            );
+        }
+        // Spans cover every frame, hit/miss marks every check.
+        let events = obs.events();
+        let frame_begins = events
+            .iter()
+            .filter(|e| e.name == names::SPAN_FRAME && e.kind == evr_obs::EventKind::SpanBegin)
+            .count() as u64;
+        assert_eq!(frame_begins, r.frames_total);
+        let hits = events.iter().filter(|e| e.name == names::MARK_FOV_HIT).count() as u64;
+        let misses = events.iter().filter(|e| e.name == names::MARK_FOV_MISS).count() as u64;
+        assert_eq!((hits, misses), (r.fov_hits, r.fov_misses));
+    }
+
+    #[test]
+    fn unobserved_run_matches_observed_run() {
+        let (server, trace) = setup(VideoId::Rs, 1.0);
+        let cfg =
+            SessionConfig::new(ContentPath::OnlineSas, Renderer::Gpu, SasConfig::tiny_for_tests());
+        let silent = PlaybackSession::new(cfg).run(&server, &trace);
+        let observed =
+            PlaybackSession::with_observer(cfg, evr_obs::Observer::enabled()).run(&server, &trace);
+        assert_eq!(silent, observed);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! independent, so the runner replays them on a thread pool and averages
 //! the resulting ledgers and statistics.
 
+use std::path::{Path, PathBuf};
+
 use evr_client::session::PlaybackReport;
 use evr_energy::EnergyLedger;
 
@@ -138,6 +140,32 @@ pub fn run_variant(
     AggregateReport::from_reports(reports)
 }
 
+/// Writes the per-run observability artifact for an instrumented run:
+/// `<label>.report.json` (machine-readable counters/gauges/histograms/
+/// trace totals) and `<label>.summary.txt` (the human-readable table),
+/// both under `dir` (created if missing). Returns the two paths.
+///
+/// The label is sanitised to `[A-Za-z0-9._-]` so variant names like
+/// `S+H` produce portable file stems.
+pub fn write_run_report(
+    observer: &evr_obs::Observer,
+    label: &str,
+    dir: impl AsRef<Path>,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let stem: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect();
+    let stem = if stem.is_empty() { "run".to_string() } else { stem };
+    let report_path = dir.join(format!("{stem}.report.json"));
+    let summary_path = dir.join(format!("{stem}.summary.txt"));
+    std::fs::write(&report_path, observer.report_json(label))?;
+    std::fs::write(&summary_path, observer.summary())?;
+    Ok((report_path, summary_path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +193,28 @@ mod tests {
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
         // Average device power is in the watts range the paper measures.
         assert!((2.0..8.0).contains(&agg.ledger.total_power()), "{}", agg.ledger.total_power());
+    }
+
+    #[test]
+    fn run_report_artifacts_are_written_and_well_formed() {
+        let obs = evr_obs::Observer::enabled();
+        let mut system = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 1.0);
+        system.instrument(&obs);
+        let _ = run_variant(
+            &system,
+            UseCase::OnlineStreaming,
+            Variant::SPlusH,
+            &ExperimentConfig::quick(2),
+        );
+        let dir = std::env::temp_dir().join("evr-core-report-test");
+        let (report, summary) = write_run_report(&obs, "S+H quick", &dir).expect("write artifacts");
+        assert_eq!(report.file_name().unwrap(), "S_H_quick.report.json");
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.starts_with('{') && json.ends_with("}\n"), "single JSON object");
+        assert!(json.contains("\"evr_frames_total\""));
+        let table = std::fs::read_to_string(&summary).unwrap();
+        assert!(table.contains("evr_frames_total"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -597,11 +597,7 @@ mod tests {
         // Reduction shrinks as resolution grows (GPU amortises), per the
         // paper's observation.
         let at = |res: (u32, u32)| {
-            rows.iter()
-                .filter(|r| r.resolution == res)
-                .map(|r| r.reduction_pct)
-                .sum::<f64>()
-                / 3.0
+            rows.iter().filter(|r| r.resolution == res).map(|r| r.reduction_pct).sum::<f64>() / 3.0
         };
         assert!(at((960, 1080)) > at((1440, 1600)));
     }

@@ -29,9 +29,9 @@
 
 pub mod experiment;
 pub mod figures;
-pub mod system;
 pub mod report;
+pub mod system;
 pub mod tiled;
 
-pub use experiment::{run_variant, AggregateReport, ExperimentConfig};
+pub use experiment::{run_variant, write_run_report, AggregateReport, ExperimentConfig};
 pub use system::{EvrSystem, UseCase, Variant};

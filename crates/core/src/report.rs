@@ -52,10 +52,7 @@ pub fn fig05_markdown(curves: &[Fig5Curve]) -> String {
     out.push_str("| video | x = 1 | x = 2 | x = 3 | all objects |\n|---|---|---|---|---|\n");
     for c in curves {
         let at = |i: usize| {
-            c.coverage_pct
-                .get(i)
-                .map(|v| format!("{v:.1}%"))
-                .unwrap_or_else(|| "—".into())
+            c.coverage_pct.get(i).map(|v| format!("{v:.1}%")).unwrap_or_else(|| "—".into())
         };
         let _ = writeln!(
             out,
@@ -99,8 +96,12 @@ pub fn fig11_markdown(points: &[Fig11Point]) -> String {
     let mut out = String::new();
     out.push_str("### Figure 11 — fixed-point representation sweep\n\n");
     out.push_str("Paper: errors below 10⁻³ are visually indistinguishable; `[28, 10]` is ");
-    out.push_str("chosen — narrower integer allocations overflow, narrower totals lose precision.\n\n");
-    out.push_str("| total bits | int bits | int % | mean pixel error | verdict |\n|---|---|---|---|---|\n");
+    out.push_str(
+        "chosen — narrower integer allocations overflow, narrower totals lose precision.\n\n",
+    );
+    out.push_str(
+        "| total bits | int bits | int % | mean pixel error | verdict |\n|---|---|---|---|---|\n",
+    );
     for p in points {
         // Keep the table readable: the chosen width plus the extremes.
         if p.total_bits != 28 && p.total_bits != 24 && p.total_bits != 48 {
@@ -129,7 +130,9 @@ pub fn fig12_markdown(rows: &[Fig12Row]) -> String {
     out.push_str("### Figure 12 — energy savings of S / H / S+H (online streaming)\n\n");
     out.push_str("Paper: compute savings average 22% (S), 38% (H), 41% (S+H, up to 58%); ");
     out.push_str("device-level S+H averages 29% (up to 42%).\n\n");
-    out.push_str("| video | S compute | H compute | S+H compute | S device | H device | S+H device |\n");
+    out.push_str(
+        "| video | S compute | H compute | S+H compute | S device | H device | S+H device |\n",
+    );
     out.push_str("|---|---|---|---|---|---|---|\n");
     let mut sums = [0.0f64; 6];
     for r in rows {
@@ -221,7 +224,9 @@ pub fn fig15_markdown(rows: &[Fig15Row]) -> String {
     let mut out = String::new();
     out.push_str("### Figure 15 — live streaming & offline playback (H only)\n\n");
     out.push_str("Paper: live streaming saves 38% compute / 21% device; offline playback's ");
-    out.push_str("device saving is slightly higher (≈23%) because no network energy dilutes it.\n\n");
+    out.push_str(
+        "device saving is slightly higher (≈23%) because no network energy dilutes it.\n\n",
+    );
     out.push_str("| use-case | video | compute saving | device saving |\n|---|---|---|---|\n");
     for r in rows {
         let _ = writeln!(
@@ -350,8 +355,12 @@ mod tests {
 
     #[test]
     fn proto_table_formats_power_in_mw() {
-        let rows =
-            vec![ProtoPteRow { ptus: 2, fps: 52.6, power_w: 0.185, dram_read_bytes: 4 * 1024 * 1024 }];
+        let rows = vec![ProtoPteRow {
+            ptus: 2,
+            fps: 52.6,
+            power_w: 0.185,
+            dram_read_bytes: 4 * 1024 * 1024,
+        }];
         let md = proto_markdown(&rows);
         assert!(md.contains("185 mW"));
         assert!(md.contains("| 2 | 52.6 |"));

@@ -37,7 +37,9 @@ impl Variant {
             (UseCase::OnlineStreaming, Variant::Baseline) => {
                 (ContentPath::OnlineBaseline, Renderer::Gpu, false)
             }
-            (UseCase::OnlineStreaming, Variant::S) => (ContentPath::OnlineSas, Renderer::Gpu, false),
+            (UseCase::OnlineStreaming, Variant::S) => {
+                (ContentPath::OnlineSas, Renderer::Gpu, false)
+            }
             (UseCase::OnlineStreaming, Variant::H) => {
                 (ContentPath::OnlineBaseline, Renderer::Pte, false)
             }
@@ -119,6 +121,7 @@ pub struct EvrSystem {
     server: SasServer,
     sas: SasConfig,
     duration_s: f64,
+    observer: evr_obs::Observer,
 }
 
 impl EvrSystem {
@@ -128,7 +131,23 @@ impl EvrSystem {
         let scene = scene_for(video);
         let duration_s = duration_s.min(scene.duration());
         let server = SasServer::new(ingest_video(&scene, &sas, duration_s));
-        EvrSystem { video, scene, server, sas, duration_s }
+        EvrSystem { video, scene, server, sas, duration_s, observer: evr_obs::Observer::noop() }
+    }
+
+    /// Threads `observer` through the whole pipeline: the SAS server's
+    /// request counters and every session built by
+    /// [`EvrSystem::session_for`] from now on (per-frame spans, FOV
+    /// outcomes, PTE stats, energy gauges). A no-op observer detaches
+    /// everything again.
+    pub fn instrument(&mut self, observer: &evr_obs::Observer) {
+        self.server.set_observer(observer);
+        self.observer = observer.clone();
+    }
+
+    /// The system's observer (a no-op handle unless
+    /// [`EvrSystem::instrument`] was called).
+    pub fn observer(&self) -> &evr_obs::Observer {
+        &self.observer
     }
 
     /// The video this system serves.
@@ -183,7 +202,7 @@ impl EvrSystem {
     /// Construction pre-analyses the PTE memory pattern, so experiment
     /// sweeps should build once and [`EvrSystem::run_with`] per user.
     pub fn session_for(&self, use_case: UseCase, variant: Variant) -> PlaybackSession {
-        PlaybackSession::new(variant.session(use_case, self.sas))
+        PlaybackSession::with_observer(variant.session(use_case, self.sas), self.observer.clone())
     }
 
     /// Runs one user through a pre-built session.
@@ -201,12 +220,15 @@ impl EvrSystem {
         let catalog = self.server.catalog().with_utilization(utilization);
         let mut sas = self.sas;
         sas.object_utilization = utilization;
+        let mut server = SasServer::new(catalog);
+        server.set_observer(&self.observer);
         EvrSystem {
             video: self.video,
             scene: self.scene.clone(),
-            server: SasServer::new(catalog),
+            server,
             sas,
             duration_s: self.duration_s,
+            observer: self.observer.clone(),
         }
     }
 }
@@ -275,6 +297,30 @@ mod tests {
         let sys = tiny_system();
         assert_eq!(sys.user_trace(7), sys.user_trace(7));
         assert_ne!(sys.user_trace(7), sys.user_trace(8));
+    }
+
+    #[test]
+    fn instrumented_system_populates_pipeline_metrics() {
+        use evr_obs::names;
+        let obs = evr_obs::Observer::enabled();
+        let mut sys = tiny_system();
+        sys.instrument(&obs);
+        let r = sys.run_user(Variant::SPlusH, 3);
+        assert_eq!(obs.counter(names::FOV_HITS).get(), r.fov_hits);
+        assert_eq!(obs.counter(names::FOV_MISSES).get(), r.fov_misses);
+        assert!(obs.counter(names::SAS_FOV_REQUESTS).get() > 0, "server saw FOV requests");
+        for c in Component::ALL {
+            let got = obs.gauge(&evr_obs::names::energy_gauge(&c.to_string())).get();
+            assert!((got - r.ledger.component_total(c)).abs() < 1e-9, "{c:?}");
+        }
+        // Derived systems inherit the instrumentation.
+        let derived = sys.with_utilization(sys.sas_config().object_utilization);
+        assert!(derived.observer().is_enabled());
+        // Detaching restores silent sessions.
+        sys.instrument(&evr_obs::Observer::noop());
+        let before = obs.counter(names::FRAMES).get();
+        let _ = sys.run_user(Variant::SPlusH, 3);
+        assert_eq!(obs.counter(names::FRAMES).get(), before);
     }
 
     #[test]

@@ -96,11 +96,29 @@ impl EnergyLedger {
         EnergyLedger::default()
     }
 
+    /// Adds this ledger's per-component totals into the
+    /// `evr_energy_joules_<component>` gauges of `observer` (a no-op for
+    /// a no-op observer). Sessions call this once at the end of a run, so
+    /// repeated runs against one observer accumulate; keeping the mirror
+    /// out of [`EnergyLedger::add`] keeps per-frame accounting free of
+    /// observability cost.
+    pub fn mirror_gauges(&self, observer: &evr_obs::Observer) {
+        if !observer.is_enabled() {
+            return;
+        }
+        for c in Component::ALL {
+            observer
+                .gauge(&evr_obs::names::energy_gauge(&c.to_string()))
+                .add(self.component_total(c));
+        }
+    }
+
     /// Adds `joules` under `(component, activity)`.
     ///
     /// # Panics
     ///
     /// Panics if `joules` is negative or non-finite.
+    #[inline]
     pub fn add(&mut self, component: Component, activity: Activity, joules: f64) {
         assert!(joules.is_finite() && joules >= 0.0, "joules must be non-negative: {joules}");
         *self.entries.entry((component, activity)).or_insert(0.0) += joules;
@@ -124,20 +142,12 @@ impl EnergyLedger {
 
     /// Total joules for a component.
     pub fn component_total(&self, component: Component) -> f64 {
-        self.entries
-            .iter()
-            .filter(|((c, _), _)| *c == component)
-            .map(|(_, j)| j)
-            .sum()
+        self.entries.iter().filter(|((c, _), _)| *c == component).map(|(_, j)| j).sum()
     }
 
     /// Total joules for an activity across components.
     pub fn activity_total(&self, activity: Activity) -> f64 {
-        self.entries
-            .iter()
-            .filter(|((_, a), _)| *a == activity)
-            .map(|(_, j)| j)
-            .sum()
+        self.entries.iter().filter(|((_, a), _)| *a == activity).map(|(_, j)| j).sum()
     }
 
     /// Grand total, joules.
@@ -204,8 +214,8 @@ impl EnergyLedger {
     /// Merges another ledger into this one (summing entries; duration is
     /// kept from `self`).
     pub fn merge(&mut self, other: &EnergyLedger) {
-        for (&k, &j) in &other.entries {
-            *self.entries.entry(k).or_insert(0.0) += j;
+        for (&(c, a), &j) in &other.entries {
+            *self.entries.entry((c, a)).or_insert(0.0) += j;
         }
     }
 }
@@ -317,6 +327,43 @@ mod tests {
     fn display_format_lists_components() {
         let s = sample_ledger().to_string();
         assert!(s.contains("compute") && s.contains("display") && s.contains("W"));
+    }
+
+    #[test]
+    fn observer_gauges_mirror_component_totals() {
+        let obs = evr_obs::Observer::enabled();
+        let mut l = EnergyLedger::new();
+        l.add(Component::Compute, Activity::Decode, 1.25);
+        l.add(Component::Compute, Activity::Base, 0.5);
+        l.add(Component::Display, Activity::DisplayScan, 2.0);
+        l.merge(&sample_ledger());
+        l.mirror_gauges(&obs);
+        for c in Component::ALL {
+            let gauge = obs.gauge(&evr_obs::names::energy_gauge(&c.to_string()));
+            assert!(
+                (gauge.get() - l.component_total(c)).abs() < 1e-12,
+                "{c}: gauge {} vs ledger {}",
+                gauge.get(),
+                l.component_total(c)
+            );
+        }
+    }
+
+    #[test]
+    fn mirror_gauges_accumulates_across_runs() {
+        let obs = evr_obs::Observer::enabled();
+        let l = sample_ledger();
+        l.mirror_gauges(&obs);
+        l.mirror_gauges(&obs);
+        let compute = obs.gauge(&evr_obs::names::energy_gauge("compute"));
+        assert!((compute.get() - 2.0 * l.component_total(Component::Compute)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mirror_gauges_on_noop_observer_registers_nothing() {
+        let obs = evr_obs::Observer::noop();
+        sample_ledger().mirror_gauges(&obs);
+        assert!(obs.metrics().is_empty());
     }
 
     proptest! {

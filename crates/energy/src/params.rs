@@ -67,33 +67,39 @@ impl Default for DeviceParams {
 
 impl DeviceParams {
     /// Display energy over `dt` seconds.
+    #[inline]
     pub fn display_energy(&self, dt: f64) -> f64 {
         self.display_power_w * dt
     }
 
     /// Network energy for receiving `bytes` over `dt` seconds of radio-on
     /// time.
+    #[inline]
     pub fn network_energy(&self, bytes: u64, dt: f64) -> f64 {
         self.radio_idle_w * dt + bytes as f64 * self.radio_rx_j_per_byte
     }
 
     /// Storage energy for `bytes` of I/O over `dt` seconds.
+    #[inline]
     pub fn storage_energy(&self, bytes: u64, dt: f64) -> f64 {
         self.storage_idle_w * dt + bytes as f64 * self.storage_j_per_byte
     }
 
     /// Dynamic DRAM energy for `bytes` moved.
+    #[inline]
     pub fn dram_energy(&self, bytes: u64) -> f64 {
         bytes as f64 * self.dram_j_per_byte
     }
 
     /// Static DRAM energy over `dt` seconds.
+    #[inline]
     pub fn dram_static_energy(&self, dt: f64) -> f64 {
         self.dram_static_w * dt
     }
 
     /// SoC energy to decode one frame of `pixels` pixels from `bytes` of
     /// bitstream.
+    #[inline]
     pub fn decode_energy(&self, pixels: u64, bytes: u64) -> f64 {
         pixels as f64 * self.decode_j_per_pixel + bytes as f64 * self.decode_j_per_byte
     }
@@ -101,22 +107,26 @@ impl DeviceParams {
     /// DRAM bytes a hardware decoder moves per decoded frame: reference
     /// read + reconstruction write at 4:2:0 (1.5 B/px each) plus the RGB
     /// output surface (3 B/px).
+    #[inline]
     pub fn decode_dram_bytes(&self, pixels: u64) -> u64 {
         pixels * 6
     }
 
     /// DRAM bytes the display pipeline scans out over `dt` seconds
     /// (RGB panel surface at the refresh rate).
+    #[inline]
     pub fn display_dram_bytes(&self, dt: f64) -> u64 {
         (self.panel_pixels as f64 * 3.0 * self.panel_refresh_hz * dt) as u64
     }
 
     /// CPU baseline energy over `dt` seconds.
+    #[inline]
     pub fn base_energy(&self, dt: f64) -> f64 {
         self.cpu_base_w * dt
     }
 
     /// SAS client-control energy over `dt` seconds of SAS playback.
+    #[inline]
     pub fn sas_client_energy(&self, dt: f64) -> f64 {
         self.sas_client_w * dt
     }

@@ -135,7 +135,9 @@ impl fmt::Display for FxFormat {
 /// produced it; mixing values across contexts is a logic error (debug
 /// builds in [`FxCtx`] operations do not detect it — formats are erased
 /// for speed, as in real hardware registers).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Fx(pub i64);
 
 /// Arithmetic context for one fixed-point format.
@@ -408,8 +410,7 @@ impl FxCtx {
         let v2 = self.mul(v, v);
         if v2.0 >= one.0 {
             let frac = self.format.frac_bits();
-            let half_pi =
-                (std::f64::consts::FRAC_PI_2 * (1u64 << frac) as f64).round() as i64;
+            let half_pi = (std::f64::consts::FRAC_PI_2 * (1u64 << frac) as f64).round() as i64;
             return Fx(if v.0 >= 0 { half_pi } else { -half_pi });
         }
         let c = self.sqrt(self.sub(one, v2));

@@ -37,8 +37,7 @@ impl Default for Mat3 {
 
 impl Mat3 {
     /// The identity matrix.
-    pub const IDENTITY: Mat3 =
-        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    pub const IDENTITY: Mat3 = Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// Creates a matrix from row-major rows.
     pub fn from_rows(rows: [[f64; 3]; 3]) -> Self {
@@ -105,11 +104,7 @@ impl Mat3 {
     /// assert_eq!(Mat3::rotation_x(Radians(0.3)).trivial_entries(), 5);
     /// ```
     pub fn trivial_entries(&self) -> usize {
-        self.rows
-            .iter()
-            .flatten()
-            .filter(|&&v| v == 0.0 || v == 1.0 || v == -1.0)
-            .count()
+        self.rows.iter().flatten().filter(|&&v| v == 0.0 || v == 1.0 || v == -1.0).count()
     }
 }
 

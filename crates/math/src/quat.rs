@@ -133,8 +133,7 @@ impl Quat {
     /// Takes the shorter arc; falls back to normalized lerp for nearly
     /// identical rotations.
     pub fn slerp(self, rhs: Quat, t: f64) -> Quat {
-        let mut dot =
-            self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z;
+        let mut dot = self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z;
         let mut end = rhs;
         if dot < 0.0 {
             dot = -dot;

@@ -1,0 +1,339 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Hot-path updates are single atomic operations on pre-resolved handles;
+//! the registry's mutex is only taken at registration and export time.
+//! Counters saturate at `u64::MAX` instead of wrapping, so a runaway
+//! source can never make a total appear small.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Adds `v` to an `AtomicU64` holding `f64` bits.
+fn f64_fetch_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    value: AtomicU64,
+}
+
+impl CounterCore {
+    pub(crate) fn add(&self, n: u64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match self.value.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    pub(crate) fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCore {
+    bits: AtomicU64,
+}
+
+impl GaugeCore {
+    pub(crate) fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(&self, v: f64) {
+        f64_fetch_add(&self.bits, v);
+    }
+
+    pub(crate) fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Ascending bucket upper bounds; observations land in the first
+    /// bucket whose bound is `>= v` (Prometheus `le` semantics), or in
+    /// the implicit `+Inf` overflow bucket past the end.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` non-cumulative bucket counts.
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(bounds.iter().all(|b| b.is_finite()), "histogram bounds must be finite");
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        f64_fetch_add(&self.sum_bits, v);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Non-cumulative bucket counts; the final entry is the `+Inf`
+    /// overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket histogram: the upper bound
+    /// of the bucket containing the `q`-quantile observation (the last
+    /// finite bound when it falls in the overflow bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or(*self.bounds.last().expect("non-empty"));
+            }
+        }
+        *self.bounds.last().expect("non-empty")
+    }
+}
+
+/// A point-in-time copy of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A monotonic (saturating) event count.
+    Counter(u64),
+    /// A float value that can move both ways.
+    Gauge(f64),
+    /// A fixed-bucket distribution.
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// The metric store behind an enabled observer.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub(crate) fn counter(&self, name: &str) -> Arc<CounterCore> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(CounterCore::default())))
+        {
+            Metric::Counter(core) => Arc::clone(core),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub(crate) fn gauge(&self, name: &str) -> Arc<GaugeCore> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(GaugeCore::default())))
+        {
+            Metric::Gauge(core) => Arc::clone(core),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `bounds` on first use (later registrations reuse the original
+    /// bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different kind, or on invalid
+    /// `bounds` at first registration.
+    pub(crate) fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<HistogramCore> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(HistogramCore::new(bounds))))
+        {
+            Metric::Histogram(core) => Arc::clone(core),
+            _ => panic!("metric {name:?} is already registered with a different kind"),
+        }
+    }
+
+    /// Name-sorted snapshot of every registered metric.
+    pub(crate) fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), snap)
+            })
+            .collect()
+    }
+}
+
+/// A counter handle; all methods are no-ops when detached (obtained from
+/// a no-op observer).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            core.add(n);
+        }
+    }
+
+    /// Current value (0 when detached).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |core| core.get())
+    }
+}
+
+/// A gauge handle; all methods are no-ops when detached.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.set(v);
+        }
+    }
+
+    /// Adds `v` (may be negative).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.add(v);
+        }
+    }
+
+    /// Current value (0 when detached).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |core| core.get())
+    }
+}
+
+/// A histogram handle; all methods are no-ops when detached.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some(core) = &self.0 {
+            core.observe(v);
+        }
+    }
+
+    /// A copy of the current state (empty single-bucket snapshot when
+    /// detached).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            Some(core) => core.snapshot(),
+            None => HistogramSnapshot {
+                bounds: vec![f64::MAX],
+                buckets: vec![0, 0],
+                sum: 0.0,
+                count: 0,
+            },
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Structured span/event tracer with a bounded ring buffer.
+//!
+//! Events are small `Copy` records stamped with nanoseconds since the
+//! observer was created (monotonic, from [`std::time::Instant`]). The
+//! ring keeps the most recent `capacity` events and counts how many were
+//! overwritten, so a long run degrades to "newest window + drop count"
+//! instead of unbounded memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What one trace record represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A pipeline stage started.
+    SpanBegin,
+    /// A pipeline stage finished; `value` carries the span duration in
+    /// seconds.
+    SpanEnd,
+    /// A point event; `value` carries an event-specific payload.
+    Mark,
+}
+
+impl EventKind {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Mark => "mark",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the observer was created.
+    pub ts_ns: u64,
+    /// Record type.
+    pub kind: EventKind,
+    /// Stage or event name (static so recording never allocates).
+    pub name: &'static str,
+    /// Frame index, or -1 when not frame-scoped.
+    pub frame: i64,
+    /// Segment index, or -1 when not segment-scoped.
+    pub segment: i64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub value: f64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Event>,
+    /// Index the next event is written to.
+    next: usize,
+    /// Number of live events (saturates at capacity).
+    len: usize,
+}
+
+/// Bounded event recorder behind an enabled observer.
+#[derive(Debug)]
+pub(crate) struct Tracer {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl Tracer {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            ring: Mutex::new(Ring { buf: Vec::with_capacity(capacity), next: 0, len: 0 }),
+            capacity,
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the observer was created.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    pub(crate) fn record(
+        &self,
+        kind: EventKind,
+        name: &'static str,
+        frame: i64,
+        segment: i64,
+        value: f64,
+    ) {
+        let event = Event { ts_ns: self.now_ns(), kind, name, frame, segment, value };
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        if ring.len < self.capacity {
+            ring.buf.push(event);
+            ring.len += 1;
+            ring.next = ring.len % self.capacity;
+        } else {
+            let slot = ring.next;
+            ring.buf[slot] = event;
+            ring.next = (slot + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Events in oldest-to-newest order.
+    pub(crate) fn events(&self) -> Vec<Event> {
+        let ring = self.ring.lock().expect("tracer ring poisoned");
+        if ring.len < self.capacity {
+            ring.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(ring.len);
+            out.extend_from_slice(&ring.buf[ring.next..]);
+            out.extend_from_slice(&ring.buf[..ring.next]);
+            out
+        }
+    }
+
+    /// How many events were overwritten because the ring was full.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+}

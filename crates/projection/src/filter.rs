@@ -78,13 +78,7 @@ impl EdgeMode {
 /// let mid = sample(&img, 0.5, 0.5, FilterMode::Bilinear, EdgeMode::Clamp);
 /// assert!((mid.r as i32 - 127).abs() <= 1);
 /// ```
-pub fn sample(
-    src: &impl PixelSource,
-    u: f64,
-    v: f64,
-    filter: FilterMode,
-    edge: EdgeMode,
-) -> Rgb {
+pub fn sample(src: &impl PixelSource, u: f64, v: f64, filter: FilterMode, edge: EdgeMode) -> Rgb {
     let w = src.width();
     let h = src.height();
     // Continuous pixel coordinates with texel centres at integer + 0.5.
@@ -195,13 +189,7 @@ mod tests {
 
     #[test]
     fn clamp_edge_does_not_wrap() {
-        let img = ImageBuffer::from_fn(4, 1, |x, _| {
-            if x == 0 {
-                Rgb::WHITE
-            } else {
-                Rgb::BLACK
-            }
-        });
+        let img = ImageBuffer::from_fn(4, 1, |x, _| if x == 0 { Rgb::WHITE } else { Rgb::BLACK });
         // Sampling just left of the frame clamps to column 0.
         let p = sample(&img, 0.01, 0.5, FilterMode::Bilinear, EdgeMode::Clamp);
         assert_eq!(p, Rgb::WHITE);

@@ -167,15 +167,9 @@ impl FixedTransformer {
         let (sr, cr) = ctx.sin_cos(roll);
         let zero = ctx.zero();
         let one = ctx.one();
-        let ry = FxMat3 {
-            m: [[cy, zero, sy], [zero, one, zero], [ctx.neg(sy), zero, cy]],
-        };
-        let rx = FxMat3 {
-            m: [[one, zero, zero], [zero, cp, ctx.neg(sp)], [zero, sp, cp]],
-        };
-        let rz = FxMat3 {
-            m: [[cr, ctx.neg(sr), zero], [sr, cr, zero], [zero, zero, one]],
-        };
+        let ry = FxMat3 { m: [[cy, zero, sy], [zero, one, zero], [ctx.neg(sy), zero, cy]] };
+        let rx = FxMat3 { m: [[one, zero, zero], [zero, cp, ctx.neg(sp)], [zero, sp, cp]] };
+        let rz = FxMat3 { m: [[cr, ctx.neg(sr), zero], [sr, cr, zero], [zero, zero, one]] };
         let rotation = ry.mul(ctx, &rx).mul(ctx, &rz);
         FrameConfig {
             rotation,
@@ -202,11 +196,7 @@ impl FixedTransformer {
         let fj = ctx.add(ctx.from_int(j as i64), self.half);
         let ndc_x = ctx.sub(ctx.mul(cfg.ndc_step_x, fi), ctx.one());
         let ndc_y = ctx.sub(ctx.one(), ctx.mul(cfg.ndc_step_y, fj));
-        let ray = [
-            ctx.mul(ndc_x, cfg.tan_half_h),
-            ctx.mul(ndc_y, cfg.tan_half_v),
-            ctx.one(),
-        ];
+        let ray = [ctx.mul(ndc_x, cfg.tan_half_h), ctx.mul(ndc_y, cfg.tan_half_v), ctx.one()];
         // --- rotate (perspective update MACs) ---
         let p = cfg.rotation.apply(ctx, ray);
         // --- mapping ---
@@ -214,11 +204,7 @@ impl FixedTransformer {
             Projection::Erp => {
                 // C2S: lon = atan2(x, z); lat = asin(y / |p|).
                 let lon = ctx.atan2(p[0], p[2]);
-                let norm2 = ctx.mac(
-                    ctx.mac(ctx.mul(p[0], p[0]), p[1], p[1]),
-                    p[2],
-                    p[2],
-                );
+                let norm2 = ctx.mac(ctx.mac(ctx.mul(p[0], p[0]), p[1], p[1]), p[2], p[2]);
                 let norm = ctx.sqrt(norm2);
                 let lat = ctx.asin(ctx.div(p[1], norm));
                 // LS_erp.
@@ -470,7 +456,8 @@ mod tests {
         let vp = Viewport::new(16, 16);
         for projection in Projection::ALL {
             let reference = Transformer::new(projection, FilterMode::Nearest, fov, vp);
-            let fixed = FixedTransformer::new(FxFormat::q28_10(), projection, FilterMode::Nearest, fov, vp);
+            let fixed =
+                FixedTransformer::new(FxFormat::q28_10(), projection, FilterMode::Nearest, fov, vp);
             let pose = EulerAngles::from_degrees(25.0, -15.0, 0.0);
             for (i, j) in [(0u32, 0u32), (8, 8), (15, 15), (3, 12)] {
                 let (u1, v1) = reference.map_pixel(i, j, pose);
@@ -506,16 +493,17 @@ mod tests {
         let fov = FovSpec::from_degrees(90.0, 90.0);
         let vp = Viewport::new(20, 20);
         let reference = Transformer::new(Projection::Erp, FilterMode::Nearest, fov, vp);
-        let fixed = FixedTransformer::new(FxFormat::q28_10(), Projection::Erp, FilterMode::Nearest, fov, vp);
+        let fixed = FixedTransformer::new(
+            FxFormat::q28_10(),
+            Projection::Erp,
+            FilterMode::Nearest,
+            fov,
+            vp,
+        );
         let pose = EulerAngles::from_degrees(10.0, 5.0, 0.0);
         let a = reference.render_fov(&src, pose).image;
         let b = fixed.render_fov(&src, pose);
-        let identical = a
-            .pixels()
-            .iter()
-            .zip(b.pixels())
-            .filter(|(x, y)| x == y)
-            .count();
+        let identical = a.pixels().iter().zip(b.pixels()).filter(|(x, y)| x == y).count();
         assert!(identical as f64 / 400.0 > 0.95, "only {identical}/400 identical");
     }
 }

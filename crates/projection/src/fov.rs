@@ -187,7 +187,12 @@ impl FovFrameMeta {
     /// # Panics
     ///
     /// Panics if `required` is outside `(0, 1]`.
-    pub fn covers_fraction(&self, desired: EulerAngles, device_fov: FovSpec, required: f64) -> bool {
+    pub fn covers_fraction(
+        &self,
+        desired: EulerAngles,
+        device_fov: FovSpec,
+        required: f64,
+    ) -> bool {
         assert!(required > 0.0 && required <= 1.0, "required fraction must be in (0, 1]");
         let slack_h =
             Radians((self.fov.h_radians().0 - required * device_fov.h_radians().0).max(0.0) / 2.0);
@@ -257,8 +262,7 @@ mod tests {
     #[test]
     fn yaw_wrap_hit() {
         let stream = FovSpec::from_degrees(110.0, 110.0).expanded(Degrees(10.0));
-        let meta =
-            FovFrameMeta::new(EulerAngles::from_degrees(178.0, 0.0, 0.0), stream);
+        let meta = FovFrameMeta::new(EulerAngles::from_degrees(178.0, 0.0, 0.0), stream);
         // Desired at -178°: only 4° away across the seam.
         assert!(meta.covers(
             EulerAngles::from_degrees(-178.0, 0.0, 0.0),

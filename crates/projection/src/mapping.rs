@@ -131,8 +131,7 @@ impl Projection {
             Projection::Erp => {
                 let lon = (u - 0.5) * std::f64::consts::TAU;
                 let lat = (0.5 - v) * std::f64::consts::PI;
-                SphericalCoord::new(evr_math::Radians(lon), evr_math::Radians(lat))
-                    .to_unit_vector()
+                SphericalCoord::new(evr_math::Radians(lon), evr_math::Radians(lat)).to_unit_vector()
             }
             Projection::Cmp => {
                 let (face, fu, fv) = f2c(u, v);

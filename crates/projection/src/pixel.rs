@@ -185,12 +185,8 @@ impl ImageBuffer {
             (other.width, other.height),
             "image dimension mismatch"
         );
-        let total: u64 = self
-            .pixels
-            .iter()
-            .zip(&other.pixels)
-            .map(|(a, b)| a.abs_diff(*b) as u64)
-            .sum();
+        let total: u64 =
+            self.pixels.iter().zip(&other.pixels).map(|(a, b)| a.abs_diff(*b) as u64).sum();
         total as f64 / (self.pixels.len() as f64 * 3.0 * 255.0)
     }
 }

@@ -279,10 +279,7 @@ mod tests {
         // Sample a few directions through both representations.
         for dir in [Vec3::FORWARD, Vec3::RIGHT, -Vec3::UP] {
             let (u, v) = Projection::Eac.sphere_to_frame(dir * 0.9 + Vec3::new(0.05, 0.08, 0.0));
-            let px = eac.get(
-                ((u * 192.0) as u32).min(191),
-                ((v * 128.0) as u32).min(127),
-            );
+            let px = eac.get(((u * 192.0) as u32).min(191), ((v * 128.0) as u32).min(127));
             let want = octant_shade((dir * 0.9 + Vec3::new(0.05, 0.08, 0.0)).normalized().unwrap());
             assert_eq!(px, want);
         }

@@ -97,17 +97,66 @@ impl FrameStats {
 pub struct Pte {
     config: PteConfig,
     energy: PteEnergyParams,
+    metrics: PteMetrics,
+}
+
+/// Pre-resolved PTU cycle/stall/traffic counters for an observed engine.
+#[derive(Debug, Clone, Default)]
+struct PteMetrics {
+    frames: evr_obs::Counter,
+    active_cycles: evr_obs::Counter,
+    stall_cycles: evr_obs::Counter,
+    pmem_hits: evr_obs::Counter,
+    pmem_misses: evr_obs::Counter,
+    dram_read_bytes: evr_obs::Counter,
+    dram_write_bytes: evr_obs::Counter,
+}
+
+impl PteMetrics {
+    fn resolve(observer: &evr_obs::Observer) -> Self {
+        use evr_obs::names;
+        PteMetrics {
+            frames: observer.counter(names::PTE_FRAMES),
+            active_cycles: observer.counter(names::PTE_ACTIVE_CYCLES),
+            stall_cycles: observer.counter(names::PTE_STALL_CYCLES),
+            pmem_hits: observer.counter(names::PTE_PMEM_HITS),
+            pmem_misses: observer.counter(names::PTE_PMEM_MISSES),
+            dram_read_bytes: observer.counter(names::PTE_DRAM_READ_BYTES),
+            dram_write_bytes: observer.counter(names::PTE_DRAM_WRITE_BYTES),
+        }
+    }
+
+    fn record(&self, stats: &FrameStats) {
+        self.frames.inc();
+        self.active_cycles.add(stats.active_cycles);
+        self.stall_cycles.add(stats.stall_cycles);
+        self.pmem_hits.add(stats.pmem_hits);
+        self.pmem_misses.add(stats.pmem_misses);
+        self.dram_read_bytes.add(stats.dram_read_bytes);
+        self.dram_write_bytes.add(stats.dram_write_bytes);
+    }
 }
 
 impl Pte {
     /// Creates an engine with default (paper-calibrated) energy parameters.
     pub fn new(config: PteConfig) -> Self {
-        Pte { config, energy: PteEnergyParams::default() }
+        Pte { config, energy: PteEnergyParams::default(), metrics: PteMetrics::default() }
     }
 
     /// Creates an engine with explicit energy parameters.
     pub fn with_energy(config: PteConfig, energy: PteEnergyParams) -> Self {
-        Pte { config, energy }
+        Pte { config, energy, metrics: PteMetrics::default() }
+    }
+
+    /// Routes per-frame PTU cycle, stall, P-MEM and DRAM statistics into
+    /// `observer` (`evr_pte_*` names) on every frame analysis. A no-op
+    /// observer detaches the counters again.
+    pub fn set_observer(&mut self, observer: &evr_obs::Observer) {
+        self.metrics = if observer.is_enabled() {
+            PteMetrics::resolve(observer)
+        } else {
+            PteMetrics::default()
+        };
     }
 
     /// The configuration.
@@ -122,7 +171,12 @@ impl Pte {
 
     /// Analyzes one frame: drives the output scan's source-line access
     /// pattern through the P-MEM model and accounts cycles and energy.
-    pub fn analyze_frame(&self, src_width: u32, src_height: u32, orientation: EulerAngles) -> FrameStats {
+    pub fn analyze_frame(
+        &self,
+        src_width: u32,
+        src_height: u32,
+        orientation: EulerAngles,
+    ) -> FrameStats {
         self.analyze_frame_strided(src_width, src_height, orientation, 1)
     }
 
@@ -193,12 +247,11 @@ impl Pte {
         let ops = OpCounts::for_pipeline(cfg.projection, cfg.filter);
         let compute_energy_j = ops.compute_energy(out_pixels, &self.energy);
         let sram_energy_j = ops.sram_energy(out_pixels, &self.energy);
-        let dram_energy_j =
-            (dram_read_bytes + dram_write_bytes) as f64 * self.energy.dram_byte_j;
+        let dram_energy_j = (dram_read_bytes + dram_write_bytes) as f64 * self.energy.dram_byte_j;
         let time_s = (active_cycles + stall_cycles) as f64 / cfg.clock_hz;
         let leakage_energy_j = self.energy.leakage_w * time_s;
 
-        FrameStats {
+        let stats = FrameStats {
             out_pixels,
             active_cycles,
             stall_cycles,
@@ -211,7 +264,9 @@ impl Pte {
             dram_energy_j,
             leakage_energy_j,
             clock_hz: cfg.clock_hz,
-        }
+        };
+        self.metrics.record(&stats);
+        stats
     }
 
     /// Renders one frame bit-exactly through the fixed-point datapath and
@@ -222,13 +277,8 @@ impl Pte {
         orientation: EulerAngles,
     ) -> (ImageBuffer, FrameStats) {
         let cfg = &self.config;
-        let fixed = FixedTransformer::new(
-            cfg.format,
-            cfg.projection,
-            cfg.filter,
-            cfg.fov,
-            cfg.viewport,
-        );
+        let fixed =
+            FixedTransformer::new(cfg.format, cfg.projection, cfg.filter, cfg.fov, cfg.viewport);
         let image = fixed.render_fov(src, orientation);
         let stats = self.analyze_frame(src.width(), src.height(), orientation);
         (image, stats)
@@ -245,6 +295,28 @@ mod tests {
     }
 
     #[test]
+    fn observed_engine_accumulates_cycle_stats() {
+        let obs = evr_obs::Observer::enabled();
+        let mut pte = prototype();
+        pte.set_observer(&obs);
+        let a = pte.analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        let b = pte.analyze_frame_strided(3840, 2160, EulerAngles::from_degrees(30.0, 5.0, 0.0), 4);
+        use evr_obs::names;
+        assert_eq!(obs.counter(names::PTE_FRAMES).get(), 2);
+        assert_eq!(obs.counter(names::PTE_ACTIVE_CYCLES).get(), a.active_cycles + b.active_cycles);
+        assert_eq!(obs.counter(names::PTE_STALL_CYCLES).get(), a.stall_cycles + b.stall_cycles);
+        assert_eq!(obs.counter(names::PTE_PMEM_MISSES).get(), a.pmem_misses + b.pmem_misses);
+        assert_eq!(
+            obs.counter(names::PTE_DRAM_READ_BYTES).get(),
+            a.dram_read_bytes + b.dram_read_bytes
+        );
+        // Detaching stops the accumulation.
+        pte.set_observer(&evr_obs::Observer::noop());
+        let _ = pte.analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        assert_eq!(obs.counter(names::PTE_FRAMES).get(), 2);
+    }
+
+    #[test]
     fn prototype_sustains_50_fps_at_1440p() {
         let stats = prototype().analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
         assert!(stats.fps() > 45.0, "fps = {}", stats.fps());
@@ -255,10 +327,7 @@ mod tests {
     fn prototype_power_matches_post_layout_194mw() {
         let stats = prototype().analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
         let p = stats.power_watts();
-        assert!(
-            (0.15..=0.25).contains(&p),
-            "power {p} W should be near the paper's 194 mW"
-        );
+        assert!((0.15..=0.25).contains(&p), "power {p} W should be near the paper's 194 mW");
     }
 
     #[test]
@@ -279,10 +348,18 @@ mod tests {
 
     #[test]
     fn more_ptus_increase_throughput() {
-        let one = Pte::new(PteConfig::prototype().with_ptus(1))
-            .analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
-        let four = Pte::new(PteConfig::prototype().with_ptus(4))
-            .analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
+        let one = Pte::new(PteConfig::prototype().with_ptus(1)).analyze_frame_strided(
+            3840,
+            2160,
+            EulerAngles::default(),
+            4,
+        );
+        let four = Pte::new(PteConfig::prototype().with_ptus(4)).analyze_frame_strided(
+            3840,
+            2160,
+            EulerAngles::default(),
+            4,
+        );
         assert!(four.fps() > 1.9 * one.fps());
     }
 

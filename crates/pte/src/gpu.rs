@@ -50,6 +50,7 @@ impl Default for GpuModel {
 impl GpuModel {
     /// Cost of transforming one frame with `out_pixels` output pixels
     /// (session power not included; see [`GpuModel::session_energy`]).
+    #[inline]
     pub fn pt_frame(&self, out_pixels: u64) -> GpuFrameCost {
         let time_s = out_pixels as f64 / self.throughput_px_s;
         GpuFrameCost {
@@ -61,6 +62,7 @@ impl GpuModel {
 
     /// Session-overhead energy for keeping the GPU path alive for
     /// `duration_s` seconds.
+    #[inline]
     pub fn session_energy(&self, duration_s: f64) -> f64 {
         self.session_power_w * duration_s
     }

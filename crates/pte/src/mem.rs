@@ -65,10 +65,7 @@ impl PmemCache {
     pub fn new(capacity_bytes: u32, src_width: u32, src_height: u32) -> Self {
         assert!(src_width > 0 && src_height > 0, "source dimensions must be non-zero");
         let capacity_blocks = capacity_bytes / BLOCK_BYTES;
-        assert!(
-            capacity_blocks >= 4,
-            "P-MEM must hold at least 4 blocks ({capacity_bytes} B)"
-        );
+        assert!(capacity_blocks >= 4, "P-MEM must hold at least 4 blocks ({capacity_bytes} B)");
         PmemCache {
             capacity_blocks,
             blocks_x: src_width.div_ceil(BLOCK_W),

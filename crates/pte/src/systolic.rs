@@ -54,9 +54,7 @@ impl Layer {
                 oh * ow * c_out as u64 * c_in as u64 * (k as u64) * (k as u64)
             }
             Layer::Fc { inputs, outputs } => inputs as u64 * outputs as u64,
-            Layer::Lstm { inputs, hidden } => {
-                4 * (inputs as u64 + hidden as u64) * hidden as u64
-            }
+            Layer::Lstm { inputs, hidden } => 4 * (inputs as u64 + hidden as u64) * hidden as u64,
         }
     }
 

@@ -176,10 +176,7 @@ mod tests {
             c.check(EulerAngles::from_degrees(0.2, 0.0, 0.0), &meta_at(0.0, 0.0)),
             CheckOutcome::Miss
         );
-        assert_eq!(
-            c.check(EulerAngles::default(), &meta_at(0.0, 0.0)),
-            CheckOutcome::Hit
-        );
+        assert_eq!(c.check(EulerAngles::default(), &meta_at(0.0, 0.0)), CheckOutcome::Hit);
     }
 
     #[test]

@@ -77,10 +77,7 @@ impl SasCatalog {
 
     /// Clusters with materialised FOV videos in `segment`.
     pub fn clusters_in_segment(&self, segment: u32) -> Vec<usize> {
-        self.index
-            .range((segment, 0)..(segment + 1, 0))
-            .map(|((_, c), _)| *c)
-            .collect()
+        self.index.range((segment, 0)..(segment + 1, 0)).map(|((_, c), _)| *c).collect()
     }
 
     /// Reads an FOV stream's encoded segment and orientation metadata.
@@ -156,11 +153,8 @@ impl SasCatalog {
         out.config.object_utilization = utilization;
         out.index.clear();
         for seg in 0..self.segment_count() {
-            let mut streams: Vec<&FovStream> = self
-                .index
-                .range((seg, 0)..(seg + 1, 0))
-                .map(|(_, s)| s)
-                .collect();
+            let mut streams: Vec<&FovStream> =
+                self.index.range((seg, 0)..(seg + 1, 0)).map(|(_, s)| s).collect();
             streams.sort_by_key(|s| std::cmp::Reverse(s.members));
             let total: u32 = streams.iter().map(|s| s.members).sum();
             let budget = (utilization * total as f64).ceil() as u32;
@@ -356,12 +350,8 @@ fn ingest_segment(
         // Cluster at the key frame.
         let key_t = times[0];
         let points: Vec<Vec3> = tracks.iter().map(|tr| tr.position_at(key_t)).collect();
-        let clustering = select_k(
-            &points,
-            config.cluster_spread,
-            config.max_clusters,
-            0xC1A5 ^ seg,
-        );
+        let clustering =
+            select_k(&points, config.cluster_spread, config.max_clusters, 0xC1A5 ^ seg);
         let mut trajectories =
             ClusterTrajectory::build_all(&clustering, &tracks, &times, config.smoothing);
 
@@ -381,7 +371,8 @@ fn ingest_segment(
 
         // Pre-render + encode one FOV video per kept cluster.
         for traj in &trajectories {
-            let mut enc = Encoder::new(CodecConfig::new(config.segment_frames, config.fov_quantizer));
+            let mut enc =
+                Encoder::new(CodecConfig::new(config.segment_frames, config.fov_quantizer));
             enc.force_intra();
             let mut meta = Vec::with_capacity(times.len());
             let mut frames = Vec::with_capacity(times.len());

@@ -126,12 +126,7 @@ mod tests {
     use evr_video::library::{scene_for, VideoId};
 
     fn catalog() -> LadderCatalog {
-        ingest_ladder(
-            &scene_for(VideoId::Rhino),
-            &SasConfig::tiny_for_tests(),
-            &[30, 18, 10],
-            1.0,
-        )
+        ingest_ladder(&scene_for(VideoId::Rhino), &SasConfig::tiny_for_tests(), &[30, 18, 10], 1.0)
     }
 
     #[test]
@@ -155,11 +150,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly descending")]
     fn unordered_rungs_panic() {
-        let _ = ingest_ladder(
-            &scene_for(VideoId::Rs),
-            &SasConfig::tiny_for_tests(),
-            &[10, 18],
-            0.5,
-        );
+        let _ =
+            ingest_ladder(&scene_for(VideoId::Rs), &SasConfig::tiny_for_tests(), &[10, 18], 0.5);
     }
 }

@@ -55,16 +55,50 @@ pub enum Response<'a> {
     NotFound,
 }
 
+/// Pre-resolved request/response counters for an observed server.
+#[derive(Debug, Clone, Default)]
+struct ServerMetrics {
+    fov_requests: evr_obs::Counter,
+    original_requests: evr_obs::Counter,
+    not_found: evr_obs::Counter,
+    fov_bytes: evr_obs::Counter,
+    original_bytes: evr_obs::Counter,
+}
+
 /// The SAS server for one ingested video.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SasServer {
     catalog: SasCatalog,
+    metrics: ServerMetrics,
+}
+
+/// Equality is over the served catalog; attached observers are not part
+/// of the server's identity.
+impl PartialEq for SasServer {
+    fn eq(&self, other: &Self) -> bool {
+        self.catalog == other.catalog
+    }
 }
 
 impl SasServer {
     /// Wraps an ingested catalog.
     pub fn new(catalog: SasCatalog) -> Self {
-        SasServer { catalog }
+        SasServer { catalog, metrics: ServerMetrics::default() }
+    }
+
+    /// Routes request/response counters into `observer` (`evr_sas_*`
+    /// names) and publishes the store's segment count as a gauge. A
+    /// no-op observer detaches the counters again.
+    pub fn set_observer(&mut self, observer: &evr_obs::Observer) {
+        use evr_obs::names;
+        self.metrics = ServerMetrics {
+            fov_requests: observer.counter(names::SAS_FOV_REQUESTS),
+            original_requests: observer.counter(names::SAS_ORIGINAL_REQUESTS),
+            not_found: observer.counter(names::SAS_NOT_FOUND),
+            fov_bytes: observer.counter(names::SAS_FOV_BYTES),
+            original_bytes: observer.counter(names::SAS_ORIGINAL_BYTES),
+        };
+        observer.gauge(names::SAS_STORE_SEGMENTS).set(self.catalog.segment_count() as f64);
     }
 
     /// The underlying catalog.
@@ -76,26 +110,29 @@ impl SasServer {
     pub fn handle(&self, request: Request) -> Response<'_> {
         match request {
             Request::FovVideo { segment, cluster } => {
+                self.metrics.fov_requests.inc();
                 match self.catalog.fov_stream(segment, cluster) {
                     Some(stream) => {
                         let (data, meta) = self.catalog.read_fov(stream);
-                        Response::FovVideo {
-                            segment: data,
-                            meta,
-                            wire_bytes: self.catalog.fov_target_bytes(stream),
-                        }
+                        let wire_bytes = self.catalog.fov_target_bytes(stream);
+                        self.metrics.fov_bytes.add(wire_bytes);
+                        Response::FovVideo { segment: data, meta, wire_bytes }
                     }
-                    None => Response::NotFound,
+                    None => {
+                        self.metrics.not_found.inc();
+                        Response::NotFound
+                    }
                 }
             }
             Request::Original { segment } => {
+                self.metrics.original_requests.inc();
                 if segment >= self.catalog.segment_count() {
+                    self.metrics.not_found.inc();
                     return Response::NotFound;
                 }
-                Response::Original {
-                    segment: self.catalog.original_segment(segment),
-                    wire_bytes: self.catalog.original_target_bytes(segment),
-                }
+                let wire_bytes = self.catalog.original_target_bytes(segment);
+                self.metrics.original_bytes.add(wire_bytes);
+                Response::Original { segment: self.catalog.original_segment(segment), wire_bytes }
             }
         }
     }
@@ -191,6 +228,28 @@ mod tests {
             let pose = meta[0].orientation;
             assert_eq!(s.best_cluster(0, pose), Some(c), "looking straight at cluster {c}");
         }
+    }
+
+    #[test]
+    fn observed_server_counts_requests_and_bytes() {
+        let obs = evr_obs::Observer::enabled();
+        let mut s = server(VideoId::Rhino);
+        s.set_observer(&obs);
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        let fov_wire = match s.handle(Request::FovVideo { segment: 0, cluster }) {
+            Response::FovVideo { wire_bytes, .. } => wire_bytes,
+            other => panic!("unexpected response {other:?}"),
+        };
+        let _ = s.handle(Request::Original { segment: 0 });
+        let _ = s.handle(Request::FovVideo { segment: 0, cluster: 99 });
+        let _ = s.handle(Request::Original { segment: 999 });
+        use evr_obs::names;
+        assert_eq!(obs.counter(names::SAS_FOV_REQUESTS).get(), 2);
+        assert_eq!(obs.counter(names::SAS_ORIGINAL_REQUESTS).get(), 2);
+        assert_eq!(obs.counter(names::SAS_NOT_FOUND).get(), 2);
+        assert_eq!(obs.counter(names::SAS_FOV_BYTES).get(), fov_wire);
+        assert!(obs.counter(names::SAS_ORIGINAL_BYTES).get() > 0);
+        assert_eq!(obs.gauge(names::SAS_STORE_SEGMENTS).get(), s.catalog().segment_count() as f64);
     }
 
     #[test]

@@ -103,7 +103,10 @@ impl<T> LogStore<T> {
     /// map). This is the garbage-collection half of the log-structured
     /// store: after the index stops referencing a record (e.g. a lowered
     /// object-utilisation budget), compaction reclaims its bytes.
-    pub fn compact(self, mut live: impl FnMut(RecordId) -> bool) -> (LogStore<T>, std::collections::HashMap<RecordId, RecordId>) {
+    pub fn compact(
+        self,
+        mut live: impl FnMut(RecordId) -> bool,
+    ) -> (LogStore<T>, std::collections::HashMap<RecordId, RecordId>) {
         let mut out = LogStore::new();
         let mut remap = std::collections::HashMap::new();
         for (i, (record, bytes)) in self.records.into_iter().enumerate() {

@@ -198,8 +198,13 @@ pub fn ingest_tiled(
         for row in 0..grid.rows {
             for col in 0..grid.cols {
                 let crop = |img: &ImageBuffer| {
-                    let view =
-                        TileView { src: img, x0: col * tile_w, y0: row * tile_h, w: tile_w, h: tile_h };
+                    let view = TileView {
+                        src: img,
+                        x0: col * tile_w,
+                        y0: row * tile_h,
+                        w: tile_w,
+                        h: tile_h,
+                    };
                     ImageBuffer::from_fn(tile_w, tile_h, |x, y| view.pixel(x, y))
                 };
                 let encode = |imgs: &[ImageBuffer], q: u8| -> EncodedSegment {
@@ -214,12 +219,9 @@ pub fn ingest_tiled(
                 let high = encode(&highs, config.codec.quantizer).scaled_bytes(scale);
                 // Low layer: 2× downsampled pixels (quarter the data) at a
                 // coarser quantiser.
-                let lows: Vec<ImageBuffer> = highs
-                    .iter()
-                    .map(evr_projection::pixel::downsample2x)
-                    .collect();
-                let low =
-                    encode(&lows, low_quantizer).scaled_bytes(scale / 4.0);
+                let lows: Vec<ImageBuffer> =
+                    highs.iter().map(evr_projection::pixel::downsample2x).collect();
+                let low = encode(&lows, low_quantizer).scaled_bytes(scale / 4.0);
                 tiles.push(TileBytes { high, low });
             }
         }
@@ -270,8 +272,7 @@ mod tests {
     fn view_guided_bytes_below_all_high() {
         let cat = catalog();
         for seg in 0..cat.segment_count() {
-            let guided =
-                cat.segment_bytes(seg, EulerAngles::default(), FovSpec::hdk2());
+            let guided = cat.segment_bytes(seg, EulerAngles::default(), FovSpec::hdk2());
             let all = cat.segment_bytes_all_high(seg);
             assert!(guided < all, "segment {seg}: {guided} vs {all}");
         }
@@ -281,11 +282,7 @@ mod tests {
     fn looking_elsewhere_changes_the_selection() {
         let cat = catalog();
         let a = cat.segment_bytes(0, EulerAngles::default(), FovSpec::hdk2());
-        let b = cat.segment_bytes(
-            0,
-            EulerAngles::from_degrees(180.0, 0.0, 0.0),
-            FovSpec::hdk2(),
-        );
+        let b = cat.segment_bytes(0, EulerAngles::from_degrees(180.0, 0.0, 0.0), FovSpec::hdk2());
         // Different views select different tile sets; sizes differ unless
         // the content is perfectly symmetric.
         assert_ne!(a, b);

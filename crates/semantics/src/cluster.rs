@@ -46,11 +46,7 @@ impl ClusterTrajectory {
         times: &[f64],
         smoothing: f64,
     ) -> Vec<ClusterTrajectory> {
-        assert_eq!(
-            clustering.assignment.len(),
-            tracks.len(),
-            "clustering/tracks length mismatch"
-        );
+        assert_eq!(clustering.assignment.len(), tracks.len(), "clustering/tracks length mismatch");
         assert!(!times.is_empty(), "segment must contain frames");
         assert!((0.0..1.0).contains(&smoothing), "smoothing must be in [0, 1)");
 
@@ -60,8 +56,7 @@ impl ClusterTrajectory {
                 if member_idx.is_empty() {
                     return None;
                 }
-                let members: Vec<u32> =
-                    member_idx.iter().map(|&i| tracks[i].track_id).collect();
+                let members: Vec<u32> = member_idx.iter().map(|&i| tracks[i].track_id).collect();
                 let mut samples = Vec::with_capacity(times.len());
                 let mut spread = 0.0f64;
                 let mut smoothed: Option<Vec3> = None;
@@ -72,16 +67,14 @@ impl ClusterTrajectory {
                     }
                     let centroid = sum.normalized().unwrap_or(Vec3::FORWARD);
                     let dir = match smoothed {
-                        Some(prev) => prev
-                            .slerp(centroid, 1.0 - smoothing)
-                            .normalized()
-                            .unwrap_or(centroid),
+                        Some(prev) => {
+                            prev.slerp(centroid, 1.0 - smoothing).normalized().unwrap_or(centroid)
+                        }
                         None => centroid,
                     };
                     smoothed = Some(dir);
                     for &i in &member_idx {
-                        let ang =
-                            dir.dot(tracks[i].position_at(t)).clamp(-1.0, 1.0).acos();
+                        let ang = dir.dot(tracks[i].position_at(t)).clamp(-1.0, 1.0).acos();
                         spread = spread.max(ang);
                     }
                     samples.push((t, dir));
@@ -113,8 +106,8 @@ impl ClusterTrajectory {
     /// The head orientation (yaw/pitch, zero roll) a FOV frame at time `t`
     /// should be rendered for.
     pub fn orientation_at(&self, t: f64) -> EulerAngles {
-        let s = SphericalCoord::from_vector(self.direction_at(t))
-            .expect("centroids are unit vectors");
+        let s =
+            SphericalCoord::from_vector(self.direction_at(t)).expect("centroids are unit vectors");
         EulerAngles::new(s.lon, s.lat, Radians(0.0))
     }
 }
@@ -168,7 +161,12 @@ mod tests {
     #[test]
     fn smoothing_reduces_jerk() {
         let scene = scene_for(VideoId::Rs);
-        let det = SyntheticDetector { localization_noise: 0.03, miss_rate: 0.0, spurious_rate: 0.0, seed: 4 };
+        let det = SyntheticDetector {
+            localization_noise: 0.03,
+            miss_rate: 0.0,
+            spurious_rate: 0.0,
+            seed: 4,
+        };
         let mut tracker = Tracker::new(Radians(0.3), 3);
         let times: Vec<f64> = (0..60).map(|i| i as f64 / 30.0).collect();
         for &t in &times {

@@ -51,12 +51,7 @@ impl SyntheticDetector {
     /// Error rates representative of a strong detector (YOLOv2-class):
     /// ~1° localisation σ, 5% misses, 0.1 spurious boxes per frame.
     pub fn default_for_eval(seed: u64) -> Self {
-        SyntheticDetector {
-            localization_noise: 0.017,
-            miss_rate: 0.05,
-            spurious_rate: 0.1,
-            seed,
-        }
+        SyntheticDetector { localization_noise: 0.017, miss_rate: 0.05, spurious_rate: 0.1, seed }
     }
 
     /// A perfect detector (for ablations isolating detector error).
@@ -72,9 +67,7 @@ impl SyntheticDetector {
         // Quantise time so numerically equal frames share a stream.
         let t_quant = (t * 1000.0).round() as i64;
         let mut rng = SmallRng::seed_from_u64(
-            self.seed
-                .wrapping_mul(0x0123_4567_89AB_CDEF)
-                .wrapping_add(t_quant as u64),
+            self.seed.wrapping_mul(0x0123_4567_89AB_CDEF).wrapping_add(t_quant as u64),
         );
         let mut out = Vec::with_capacity(scene.objects().len());
         for obj in scene.objects() {

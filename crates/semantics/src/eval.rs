@@ -114,9 +114,7 @@ pub fn evaluate_tracks(scene: &Scene, tracks: &[ObjectTrack]) -> TrackingQuality
                 scene
                     .object_positions(*t)
                     .into_iter()
-                    .min_by(|a, b| {
-                        dir.dot(b.1).partial_cmp(&dir.dot(a.1)).expect("finite")
-                    })
+                    .min_by(|a, b| dir.dot(b.1).partial_cmp(&dir.dot(a.1)).expect("finite"))
                     .map(|(id, _)| id)
                     .expect("non-empty scene")
             })
@@ -153,12 +151,8 @@ mod tests {
     #[test]
     fn eval_grade_detector_is_strong_but_imperfect() {
         let scene = scene_for(VideoId::Paris);
-        let q = evaluate_detector(
-            &scene,
-            &SyntheticDetector::default_for_eval(7),
-            30,
-            Radians(0.1),
-        );
+        let q =
+            evaluate_detector(&scene, &SyntheticDetector::default_for_eval(7), 30, Radians(0.1));
         assert!(q.recall > 0.9 && q.recall < 1.0, "recall {}", q.recall);
         assert!(q.precision > 0.9, "precision {}", q.precision);
         assert!(q.mean_error.0 > 0.0 && q.mean_error.0 < 0.05);
@@ -167,12 +161,8 @@ mod tests {
     #[test]
     fn noisier_detectors_score_worse() {
         let scene = scene_for(VideoId::Rhino);
-        let clean = evaluate_detector(
-            &scene,
-            &SyntheticDetector::default_for_eval(1),
-            20,
-            Radians(0.1),
-        );
+        let clean =
+            evaluate_detector(&scene, &SyntheticDetector::default_for_eval(1), 20, Radians(0.1));
         let noisy = evaluate_detector(
             &scene,
             &SyntheticDetector {

@@ -29,12 +29,7 @@ impl Clustering {
 
     /// Indices of the points in cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a == c)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignment.iter().enumerate().filter(|(_, &a)| a == c).map(|(i, _)| i).collect()
     }
 
     /// Mean angular distance (radians) from each point to its centroid —
@@ -133,9 +128,7 @@ pub fn kmeans_sphere(points: &[Vec3], k: usize, seed: u64) -> Clustering {
             let best = centroids
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    p.dot(**a).partial_cmp(&p.dot(**b)).expect("finite dot")
-                })
+                .max_by(|(_, a), (_, b)| p.dot(**a).partial_cmp(&p.dot(**b)).expect("finite dot"))
                 .map(|(j, _)| j)
                 .expect("k >= 1");
             if assignment[i] != best {
@@ -190,11 +183,8 @@ mod tests {
     use proptest::prelude::*;
 
     fn at(lon_deg: f64, lat_deg: f64) -> Vec3 {
-        SphericalCoord::new(
-            Radians(lon_deg.to_radians()),
-            Radians(lat_deg.to_radians()),
-        )
-        .to_unit_vector()
+        SphericalCoord::new(Radians(lon_deg.to_radians()), Radians(lat_deg.to_radians()))
+            .to_unit_vector()
     }
 
     fn three_groups() -> Vec<Vec3> {

@@ -245,11 +245,7 @@ mod tests {
             tracker.observe(t, &det.detect(&scene, t));
         }
         // The RS landmark sweeps substantially over 5 s; its track must too.
-        let longest = tracker
-            .tracks()
-            .iter()
-            .max_by_key(|t| t.len())
-            .unwrap();
+        let longest = tracker.tracks().iter().max_by_key(|t| t.len()).unwrap();
         let start = longest.samples[0].1;
         let end = longest.last_dir();
         assert!(start.angle_to(end).unwrap() > 0.2);

@@ -91,8 +91,7 @@ pub fn duration_cdf(episodes: &[TrackingEpisode], total_time: f64, xs: &[f64]) -
     assert!(total_time > 0.0, "total time must be positive");
     xs.iter()
         .map(|&x| {
-            let t: f64 =
-                episodes.iter().filter(|e| e.duration >= x).map(|e| e.duration).sum();
+            let t: f64 = episodes.iter().filter(|e| e.duration >= x).map(|e| e.duration).sum();
             t / total_time
         })
         .collect()
@@ -129,11 +128,7 @@ pub fn coverage_curve(traces: &[HeadTrace], scene: &Scene, fov: FovSpec) -> Vec<
             .iter()
             .enumerate()
             .map(|(pos, &k)| {
-                let gain = visible[k]
-                    .iter()
-                    .zip(&covered)
-                    .filter(|(v, c)| **v && !**c)
-                    .count();
+                let gain = visible[k].iter().zip(&covered).filter(|(v, c)| **v && !**c).count();
                 (pos, gain)
             })
             .max_by_key(|&(_, gain)| gain)

@@ -68,12 +68,9 @@ pub fn params_for(video: VideoId) -> BehaviorParams {
     match video {
         VideoId::Elephant => BehaviorParams { explore_rate: 0.035, ..base },
         VideoId::Paris => BehaviorParams { explore_rate: 0.045, dwell_log_mu: 1.05, ..base },
-        VideoId::Rs => BehaviorParams {
-            explore_rate: 0.045,
-            dwell_log_mu: 1.3,
-            pursuit_speed: 1.1,
-            ..base
-        },
+        VideoId::Rs => {
+            BehaviorParams { explore_rate: 0.045, dwell_log_mu: 1.3, pursuit_speed: 1.1, ..base }
+        }
         VideoId::Nyc => BehaviorParams { explore_rate: 0.042, ..base },
         VideoId::Rhino => BehaviorParams { explore_rate: 0.028, dwell_log_mu: 1.3, ..base },
         VideoId::Timelapse => BehaviorParams { explore_rate: 0.024, dwell_log_mu: 1.35, ..base },

@@ -148,10 +148,8 @@ pub fn read_csv<R: Read>(reader: R) -> Result<HeadTrace, ReadTraceError> {
     let mut samples: Vec<PoseSample> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line_no = idx + 1;
-        let line = line.map_err(|e| ReadTraceError {
-            line: line_no,
-            kind: ReadTraceErrorKind::Io(e),
-        })?;
+        let line =
+            line.map_err(|e| ReadTraceError { line: line_no, kind: ReadTraceErrorKind::Io(e) })?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -227,7 +225,12 @@ mod tests {
         write_csv(&trace, &mut buf, TraceFormat::Quaternion).unwrap();
         let back = read_csv(&buf[..]).unwrap();
         for (a, b) in trace.samples().iter().zip(back.samples()) {
-            assert!(a.pose.view_angle_to(b.pose).to_degrees().0 < 0.001, "{} vs {}", a.pose, b.pose);
+            assert!(
+                a.pose.view_angle_to(b.pose).to_degrees().0 < 0.001,
+                "{} vs {}",
+                a.pose,
+                b.pose
+            );
         }
     }
 

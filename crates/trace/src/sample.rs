@@ -72,6 +72,7 @@ impl HeadTrace {
 
     /// The pose at time `t`, slerping between samples and clamping to the
     /// trace ends — the replay path that emulates IMU readings (§8.1).
+    #[inline]
     pub fn pose_at(&self, t: f64) -> EulerAngles {
         if t <= self.samples[0].t {
             return self.samples[0].pose;
@@ -79,10 +80,7 @@ impl HeadTrace {
         if t >= self.samples.last().unwrap().t {
             return self.samples.last().unwrap().pose;
         }
-        let idx = self
-            .samples
-            .partition_point(|s| s.t <= t)
-            .min(self.samples.len() - 1);
+        let idx = self.samples.partition_point(|s| s.t <= t).min(self.samples.len() - 1);
         let a = &self.samples[idx - 1];
         let b = &self.samples[idx];
         let f = (t - a.t) / (b.t - a.t);

@@ -256,8 +256,7 @@ impl Encoder {
         };
         let mv = (motion.0 as i64, motion.1 as i64);
         let mv_chroma = (mv.0 / 2, mv.1 / 2);
-        let (ry, qy, by) =
-            code_plane(&yuv.y, reference.as_ref().map(|r| &r.y), kind, q, true, mv);
+        let (ry, qy, by) = code_plane(&yuv.y, reference.as_ref().map(|r| &r.y), kind, q, true, mv);
         let (rcb, qcb, bcb) =
             code_plane(&yuv.cb, reference.as_ref().map(|r| &r.cb), kind, q, false, mv_chroma);
         let (rcr, qcr, bcr) =
@@ -321,9 +320,30 @@ impl Decoder {
         }
         let mv = (frame.motion.0 as i64, frame.motion.1 as i64);
         let mv_chroma = (mv.0 / 2, mv.1 / 2);
-        let y = decode_plane(&frame.y, reference.as_ref().map(|r| &r.y), frame.kind, frame.quantizer, true, mv);
-        let cb = decode_plane(&frame.cb, reference.as_ref().map(|r| &r.cb), frame.kind, frame.quantizer, false, mv_chroma);
-        let cr = decode_plane(&frame.cr, reference.as_ref().map(|r| &r.cr), frame.kind, frame.quantizer, false, mv_chroma);
+        let y = decode_plane(
+            &frame.y,
+            reference.as_ref().map(|r| &r.y),
+            frame.kind,
+            frame.quantizer,
+            true,
+            mv,
+        );
+        let cb = decode_plane(
+            &frame.cb,
+            reference.as_ref().map(|r| &r.cb),
+            frame.kind,
+            frame.quantizer,
+            false,
+            mv_chroma,
+        );
+        let cr = decode_plane(
+            &frame.cr,
+            reference.as_ref().map(|r| &r.cr),
+            frame.kind,
+            frame.quantizer,
+            false,
+            mv_chroma,
+        );
         let yuv = Yuv420 { y, cb, cr };
         let out = yuv420_to_rgb(&yuv);
         self.reference = Some(yuv);
@@ -448,9 +468,8 @@ fn code_plane(
                             }
                             _ => 128.0,
                         };
-                        let val = (block[(jy * 8 + jx) as usize] + pred)
-                            .round()
-                            .clamp(0.0, 255.0) as u8;
+                        let val =
+                            (block[(jy * 8 + jx) as usize] + pred).round().clamp(0.0, 255.0) as u8;
                         recon.set(px, py, val);
                     }
                 }
@@ -500,9 +519,8 @@ fn decode_plane(
                             }
                             _ => 128.0,
                         };
-                        let val = (block[(jy * 8 + jx) as usize] + pred)
-                            .round()
-                            .clamp(0.0, 255.0) as u8;
+                        let val =
+                            (block[(jy * 8 + jx) as usize] + pred).round().clamp(0.0, 255.0) as u8;
                         out.set(px, py, val);
                     }
                 }
@@ -529,8 +547,7 @@ fn dct_basis() -> &'static [[f64; 8]; 8] {
         for (k, row) in b.iter_mut().enumerate() {
             let scale = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
             for (n, cell) in row.iter_mut().enumerate() {
-                *cell = scale
-                    * ((std::f64::consts::PI / 8.0) * (n as f64 + 0.5) * k as f64).cos();
+                *cell = scale * ((std::f64::consts::PI / 8.0) * (n as f64 + 0.5) * k as f64).cos();
             }
         }
         b
@@ -684,7 +701,12 @@ mod tests {
         let mut enc = Encoder::new(CodecConfig::default());
         let _ = enc.encode_frame(&shearing(48, 32, 0.0));
         let p_moving = enc.encode_frame(&shearing(48, 32, 2.0));
-        assert!(p_moving.bytes > p_static.bytes * 2, "moving {} static {}", p_moving.bytes, p_static.bytes);
+        assert!(
+            p_moving.bytes > p_static.bytes * 2,
+            "moving {} static {}",
+            p_moving.bytes,
+            p_static.bytes
+        );
     }
 
     #[test]

@@ -46,22 +46,12 @@ pub enum VideoId {
 impl VideoId {
     /// The five videos used in the user study and end-to-end evaluation
     /// (Figures 5, 6, 12–16).
-    pub const EVALUATION: [VideoId; 5] = [
-        VideoId::Rhino,
-        VideoId::Timelapse,
-        VideoId::Rs,
-        VideoId::Paris,
-        VideoId::Elephant,
-    ];
+    pub const EVALUATION: [VideoId; 5] =
+        [VideoId::Rhino, VideoId::Timelapse, VideoId::Rs, VideoId::Paris, VideoId::Elephant];
 
     /// The five videos of the power characterisation (Figure 3).
-    pub const CHARACTERIZATION: [VideoId; 5] = [
-        VideoId::Elephant,
-        VideoId::Paris,
-        VideoId::Rs,
-        VideoId::Nyc,
-        VideoId::Rhino,
-    ];
+    pub const CHARACTERIZATION: [VideoId; 5] =
+        [VideoId::Elephant, VideoId::Paris, VideoId::Rs, VideoId::Nyc, VideoId::Rhino];
 
     /// All six videos.
     pub const ALL: [VideoId; 6] = [
@@ -113,30 +103,16 @@ pub const SCENE_DURATION: f64 = 60.0;
 /// ```
 pub fn scene_for(id: VideoId) -> Scene {
     let (background, specs) = match id {
-        VideoId::Elephant => (
-            Background { detail: 3.0, motion: 0.5, seed: 0xE1E },
-            elephant_objects(),
-        ),
-        VideoId::Paris => (
-            Background { detail: 7.0, motion: 0.8, seed: 0x9A2 },
-            paris_objects(),
-        ),
-        VideoId::Rs => (
-            Background { detail: 4.0, motion: 6.0, seed: 0x25 },
-            rs_objects(),
-        ),
-        VideoId::Nyc => (
-            Background { detail: 6.5, motion: 1.5, seed: 0x4C },
-            nyc_objects(),
-        ),
-        VideoId::Rhino => (
-            Background { detail: 2.0, motion: 0.3, seed: 0x410 },
-            rhino_objects(),
-        ),
-        VideoId::Timelapse => (
-            Background { detail: 4.5, motion: 0.05, seed: 0x71 },
-            timelapse_objects(),
-        ),
+        VideoId::Elephant => {
+            (Background { detail: 3.0, motion: 0.5, seed: 0xE1E }, elephant_objects())
+        }
+        VideoId::Paris => (Background { detail: 7.0, motion: 0.8, seed: 0x9A2 }, paris_objects()),
+        VideoId::Rs => (Background { detail: 4.0, motion: 6.0, seed: 0x25 }, rs_objects()),
+        VideoId::Nyc => (Background { detail: 6.5, motion: 1.5, seed: 0x4C }, nyc_objects()),
+        VideoId::Rhino => (Background { detail: 2.0, motion: 0.3, seed: 0x410 }, rhino_objects()),
+        VideoId::Timelapse => {
+            (Background { detail: 4.5, motion: 0.05, seed: 0x71 }, timelapse_objects())
+        }
     };
     let scene = Scene::new(id.to_string(), background, specs, SCENE_DURATION);
     debug_assert_eq!(scene.objects().len(), id.object_count());
@@ -343,8 +319,10 @@ mod tests {
 
     #[test]
     fn scenes_render_distinct_content() {
-        let a = scene_for(VideoId::Paris).render_image(1.0, evr_projection::Projection::Erp, 32, 16);
-        let b = scene_for(VideoId::Rhino).render_image(1.0, evr_projection::Projection::Erp, 32, 16);
+        let a =
+            scene_for(VideoId::Paris).render_image(1.0, evr_projection::Projection::Erp, 32, 16);
+        let b =
+            scene_for(VideoId::Rhino).render_image(1.0, evr_projection::Projection::Erp, 32, 16);
         assert!(a.mean_abs_error(&b) > 0.01);
     }
 }

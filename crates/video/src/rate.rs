@@ -98,7 +98,10 @@ pub fn encode_with_rate_control(
     let mut pending: Vec<ImageBuffer> = Vec::new();
     let mut start_index = 0u64;
 
-    let flush = |pending: &mut Vec<ImageBuffer>, start_index: &mut u64, rc: &mut RateController, segments: &mut Vec<EncodedSegment>| {
+    let flush = |pending: &mut Vec<ImageBuffer>,
+                 start_index: &mut u64,
+                 rc: &mut RateController,
+                 segments: &mut Vec<EncodedSegment>| {
         if pending.is_empty() {
             return;
         }

@@ -262,7 +262,13 @@ impl Scene {
     }
 
     /// Renders the panoramic image for time `t` in the given projection.
-    pub fn render_image(&self, t: f64, projection: Projection, width: u32, height: u32) -> ImageBuffer {
+    pub fn render_image(
+        &self,
+        t: f64,
+        projection: Projection,
+        width: u32,
+        height: u32,
+    ) -> ImageBuffer {
         let shader = self.frame_shader(t);
         evr_projection::transform::render_panorama(projection, width, height, |dir| {
             shader.shade(dir)
@@ -325,11 +331,7 @@ fn shade_object(obj: &SceneObject, ang: f64, dir: Vec3, t: f64) -> Rgb {
     let rings = (f * (6.0 + 6.0 * s) + t * 0.5).sin();
     let stripes = ((dir.x * 17.0 + dir.y * 13.0) * (1.0 + s) + obj.seed as f64).sin();
     let m = 0.75 + 0.2 * rings + 0.1 * stripes - 0.3 * f;
-    Rgb::new(
-        clamp255(base.r as f64 * m),
-        clamp255(base.g as f64 * m),
-        clamp255(base.b as f64 * m),
-    )
+    Rgb::new(clamp255(base.r as f64 * m), clamp255(base.g as f64 * m), clamp255(base.b as f64 * m))
 }
 
 fn hash_unit(seed: u64) -> f64 {
@@ -446,18 +448,10 @@ mod tests {
 
     #[test]
     fn background_motion_changes_pixels_over_time() {
-        let still = Scene::new(
-            "still",
-            Background { detail: 3.0, motion: 0.0, seed: 5 },
-            vec![],
-            10.0,
-        );
-        let moving = Scene::new(
-            "moving",
-            Background { detail: 3.0, motion: 3.0, seed: 5 },
-            vec![],
-            10.0,
-        );
+        let still =
+            Scene::new("still", Background { detail: 3.0, motion: 0.0, seed: 5 }, vec![], 10.0);
+        let moving =
+            Scene::new("moving", Background { detail: 3.0, motion: 3.0, seed: 5 }, vec![], 10.0);
         let a0 = still.render_image(0.0, Projection::Erp, 32, 16);
         let a1 = still.render_image(1.0, Projection::Erp, 32, 16);
         let b0 = moving.render_image(0.0, Projection::Erp, 32, 16);

@@ -22,7 +22,11 @@ fn main() {
     let stats = pte.analyze_frame_strided(3840, 2160, EulerAngles::default(), 4);
     println!("PTE prototype (2 PTUs @ 100 MHz, [28,10] fixed point):");
     println!("  sustained {:.1} FPS at 2560x1440 output", stats.fps());
-    println!("  {:.0} mW flat out ({:.2} mJ per frame)", 1000.0 * stats.power_watts(), 1000.0 * stats.energy_j());
+    println!(
+        "  {:.0} mW flat out ({:.2} mJ per frame)",
+        1000.0 * stats.power_watts(),
+        1000.0 * stats.energy_j()
+    );
     let gpu = GpuModel::default();
     println!(
         "  vs mobile GPU: {:.2} W average for the same PT workload at 30 FPS",

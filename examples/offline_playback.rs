@@ -24,7 +24,10 @@ fn main() {
     let h = system.run_user_in(UseCase::OfflinePlayback, Variant::H, 7);
 
     println!("  network power (radio off): {:.2} W", h.ledger.component_power(Component::Network));
-    println!("  storage power (local reads): {:.2} W", h.ledger.component_power(Component::Storage));
+    println!(
+        "  storage power (local reads): {:.2} W",
+        h.ledger.component_power(Component::Storage)
+    );
     println!(
         "  GPU pipeline {:.2} W -> PTE pipeline {:.2} W",
         base.ledger.total_power(),

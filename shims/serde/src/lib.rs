@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the *shape* of serde it actually uses: the `Serialize` / `Deserialize`
+//! names as derive targets on plain data types. No wire format is ever
+//! produced in this repository (there is no `serde_json` dependency), so
+//! the derive macros expand to nothing and the traits are empty markers.
+//!
+//! If real serialization is ever needed, delete `shims/serde*` and point
+//! the workspace dependency back at crates.io — every `#[derive]` site
+//! is already written against the real serde API.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; see crate docs).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; see crate docs).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,15 @@
+//! Inert derive macros for the offline serde shim: `#[derive(Serialize,
+//! Deserialize)]` must parse and resolve, but nothing in this workspace
+//! ever serializes, so both expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

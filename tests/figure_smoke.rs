@@ -65,11 +65,7 @@ fn fig13_and_fig14_shapes() {
     // Per video, storage overhead grows with utilisation.
     for chunk in points.chunks(4) {
         for w in chunk.windows(2) {
-            assert!(
-                w[0].storage_overhead <= w[1].storage_overhead + 1e-9,
-                "{:?}",
-                w[0].video
-            );
+            assert!(w[0].storage_overhead <= w[1].storage_overhead + 1e-9, "{:?}", w[0].video);
         }
     }
 }

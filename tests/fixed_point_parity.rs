@@ -106,9 +106,8 @@ fn fixed_path_is_deterministic_across_instances() {
 fn reference_and_fixed_agree_on_flat_regions_exactly() {
     // On constant-colour content every filter must return the constant,
     // regardless of arithmetic: a whole-system sanity anchor.
-    let src = evr_projection::ImageBuffer::from_fn(64, 32, |_, _| {
-        evr_projection::Rgb::new(17, 130, 201)
-    });
+    let src =
+        evr_projection::ImageBuffer::from_fn(64, 32, |_, _| evr_projection::Rgb::new(17, 130, 201));
     for projection in Projection::ALL {
         let fixed = FixedTransformer::new(
             FxFormat::q28_10(),
@@ -117,8 +116,12 @@ fn reference_and_fixed_agree_on_flat_regions_exactly() {
             FovSpec::hdk2(),
             Viewport::new(16, 16),
         );
-        let reference =
-            Transformer::new(projection, FilterMode::Bilinear, FovSpec::hdk2(), Viewport::new(16, 16));
+        let reference = Transformer::new(
+            projection,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            Viewport::new(16, 16),
+        );
         let pose = EulerAngles::from_degrees(10.0, 5.0, 0.0);
         let a = fixed.render_fov(&src, pose);
         let b = reference.render_fov(&src, pose).image;

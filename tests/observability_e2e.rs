@@ -1,0 +1,122 @@
+//! End-to-end observability: a Baseline vs S+H pair through the real
+//! pipeline with a live observer, checking that the emitted metrics
+//! match the playback reports and that every exporter produces
+//! well-formed output.
+
+use evr_core::{EvrSystem, UseCase, Variant};
+use evr_energy::Component;
+use evr_obs::names;
+use evr_sas::SasConfig;
+use evr_video::library::VideoId;
+
+fn observed_run(variant: Variant) -> (evr_obs::Observer, evr_client::session::PlaybackReport) {
+    let obs = evr_obs::Observer::enabled();
+    let mut system = EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 1.0);
+    system.instrument(&obs);
+    let report = system.run_user_in(UseCase::OnlineStreaming, variant, 5);
+    (obs, report)
+}
+
+#[test]
+fn fov_counters_fire_only_on_sas_paths() {
+    let (base_obs, base) = observed_run(Variant::Baseline);
+    let (sh_obs, sh) = observed_run(Variant::SPlusH);
+
+    // Baseline streams originals: the FOV checker never runs.
+    assert_eq!(base_obs.counter(names::FOV_HITS).get(), 0);
+    assert_eq!(base_obs.counter(names::FOV_MISSES).get(), 0);
+    assert_eq!(base_obs.counter(names::SAS_FOV_REQUESTS).get(), 0);
+    assert_eq!(base_obs.counter(names::FALLBACK_FRAMES).get(), base.frames_total);
+
+    // S+H consults it every frame and mostly hits.
+    assert!(sh_obs.counter(names::FOV_HITS).get() > 0, "S+H records FOV hits");
+    assert_eq!(sh_obs.counter(names::FOV_HITS).get(), sh.fov_hits);
+    assert_eq!(sh_obs.counter(names::FOV_MISSES).get(), sh.fov_misses);
+    assert!(sh_obs.counter(names::SAS_FOV_REQUESTS).get() > 0, "S+H requests FOV videos");
+
+    // Both replay the same trace length.
+    assert_eq!(base_obs.counter(names::FRAMES).get(), base.frames_total);
+    assert_eq!(sh_obs.counter(names::FRAMES).get(), sh.frames_total);
+}
+
+#[test]
+fn energy_gauges_sum_to_ledger_totals() {
+    for variant in [Variant::Baseline, Variant::SPlusH] {
+        let (obs, report) = observed_run(variant);
+        let mut gauge_sum = 0.0;
+        for c in Component::ALL {
+            let g = obs.gauge(&names::energy_gauge(&c.to_string())).get();
+            let want = report.ledger.component_total(c);
+            assert!((g - want).abs() < 1e-9, "{variant} {c}: gauge {g} vs ledger {want}");
+            gauge_sum += g;
+        }
+        assert!(
+            (gauge_sum - report.ledger.total()).abs() < 1e-9,
+            "{variant}: summed gauges {gauge_sum} vs total {}",
+            report.ledger.total()
+        );
+    }
+}
+
+#[test]
+fn all_exporters_produce_well_formed_output() {
+    let (obs, report) = observed_run(Variant::SPlusH);
+
+    // JSONL: one JSON object per line, and spans balance.
+    let jsonl = obs.jsonl();
+    assert!(!jsonl.is_empty());
+    let mut begins = 0u64;
+    let mut ends = 0u64;
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "line {line:?}");
+        assert!(line.contains("\"ts_ns\":") && line.contains("\"kind\":"));
+        if line.contains("\"kind\":\"span_begin\"") {
+            begins += 1;
+        } else if line.contains("\"kind\":\"span_end\"") {
+            ends += 1;
+        }
+    }
+    assert!(begins > 0);
+    assert_eq!(begins, ends, "every span closes");
+
+    // Prometheus exposition: typed, and the frame counter carries the
+    // real frame count.
+    let prom = obs.prometheus();
+    assert!(prom.contains("# TYPE evr_frames_total counter"));
+    assert!(prom.contains(&format!("evr_frames_total {}", report.frames_total)));
+    assert!(prom.contains("# TYPE evr_frame_process_seconds histogram"));
+    assert!(prom.contains("evr_frame_process_seconds_bucket{le=\"+Inf\"}"));
+
+    // Summary table: every registered metric appears.
+    let summary = obs.summary();
+    for (name, _) in obs.metrics() {
+        assert!(summary.contains(&name), "summary lists {name}");
+    }
+    assert!(summary.contains("trace:"));
+
+    // Report artifact: a single JSON object with all sections.
+    let json = obs.report_json("e2e");
+    assert!(json.starts_with('{') && json.ends_with("}\n"));
+    for section in ["\"counters\":", "\"gauges\":", "\"histograms\":", "\"trace\":"] {
+        assert!(json.contains(section), "report has {section}");
+    }
+}
+
+#[test]
+fn per_frame_spans_cover_every_frame() {
+    let (obs, report) = observed_run(Variant::SPlusH);
+    let events = obs.events();
+    let frame_spans = events
+        .iter()
+        .filter(|e| e.kind == evr_obs::EventKind::SpanBegin && e.name == names::SPAN_FRAME)
+        .count() as u64;
+    assert_eq!(frame_spans, report.frames_total);
+    let marks = events
+        .iter()
+        .filter(|e| {
+            e.kind == evr_obs::EventKind::Mark
+                && (e.name == names::MARK_FOV_HIT || e.name == names::MARK_FOV_MISS)
+        })
+        .count() as u64;
+    assert_eq!(marks, report.fov_hits + report.fov_misses);
+}
