@@ -41,6 +41,22 @@ impl BandwidthTrace {
         BandwidthTrace { points }
     }
 
+    /// Bridges a fault-model [`evr_faults::BandwidthProfile`] into an
+    /// ABR trace. Profiles may carry zero-bandwidth outage windows,
+    /// which a trace cannot express; those are clamped up to
+    /// `floor_bps` (the ABR loop models outages as arbitrarily slow,
+    /// not absent, links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor_bps` is not positive.
+    pub fn from_profile(profile: &evr_faults::BandwidthProfile, floor_bps: f64) -> Self {
+        assert!(floor_bps > 0.0, "floor bandwidth must be positive");
+        BandwidthTrace::from_points(
+            profile.points().iter().map(|&(t, bps)| (t, bps.max(floor_bps))).collect(),
+        )
+    }
+
     /// A link that alternates between `high_bps` and `low_bps` every
     /// `period_s/2` seconds — the classic congestion sawtooth.
     pub fn square_wave(high_bps: f64, low_bps: f64, period_s: f64, total_s: f64) -> Self {
@@ -290,6 +306,16 @@ mod tests {
         assert_eq!(switch_marks, out.switches);
         // The observed run is behaviourally identical to the silent one.
         assert_eq!(out, simulate_abr(&long, 1.0, &link, policy));
+    }
+
+    #[test]
+    fn profile_bridge_clamps_outages_to_the_floor() {
+        let profile =
+            evr_faults::BandwidthProfile::step_drop(20e6, 5e6, 10.0).with_outage(4.0, 2.0);
+        let trace = BandwidthTrace::from_profile(&profile, 1e3);
+        assert_eq!(trace.bps_at(0.0), 20e6);
+        assert_eq!(trace.bps_at(5.0), 1e3); // outage window → floor
+        assert_eq!(trace.bps_at(12.0), 5e6);
     }
 
     #[test]

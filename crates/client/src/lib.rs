@@ -37,5 +37,6 @@ pub mod session;
 
 pub use network::NetworkModel;
 pub use session::{
-    ContentPath, PlaybackReport, PlaybackSession, Renderer, SelectionPolicy, SessionConfig,
+    ContentPath, FaultSummary, PlaybackReport, PlaybackSession, Renderer, SelectionPolicy,
+    SessionConfig,
 };

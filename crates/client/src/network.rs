@@ -27,6 +27,21 @@ impl Default for NetworkModel {
 }
 
 impl NetworkModel {
+    /// Builds a validated model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is non-positive or non-finite, `rtt_s`
+    /// is negative or non-finite, or `loss` leaves `[0, 1)`.
+    pub fn checked(bandwidth_bps: f64, rtt_s: f64, loss: f64) -> Self {
+        assert!(
+            bandwidth_bps.is_finite() && bandwidth_bps > 0.0,
+            "bandwidth must be finite and positive"
+        );
+        assert!(rtt_s.is_finite() && rtt_s >= 0.0, "RTT must be finite and non-negative");
+        NetworkModel { bandwidth_bps, rtt_s, loss_prob: 0.0 }.with_loss(loss)
+    }
+
     /// Returns the model with packet loss injected.
     ///
     /// # Panics
@@ -121,5 +136,23 @@ mod loss_tests {
     #[should_panic(expected = "loss probability")]
     fn full_loss_is_rejected() {
         let _ = NetworkModel::default().with_loss(1.0);
+    }
+
+    #[test]
+    fn checked_accepts_the_default_link() {
+        let d = NetworkModel::default();
+        assert_eq!(NetworkModel::checked(d.bandwidth_bps, d.rtt_s, d.loss_prob), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn checked_rejects_zero_bandwidth() {
+        let _ = NetworkModel::checked(0.0, 0.002, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RTT")]
+    fn checked_rejects_negative_rtt() {
+        let _ = NetworkModel::checked(300e6, -0.001, 0.0);
     }
 }

@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 use evr_energy::{Activity, Component, DeviceParams, EnergyLedger};
+use evr_faults::{FaultInjector, FaultSetup, LinkState, RequestFate};
 use evr_obs::{names, Observer};
+use evr_projection::FovFrameMeta;
 use evr_pte::{FrameStats, GpuModel, Pte, PteConfig};
 use evr_sas::checker::{CheckOutcome, FovChecker};
 use evr_sas::ingest::FPS;
@@ -114,6 +116,33 @@ impl SessionConfig {
     }
 }
 
+/// What the resilience state machine did during one run. All zeros on a
+/// clean run (and identically zero for [`FaultSetup::none`], which the
+/// workspace's parity tests assert).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Request re-attempts after a failure.
+    pub retries: u64,
+    /// Request timeouts (outages, drops, dead links, slow transfers).
+    pub timeouts: u64,
+    /// Segments that could not be served at full quality (lower-rung or
+    /// frozen).
+    pub degraded_segments: u64,
+    /// Frames played from the degraded lower-bitrate rung.
+    pub degraded_frames: u64,
+    /// Frames frozen (last image repeated) because every ladder rung
+    /// failed.
+    pub frozen_frames: u64,
+    /// Segments whose FOV video arrived corrupt.
+    pub corrupt_segments: u64,
+    /// Total time spent in backoff waits, seconds.
+    pub backoff_time_s: f64,
+    /// Total playback stall from faults (timeouts + backoff + late
+    /// deliveries), seconds; excludes the clean path's FOV-miss
+    /// rebuffering, which stays in `rebuffer_time_s`.
+    pub stall_time_s: f64,
+}
+
 /// Results of one playback session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlaybackReport {
@@ -135,6 +164,8 @@ pub struct PlaybackReport {
     pub bytes_received: u64,
     /// Media duration, seconds.
     pub duration_s: f64,
+    /// Fault-handling summary (all zeros on a clean run).
+    pub faults: FaultSummary,
 }
 
 impl PlaybackReport {
@@ -161,9 +192,44 @@ impl PlaybackReport {
     }
 
     /// FPS degradation: the fraction of presentation time lost to
-    /// rebuffer pauses (the paper's Fig. 13 left axis, ≈1%).
+    /// rebuffer pauses (the paper's Fig. 13 left axis, ≈1%). Zero (not
+    /// NaN) for an empty session.
     pub fn fps_drop_fraction(&self) -> f64 {
-        self.rebuffer_time_s / self.duration_s
+        if self.duration_s == 0.0 {
+            0.0
+        } else {
+            self.rebuffer_time_s / self.duration_s
+        }
+    }
+
+    /// Fraction of frames served below full quality (lower rung or
+    /// frozen) by the degradation ladder.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.frames_total == 0 {
+            0.0
+        } else {
+            (self.faults.degraded_frames + self.faults.frozen_frames) as f64
+                / self.frames_total as f64
+        }
+    }
+
+    /// Fraction of frames frozen outright.
+    pub fn frozen_fraction(&self) -> f64 {
+        if self.frames_total == 0 {
+            0.0
+        } else {
+            self.faults.frozen_frames as f64 / self.frames_total as f64
+        }
+    }
+
+    /// Fraction of presentation time lost to *all* pauses: FOV-miss
+    /// rebuffering plus fault stalls (timeouts, backoff, late segments).
+    pub fn stall_fraction(&self) -> f64 {
+        if self.duration_s == 0.0 {
+            0.0
+        } else {
+            (self.rebuffer_time_s + self.faults.stall_time_s) / self.duration_s
+        }
     }
 }
 
@@ -188,7 +254,17 @@ struct SessionMetrics {
     pte_stall_cycles: evr_obs::Counter,
     pte_pmem_hits: evr_obs::Counter,
     pte_pmem_misses: evr_obs::Counter,
+    fault_retries: evr_obs::Counter,
+    fault_timeouts: evr_obs::Counter,
+    degraded_frames: evr_obs::Counter,
+    frozen_frames: evr_obs::Counter,
+    backoff_seconds: evr_obs::Gauge,
+    fault_stall_seconds: evr_obs::Histogram,
 }
+
+/// Fault-stall histogram bounds, seconds: backoff waits (tens of ms) up
+/// to multi-second outage-ladder stalls.
+const STALL_BOUNDS_S: [f64; 10] = [0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
 
 impl SessionMetrics {
     fn resolve(observer: &Observer) -> Self {
@@ -210,6 +286,12 @@ impl SessionMetrics {
             pte_stall_cycles: observer.counter(names::PTE_STALL_CYCLES),
             pte_pmem_hits: observer.counter(names::PTE_PMEM_HITS),
             pte_pmem_misses: observer.counter(names::PTE_PMEM_MISSES),
+            fault_retries: observer.counter(names::FAULT_RETRIES),
+            fault_timeouts: observer.counter(names::FAULT_TIMEOUTS),
+            degraded_frames: observer.counter(names::DEGRADED_FRAMES),
+            frozen_frames: observer.counter(names::FROZEN_FRAMES),
+            backoff_seconds: observer.gauge(names::BACKOFF_SECONDS),
+            fault_stall_seconds: observer.histogram(names::FAULT_STALL_SECONDS, &STALL_BOUNDS_S),
         }
     }
 }
@@ -357,6 +439,7 @@ impl PlaybackSession {
             rebuffer_time_s: 0.0,
             bytes_received,
             duration_s,
+            faults: FaultSummary::default(),
         }
     }
 
@@ -618,6 +701,431 @@ impl PlaybackSession {
             rebuffer_time_s,
             bytes_received,
             duration_s,
+            faults: FaultSummary::default(),
+        }
+    }
+
+    /// Replays `trace` against `server`'s video under injected faults.
+    ///
+    /// Per segment the client walks a graceful-degradation ladder: FOV
+    /// video → full-quality original → lower-bitrate rung → frame
+    /// freeze. Each rung is fetched under the setup's [`RetryPolicy`]:
+    /// a request times out on server outages, dropped requests, dead
+    /// links and transfers slower than the deadline, and is re-attempted
+    /// after an exponentially growing, deterministically jittered
+    /// backoff wait. Every retry, timeout, backoff and degradation is
+    /// tagged into the ledger under [`Activity::Resilience`] and counted
+    /// into the `evr_fault_*` / degradation metrics.
+    ///
+    /// A clean `setup` — and any setup on the network-free offline
+    /// path — delegates to [`PlaybackSession::run`], so the output is
+    /// bit-identical to an un-faulted session.
+    ///
+    /// [`RetryPolicy`]: evr_faults::RetryPolicy
+    pub fn run_resilient(
+        &self,
+        server: &SasServer,
+        trace: &HeadTrace,
+        setup: &FaultSetup,
+    ) -> PlaybackReport {
+        if setup.is_clean() || !self.cfg.path.uses_network() {
+            return self.run(server, trace);
+        }
+        let mut injector = FaultInjector::new(setup);
+
+        let cfg = &self.cfg;
+        let obs = &self.observer;
+        let m = &self.metrics;
+        let observed = obs.is_enabled();
+        let catalog = server.catalog();
+        let fov_scale = cfg.sas.fov_byte_scale();
+        let src_scale = cfg.sas.src_byte_scale();
+        let src_px = cfg.sas.target_src.0 as u64 * cfg.sas.target_src.1 as u64;
+        let fov_px = cfg.sas.target_fov.0 as u64 * cfg.sas.target_fov.1 as u64;
+        let slot = 1.0 / FPS;
+
+        let mut ledger = EnergyLedger::new();
+        let mut checker = FovChecker::new(cfg.sas.device_fov);
+        let mut fallback_frames = 0u64;
+        let mut frames_total = 0u64;
+        let mut rebuffer_events = 0u64;
+        let mut rebuffer_time_s = 0.0f64;
+        let mut bytes_received = 0u64;
+        let mut wire_bytes_total = 0u64;
+        let mut faults = FaultSummary::default();
+
+        for seg in 0..catalog.segment_count() {
+            let _seg_span = observed.then(|| obs.span(names::SPAN_SEGMENT, -1, seg as i64));
+            m.segments.inc();
+            let original = catalog.original_segment(seg);
+            let n = original.frames.len() as u64;
+            let seg_start_t = original.start_index as f64 / FPS;
+            let seg_duration = n as f64 / FPS;
+            let orig_bytes = catalog.original_target_bytes(seg);
+            let mut gpu_used = false;
+
+            // The wall clock runs ahead of media time by the accumulated
+            // stalls; outage windows and link profiles are indexed by it.
+            let link = injector.link_for(seg_start_t + faults.stall_time_s);
+            let link_up = link.is_none_or(|l| l.is_up());
+            let net = effective_network(&cfg.network, link);
+
+            // Walk the degradation ladder until a rung delivers.
+            let mut source: Option<SegmentSource<'_>> = None;
+            if cfg.path.uses_sas() {
+                if let Some(cluster) =
+                    server.best_cluster(seg, self.selection_pose(trace, seg_start_t))
+                {
+                    if let Ok(Response::FovVideo { segment: fov_seg, meta, wire_bytes }) =
+                        server.try_handle(Request::FovVideo { segment: seg, cluster })
+                    {
+                        if self.fetch_resilient(
+                            &mut injector,
+                            &net,
+                            link_up,
+                            seg_start_t,
+                            seg,
+                            wire_bytes,
+                            &mut ledger,
+                            &mut faults,
+                        ) {
+                            bytes_received += wire_bytes;
+                            wire_bytes_total += net.wire_bytes(wire_bytes);
+                            m.fetch_bytes.add(wire_bytes);
+                            if injector.corrupts(seg) {
+                                // The transfer was paid for; the leading
+                                // intra decode detects the corruption,
+                                // then the ladder descends.
+                                faults.corrupt_segments += 1;
+                                let d = &cfg.device;
+                                let intra = frame_wire_bytes(&fov_seg.frames[0], fov_scale);
+                                ledger.add(
+                                    Component::Compute,
+                                    Activity::Resilience,
+                                    d.decode_energy(fov_px, intra),
+                                );
+                                ledger.add(
+                                    Component::Memory,
+                                    Activity::Resilience,
+                                    d.dram_energy(d.decode_dram_bytes(fov_px)),
+                                );
+                            } else {
+                                source = Some(SegmentSource::Fov { fov_seg, meta });
+                            }
+                        }
+                    }
+                }
+            }
+            if source.is_none()
+                && self.fetch_resilient(
+                    &mut injector,
+                    &net,
+                    link_up,
+                    seg_start_t,
+                    seg,
+                    orig_bytes,
+                    &mut ledger,
+                    &mut faults,
+                )
+            {
+                bytes_received += orig_bytes;
+                wire_bytes_total += net.wire_bytes(orig_bytes);
+                m.fetch_bytes.add(orig_bytes);
+                source = Some(SegmentSource::Original { byte_scale: 1.0, degraded: false });
+            }
+            if source.is_none() {
+                let low_scale = injector.low_rung_scale();
+                let low_bytes = (orig_bytes as f64 * low_scale).round() as u64;
+                if observed {
+                    obs.mark(names::MARK_DEGRADE, -1, seg as i64, 2.0);
+                }
+                if self.fetch_resilient(
+                    &mut injector,
+                    &net,
+                    link_up,
+                    seg_start_t,
+                    seg,
+                    low_bytes,
+                    &mut ledger,
+                    &mut faults,
+                ) {
+                    bytes_received += low_bytes;
+                    wire_bytes_total += net.wire_bytes(low_bytes);
+                    m.fetch_bytes.add(low_bytes);
+                    source =
+                        Some(SegmentSource::Original { byte_scale: low_scale, degraded: true });
+                }
+            }
+            let source = source.unwrap_or(SegmentSource::Freeze);
+
+            match source {
+                SegmentSource::Fov { fov_seg, meta } => {
+                    let mut fell_back = false;
+                    #[allow(clippy::needless_range_loop)] // indexes three parallel sequences
+                    for f in 0..n as usize {
+                        let frame_idx = frames_total as i64;
+                        let _frame_span =
+                            observed.then(|| obs.span(names::SPAN_FRAME, frame_idx, seg as i64));
+                        let frame_t0 = observed.then(Instant::now);
+                        let t = seg_start_t + f as f64 * slot;
+                        let pose = trace.pose_at(t);
+                        if !fell_back {
+                            let outcome = {
+                                let _fov_span = observed.then(|| {
+                                    obs.span(names::SPAN_FOV_CHECK, frame_idx, seg as i64)
+                                });
+                                if cfg.oracle_hits {
+                                    checker.check(meta[f].orientation, &meta[f])
+                                } else {
+                                    checker.check(pose, &meta[f])
+                                }
+                            };
+                            match outcome {
+                                CheckOutcome::Hit => {
+                                    if observed {
+                                        m.fov_hits.inc();
+                                        obs.mark(names::MARK_FOV_HIT, frame_idx, seg as i64, 1.0);
+                                    }
+                                    self.account_decode(
+                                        &mut ledger,
+                                        fov_px,
+                                        frame_wire_bytes(&fov_seg.frames[f], fov_scale),
+                                    );
+                                    frames_total += 1;
+                                    if observed {
+                                        m.frames.inc();
+                                        if let Some(t0) = frame_t0 {
+                                            m.frame_seconds.observe(t0.elapsed().as_secs_f64());
+                                        }
+                                    }
+                                    continue;
+                                }
+                                CheckOutcome::Miss => {
+                                    if observed {
+                                        m.fov_misses.inc();
+                                        obs.mark(names::MARK_FOV_MISS, frame_idx, seg as i64, 1.0);
+                                    }
+                                    // Mid-segment fallback: fetch the
+                                    // original over the segment's link.
+                                    fell_back = true;
+                                    rebuffer_events += 1;
+                                    let intra = frame_wire_bytes(&original.frames[0], src_scale);
+                                    let pause = net.rebuffer_time(intra);
+                                    rebuffer_time_s += pause;
+                                    if observed {
+                                        m.rebuffer_events.inc();
+                                        m.rebuffer_seconds.add(pause);
+                                        obs.mark(
+                                            names::MARK_REBUFFER,
+                                            frame_idx,
+                                            seg as i64,
+                                            pause,
+                                        );
+                                    }
+                                    bytes_received += orig_bytes;
+                                    wire_bytes_total += net.wire_bytes(orig_bytes);
+                                    if observed {
+                                        m.fetch_bytes.add(orig_bytes);
+                                    }
+                                    for g in 0..f {
+                                        self.account_decode(
+                                            &mut ledger,
+                                            src_px,
+                                            frame_wire_bytes(&original.frames[g], src_scale),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        self.account_decode(
+                            &mut ledger,
+                            src_px,
+                            frame_wire_bytes(&original.frames[f], src_scale),
+                        );
+                        {
+                            let _pt_span =
+                                observed.then(|| obs.span(names::SPAN_PT, frame_idx, seg as i64));
+                            gpu_used |= self.account_pt(&mut ledger, slot);
+                        }
+                        fallback_frames += 1;
+                        frames_total += 1;
+                        if observed {
+                            self.note_pt_metrics();
+                            m.fallback_frames.inc();
+                            m.frames.inc();
+                            if let Some(t0) = frame_t0 {
+                                m.frame_seconds.observe(t0.elapsed().as_secs_f64());
+                            }
+                        }
+                    }
+                }
+                SegmentSource::Original { byte_scale, degraded } => {
+                    if degraded {
+                        faults.degraded_frames += n;
+                        if observed {
+                            m.degraded_frames.add(n);
+                        }
+                        faults.degraded_segments += 1;
+                    }
+                    #[allow(clippy::needless_range_loop)] // parallel frame index
+                    for f in 0..n as usize {
+                        let frame_idx = frames_total as i64;
+                        let _frame_span =
+                            observed.then(|| obs.span(names::SPAN_FRAME, frame_idx, seg as i64));
+                        let frame_t0 = observed.then(Instant::now);
+                        let bytes = (frame_wire_bytes(&original.frames[f], src_scale) as f64
+                            * byte_scale) as u64;
+                        self.account_decode(&mut ledger, src_px, bytes);
+                        {
+                            let _pt_span =
+                                observed.then(|| obs.span(names::SPAN_PT, frame_idx, seg as i64));
+                            gpu_used |= self.account_pt(&mut ledger, slot);
+                        }
+                        fallback_frames += 1;
+                        frames_total += 1;
+                        if observed {
+                            self.note_pt_metrics();
+                            m.fallback_frames.inc();
+                            m.frames.inc();
+                            if let Some(t0) = frame_t0 {
+                                m.frame_seconds.observe(t0.elapsed().as_secs_f64());
+                            }
+                        }
+                    }
+                }
+                SegmentSource::Freeze => {
+                    // Every rung failed: the display repeats the last
+                    // image for the whole segment — no decode, no PT.
+                    faults.frozen_frames += n;
+                    faults.degraded_segments += 1;
+                    frames_total += n;
+                    if observed {
+                        m.frozen_frames.add(n);
+                        m.frames.add(n);
+                        obs.mark(names::MARK_DEGRADE, -1, seg as i64, 3.0);
+                    }
+                }
+            }
+            if gpu_used {
+                ledger.add(
+                    Component::Compute,
+                    Activity::ProjectiveTransform,
+                    cfg.gpu.session_energy(seg_duration),
+                );
+            }
+        }
+
+        let duration_s = frames_total as f64 / FPS;
+        ledger.set_duration(duration_s);
+
+        let d = &cfg.device;
+        ledger.add(Component::Display, Activity::DisplayScan, d.display_energy(duration_s));
+        ledger.add(
+            Component::Memory,
+            Activity::DisplayScan,
+            d.dram_energy(d.display_dram_bytes(duration_s)),
+        );
+        // Wire bytes were accumulated per segment against that segment's
+        // sampled link (loss inflation varies over the run).
+        ledger.add(
+            Component::Network,
+            Activity::NetworkRx,
+            d.network_energy(wire_bytes_total, duration_s),
+        );
+        ledger.add(
+            Component::Storage,
+            Activity::StorageIo,
+            d.storage_energy(bytes_received, duration_s),
+        );
+        ledger.add(Component::Compute, Activity::Base, d.base_energy(duration_s));
+        if cfg.path.uses_sas() {
+            ledger.add(Component::Compute, Activity::Base, d.sas_client_energy(duration_s));
+        }
+        ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
+        ledger.mirror_gauges(obs);
+
+        PlaybackReport {
+            ledger,
+            frames_total,
+            fov_hits: checker.hits(),
+            fov_misses: checker.misses(),
+            fallback_frames,
+            rebuffer_events,
+            rebuffer_time_s,
+            bytes_received,
+            duration_s,
+            faults,
+        }
+    }
+
+    /// One rung of the degradation ladder: fetch `wire_payload` bytes
+    /// under the injector's retry policy. Returns whether the rung
+    /// delivered; stalls and their radio-idle + base energy are
+    /// accounted as they happen.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_resilient(
+        &self,
+        injector: &mut FaultInjector,
+        net: &NetworkModel,
+        link_up: bool,
+        media_t: f64,
+        seg: u32,
+        wire_payload: u64,
+        ledger: &mut EnergyLedger,
+        faults: &mut FaultSummary,
+    ) -> bool {
+        let m = &self.metrics;
+        let obs = &self.observer;
+        let observed = obs.is_enabled();
+        let policy = *injector.retry();
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                let b = injector.backoff_s(attempt - 1);
+                faults.retries += 1;
+                faults.backoff_time_s += b;
+                self.account_stall(ledger, faults, b);
+                if observed {
+                    m.fault_retries.inc();
+                    m.backoff_seconds.add(b);
+                }
+            }
+            // Stalls push the wall clock forward, so an outage window
+            // can end while the client is still backing off.
+            let now = media_t + faults.stall_time_s;
+            let delivered = match injector.request_fate(now, seg) {
+                RequestFate::Outage | RequestFate::Dropped => false,
+                RequestFate::Delivered => {
+                    link_up && net.rtt_s + net.transfer_time(wire_payload) <= policy.timeout_s
+                }
+            };
+            if delivered {
+                // A scheduled late delivery stalls playback but does not
+                // trip the timeout (the bytes are flowing).
+                let late = injector.late_delay(seg);
+                if late > 0.0 {
+                    self.account_stall(ledger, faults, late);
+                }
+                return true;
+            }
+            faults.timeouts += 1;
+            self.account_stall(ledger, faults, policy.timeout_s);
+            if observed {
+                m.fault_timeouts.inc();
+                obs.mark(names::MARK_FAULT_TIMEOUT, -1, seg as i64, policy.timeout_s);
+            }
+        }
+        false
+    }
+
+    /// Accounts `dt` seconds of fault-induced stall: playback pauses
+    /// while the radio idles and base power keeps burning.
+    fn account_stall(&self, ledger: &mut EnergyLedger, faults: &mut FaultSummary, dt: f64) {
+        let d = &self.cfg.device;
+        faults.stall_time_s += dt;
+        ledger.add(Component::Network, Activity::Resilience, d.network_energy(0, dt));
+        ledger.add(Component::Compute, Activity::Resilience, d.base_energy(dt));
+        if self.metrics.enabled {
+            self.metrics.fault_stall_seconds.observe(dt);
         }
     }
 
@@ -726,6 +1234,35 @@ impl PlaybackSession {
                 false
             }
         }
+    }
+}
+
+/// Where a segment's content came from after the degradation ladder ran.
+enum SegmentSource<'a> {
+    /// The requested FOV video (the clean happy path).
+    Fov {
+        /// The encoded FOV stream.
+        fov_seg: &'a EncodedSegment,
+        /// Per-frame orientation metadata.
+        meta: &'a [FovFrameMeta],
+    },
+    /// The original panorama at `byte_scale` of its full wire size;
+    /// `degraded` marks the lower-bitrate rung.
+    Original { byte_scale: f64, degraded: bool },
+    /// Nothing arrived: the last frame stays on screen.
+    Freeze,
+}
+
+/// The per-segment link model: the sampled fault-process state when a
+/// time-varying link is attached, the session's static model otherwise.
+/// A dead link keeps the base model's shape (fetches are failed by the
+/// caller's up-check instead) so rebuffer math stays finite.
+fn effective_network(base: &NetworkModel, link: Option<LinkState>) -> NetworkModel {
+    match link {
+        Some(l) if l.is_up() => {
+            NetworkModel { bandwidth_bps: l.bandwidth_bps, rtt_s: l.rtt_s, loss_prob: l.loss_prob }
+        }
+        _ => *base,
     }
 }
 
@@ -918,6 +1455,173 @@ mod tests {
         let r = run(ContentPath::Live, Renderer::Pte, &server, &trace);
         assert!((r.duration_s - r.frames_total as f64 / 30.0).abs() < 1e-9);
         assert!(r.ledger.total_power() > 1.0, "device draws watts");
+    }
+
+    #[test]
+    fn empty_report_fractions_are_zero_not_nan() {
+        let r = PlaybackReport {
+            ledger: EnergyLedger::new(),
+            frames_total: 0,
+            fov_hits: 0,
+            fov_misses: 0,
+            fallback_frames: 0,
+            rebuffer_events: 0,
+            rebuffer_time_s: 0.0,
+            bytes_received: 0,
+            duration_s: 0.0,
+            faults: FaultSummary::default(),
+        };
+        assert_eq!(r.fps_drop_fraction(), 0.0);
+        assert_eq!(r.stall_fraction(), 0.0);
+        assert_eq!(r.degraded_fraction(), 0.0);
+        assert_eq!(r.frozen_fraction(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use super::*;
+    use evr_faults::{FaultEvent, FaultPlan, GilbertElliott, LinkProcess, RetryPolicy};
+    use evr_sas::{ingest_video, SasConfig};
+    use evr_trace::behavior::{generate_user_trace, params_for};
+    use evr_video::library::{scene_for, VideoId};
+
+    fn setup(video: VideoId, secs: f64) -> (SasServer, HeadTrace) {
+        let scene = scene_for(video);
+        let server = SasServer::new(ingest_video(&scene, &SasConfig::tiny_for_tests(), secs));
+        let trace = generate_user_trace(&scene, &params_for(video), 3, secs, 30.0);
+        (server, trace)
+    }
+
+    fn session(path: ContentPath) -> PlaybackSession {
+        PlaybackSession::new(SessionConfig::new(path, Renderer::Pte, SasConfig::tiny_for_tests()))
+    }
+
+    #[test]
+    fn clean_setup_is_bit_identical_to_the_plain_run() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        for path in [ContentPath::OnlineSas, ContentPath::OnlineBaseline, ContentPath::Offline] {
+            let s = session(path);
+            let clean = s.run(&server, &trace);
+            let resilient = s.run_resilient(&server, &trace, &evr_faults::FaultSetup::none());
+            assert_eq!(clean, resilient, "{path:?}");
+            assert_eq!(resilient.faults, FaultSummary::default());
+        }
+    }
+
+    #[test]
+    fn permanent_outage_freezes_every_segment() {
+        let (server, trace) = setup(VideoId::Rs, 1.0);
+        let setup = evr_faults::FaultSetup::none().with_plan(
+            FaultPlan::none().with(FaultEvent::ServerOutage { start_s: 0.0, duration_s: 1e6 }),
+        );
+        let s = session(ContentPath::OnlineSas);
+        let r = s.run_resilient(&server, &trace, &setup);
+        assert_eq!(r.faults.frozen_frames, r.frames_total);
+        assert_eq!(r.bytes_received, 0);
+        assert!(r.faults.timeouts > 0 && r.faults.retries > 0);
+        assert!(r.faults.stall_time_s > 0.0 && r.faults.backoff_time_s > 0.0);
+        assert!(r.ledger.activity_total(Activity::Resilience) > 0.0);
+        assert_eq!(r.frozen_fraction(), 1.0);
+    }
+
+    #[test]
+    fn request_drop_is_recovered_by_one_retry() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let setup = evr_faults::FaultSetup::none()
+            .with_plan(FaultPlan::none().with(FaultEvent::RequestDrop { segment: 0 }));
+        let r = session(ContentPath::OnlineSas).run_resilient(&server, &trace, &setup);
+        assert_eq!(r.faults.timeouts, 1);
+        assert_eq!(r.faults.retries, 1);
+        assert_eq!(r.faults.frozen_frames, 0);
+        assert_eq!(r.faults.degraded_frames, 0);
+        // The drop costs one timeout plus one backoff wait of stall.
+        assert!(r.faults.stall_time_s >= 0.25, "stall {}", r.faults.stall_time_s);
+    }
+
+    #[test]
+    fn corrupt_fov_segment_degrades_to_the_original() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let setup = evr_faults::FaultSetup::none()
+            .with_plan(FaultPlan::none().with(FaultEvent::SegmentCorruption { segment: 0 }));
+        let clean = session(ContentPath::OnlineSas).run(&server, &trace);
+        let r = session(ContentPath::OnlineSas).run_resilient(&server, &trace, &setup);
+        assert_eq!(r.faults.corrupt_segments, 1);
+        // The corrupt transfer is paid for on top of the replacement.
+        assert!(r.bytes_received > clean.bytes_received);
+        assert!(r.ledger.activity_total(Activity::Resilience) > 0.0);
+    }
+
+    #[test]
+    fn late_segment_stalls_without_degrading() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let setup = evr_faults::FaultSetup::none().with_plan(
+            FaultPlan::none().with(FaultEvent::LateSegment { segment: 1, delay_s: 0.4 }),
+        );
+        let r = session(ContentPath::OnlineSas).run_resilient(&server, &trace, &setup);
+        assert_eq!(r.faults.timeouts, 0);
+        assert_eq!(r.faults.frozen_frames + r.faults.degraded_frames, 0);
+        assert!((r.faults.stall_time_s - 0.4).abs() < 1e-9, "stall {}", r.faults.stall_time_s);
+    }
+
+    #[test]
+    fn dead_link_without_a_plan_also_freezes() {
+        let (server, trace) = setup(VideoId::Rs, 1.0);
+        let setup = evr_faults::FaultSetup::none().with_link(LinkProcess {
+            profile: evr_faults::BandwidthProfile::constant(0.0),
+            loss: GilbertElliott::clean(),
+            rtt_s: 0.002,
+        });
+        let r = session(ContentPath::OnlineSas).run_resilient(&server, &trace, &setup);
+        assert_eq!(r.faults.frozen_frames, r.frames_total);
+        assert_eq!(r.bytes_received, 0);
+    }
+
+    #[test]
+    fn same_seed_replays_identically_and_seeds_differ() {
+        let (server, trace) = setup(VideoId::Rs, 1.0);
+        let bursty = |seed| {
+            let mut setup = evr_faults::FaultSetup::seeded(seed).with_link(LinkProcess {
+                profile: evr_faults::BandwidthProfile::constant(300e6),
+                loss: GilbertElliott::bursty(0.4, 2.0, 0.6),
+                rtt_s: 0.002,
+            });
+            setup.retry = RetryPolicy { timeout_s: 10.0, ..RetryPolicy::default() };
+            session(ContentPath::OnlineSas).run_resilient(&server, &trace, &setup)
+        };
+        let a = bursty(7);
+        assert_eq!(a, bursty(7));
+        // Different seeds visit different loss states → different bytes
+        // on the wire (almost surely, for this bursty channel).
+        let b = bursty(8);
+        let wire = |r: &PlaybackReport| r.ledger.get(Component::Network, Activity::NetworkRx);
+        assert_ne!(wire(&a), wire(&b));
+    }
+
+    #[test]
+    fn observed_resilient_run_mirrors_fault_counters() {
+        let (server, trace) = setup(VideoId::Rs, 1.0);
+        let obs = evr_obs::Observer::enabled();
+        let cfg =
+            SessionConfig::new(ContentPath::OnlineSas, Renderer::Pte, SasConfig::tiny_for_tests());
+        let s = PlaybackSession::with_observer(cfg, obs.clone());
+        let setup = evr_faults::FaultSetup::none().with_plan(
+            FaultPlan::none()
+                .with(FaultEvent::ServerOutage { start_s: 0.0, duration_s: 0.6 })
+                .with(FaultEvent::RequestDrop { segment: 3 }),
+        );
+        let r = s.run_resilient(&server, &trace, &setup);
+        assert_eq!(obs.counter(names::FAULT_RETRIES).get(), r.faults.retries);
+        assert_eq!(obs.counter(names::FAULT_TIMEOUTS).get(), r.faults.timeouts);
+        assert_eq!(obs.counter(names::DEGRADED_FRAMES).get(), r.faults.degraded_frames);
+        assert_eq!(obs.counter(names::FROZEN_FRAMES).get(), r.faults.frozen_frames);
+        assert!((obs.gauge(names::BACKOFF_SECONDS).get() - r.faults.backoff_time_s).abs() < 1e-12);
+        assert!(r.faults.timeouts > 0, "the outage must bite");
+        let stalls = obs.histogram(names::FAULT_STALL_SECONDS, &super::STALL_BOUNDS_S).snapshot();
+        assert!(stalls.count > 0);
+        // The observed run is behaviourally identical to a silent one.
+        let silent = PlaybackSession::new(cfg).run_resilient(&server, &trace, &setup);
+        assert_eq!(silent, r);
     }
 }
 

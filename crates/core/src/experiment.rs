@@ -49,6 +49,17 @@ pub struct AggregateReport {
     pub bytes_received: f64,
     /// Mean rebuffer time per user, seconds.
     pub rebuffer_time_s: f64,
+    /// Mean fault-induced stall time per user, seconds (zero for clean
+    /// runs).
+    pub fault_stall_s: f64,
+    /// Mean fraction of frames served degraded or frozen.
+    pub degraded_fraction: f64,
+    /// Mean fraction of frames frozen on the last good picture.
+    pub frozen_fraction: f64,
+    /// Mean request retries per user.
+    pub retries: f64,
+    /// Mean request timeouts per user.
+    pub timeouts: f64,
     /// Users aggregated.
     pub users: u64,
 }
@@ -64,6 +75,11 @@ impl AggregateReport {
         let mut fps_drop = 0.0;
         let mut bytes = 0.0;
         let mut rebuffer = 0.0;
+        let mut fault_stall = 0.0;
+        let mut degraded = 0.0;
+        let mut frozen = 0.0;
+        let mut retries = 0.0;
+        let mut timeouts = 0.0;
         for r in &reports {
             ledger.merge(&r.ledger);
             duration += r.duration_s;
@@ -72,6 +88,11 @@ impl AggregateReport {
             fps_drop += r.fps_drop_fraction();
             bytes += r.bytes_received as f64;
             rebuffer += r.rebuffer_time_s;
+            fault_stall += r.faults.stall_time_s;
+            degraded += r.degraded_fraction();
+            frozen += r.frozen_fraction();
+            retries += r.faults.retries as f64;
+            timeouts += r.faults.timeouts as f64;
         }
         // Scale the merged ledger down to a per-user mean.
         let mut mean = EnergyLedger::new();
@@ -91,12 +112,17 @@ impl AggregateReport {
             fps_drop: fps_drop / n,
             bytes_received: bytes / n,
             rebuffer_time_s: rebuffer / n,
+            fault_stall_s: fault_stall / n,
+            degraded_fraction: degraded / n,
+            frozen_fraction: frozen / n,
+            retries: retries / n,
+            timeouts: timeouts / n,
             users: reports.len() as u64,
         }
     }
 }
 
-const ACTIVITIES: [evr_energy::Activity; 8] = [
+const ACTIVITIES: [evr_energy::Activity; 9] = [
     evr_energy::Activity::Decode,
     evr_energy::Activity::ProjectiveTransform,
     evr_energy::Activity::Base,
@@ -105,6 +131,7 @@ const ACTIVITIES: [evr_energy::Activity; 8] = [
     evr_energy::Activity::StorageIo,
     evr_energy::Activity::HeadMotionPrediction,
     evr_energy::Activity::QualityAssessment,
+    evr_energy::Activity::Resilience,
 ];
 
 /// Runs `variant` for all users in `use_case`, in parallel, and averages.
@@ -114,19 +141,44 @@ pub fn run_variant(
     variant: Variant,
     cfg: &ExperimentConfig,
 ) -> AggregateReport {
+    let session = system.session_for(use_case, variant);
+    let reports = sweep_users(cfg, |user| system.run_with(&session, user));
+    AggregateReport::from_reports(reports)
+}
+
+/// Runs `variant` for all users with `setup`'s faults injected, in
+/// parallel, and averages. Each user's fault stream is independently
+/// seeded (see [`EvrSystem::run_user_resilient`]), so the sweep stays
+/// deterministic under any thread count.
+pub fn run_variant_resilient(
+    system: &EvrSystem,
+    use_case: UseCase,
+    variant: Variant,
+    cfg: &ExperimentConfig,
+    setup: &evr_faults::FaultSetup,
+) -> AggregateReport {
+    let session = system.session_for(use_case, variant);
+    let reports = sweep_users(cfg, |user| system.run_with_resilient(&session, user, setup));
+    AggregateReport::from_reports(reports)
+}
+
+/// Replays every user through `run` on a thread pool, returning the
+/// reports in user order.
+fn sweep_users<F>(cfg: &ExperimentConfig, run: F) -> Vec<PlaybackReport>
+where
+    F: Fn(u64) -> PlaybackReport + Sync,
+{
     assert!(cfg.users > 0, "experiment needs at least one user");
     let threads = cfg.threads.clamp(1, 64);
-    let session = system.session_for(use_case, variant);
-    let reports = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk in 0..threads as u64 {
-            let system = &system;
-            let session = &session;
+            let run = &run;
             handles.push(scope.spawn(move || {
                 let mut out = Vec::new();
                 let mut user = chunk;
                 while user < cfg.users {
-                    out.push((user, system.run_with(session, user)));
+                    out.push((user, run(user)));
                     user += threads as u64;
                 }
                 out
@@ -136,8 +188,7 @@ pub fn run_variant(
             handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
         all.sort_by_key(|(u, _)| *u);
         all.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
-    });
-    AggregateReport::from_reports(reports)
+    })
 }
 
 /// Writes the per-run observability artifact for an instrumented run:
@@ -215,6 +266,41 @@ mod tests {
         let table = std::fs::read_to_string(&summary).unwrap();
         assert!(table.contains("evr_frames_total"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resilient_sweep_is_deterministic_and_clean_matches_plain() {
+        let system = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 1.0);
+        let cfg = ExperimentConfig::quick(3);
+        let clean = evr_faults::FaultSetup::none();
+        let plain = run_variant(&system, UseCase::OnlineStreaming, Variant::SPlusH, &cfg);
+        let resilient =
+            run_variant_resilient(&system, UseCase::OnlineStreaming, Variant::SPlusH, &cfg, &clean);
+        assert_eq!(plain, resilient);
+
+        let faulty = evr_faults::FaultSetup::seeded(11)
+            .with_link(evr_faults::LinkProcess::clean(0.0, 0.002));
+        let a = run_variant_resilient(
+            &system,
+            UseCase::OnlineStreaming,
+            Variant::SPlusH,
+            &cfg,
+            &faulty,
+        );
+        let b = run_variant_resilient(
+            &system,
+            UseCase::OnlineStreaming,
+            Variant::SPlusH,
+            &cfg,
+            &faulty,
+        );
+        assert_eq!(a, b);
+        assert!(a.frozen_fraction > 0.9, "dead link should freeze: {}", a.frozen_fraction);
+        assert!(a.fault_stall_s > 0.0);
+        assert!(a.timeouts > 0.0);
+        assert!(
+            a.ledger.get(evr_energy::Component::Network, evr_energy::Activity::Resilience) > 0.0
+        );
     }
 
     #[test]

@@ -33,5 +33,7 @@ pub mod report;
 pub mod system;
 pub mod tiled;
 
-pub use experiment::{run_variant, write_run_report, AggregateReport, ExperimentConfig};
+pub use experiment::{
+    run_variant, run_variant_resilient, write_run_report, AggregateReport, ExperimentConfig,
+};
 pub use system::{EvrSystem, UseCase, Variant};

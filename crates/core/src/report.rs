@@ -303,6 +303,42 @@ pub fn fig17_markdown(rows: &[Fig17Row]) -> String {
     out
 }
 
+/// Renders the chaos (fault-injection) degradation table: one row per
+/// severity rung, from the aggregate reports of a resilient sweep.
+///
+/// This table is not in the paper — it documents how gracefully the
+/// reproduced pipeline sheds quality as the link degrades, which is the
+/// robustness story `chaos_run` exercises.
+pub fn chaos_markdown(rows: &[(String, crate::experiment::AggregateReport)]) -> String {
+    let mut out = String::new();
+    out.push_str("### Chaos sweep — graceful degradation under link faults\n\n");
+    out.push_str("Same users, same content; only the injected fault severity changes. ");
+    out.push_str("Energy is the per-user mean device total; resilience J is the energy ");
+    out.push_str("spent waiting out faults (retry/backoff/corruption re-decode).\n\n");
+    out.push_str("| severity | device J | resilience J | stall s | degraded | frozen | ");
+    out.push_str("retries | timeouts |\n|---|---|---|---|---|---|---|---|\n");
+    for (label, agg) in rows {
+        let resilience: f64 = evr_energy::Component::ALL
+            .iter()
+            .map(|c| agg.ledger.get(*c, evr_energy::Activity::Resilience))
+            .sum();
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.3} | {} | {} | {:.1} | {:.1} |",
+            label,
+            agg.ledger.total(),
+            resilience,
+            agg.fault_stall_s,
+            pct(agg.degraded_fraction),
+            pct(agg.frozen_fraction),
+            agg.retries,
+            agg.timeouts
+        );
+    }
+    out.push('\n');
+    out
+}
+
 /// Renders the §7.2 prototype table.
 pub fn proto_markdown(rows: &[ProtoPteRow]) -> String {
     let mut out = String::new();
@@ -351,6 +387,31 @@ mod tests {
         let md = fig11_markdown(&points);
         assert!(md.contains("**chosen [28,10]**"));
         assert!(md.contains("exceeds threshold"));
+    }
+
+    #[test]
+    fn chaos_table_lists_each_severity_with_fault_columns() {
+        let mut ledger = evr_energy::EnergyLedger::new();
+        ledger.add(evr_energy::Component::Compute, evr_energy::Activity::Decode, 10.0);
+        ledger.add(evr_energy::Component::Network, evr_energy::Activity::Resilience, 2.5);
+        ledger.set_duration(30.0);
+        let agg = crate::experiment::AggregateReport {
+            ledger,
+            miss_rate: 0.1,
+            fov_miss_fraction: 0.08,
+            fps_drop: 0.01,
+            bytes_received: 1e6,
+            rebuffer_time_s: 0.2,
+            fault_stall_s: 1.25,
+            degraded_fraction: 0.5,
+            frozen_fraction: 0.25,
+            retries: 3.0,
+            timeouts: 2.0,
+            users: 4,
+        };
+        let md = chaos_markdown(&[("severe".to_string(), agg)]);
+        assert!(md.contains("| severe |"));
+        assert!(md.contains("| severe | 12.50 | 2.50 | 1.250 | 50.0% | 25.0% | 3.0 | 2.0 |"));
     }
 
     #[test]

@@ -210,6 +210,34 @@ impl EvrSystem {
         session.run(&self.server, &self.user_trace(user))
     }
 
+    /// Runs one user's playback under `variant` with faults injected.
+    /// The setup's seed is combined with the user id so every user sees
+    /// an independent (but replayable) fault stream; a clean setup is
+    /// bit-identical to [`EvrSystem::run_user`].
+    pub fn run_user_resilient(
+        &self,
+        use_case: UseCase,
+        variant: Variant,
+        user: u64,
+        setup: &evr_faults::FaultSetup,
+    ) -> PlaybackReport {
+        self.run_with_resilient(&self.session_for(use_case, variant), user, setup)
+    }
+
+    /// Runs one user through a pre-built session with faults injected
+    /// (per-user fault seed derived as in
+    /// [`EvrSystem::run_user_resilient`]).
+    pub fn run_with_resilient(
+        &self,
+        session: &PlaybackSession,
+        user: u64,
+        setup: &evr_faults::FaultSetup,
+    ) -> PlaybackReport {
+        let mut per_user = setup.clone();
+        per_user.seed ^= user.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        session.run_resilient(&self.server, &self.user_trace(user), &per_user)
+    }
+
     /// Derives a system whose store keeps only `utilization` of the
     /// objects' FOV videos (the Fig. 14 sweep), without re-ingesting.
     ///
@@ -321,6 +349,31 @@ mod tests {
         let before = obs.counter(names::FRAMES).get();
         let _ = sys.run_user(Variant::SPlusH, 3);
         assert_eq!(obs.counter(names::FRAMES).get(), before);
+    }
+
+    #[test]
+    fn resilient_clean_run_matches_plain_run() {
+        let sys = tiny_system();
+        let clean = sys.run_user(Variant::SPlusH, 5);
+        let resilient = sys.run_user_resilient(
+            UseCase::OnlineStreaming,
+            Variant::SPlusH,
+            5,
+            &evr_faults::FaultSetup::none(),
+        );
+        assert_eq!(clean, resilient);
+    }
+
+    #[test]
+    fn resilient_outage_reaches_the_report() {
+        let sys = tiny_system();
+        let setup = evr_faults::FaultSetup::none().with_plan(
+            evr_faults::FaultPlan::none()
+                .with(evr_faults::FaultEvent::ServerOutage { start_s: 0.0, duration_s: 1e6 }),
+        );
+        let r = sys.run_user_resilient(UseCase::OnlineStreaming, Variant::SPlusH, 5, &setup);
+        assert_eq!(r.faults.frozen_frames, r.frames_total);
+        assert!(r.faults.timeouts > 0);
     }
 
     #[test]

@@ -65,6 +65,9 @@ pub enum Activity {
     HeadMotionPrediction,
     /// Quality-metric computation (§8.6 use-case only).
     QualityAssessment,
+    /// Fault handling: retry/backoff waits (radio idle + base power
+    /// during stalls) and corruption-detection decodes.
+    Resilience,
 }
 
 impl fmt::Display for Activity {
@@ -78,6 +81,7 @@ impl fmt::Display for Activity {
             Activity::StorageIo => "storage-io",
             Activity::HeadMotionPrediction => "head-motion-prediction",
             Activity::QualityAssessment => "quality-assessment",
+            Activity::Resilience => "resilience",
         };
         f.write_str(s)
     }

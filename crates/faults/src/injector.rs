@@ -1,0 +1,234 @@
+//! The per-run fault injector: one stateful object combining the plan,
+//! the link sampler and the backoff jitter stream.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::link::{LinkProcess, LinkSampler, LinkState};
+use crate::plan::FaultPlan;
+use crate::retry::RetryPolicy;
+
+/// Everything a resilient playback run needs to know about failure:
+/// the scheduled fault plan, the (optional) time-varying link, the
+/// retry policy and the master seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSetup {
+    /// Scheduled discrete failures.
+    pub plan: FaultPlan,
+    /// Time-varying link; `None` keeps the session's static
+    /// `NetworkModel` (the paper's clean 300 Mbps WiFi).
+    pub link: Option<LinkProcess>,
+    /// Timeout/retry/backoff policy.
+    pub retry: RetryPolicy,
+    /// Wire-byte fraction of the degraded (lower-rung) original stream
+    /// relative to the full-quality original, in `(0, 1]`.
+    pub low_rung_scale: f64,
+    /// Master seed for the link chain and backoff jitter.
+    pub seed: u64,
+}
+
+impl FaultSetup {
+    /// The clean setup: empty plan, static link. A run under this setup
+    /// is bit-identical to the non-resilient playback path.
+    pub fn none() -> Self {
+        FaultSetup {
+            plan: FaultPlan::none(),
+            link: None,
+            retry: RetryPolicy::default(),
+            low_rung_scale: 0.4,
+            seed: 0,
+        }
+    }
+
+    /// The clean setup under a different seed (still clean: the seed
+    /// only matters once a plan or link process is attached).
+    pub fn seeded(seed: u64) -> Self {
+        FaultSetup { seed, ..FaultSetup::none() }
+    }
+
+    /// Attaches a fault plan (builder style).
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Attaches a time-varying link (builder style).
+    pub fn with_link(mut self, link: LinkProcess) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Whether this setup can inject anything at all. Clean setups take
+    /// the unmodified fast path in the playback session.
+    pub fn is_clean(&self) -> bool {
+        self.plan.is_empty() && self.link.is_none()
+    }
+
+    /// Validates every sub-config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the retry policy or the low-rung scale is out of range.
+    pub fn validate(&self) {
+        self.retry.validate();
+        assert!(
+            self.low_rung_scale > 0.0 && self.low_rung_scale <= 1.0,
+            "low_rung_scale must be in (0, 1]"
+        );
+    }
+}
+
+/// What happened to one request on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestFate {
+    /// The request reached the server and the response came back.
+    Delivered,
+    /// The request (or its response) was silently dropped.
+    Dropped,
+    /// The server is inside an outage window.
+    Outage,
+}
+
+/// Stateful per-run injector; create one per playback run via
+/// [`FaultInjector::new`]. All randomness is a pure function of the
+/// setup's seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    sampler: Option<LinkSampler>,
+    retry: RetryPolicy,
+    low_rung_scale: f64,
+    backoff_rng: SmallRng,
+    consumed_drops: HashSet<u32>,
+    clean: bool,
+}
+
+impl FaultInjector {
+    /// Builds the injector for one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setup fails validation.
+    pub fn new(setup: &FaultSetup) -> Self {
+        setup.validate();
+        FaultInjector {
+            plan: setup.plan.clone(),
+            sampler: setup.link.as_ref().map(|l| l.sampler(setup.seed)),
+            retry: setup.retry,
+            low_rung_scale: setup.low_rung_scale,
+            backoff_rng: SmallRng::seed_from_u64(setup.seed ^ 0x6261_636b_6f66_665f), // "backoff_"
+            consumed_drops: HashSet::new(),
+            clean: setup.is_clean(),
+        }
+    }
+
+    /// Whether nothing will ever be injected (clean fast path).
+    pub fn is_clean(&self) -> bool {
+        self.clean
+    }
+
+    /// The retry policy.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Wire-byte fraction of the degraded rung.
+    pub fn low_rung_scale(&self) -> f64 {
+        self.low_rung_scale
+    }
+
+    /// Samples the link for the segment starting at `t`; `None` means
+    /// the session's static model applies.
+    pub fn link_for(&mut self, t: f64) -> Option<LinkState> {
+        self.sampler.as_mut().map(|s| s.sample(t))
+    }
+
+    /// Resolves the fate of a request for `segment` issued at time `t`.
+    /// A scheduled [`crate::FaultEvent::RequestDrop`] fires once; the
+    /// retry goes through (unless something else fails it).
+    pub fn request_fate(&mut self, t: f64, segment: u32) -> RequestFate {
+        if self.plan.server_down_at(t) {
+            return RequestFate::Outage;
+        }
+        if self.plan.drops_request(segment) && self.consumed_drops.insert(segment) {
+            return RequestFate::Dropped;
+        }
+        RequestFate::Delivered
+    }
+
+    /// Whether `segment`'s FOV video arrives corrupt.
+    pub fn corrupts(&self, segment: u32) -> bool {
+        self.plan.corrupts(segment)
+    }
+
+    /// Scheduled extra delivery delay for `segment`, seconds.
+    pub fn late_delay(&self, segment: u32) -> f64 {
+        self.plan.late_delay(segment)
+    }
+
+    /// The jittered backoff wait before re-attempt `attempt` (0-based).
+    pub fn backoff_s(&mut self, attempt: u32) -> f64 {
+        self.retry.backoff_s(attempt, &mut self.backoff_rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+
+    #[test]
+    fn clean_setup_is_clean_and_delivers_everything() {
+        let mut inj = FaultInjector::new(&FaultSetup::none());
+        assert!(inj.is_clean());
+        assert!(inj.link_for(0.0).is_none());
+        for seg in 0..16 {
+            assert_eq!(inj.request_fate(seg as f64, seg), RequestFate::Delivered);
+            assert!(!inj.corrupts(seg));
+        }
+    }
+
+    #[test]
+    fn request_drop_fires_exactly_once() {
+        let setup = FaultSetup::none()
+            .with_plan(FaultPlan::none().with(FaultEvent::RequestDrop { segment: 3 }));
+        let mut inj = FaultInjector::new(&setup);
+        assert_eq!(inj.request_fate(1.0, 3), RequestFate::Dropped);
+        assert_eq!(inj.request_fate(1.1, 3), RequestFate::Delivered);
+        assert_eq!(inj.request_fate(0.0, 2), RequestFate::Delivered);
+    }
+
+    #[test]
+    fn outage_beats_everything_while_it_lasts() {
+        let setup = FaultSetup::none().with_plan(
+            FaultPlan::none()
+                .with(FaultEvent::ServerOutage { start_s: 2.0, duration_s: 1.0 })
+                .with(FaultEvent::RequestDrop { segment: 5 }),
+        );
+        let mut inj = FaultInjector::new(&setup);
+        assert_eq!(inj.request_fate(2.5, 5), RequestFate::Outage);
+        // After the window, the one-shot drop still fires.
+        assert_eq!(inj.request_fate(3.5, 5), RequestFate::Dropped);
+        assert_eq!(inj.request_fate(3.6, 5), RequestFate::Delivered);
+    }
+
+    #[test]
+    fn backoff_stream_replays_per_seed() {
+        let draws = |seed| {
+            let mut inj = FaultInjector::new(&FaultSetup::seeded(seed));
+            (0..8).map(|a| inj.backoff_s(a)).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(11), draws(11));
+        assert_ne!(draws(11), draws(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "low_rung_scale")]
+    fn zero_low_rung_scale_is_rejected() {
+        let setup = FaultSetup { low_rung_scale: 0.0, ..FaultSetup::none() };
+        let _ = FaultInjector::new(&setup);
+    }
+}

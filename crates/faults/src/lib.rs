@@ -1,0 +1,34 @@
+//! Deterministic fault injection and resilience modelling for the EVR
+//! playback pipeline.
+//!
+//! The paper's evaluation assumes a clean 300 Mbps WiFi link and an
+//! always-up SAS server. This crate supplies the failure side of the
+//! story so the energy model can be stressed under realistic conditions:
+//!
+//! * [`LinkProcess`] — a time-varying link built from a piecewise
+//!   bandwidth profile ([`BandwidthProfile`]: step drops, ramps, outage
+//!   windows) and a Gilbert–Elliott bursty-loss chain
+//!   ([`GilbertElliott`]), sampled per segment into a [`LinkState`].
+//! * [`FaultPlan`] — a schedule of discrete failures
+//!   ([`FaultEvent`]: server outages, corrupt segments, late segments,
+//!   dropped requests).
+//! * [`RetryPolicy`] — timeout, bounded retry and exponential backoff
+//!   with deterministic jitter.
+//! * [`FaultInjector`] / [`FaultSetup`] — the per-run object the client
+//!   consults; all randomness derives from one master seed, so the same
+//!   seed replays the same faults, byte for byte.
+//!
+//! The cardinal invariant: a run under [`FaultSetup::none`] is
+//! bit-identical to the clean playback path. The workspace's property
+//! tests assert this, along with monotonicity of rebuffering, energy
+//! and frozen frames in fault severity.
+
+mod injector;
+mod link;
+mod plan;
+mod retry;
+
+pub use injector::{FaultInjector, FaultSetup, RequestFate};
+pub use link::{BandwidthProfile, GilbertElliott, LinkProcess, LinkSampler, LinkState};
+pub use plan::{FaultEvent, FaultPlan};
+pub use retry::RetryPolicy;

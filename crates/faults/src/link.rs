@@ -1,0 +1,329 @@
+//! The time-varying link: a seeded Gilbert–Elliott bursty-loss process
+//! over a piecewise bandwidth profile.
+//!
+//! The paper evaluates under one clean operating point — a 300 Mbps
+//! WiFi link (§8.2) — which the static `NetworkModel` in `evr-client`
+//! reproduces. Production links are not like that: loss arrives in
+//! bursts (the classic two-state Gilbert–Elliott channel) and capacity
+//! moves in steps, ramps and outright outages as users roam between
+//! access points. This module samples a [`LinkState`] per video segment
+//! from a deterministic, seed-driven process so experiments under
+//! failure replay bit-identically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The link as one playback segment sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkState {
+    /// Effective application-layer bandwidth, bits per second. Zero
+    /// means the link is down (an outage window).
+    pub bandwidth_bps: f64,
+    /// Request round-trip time, seconds.
+    pub rtt_s: f64,
+    /// Packet loss probability in `[0, 1)` for this segment's window.
+    pub loss_prob: f64,
+}
+
+impl LinkState {
+    /// Whether the link can carry any traffic at all.
+    pub fn is_up(&self) -> bool {
+        self.bandwidth_bps > 0.0
+    }
+}
+
+/// The two-state Gilbert–Elliott bursty-loss channel.
+///
+/// The chain sits in a Good or Bad state; each sampled step it
+/// transitions with the configured probabilities, and the emitted loss
+/// probability is the state's. Mean burst length (in steps) is
+/// `1 / p_bad_to_good`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// Probability of Good → Bad per step.
+    pub p_good_to_bad: f64,
+    /// Probability of Bad → Good per step (the reciprocal of the mean
+    /// burst length).
+    pub p_bad_to_good: f64,
+    /// Loss probability emitted in the Good state.
+    pub loss_good: f64,
+    /// Loss probability emitted in the Bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A channel that never leaves the Good state and never loses — the
+    /// paper's clean testbed link.
+    pub fn clean() -> Self {
+        GilbertElliott { p_good_to_bad: 0.0, p_bad_to_good: 1.0, loss_good: 0.0, loss_bad: 0.0 }
+    }
+
+    /// A bursty channel: enters a loss burst with probability `entry`
+    /// per step, bursts last `burst_len` steps on average and lose
+    /// `loss_bad` of their packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not in `[0, 1]`, `burst_len` is not
+    /// positive, or `loss_bad` is not in `[0, 1)`.
+    pub fn bursty(entry: f64, burst_len: f64, loss_bad: f64) -> Self {
+        assert!((0.0..=1.0).contains(&entry), "burst entry probability must be in [0, 1]");
+        assert!(burst_len > 0.0, "mean burst length must be positive");
+        assert!((0.0..1.0).contains(&loss_bad), "burst loss must be in [0, 1)");
+        GilbertElliott {
+            p_good_to_bad: entry,
+            p_bad_to_good: 1.0 / burst_len,
+            loss_good: 0.0,
+            loss_bad,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.p_good_to_bad) && (0.0..=1.0).contains(&self.p_bad_to_good),
+            "transition probabilities must be in [0, 1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.loss_good) && (0.0..1.0).contains(&self.loss_bad),
+            "loss probabilities must be in [0, 1)"
+        );
+    }
+}
+
+/// A piecewise-constant bandwidth-over-time profile. Unlike the ABR
+/// module's `BandwidthTrace`, a profile may drop to **zero** — that is
+/// how link outage windows are expressed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthProfile {
+    /// `(start time s, bits/s)` breakpoints, time-ascending; the first
+    /// entry's rate also applies before its time.
+    points: Vec<(f64, f64)>,
+}
+
+impl BandwidthProfile {
+    /// A constant-rate link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is negative or non-finite.
+    pub fn constant(bps: f64) -> Self {
+        assert!(bps.is_finite() && bps >= 0.0, "bandwidth must be finite and non-negative");
+        BandwidthProfile { points: vec![(0.0, bps)] }
+    }
+
+    /// Builds a profile from breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, unsorted, or any rate is negative/non-finite.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "profile needs at least one point");
+        assert!(points.windows(2).all(|w| w[0].0 < w[1].0), "breakpoints must ascend");
+        assert!(
+            points.iter().all(|(_, bps)| bps.is_finite() && *bps >= 0.0),
+            "rates must be finite and non-negative"
+        );
+        BandwidthProfile { points }
+    }
+
+    /// A link that steps from `from_bps` down to `to_bps` at `at_s`.
+    pub fn step_drop(from_bps: f64, to_bps: f64, at_s: f64) -> Self {
+        assert!(at_s > 0.0, "step time must be positive");
+        BandwidthProfile::from_points(vec![(0.0, from_bps), (at_s, to_bps)])
+    }
+
+    /// A linear ramp from `from_bps` at time 0 to `to_bps` at `end_s`,
+    /// discretised into `steps` constant pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero or `end_s` is not positive.
+    pub fn ramp(from_bps: f64, to_bps: f64, end_s: f64, steps: usize) -> Self {
+        assert!(steps > 0, "ramp needs at least one step");
+        assert!(end_s > 0.0, "ramp must span positive time");
+        let points = (0..steps)
+            .map(|i| {
+                let f = i as f64 / steps as f64;
+                (f * end_s, from_bps + f * (to_bps - from_bps))
+            })
+            .collect();
+        BandwidthProfile::from_points(points)
+    }
+
+    /// Overlays an outage window: bandwidth is zero in
+    /// `[start_s, start_s + duration_s)`, then restores to whatever the
+    /// profile carried at the window's end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is not positive.
+    pub fn with_outage(self, start_s: f64, duration_s: f64) -> Self {
+        assert!(duration_s > 0.0, "outage duration must be positive");
+        let end = start_s + duration_s;
+        let restore = self.bps_at(end);
+        let mut points: Vec<(f64, f64)> =
+            self.points.into_iter().filter(|(t, _)| *t < start_s || *t >= end).collect();
+        points.push((start_s, 0.0));
+        if points.iter().all(|(t, _)| (*t - end).abs() > 1e-12) {
+            points.push((end, restore));
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        BandwidthProfile { points }
+    }
+
+    /// The `(start time s, bits/s)` breakpoints, time-ascending.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The rate at time `t`, bits/s (zero inside outage windows).
+    pub fn bps_at(&self, t: f64) -> f64 {
+        match self.points.iter().rev().find(|(pt, _)| *pt <= t) {
+            Some((_, bps)) => *bps,
+            None => self.points[0].1,
+        }
+    }
+}
+
+/// The full time-varying link specification: a bandwidth profile, a
+/// Gilbert–Elliott loss channel and a base RTT, sampled per segment by
+/// a seeded [`LinkSampler`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkProcess {
+    /// Capacity over time.
+    pub profile: BandwidthProfile,
+    /// Bursty-loss channel.
+    pub loss: GilbertElliott,
+    /// Base request round-trip time, seconds.
+    pub rtt_s: f64,
+}
+
+impl LinkProcess {
+    /// A clean constant link (no loss bursts, no outages).
+    pub fn clean(bps: f64, rtt_s: f64) -> Self {
+        LinkProcess {
+            profile: BandwidthProfile::constant(bps),
+            loss: GilbertElliott::clean(),
+            rtt_s,
+        }
+    }
+
+    /// Creates the per-run sampler. The stream is a pure function of
+    /// `seed`, so two runs with the same seed see the same link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel probabilities are out of range or the RTT
+    /// is negative.
+    pub fn sampler(&self, seed: u64) -> LinkSampler {
+        self.loss.validate();
+        assert!(self.rtt_s >= 0.0, "rtt must be non-negative");
+        LinkSampler {
+            process: self.clone(),
+            rng: SmallRng::seed_from_u64(seed ^ 0x6c69_6e6b_5f67_655f), // "link_ge_"
+            bad: false,
+        }
+    }
+}
+
+/// Stateful per-run sampler over a [`LinkProcess`]; one `sample` call
+/// per segment advances the loss chain one step.
+#[derive(Debug, Clone)]
+pub struct LinkSampler {
+    process: LinkProcess,
+    rng: SmallRng,
+    bad: bool,
+}
+
+impl LinkSampler {
+    /// Samples the link state governing the segment starting at `t`.
+    pub fn sample(&mut self, t: f64) -> LinkState {
+        let ge = &self.process.loss;
+        // Advance the two-state chain; both draws always happen so the
+        // stream position is independent of the current state.
+        let to_bad = self.rng.gen_bool(ge.p_good_to_bad.clamp(0.0, 1.0));
+        let to_good = self.rng.gen_bool(ge.p_bad_to_good.clamp(0.0, 1.0));
+        self.bad = if self.bad { !to_good } else { to_bad };
+        LinkState {
+            bandwidth_bps: self.process.profile.bps_at(t),
+            rtt_s: self.process.rtt_s,
+            loss_prob: if self.bad { ge.loss_bad } else { ge.loss_good },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_process_emits_the_constant_link() {
+        let mut s = LinkProcess::clean(300e6, 0.002).sampler(7);
+        for i in 0..32 {
+            let state = s.sample(i as f64 * 0.25);
+            assert_eq!(state.bandwidth_bps, 300e6);
+            assert_eq!(state.loss_prob, 0.0);
+            assert!(state.is_up());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let p = LinkProcess {
+            profile: BandwidthProfile::step_drop(100e6, 5e6, 3.0),
+            loss: GilbertElliott::bursty(0.3, 2.5, 0.4),
+            rtt_s: 0.01,
+        };
+        let run = |seed| {
+            let mut s = p.sampler(seed);
+            (0..64).map(|i| s.sample(i as f64 * 0.25)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn bursty_channel_visits_both_states() {
+        let p = LinkProcess {
+            profile: BandwidthProfile::constant(50e6),
+            loss: GilbertElliott::bursty(0.25, 3.0, 0.5),
+            rtt_s: 0.005,
+        };
+        let mut s = p.sampler(1);
+        let states: Vec<LinkState> = (0..256).map(|i| s.sample(i as f64)).collect();
+        let lossy = states.iter().filter(|st| st.loss_prob > 0.0).count();
+        assert!(lossy > 10, "burst state reached ({lossy})");
+        assert!(lossy < 256, "good state reached");
+    }
+
+    #[test]
+    fn outage_window_zeroes_bandwidth_then_restores() {
+        let profile = BandwidthProfile::constant(80e6).with_outage(2.0, 1.5);
+        assert_eq!(profile.bps_at(1.9), 80e6);
+        assert_eq!(profile.bps_at(2.0), 0.0);
+        assert_eq!(profile.bps_at(3.4), 0.0);
+        assert_eq!(profile.bps_at(3.5), 80e6);
+    }
+
+    #[test]
+    fn ramp_descends_between_endpoints() {
+        let profile = BandwidthProfile::ramp(100e6, 20e6, 10.0, 8);
+        assert_eq!(profile.bps_at(0.0), 100e6);
+        let mid = profile.bps_at(5.0);
+        assert!(mid < 100e6 && mid > 20e6, "{mid}");
+        assert!(profile.bps_at(9.9) < profile.bps_at(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_bandwidth_is_rejected() {
+        let _ = BandwidthProfile::constant(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst loss")]
+    fn full_burst_loss_is_rejected() {
+        let _ = GilbertElliott::bursty(0.1, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The fault-plan DSL: a schedule of discrete failures injected into
+//! the request path.
+//!
+//! A [`FaultPlan`] is a validated list of [`FaultEvent`]s. It is pure
+//! data — the client's resilience state machine consults it through the
+//! [`crate::FaultInjector`] — so plans serialise, diff and replay
+//! exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The SAS server is unreachable in `[start_s, start_s + duration_s)`.
+    ServerOutage {
+        /// Outage start, seconds into playback.
+        start_s: f64,
+        /// Outage length, seconds.
+        duration_s: f64,
+    },
+    /// The FOV video of `segment` arrives corrupt: the client pays for
+    /// the transfer and the detection decode, then must degrade.
+    SegmentCorruption {
+        /// Temporal segment index.
+        segment: u32,
+    },
+    /// The response for `segment` arrives `delay_s` late, stalling
+    /// playback by that long.
+    LateSegment {
+        /// Temporal segment index.
+        segment: u32,
+        /// Added delivery delay, seconds.
+        delay_s: f64,
+    },
+    /// The first request for `segment` is silently dropped; the client
+    /// only learns from its own timeout.
+    RequestDrop {
+        /// Temporal segment index.
+        segment: u32,
+    },
+}
+
+impl FaultEvent {
+    fn validate(&self) {
+        match *self {
+            FaultEvent::ServerOutage { start_s, duration_s } => {
+                assert!(
+                    start_s.is_finite() && start_s >= 0.0,
+                    "outage start must be finite and non-negative"
+                );
+                assert!(
+                    duration_s.is_finite() && duration_s > 0.0,
+                    "outage duration must be finite and positive"
+                );
+            }
+            FaultEvent::LateSegment { delay_s, .. } => {
+                assert!(
+                    delay_s.is_finite() && delay_s > 0.0,
+                    "late-segment delay must be finite and positive"
+                );
+            }
+            FaultEvent::SegmentCorruption { .. } | FaultEvent::RequestDrop { .. } => {}
+        }
+    }
+}
+
+/// A validated schedule of failures.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever fails. Playback under this plan is
+    /// bit-identical to the clean path (asserted by the workspace's
+    /// parity tests).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event carries a non-finite, negative or zero
+    /// time/duration where one is required.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        for e in &events {
+            e.validate();
+        }
+        FaultPlan { events }
+    }
+
+    /// Adds one event (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event fails validation.
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        event.validate();
+        self.events.push(event);
+        self
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the server is inside an outage window at time `t`.
+    pub fn server_down_at(&self, t: f64) -> bool {
+        self.events.iter().any(|e| match *e {
+            FaultEvent::ServerOutage { start_s, duration_s } => {
+                t >= start_s && t < start_s + duration_s
+            }
+            _ => false,
+        })
+    }
+
+    /// Whether `segment`'s FOV video arrives corrupt.
+    pub fn corrupts(&self, segment: u32) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::SegmentCorruption { segment: s } if *s == segment))
+    }
+
+    /// Total scheduled delivery delay for `segment`, seconds.
+    pub fn late_delay(&self, segment: u32) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match *e {
+                FaultEvent::LateSegment { segment: s, delay_s } if s == segment => delay_s,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Whether the first request for `segment` is dropped.
+    pub fn drops_request(&self, segment: u32) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::RequestDrop { segment: s } if *s == segment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.server_down_at(0.0));
+        assert!(!p.corrupts(0));
+        assert_eq!(p.late_delay(3), 0.0);
+        assert!(!p.drops_request(1));
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let p = FaultPlan::none().with(FaultEvent::ServerOutage { start_s: 1.0, duration_s: 2.0 });
+        assert!(!p.server_down_at(0.99));
+        assert!(p.server_down_at(1.0));
+        assert!(p.server_down_at(2.99));
+        assert!(!p.server_down_at(3.0));
+    }
+
+    #[test]
+    fn per_segment_lookups_hit_only_their_segment() {
+        let p = FaultPlan::new(vec![
+            FaultEvent::SegmentCorruption { segment: 2 },
+            FaultEvent::LateSegment { segment: 4, delay_s: 0.3 },
+            FaultEvent::LateSegment { segment: 4, delay_s: 0.2 },
+            FaultEvent::RequestDrop { segment: 1 },
+        ]);
+        assert!(p.corrupts(2) && !p.corrupts(3));
+        assert!((p.late_delay(4) - 0.5).abs() < 1e-12);
+        assert_eq!(p.late_delay(2), 0.0);
+        assert!(p.drops_request(1) && !p.drops_request(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be finite and positive")]
+    fn zero_length_outage_is_rejected() {
+        let _ = FaultPlan::none().with(FaultEvent::ServerOutage { start_s: 0.0, duration_s: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite and positive")]
+    fn nan_delay_is_rejected() {
+        let _ = FaultPlan::none().with(FaultEvent::LateSegment { segment: 0, delay_s: f64::NAN });
+    }
+}

@@ -1,0 +1,111 @@
+//! Bounded retry with deterministic exponential backoff + jitter.
+//!
+//! The jitter stream is drawn from a seeded RNG owned by the
+//! [`crate::FaultInjector`], so a chaos run replays its exact backoff
+//! waits under the same seed — the determinism contract every
+//! experiment in this workspace relies on.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Client-side retry policy for one segment fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first failure, per degradation rung.
+    pub max_retries: u32,
+    /// How long the client waits on a request before declaring a
+    /// timeout, seconds.
+    pub timeout_s: f64,
+    /// First backoff wait, seconds; attempt `n` waits
+    /// `base * 2^n` (capped) before re-requesting.
+    pub base_backoff_s: f64,
+    /// Upper bound on a single backoff wait, seconds.
+    pub max_backoff_s: f64,
+    /// Jitter fraction in `[0, 1]`: each wait is scaled by a uniform
+    /// factor in `[1 - jitter/2, 1 + jitter/2]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            timeout_s: 0.25,
+            base_backoff_s: 0.05,
+            max_backoff_s: 1.0,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the policy's fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any duration is non-finite or negative, or the jitter
+    /// fraction leaves `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.timeout_s.is_finite() && self.timeout_s > 0.0,
+            "timeout must be finite and positive"
+        );
+        assert!(
+            self.base_backoff_s.is_finite() && self.base_backoff_s >= 0.0,
+            "base backoff must be finite and non-negative"
+        );
+        assert!(
+            self.max_backoff_s.is_finite() && self.max_backoff_s >= self.base_backoff_s,
+            "max backoff must be finite and at least the base"
+        );
+        assert!((0.0..=1.0).contains(&self.jitter), "jitter must be in [0, 1]");
+    }
+
+    /// The backoff wait before re-attempt `attempt` (0-based), with the
+    /// jitter factor drawn from `rng`.
+    pub fn backoff_s(&self, attempt: u32, rng: &mut SmallRng) -> f64 {
+        let exp = self.base_backoff_s * 2f64.powi(attempt.min(20) as i32);
+        let capped = exp.min(self.max_backoff_s);
+        let factor = 1.0 - self.jitter / 2.0 + self.jitter * rng.gen::<f64>();
+        capped * factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let p = RetryPolicy { jitter: 0.0, ..RetryPolicy::default() };
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!((p.backoff_s(0, &mut rng) - 0.05).abs() < 1e-12);
+        assert!((p.backoff_s(1, &mut rng) - 0.10).abs() < 1e-12);
+        assert!((p.backoff_s(2, &mut rng) - 0.20).abs() < 1e-12);
+        // 0.05 * 2^10 = 51.2 s, capped at 1 s.
+        assert!((p.backoff_s(10, &mut rng) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_stays_within_the_half_window_and_replays() {
+        let p = RetryPolicy { jitter: 0.5, ..RetryPolicy::default() };
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..32).map(|a| p.backoff_s(a % 4, &mut rng)).collect::<Vec<_>>()
+        };
+        for (a, w) in draw(3).iter().enumerate() {
+            let nominal = (0.05 * 2f64.powi((a % 4) as i32)).min(1.0);
+            assert!(*w >= nominal * 0.75 - 1e-12 && *w <= nominal * 1.25 + 1e-12, "{a}: {w}");
+        }
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn out_of_range_jitter_is_rejected() {
+        RetryPolicy { jitter: 1.5, ..RetryPolicy::default() }.validate();
+    }
+}

@@ -66,6 +66,14 @@ pub mod names {
     pub const PT_GPU_FRAMES: &str = "evr_pt_gpu_frames_total";
     pub const PT_PTE_FRAMES: &str = "evr_pt_pte_frames_total";
 
+    // Fault injection / resilience (evr-client + evr-faults).
+    pub const FAULT_RETRIES: &str = "evr_fault_retries_total";
+    pub const FAULT_TIMEOUTS: &str = "evr_fault_timeouts_total";
+    pub const DEGRADED_FRAMES: &str = "evr_degraded_frames_total";
+    pub const FROZEN_FRAMES: &str = "evr_frozen_frames_total";
+    pub const BACKOFF_SECONDS: &str = "evr_fault_backoff_seconds_total";
+    pub const FAULT_STALL_SECONDS: &str = "evr_fault_stall_seconds";
+
     // ABR (evr-client).
     pub const ABR_SWITCHES: &str = "evr_abr_ladder_switches_total";
     pub const ABR_STALLS: &str = "evr_abr_stalls_total";
@@ -107,6 +115,8 @@ pub mod names {
     pub const MARK_FOV_HIT: &str = "fov_hit";
     pub const MARK_FOV_MISS: &str = "fov_miss";
     pub const MARK_REBUFFER: &str = "rebuffer";
+    pub const MARK_DEGRADE: &str = "degrade";
+    pub const MARK_FAULT_TIMEOUT: &str = "fault_timeout";
 }
 
 #[derive(Debug)]

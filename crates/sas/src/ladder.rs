@@ -64,6 +64,21 @@ impl LadderCatalog {
         let total: u64 = self.bytes.iter().map(|seg| seg[rung]).sum();
         total as f64 * 8.0 / (self.bytes.len() as f64 * self.segment_duration_s)
     }
+
+    /// Mean wire-byte fraction of `rung` relative to the top (finest)
+    /// rung, in `(0, 1]` — the calibration input for the degradation
+    /// ladder's lower-bitrate fallback (`FaultSetup::low_rung_scale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rung` is out of range.
+    pub fn rung_byte_fraction(&self, rung: usize) -> f64 {
+        let top = self.quantizers.len() - 1;
+        assert!(rung <= top, "rung {rung} out of range (ladder has {} rungs)", top + 1);
+        let rung_total: u64 = self.bytes.iter().map(|seg| seg[rung]).sum();
+        let top_total: u64 = self.bytes.iter().map(|seg| seg[top]).sum();
+        rung_total as f64 / top_total as f64
+    }
 }
 
 /// Ingests `scene` at every quantiser in `quantizers` (given coarsest
@@ -138,6 +153,15 @@ mod tests {
             assert!(c.bytes(seg, 1) < c.bytes(seg, 2), "segment {seg}");
         }
         assert!(c.rung_bitrate_bps(0) < c.rung_bitrate_bps(2));
+    }
+
+    #[test]
+    fn byte_fractions_are_monotone_and_top_is_one() {
+        let c = catalog();
+        let f0 = c.rung_byte_fraction(0);
+        let f1 = c.rung_byte_fraction(1);
+        assert!(f0 > 0.0 && f0 < f1 && f1 < 1.0, "f0 {f0} f1 {f1}");
+        assert!((c.rung_byte_fraction(2) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -51,6 +51,6 @@ pub use checker::FovChecker;
 pub use config::SasConfig;
 pub use ingest::{ingest_video, FovStream, SasCatalog};
 pub use ladder::{ingest_ladder, LadderCatalog};
-pub use server::{Request, Response, SasServer};
+pub use server::{Request, Response, SasError, SasServer};
 pub use store::LogStore;
 pub use tiles::{ingest_tiled, TileGrid, TiledCatalog};

@@ -55,6 +55,42 @@ pub enum Response<'a> {
     NotFound,
 }
 
+/// Why a request could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SasError {
+    /// The temporal segment index is past the end of the catalog.
+    UnknownSegment {
+        /// The requested segment.
+        segment: u32,
+    },
+    /// The segment exists but the cluster was never materialised (not
+    /// listed, or cut by the utilisation budget).
+    UnknownCluster {
+        /// The requested segment.
+        segment: u32,
+        /// The requested cluster.
+        cluster: usize,
+    },
+    /// The server cannot be reached (outage, dropped request, or a
+    /// request timed out on the client side). Produced by the transport
+    /// layer rather than the catalog lookup.
+    Unavailable,
+}
+
+impl std::fmt::Display for SasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SasError::UnknownSegment { segment } => write!(f, "unknown segment {segment}"),
+            SasError::UnknownCluster { segment, cluster } => {
+                write!(f, "unknown cluster {cluster} in segment {segment}")
+            }
+            SasError::Unavailable => write!(f, "server unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for SasError {}
+
 /// Pre-resolved request/response counters for an observed server.
 #[derive(Debug, Clone, Default)]
 struct ServerMetrics {
@@ -106,21 +142,25 @@ impl SasServer {
         &self.catalog
     }
 
-    /// Handles one request.
-    pub fn handle(&self, request: Request) -> Response<'_> {
+    /// Handles one request, reporting failures as typed errors.
+    pub fn try_handle(&self, request: Request) -> Result<Response<'_>, SasError> {
         match request {
             Request::FovVideo { segment, cluster } => {
                 self.metrics.fov_requests.inc();
+                if segment >= self.catalog.segment_count() {
+                    self.metrics.not_found.inc();
+                    return Err(SasError::UnknownSegment { segment });
+                }
                 match self.catalog.fov_stream(segment, cluster) {
                     Some(stream) => {
                         let (data, meta) = self.catalog.read_fov(stream);
                         let wire_bytes = self.catalog.fov_target_bytes(stream);
                         self.metrics.fov_bytes.add(wire_bytes);
-                        Response::FovVideo { segment: data, meta, wire_bytes }
+                        Ok(Response::FovVideo { segment: data, meta, wire_bytes })
                     }
                     None => {
                         self.metrics.not_found.inc();
-                        Response::NotFound
+                        Err(SasError::UnknownCluster { segment, cluster })
                     }
                 }
             }
@@ -128,32 +168,48 @@ impl SasServer {
                 self.metrics.original_requests.inc();
                 if segment >= self.catalog.segment_count() {
                     self.metrics.not_found.inc();
-                    return Response::NotFound;
+                    return Err(SasError::UnknownSegment { segment });
                 }
                 let wire_bytes = self.catalog.original_target_bytes(segment);
                 self.metrics.original_bytes.add(wire_bytes);
-                Response::Original { segment: self.catalog.original_segment(segment), wire_bytes }
+                Ok(Response::Original {
+                    segment: self.catalog.original_segment(segment),
+                    wire_bytes,
+                })
             }
         }
+    }
+
+    /// Handles one request, folding every error into
+    /// [`Response::NotFound`] (the pre-[`SasError`] wire behaviour).
+    pub fn handle(&self, request: Request) -> Response<'_> {
+        self.try_handle(request).unwrap_or(Response::NotFound)
     }
 
     /// Picks the cluster whose FOV video best covers a user looking at
     /// `pose` at the start of `segment` — the client-side selection rule
     /// of §5.3, exposed here because it only needs the stream metadata
-    /// that accompanies the segment listing.
+    /// that accompanies the segment listing. Streams with missing
+    /// metadata or non-finite similarity are skipped rather than
+    /// panicking; ties keep the last candidate, matching the previous
+    /// `max_by` selection.
     pub fn best_cluster(&self, segment: u32, pose: EulerAngles) -> Option<usize> {
         let view = pose.view_direction();
-        self.catalog
-            .clusters_in_segment(segment)
-            .into_iter()
-            .map(|c| {
-                let stream = self.catalog.fov_stream(segment, c).expect("listed cluster exists");
-                let (_, meta) = self.catalog.read_fov(stream);
-                let dot = meta[0].orientation.view_direction().dot(view);
-                (c, dot)
-            })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("dot products are finite"))
-            .map(|(c, _)| c)
+        let mut best: Option<(usize, f64)> = None;
+        for c in self.catalog.clusters_in_segment(segment) {
+            let Some(stream) = self.catalog.fov_stream(segment, c) else { continue };
+            let (_, meta) = self.catalog.read_fov(stream);
+            let Some(first) = meta.first() else { continue };
+            let dot = first.orientation.view_direction().dot(view);
+            if !dot.is_finite() {
+                continue;
+            }
+            match best {
+                Some((_, b)) if dot < b => {}
+                _ => best = Some((c, dot)),
+            }
+        }
+        best.map(|(c, _)| c)
     }
 }
 
@@ -199,6 +255,30 @@ mod tests {
         let s = server(VideoId::Rs);
         assert_eq!(s.handle(Request::FovVideo { segment: 0, cluster: 99 }), Response::NotFound);
         assert_eq!(s.handle(Request::Original { segment: 999 }), Response::NotFound);
+    }
+
+    #[test]
+    fn try_handle_distinguishes_failure_modes() {
+        let s = server(VideoId::Rs);
+        assert_eq!(
+            s.try_handle(Request::FovVideo { segment: 0, cluster: 99 }),
+            Err(SasError::UnknownCluster { segment: 0, cluster: 99 })
+        );
+        assert_eq!(
+            s.try_handle(Request::FovVideo { segment: 999, cluster: 0 }),
+            Err(SasError::UnknownSegment { segment: 999 })
+        );
+        assert_eq!(
+            s.try_handle(Request::Original { segment: 999 }),
+            Err(SasError::UnknownSegment { segment: 999 })
+        );
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        assert!(s.try_handle(Request::FovVideo { segment: 0, cluster }).is_ok());
+        assert_eq!(SasError::Unavailable.to_string(), "server unavailable");
+        assert_eq!(
+            SasError::UnknownCluster { segment: 1, cluster: 2 }.to_string(),
+            "unknown cluster 2 in segment 1"
+        );
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Property-based checks over the fault-injection layer.
+//!
+//! Three families of invariants:
+//!
+//! 1. **Clean parity** — a [`FaultSetup`] with no plan and no link is
+//!    bit-identical to the plain playback path for *any* seed: the
+//!    resilience machinery must cost nothing when nothing fails.
+//! 2. **Monotonicity** — making only the loss channel worse (same seed,
+//!    same chain transitions, higher burst-loss probability) can never
+//!    make the reported degradation smaller. The Gilbert–Elliott
+//!    sampler always consumes both transition draws, so the chain path
+//!    is identical between the two runs and failure is pointwise
+//!    monotone in the emitted loss.
+//! 3. **Replay** — any faulty setup is a pure function of its seed:
+//!    running it twice yields the same report, byte for byte.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use evr_core::{EvrSystem, UseCase, Variant};
+use evr_faults::{
+    BandwidthProfile, FaultEvent, FaultPlan, FaultSetup, GilbertElliott, LinkProcess,
+};
+use evr_sas::SasConfig;
+use evr_video::library::VideoId;
+
+fn system() -> &'static EvrSystem {
+    static SYS: OnceLock<EvrSystem> = OnceLock::new();
+    SYS.get_or_init(|| EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 2.0))
+}
+
+fn bursty_link(entry: f64, burst: f64, loss_bad: f64, bw_bps: f64) -> LinkProcess {
+    LinkProcess {
+        profile: BandwidthProfile::constant(bw_bps),
+        loss: GilbertElliott::bursty(entry, burst, loss_bad),
+        rtt_s: 0.005,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_clean_setup_is_bit_identical_for_any_seed(seed in any::<u64>(), user in 0u64..3) {
+        let sys = system();
+        for uc in [UseCase::OnlineStreaming, UseCase::OfflinePlayback] {
+            let plain = sys.run_user_in(uc, Variant::SPlusH, user);
+            let resilient =
+                sys.run_user_resilient(uc, Variant::SPlusH, user, &FaultSetup::seeded(seed));
+            prop_assert_eq!(&plain, &resilient);
+            prop_assert_eq!(resilient.faults, Default::default());
+        }
+    }
+
+    #[test]
+    fn prop_degradation_is_monotone_in_burst_loss(
+        seed in any::<u64>(),
+        entry in 0.05f64..0.5,
+        burst in 1.5f64..6.0,
+        loss_lo in 0.1f64..0.5,
+        loss_extra in 0.1f64..0.45,
+        bw_mbps in 2.0f64..40.0,
+    ) {
+        let loss_hi = (loss_lo + loss_extra).min(0.95);
+        let run = |loss_bad: f64| {
+            let setup = FaultSetup::seeded(seed)
+                .with_link(bursty_link(entry, burst, loss_bad, bw_mbps * 1e6));
+            system().run_user_resilient(UseCase::OnlineStreaming, Variant::SPlusH, 0, &setup)
+        };
+        let lo = run(loss_lo);
+        let hi = run(loss_hi);
+        prop_assert!(hi.faults.timeouts >= lo.faults.timeouts);
+        prop_assert!(hi.faults.retries >= lo.faults.retries);
+        prop_assert!(hi.faults.frozen_frames >= lo.faults.frozen_frames);
+        prop_assert!(hi.faults.degraded_segments >= lo.faults.degraded_segments);
+        // Both runs play the same number of frames; only how they are
+        // served may differ.
+        prop_assert_eq!(lo.frames_total, hi.frames_total);
+    }
+
+    #[test]
+    fn prop_faulty_runs_replay_identically_per_seed(
+        seed in any::<u64>(),
+        outage_start in 0.0f64..1.5,
+        outage_len in 0.2f64..1.0,
+        loss in 0.2f64..0.8,
+    ) {
+        let setup = FaultSetup::seeded(seed)
+            .with_link(bursty_link(0.25, 3.0, loss, 25e6))
+            .with_plan(
+                FaultPlan::none()
+                    .with(FaultEvent::ServerOutage { start_s: outage_start, duration_s: outage_len })
+                    .with(FaultEvent::RequestDrop { segment: 0 }),
+            );
+        let run = || {
+            system().run_user_resilient(UseCase::OnlineStreaming, Variant::SPlusH, 1, &setup)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -103,6 +103,54 @@ fn all_exporters_produce_well_formed_output() {
 }
 
 #[test]
+fn fault_counters_are_zero_clean_and_live_under_an_outage() {
+    // Clean resilient run: every fault metric stays at zero.
+    let clean_obs = evr_obs::Observer::enabled();
+    let mut system = EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 1.0);
+    system.instrument(&clean_obs);
+    let clean = system.run_user_resilient(
+        UseCase::OnlineStreaming,
+        Variant::SPlusH,
+        5,
+        &evr_faults::FaultSetup::seeded(3),
+    );
+    assert_eq!(clean.faults, Default::default());
+    assert_eq!(clean_obs.counter(names::FAULT_RETRIES).get(), 0);
+    assert_eq!(clean_obs.counter(names::FAULT_TIMEOUTS).get(), 0);
+    assert_eq!(clean_obs.counter(names::DEGRADED_FRAMES).get(), 0);
+    assert_eq!(clean_obs.counter(names::FROZEN_FRAMES).get(), 0);
+
+    // A permanent server outage: the same counters fire and mirror the
+    // report's fault summary.
+    let fault_obs = evr_obs::Observer::enabled();
+    system.instrument(&fault_obs);
+    let setup = evr_faults::FaultSetup::seeded(3).with_plan(
+        evr_faults::FaultPlan::none()
+            .with(evr_faults::FaultEvent::ServerOutage { start_s: 0.0, duration_s: 1e6 }),
+    );
+    let faulted = system.run_user_resilient(UseCase::OnlineStreaming, Variant::SPlusH, 5, &setup);
+    assert!(faulted.faults.timeouts > 0);
+    assert_eq!(fault_obs.counter(names::FAULT_RETRIES).get(), faulted.faults.retries);
+    assert_eq!(fault_obs.counter(names::FAULT_TIMEOUTS).get(), faulted.faults.timeouts);
+    assert_eq!(fault_obs.counter(names::FROZEN_FRAMES).get(), faulted.faults.frozen_frames);
+    assert!(
+        (fault_obs.gauge(names::BACKOFF_SECONDS).get() - faulted.faults.backoff_time_s).abs()
+            < 1e-9
+    );
+
+    // The exporters carry the fault metrics.
+    let prom = fault_obs.prometheus();
+    assert!(prom.contains("# TYPE evr_fault_timeouts_total counter"));
+    assert!(prom.contains(&format!("evr_fault_timeouts_total {}", faulted.faults.timeouts)));
+    assert!(prom.contains("# TYPE evr_fault_stall_seconds histogram"));
+    let json = fault_obs.report_json("chaos");
+    assert!(json.contains("\"evr_fault_retries_total\""));
+    assert!(json.contains("\"evr_frozen_frames_total\""));
+    let jsonl = fault_obs.jsonl();
+    assert!(jsonl.contains(&format!("\"name\":\"{}\"", names::MARK_FAULT_TIMEOUT)));
+}
+
+#[test]
 fn per_frame_spans_cover_every_frame() {
     let (obs, report) = observed_run(Variant::SPlusH);
     let events = obs.events();
