@@ -95,6 +95,11 @@ pub mod names {
     pub const PTE_DRAM_READ_BYTES: &str = "evr_pte_dram_read_bytes_total";
     pub const PTE_DRAM_WRITE_BYTES: &str = "evr_pte_dram_write_bytes_total";
 
+    // PT fast path (evr-projection sampling-map LUT, via evr-pte).
+    pub const PT_LUT_HITS: &str = "evr_pt_lut_hits_total";
+    pub const PT_LUT_MISSES: &str = "evr_pt_lut_misses_total";
+    pub const PT_RENDER_SECONDS: &str = "evr_pt_render_seconds";
+
     // Energy ledger (evr-energy): one gauge per component, named
     // `evr_energy_joules_<component>` via [`energy_gauge`].
     pub const ENERGY_JOULES_PREFIX: &str = "evr_energy_joules_";

@@ -52,7 +52,12 @@ impl EdgeMode {
         }
     }
 
-    fn resolve(self, x: i64, y: i64, w: u32, h: u32) -> (u32, u32) {
+    /// Folds a (possibly out-of-range) texel coordinate back into the
+    /// frame under this edge behaviour — the exact address resolution
+    /// the samplers use. Public so traffic analyzers (the PTE's P-MEM
+    /// model) can replay the datapath's addresses instead of guessing:
+    /// clamping where the datapath wraps undercounts seam traffic.
+    pub fn resolve(self, x: i64, y: i64, w: u32, h: u32) -> (u32, u32) {
         let yy = y.clamp(0, h as i64 - 1) as u32;
         let xx = match self {
             EdgeMode::Clamp => x.clamp(0, w as i64 - 1) as u32,

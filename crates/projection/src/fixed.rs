@@ -24,6 +24,7 @@ use evr_math::EulerAngles;
 use crate::filter::{EdgeMode, FilterMode};
 use crate::fov::{FovSpec, Viewport};
 use crate::mapping::{CubeFace, Projection};
+use crate::par;
 use crate::pixel::{ImageBuffer, PixelSource, Rgb};
 use crate::transform::Transformer;
 
@@ -148,6 +149,32 @@ impl FixedTransformer {
     /// The numeric format in use.
     pub fn format(&self) -> FxFormat {
         self.ctx.format()
+    }
+
+    /// The projection method input frames are stored in.
+    pub fn projection(&self) -> Projection {
+        self.projection
+    }
+
+    /// The reconstruction filter.
+    pub fn filter(&self) -> FilterMode {
+        self.filter
+    }
+
+    /// The output field of view.
+    pub fn fov(&self) -> FovSpec {
+        self.fov
+    }
+
+    /// The output viewport.
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+
+    /// Converts a fixed-point value produced by this transformer back to
+    /// `f64` — how analyzers read a cached fixed coordinate stream.
+    pub fn to_f64(&self, t: Fx) -> f64 {
+        self.ctx.to_f64(t)
     }
 
     /// Saturation events observed so far (overflow diagnostics for the
@@ -281,13 +308,73 @@ impl FixedTransformer {
     }
 
     /// Runs the full fixed-point PT for one frame.
-    pub fn render_fov(&self, src: &impl PixelSource, orientation: EulerAngles) -> ImageBuffer {
+    ///
+    /// Large viewports render scanline-parallel; like the reference
+    /// pipeline, any thread count is bit-identical (the only shared
+    /// mutable state is the saturation counter, whose total is a
+    /// commutative sum).
+    pub fn render_fov(
+        &self,
+        src: &(impl PixelSource + Sync),
+        orientation: EulerAngles,
+    ) -> ImageBuffer {
+        self.render_fov_threads(
+            src,
+            orientation,
+            par::auto_threads(self.viewport.pixels() as usize),
+        )
+    }
+
+    /// [`FixedTransformer::render_fov`] with an explicit thread count.
+    pub fn render_fov_threads(
+        &self,
+        src: &(impl PixelSource + Sync),
+        orientation: EulerAngles,
+        threads: usize,
+    ) -> ImageBuffer {
         let cfg = self.frame_config(orientation);
         let edge = EdgeMode::for_projection(self.projection);
-        ImageBuffer::from_fn(self.viewport.width, self.viewport.height, |i, j| {
+        let pixels = par::fill_grid(self.viewport.width, self.viewport.height, threads, |i, j| {
             let (u, v) = self.map_pixel_fx(&cfg, i, j);
             self.sample_fx(src, u, v, edge)
-        })
+        });
+        ImageBuffer::from_pixels(self.viewport.width, self.viewport.height, pixels)
+    }
+
+    /// Precomputes the fixed-point source coordinates of every output
+    /// pixel at one orientation, row-major — the PTE's coordinate stream,
+    /// reusable across frames and shared with the traffic analyzer via
+    /// [`crate::lut::SamplingMapCache`].
+    pub fn coordinate_map(&self, orientation: EulerAngles) -> Vec<(Fx, Fx)> {
+        let cfg = self.frame_config(orientation);
+        par::fill_grid(
+            self.viewport.width,
+            self.viewport.height,
+            par::auto_threads(self.viewport.pixels() as usize),
+            |i, j| self.map_pixel_fx(&cfg, i, j),
+        )
+    }
+
+    /// Renders through a precomputed fixed-point coordinate map (the
+    /// filtering half of the datapath).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's length does not match the viewport.
+    pub fn render_with_map(
+        &self,
+        src: &(impl PixelSource + Sync),
+        map: &[(Fx, Fx)],
+    ) -> ImageBuffer {
+        assert_eq!(map.len() as u64, self.viewport.pixels(), "coordinate map size mismatch");
+        let edge = EdgeMode::for_projection(self.projection);
+        let w = self.viewport.width;
+        let pixels =
+            par::fill_grid(w, self.viewport.height, par::auto_threads(map.len()), |i, j| {
+                let (u, v) = map[(j * w + i) as usize];
+                self.sample_fx(src, u, v, edge)
+            });
+        ImageBuffer::from_pixels(w, self.viewport.height, pixels)
     }
 
     /// Fixed-point filtering: address generation in wide integers, blend
@@ -469,6 +556,25 @@ mod tests {
                 assert!(close, "{projection} pixel ({i},{j}): ({u1},{v1}) vs ({u2},{v2})");
             }
         }
+    }
+
+    #[test]
+    fn thread_counts_and_map_path_are_bit_identical() {
+        let src = test_panorama(Projection::Eac);
+        let t = FixedTransformer::new(
+            FxFormat::q28_10(),
+            Projection::Eac,
+            FilterMode::Bilinear,
+            FovSpec::from_degrees(110.0, 110.0),
+            Viewport::new(15, 9),
+        );
+        let pose = EulerAngles::from_degrees(-140.0, 25.0, -3.0);
+        let seq = t.render_fov_threads(&src, pose, 1);
+        for threads in [2, 3, 5, 8] {
+            assert_eq!(t.render_fov_threads(&src, pose, threads), seq, "threads = {threads}");
+        }
+        let map = t.coordinate_map(pose);
+        assert_eq!(t.render_with_map(&src, &map), seq);
     }
 
     #[test]

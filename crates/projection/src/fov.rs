@@ -110,10 +110,28 @@ impl Viewport {
     ///
     /// # Panics
     ///
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero; use [`Viewport::try_new`] for
+    /// fallible construction.
     pub fn new(width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "viewport dimensions must be non-zero");
-        Viewport { width, height }
+        Viewport::try_new(width, height).expect("viewport dimensions must be non-zero")
+    }
+
+    /// Fallible constructor. A `0×N` viewport is never meaningful — it
+    /// renders nothing and silently degenerates every per-pixel statistic
+    /// downstream — so construction is the validation point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProjectionError::EmptyDimension`] if either dimension is
+    /// zero.
+    pub fn try_new(width: u32, height: u32) -> Result<Self, ProjectionError> {
+        if width == 0 {
+            return Err(ProjectionError::EmptyDimension { what: "viewport width" });
+        }
+        if height == 0 {
+            return Err(ProjectionError::EmptyDimension { what: "viewport height" });
+        }
+        Ok(Viewport { width, height })
     }
 
     /// Total pixel count.
@@ -224,6 +242,25 @@ mod tests {
     #[should_panic(expected = "invalid field of view")]
     fn fov_panic_constructor() {
         let _ = FovSpec::from_degrees(200.0, 90.0);
+    }
+
+    #[test]
+    fn viewport_validation() {
+        assert_eq!(Viewport::try_new(16, 9), Ok(Viewport { width: 16, height: 9 }));
+        assert_eq!(
+            Viewport::try_new(0, 9),
+            Err(ProjectionError::EmptyDimension { what: "viewport width" })
+        );
+        assert_eq!(
+            Viewport::try_new(16, 0),
+            Err(ProjectionError::EmptyDimension { what: "viewport height" })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "viewport dimensions must be non-zero")]
+    fn viewport_panic_constructor() {
+        let _ = Viewport::new(0, 4);
     }
 
     #[test]

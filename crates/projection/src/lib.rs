@@ -47,14 +47,18 @@ pub mod error;
 pub mod filter;
 pub mod fixed;
 pub mod fov;
+pub mod lut;
 pub mod mapping;
+mod par;
 pub mod perspective;
 pub mod pixel;
 pub mod transform;
 
 pub use error::ProjectionError;
 pub use filter::FilterMode;
+pub use fixed::FixedTransformer;
 pub use fov::{FovFrameMeta, FovSpec, Viewport};
+pub use lut::{LutStats, SamplingMap, SamplingMapCache};
 pub use mapping::Projection;
 pub use pixel::{ImageBuffer, PixelSource, Rgb};
 pub use transform::{FovFrame, Transformer};

@@ -1,0 +1,500 @@
+//! The sampling-map LUT: cached per-pixel source coordinates.
+//!
+//! The coordinate half of the PT (perspective update + mapping) depends
+//! only on the static configuration (projection, filter, FOV, viewport,
+//! numeric format) and the head orientation — not on pixel data. SAS
+//! snaps orientations to a cluster grid, experiment drivers analyze
+//! thousands of frames at a handful of poses, and `Pte::render_frame`
+//! used to run the *same* mapping twice (once in fixed point to render,
+//! once in `f64` to analyze). A [`SamplingMap`] materialises the
+//! coordinate stream once; a [`SamplingMapCache`] keys it on the full
+//! configuration plus a (optionally quantized) orientation and reuses
+//! it across frames, across renderers, and between rendering and
+//! analysis.
+//!
+//! Reuse never changes results: a cached map holds exactly the
+//! coordinates the transformer would recompute, so rendering through
+//! the cache is bit-identical to the direct path (pinned by
+//! `tests/pt_fastpath.rs`). With a non-zero orientation quantum the
+//! pose is snapped *before* both keying and map construction, so the
+//! cache is still a pure function of its inputs — it just renders the
+//! snapped pose.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use evr_math::fixed::{Fx, FxFormat};
+use evr_math::{Degrees, EulerAngles, Radians};
+
+use crate::filter::FilterMode;
+use crate::fixed::FixedTransformer;
+use crate::fov::{FovSpec, Viewport};
+use crate::mapping::Projection;
+use crate::transform::Transformer;
+
+/// Default cache budget in stored coordinate pairs (not maps): 8M pairs
+/// ≈ 128 MB worst case. A 2560×1440 render map is ~3.7M pairs; a
+/// stride-4 analysis map of the same viewport is ~230k.
+pub const DEFAULT_CAPACITY_COORDS: usize = 8 * 1024 * 1024;
+
+/// One materialised coordinate stream: the `(u, v)` (or fixed-point)
+/// source coordinates of every pixel of a viewport at one orientation,
+/// in row-major order (optionally strided for analysis sampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplingMap {
+    viewport: Viewport,
+    stride: u32,
+    coords: MapCoords,
+}
+
+/// The two coordinate representations a map can hold.
+#[derive(Debug, Clone, PartialEq)]
+enum MapCoords {
+    /// `f64` normalised `(u, v)` from the reference [`Transformer`].
+    Reference(Vec<(f64, f64)>),
+    /// Fixed-point coordinates from a [`FixedTransformer`] in `format`.
+    Fixed { format: FxFormat, coords: Vec<(Fx, Fx)> },
+}
+
+impl SamplingMap {
+    /// Materialises the reference (`f64`) coordinate stream of `t` at
+    /// `orientation`, sampling every `stride`-th pixel per axis
+    /// (`stride == 1` is the full render map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn build_reference(t: &Transformer, orientation: EulerAngles, stride: u32) -> Self {
+        SamplingMap {
+            viewport: t.viewport(),
+            stride,
+            coords: MapCoords::Reference(t.coordinate_map_strided(orientation, stride)),
+        }
+    }
+
+    /// Materialises the fixed-point coordinate stream of `t` at
+    /// `orientation` (always full, stride 1 — the PTE renders every
+    /// pixel).
+    pub fn build_fixed(t: &FixedTransformer, orientation: EulerAngles) -> Self {
+        SamplingMap {
+            viewport: t.viewport(),
+            stride: 1,
+            coords: MapCoords::Fixed { format: t.format(), coords: t.coordinate_map(orientation) },
+        }
+    }
+
+    /// The viewport the map was built for.
+    pub fn viewport(&self) -> Viewport {
+        self.viewport
+    }
+
+    /// The sampling stride (1 = every pixel).
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Number of stored coordinate pairs.
+    pub fn len(&self) -> usize {
+        match &self.coords {
+            MapCoords::Reference(c) => c.len(),
+            MapCoords::Fixed { coords, .. } => coords.len(),
+        }
+    }
+
+    /// Whether the map holds no coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The reference coordinates, if this is an `f64` map.
+    pub fn as_reference(&self) -> Option<&[(f64, f64)]> {
+        match &self.coords {
+            MapCoords::Reference(c) => Some(c),
+            MapCoords::Fixed { .. } => None,
+        }
+    }
+
+    /// The fixed-point coordinates and their format, if this is a
+    /// fixed-point map.
+    pub fn as_fixed(&self) -> Option<(FxFormat, &[(Fx, Fx)])> {
+        match &self.coords {
+            MapCoords::Reference(_) => None,
+            MapCoords::Fixed { format, coords } => Some((*format, coords)),
+        }
+    }
+}
+
+/// Cache key: the full static configuration plus the orientation (bit
+/// patterns of the possibly-snapped pose) and sampling stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SamplingKey {
+    projection: Projection,
+    filter: FilterMode,
+    fov: (u64, u64),
+    viewport: Viewport,
+    pose: (u64, u64, u64),
+    stride: u32,
+    /// `None` for the `f64` reference stream.
+    format: Option<FxFormat>,
+}
+
+impl SamplingKey {
+    fn new(
+        projection: Projection,
+        filter: FilterMode,
+        fov: FovSpec,
+        viewport: Viewport,
+        pose: EulerAngles,
+        stride: u32,
+        format: Option<FxFormat>,
+    ) -> Self {
+        SamplingKey {
+            projection,
+            filter,
+            fov: (fov.horizontal.0.to_bits(), fov.vertical.0.to_bits()),
+            viewport,
+            pose: (pose.yaw.0.to_bits(), pose.pitch.0.to_bits(), pose.roll.0.to_bits()),
+            stride,
+            format,
+        }
+    }
+}
+
+/// Cumulative lookup statistics of a [`SamplingMapCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LutStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a map.
+    pub misses: u64,
+}
+
+impl LutStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheState {
+    capacity_coords: usize,
+    quantum_deg: f64,
+    maps: HashMap<SamplingKey, Arc<SamplingMap>>,
+    order: VecDeque<SamplingKey>,
+    total_coords: usize,
+    stats: LutStats,
+}
+
+impl CacheState {
+    fn insert(&mut self, key: SamplingKey, map: Arc<SamplingMap>) -> Arc<SamplingMap> {
+        // A concurrent builder may have raced us here; both maps are
+        // identical by construction, so keep the resident one.
+        if let Some(existing) = self.maps.get(&key) {
+            return existing.clone();
+        }
+        self.total_coords += map.len();
+        self.maps.insert(key, map.clone());
+        self.order.push_back(key);
+        // Evict oldest-first until within budget, always keeping the
+        // newest map so a single oversized map still caches.
+        while self.total_coords > self.capacity_coords && self.order.len() > 1 {
+            if let Some(old) = self.order.pop_front() {
+                if let Some(evicted) = self.maps.remove(&old) {
+                    self.total_coords -= evicted.len();
+                }
+            }
+        }
+        map
+    }
+}
+
+/// A bounded, shareable cache of [`SamplingMap`]s.
+///
+/// Cloning shares the underlying store (the handle is an `Arc`), so one
+/// cache can serve every renderer and analyzer in a process —
+/// [`SamplingMapCache::shared`] returns the process-wide instance the
+/// PTE engine uses by default.
+///
+/// # Example
+///
+/// ```
+/// use evr_projection::lut::SamplingMapCache;
+/// use evr_projection::{Transformer, Projection, FilterMode, FovSpec, Viewport};
+/// use evr_math::EulerAngles;
+///
+/// let cache = SamplingMapCache::new();
+/// let t = Transformer::new(
+///     Projection::Erp,
+///     FilterMode::Bilinear,
+///     FovSpec::from_degrees(110.0, 110.0),
+///     Viewport::new(8, 8),
+/// );
+/// let pose = EulerAngles::from_degrees(30.0, 0.0, 0.0);
+/// let (_, hit) = cache.reference_map(&t, pose, 1);
+/// assert!(!hit);
+/// let (_, hit) = cache.reference_map(&t, pose, 1);
+/// assert!(hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplingMapCache {
+    inner: Arc<Mutex<CacheState>>,
+}
+
+impl Default for SamplingMapCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SamplingMapCache {
+    /// A private cache with the default coordinate budget and exact
+    /// (bit-pattern) orientation keying.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_CAPACITY_COORDS, 0.0)
+    }
+
+    /// A private cache with an explicit coordinate budget and
+    /// orientation quantum in degrees (`0.0` = exact keying; a positive
+    /// quantum snaps poses to that grid before keying *and* building).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_coords` is zero or `quantum_deg` is negative
+    /// or non-finite.
+    pub fn with_config(capacity_coords: usize, quantum_deg: f64) -> Self {
+        assert!(capacity_coords > 0, "cache capacity must be non-zero");
+        assert!(
+            quantum_deg >= 0.0 && quantum_deg.is_finite(),
+            "orientation quantum must be finite and non-negative"
+        );
+        SamplingMapCache {
+            inner: Arc::new(Mutex::new(CacheState {
+                capacity_coords,
+                quantum_deg,
+                maps: HashMap::new(),
+                order: VecDeque::new(),
+                total_coords: 0,
+                stats: LutStats::default(),
+            })),
+        }
+    }
+
+    /// The process-wide shared cache (default configuration). Maps are
+    /// pure functions of their key, so sharing across subsystems can
+    /// only ever save work, never change output.
+    pub fn shared() -> Self {
+        static SHARED: OnceLock<SamplingMapCache> = OnceLock::new();
+        SHARED.get_or_init(SamplingMapCache::new).clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the state is still a valid cache.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The pose a lookup with this cache's quantum actually uses.
+    pub fn snap(&self, pose: EulerAngles) -> EulerAngles {
+        let q = self.lock().quantum_deg;
+        snap_pose(pose, q)
+    }
+
+    /// Looks up (or builds and caches) the reference coordinate stream
+    /// of `t` at `orientation` with the given stride. Returns the map
+    /// and whether it was a cache hit.
+    pub fn reference_map(
+        &self,
+        t: &Transformer,
+        orientation: EulerAngles,
+        stride: u32,
+    ) -> (Arc<SamplingMap>, bool) {
+        let (key, pose) = {
+            let mut state = self.lock();
+            let pose = snap_pose(orientation, state.quantum_deg);
+            let key = SamplingKey::new(
+                t.projection(),
+                t.filter(),
+                t.fov(),
+                t.viewport(),
+                pose,
+                stride,
+                None,
+            );
+            if let Some(map) = state.maps.get(&key).cloned() {
+                state.stats.hits += 1;
+                return (map, true);
+            }
+            state.stats.misses += 1;
+            (key, pose)
+        };
+        // Build outside the lock so concurrent users of other keys
+        // aren't serialised behind an expensive mapping pass.
+        let map = Arc::new(SamplingMap::build_reference(t, pose, stride));
+        (self.lock().insert(key, map), false)
+    }
+
+    /// Looks up (or builds and caches) the fixed-point coordinate
+    /// stream of `t` at `orientation`. Returns the map and whether it
+    /// was a cache hit.
+    pub fn fixed_map(
+        &self,
+        t: &FixedTransformer,
+        orientation: EulerAngles,
+    ) -> (Arc<SamplingMap>, bool) {
+        let (key, pose) = {
+            let mut state = self.lock();
+            let pose = snap_pose(orientation, state.quantum_deg);
+            let key = SamplingKey::new(
+                t.projection(),
+                t.filter(),
+                t.fov(),
+                t.viewport(),
+                pose,
+                1,
+                Some(t.format()),
+            );
+            if let Some(map) = state.maps.get(&key).cloned() {
+                state.stats.hits += 1;
+                return (map, true);
+            }
+            state.stats.misses += 1;
+            (key, pose)
+        };
+        let map = Arc::new(SamplingMap::build_fixed(t, pose));
+        (self.lock().insert(key, map), false)
+    }
+
+    /// Cumulative hit/miss statistics.
+    pub fn stats(&self) -> LutStats {
+        self.lock().stats
+    }
+
+    /// Number of resident maps.
+    pub fn len(&self) -> usize {
+        self.lock().maps.len()
+    }
+
+    /// Whether no maps are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total resident coordinate pairs.
+    pub fn resident_coords(&self) -> usize {
+        self.lock().total_coords
+    }
+}
+
+fn snap_pose(pose: EulerAngles, quantum_deg: f64) -> EulerAngles {
+    if quantum_deg <= 0.0 {
+        return pose;
+    }
+    let snap =
+        |r: Radians| Degrees((r.to_degrees().0 / quantum_deg).round() * quantum_deg).to_radians();
+    EulerAngles::new(snap(pose.yaw), snap(pose.pitch), snap(pose.roll))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_math::fixed::FxFormat;
+
+    fn transformer(vp: u32) -> Transformer {
+        Transformer::new(
+            Projection::Erp,
+            FilterMode::Bilinear,
+            FovSpec::from_degrees(100.0, 100.0),
+            Viewport::new(vp, vp),
+        )
+    }
+
+    #[test]
+    fn reference_map_matches_direct_computation() {
+        let t = transformer(9);
+        let pose = EulerAngles::from_degrees(42.0, -7.0, 3.0);
+        let cache = SamplingMapCache::new();
+        let (map, hit) = cache.reference_map(&t, pose, 1);
+        assert!(!hit);
+        assert_eq!(map.as_reference().unwrap(), t.coordinate_map(pose).as_slice());
+        assert_eq!(map.viewport(), t.viewport());
+        assert_eq!(map.stride(), 1);
+    }
+
+    #[test]
+    fn strided_maps_are_keyed_separately() {
+        let t = transformer(8);
+        let pose = EulerAngles::default();
+        let cache = SamplingMapCache::new();
+        let (full, _) = cache.reference_map(&t, pose, 1);
+        let (strided, hit) = cache.reference_map(&t, pose, 4);
+        assert!(!hit, "stride must be part of the key");
+        assert_eq!(full.len(), 64);
+        assert_eq!(strided.len(), 4);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn fixed_and_reference_streams_do_not_collide() {
+        let t = transformer(6);
+        let f = FixedTransformer::new(
+            FxFormat::q28_10(),
+            t.projection(),
+            t.filter(),
+            t.fov(),
+            t.viewport(),
+        );
+        let pose = EulerAngles::from_degrees(10.0, 5.0, 0.0);
+        let cache = SamplingMapCache::new();
+        let (_, hit) = cache.reference_map(&t, pose, 1);
+        assert!(!hit);
+        let (fixed, hit) = cache.fixed_map(&f, pose);
+        assert!(!hit, "fixed stream must not alias the f64 stream");
+        assert_eq!(fixed.as_fixed().unwrap().1, f.coordinate_map(pose).as_slice());
+        let (_, hit) = cache.fixed_map(&f, pose);
+        assert!(hit);
+        assert_eq!(cache.stats(), LutStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn eviction_keeps_the_budget_and_the_newest_map() {
+        // Budget of 100 pairs; each 6×6 map is 36 — the third insert
+        // evicts the first.
+        let cache = SamplingMapCache::with_config(100, 0.0);
+        let t = transformer(6);
+        for yaw in [0.0, 10.0, 20.0] {
+            cache.reference_map(&t, EulerAngles::from_degrees(yaw, 0.0, 0.0), 1);
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.resident_coords() <= 100);
+        let (_, hit) = cache.reference_map(&t, EulerAngles::from_degrees(20.0, 0.0, 0.0), 1);
+        assert!(hit, "newest map must survive eviction");
+        let (_, hit) = cache.reference_map(&t, EulerAngles::default(), 1);
+        assert!(!hit, "oldest map must have been evicted");
+    }
+
+    #[test]
+    fn quantum_snaps_nearby_poses_onto_one_map() {
+        let cache = SamplingMapCache::with_config(DEFAULT_CAPACITY_COORDS, 1.0);
+        let t = transformer(5);
+        let (_, hit) = cache.reference_map(&t, EulerAngles::from_degrees(30.2, 0.0, 0.0), 1);
+        assert!(!hit);
+        let (map, hit) = cache.reference_map(&t, EulerAngles::from_degrees(29.9, 0.0, 0.0), 1);
+        assert!(hit, "both poses snap to 30°");
+        // The map holds the snapped pose's coordinates exactly.
+        let snapped = cache.snap(EulerAngles::from_degrees(30.2, 0.0, 0.0));
+        assert_eq!(map.as_reference().unwrap(), t.coordinate_map(snapped).as_slice());
+    }
+
+    #[test]
+    fn shared_cache_is_one_instance() {
+        let a = SamplingMapCache::shared();
+        let b = SamplingMapCache::shared();
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+}

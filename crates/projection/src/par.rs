@@ -1,0 +1,87 @@
+//! Scanline-parallel grid evaluation for the PT hot paths.
+//!
+//! The PT is embarrassingly parallel: every output pixel is a pure
+//! function of `(i, j)` and the frame configuration. [`fill_grid`]
+//! exploits that by splitting the row-major output into contiguous
+//! row bands and filling each band on its own scoped thread (the same
+//! zero-dependency `std::thread::scope` pattern the SAS ingestion
+//! pipeline uses for segments). Because each slot is written exactly
+//! once with `f(x, y)` and `f` is pure, the result is bit-identical to
+//! the sequential loop for any thread count — parallelism changes only
+//! wall-clock time, never pixels.
+
+/// Grids smaller than this are filled sequentially: thread spawn and
+/// join overhead (~tens of µs) would dominate the work.
+const MIN_PARALLEL_ITEMS: usize = 16 * 1024;
+
+/// Threads to use for a grid of `items` slots: 1 below the parallel
+/// threshold, otherwise the machine's available parallelism.
+pub(crate) fn auto_threads(items: usize) -> usize {
+    if items < MIN_PARALLEL_ITEMS {
+        1
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Evaluates `f(x, y)` for every cell of a `width`×`height` grid into a
+/// row-major `Vec`, splitting the rows over at most `threads` scoped
+/// threads. `threads <= 1` runs the plain sequential loop; any other
+/// value produces bit-identical output (see module docs).
+pub(crate) fn fill_grid<T, F>(width: u32, height: u32, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(u32, u32) -> T + Sync,
+{
+    let w = width as usize;
+    let h = height as usize;
+    let mut out = vec![T::default(); w * h];
+    let threads = threads.clamp(1, h.max(1));
+    if threads == 1 || out.is_empty() {
+        for (idx, slot) in out.iter_mut().enumerate() {
+            *slot = f((idx % w) as u32, (idx / w) as u32);
+        }
+        return out;
+    }
+    let band_rows = h.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (band, chunk) in out.chunks_mut(band_rows * w).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = band * band_rows * w;
+                for (idx, slot) in chunk.iter_mut().enumerate() {
+                    let i = base + idx;
+                    *slot = f((i % w) as u32, (i / w) as u32);
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_fill_matches_sequential_for_any_thread_count() {
+        let f = |x: u32, y: u32| (x as u64) * 31 + (y as u64) * 17;
+        let seq = fill_grid(13, 7, 1, f);
+        for threads in [2, 3, 4, 7, 8, 64] {
+            assert_eq!(fill_grid(13, 7, threads, f), seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_are_handled() {
+        let f = |x: u32, _| x;
+        assert_eq!(fill_grid(1, 1, 8, f), vec![0]);
+        assert_eq!(fill_grid(4, 1, 8, f), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn auto_threads_stays_sequential_for_small_grids() {
+        assert_eq!(auto_threads(64), 1);
+        assert!(auto_threads(1 << 20) >= 1);
+    }
+}

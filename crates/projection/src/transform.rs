@@ -13,6 +13,7 @@ use evr_math::EulerAngles;
 use crate::filter::{sample, EdgeMode, FilterMode};
 use crate::fov::{FovFrameMeta, FovSpec, Viewport};
 use crate::mapping::Projection;
+use crate::par;
 use crate::perspective::PerspectiveUpdate;
 use crate::pixel::{ImageBuffer, PixelSource};
 
@@ -98,10 +99,41 @@ impl Transformer {
 
     /// Runs the full PT: renders the FOV frame seen at `orientation` from
     /// the full panoramic `src` frame.
-    pub fn render_fov(&self, src: &impl PixelSource, orientation: EulerAngles) -> FovFrame {
-        let map = self.coordinate_map(orientation);
+    ///
+    /// Large viewports render scanline-parallel across the machine's
+    /// cores; output is bit-identical to the single-threaded path (see
+    /// [`Transformer::render_fov_threads`]).
+    pub fn render_fov(
+        &self,
+        src: &(impl PixelSource + Sync),
+        orientation: EulerAngles,
+    ) -> FovFrame {
+        self.render_fov_threads(
+            src,
+            orientation,
+            par::auto_threads(self.viewport.pixels() as usize),
+        )
+    }
+
+    /// [`Transformer::render_fov`] with an explicit thread count, fusing
+    /// the coordinate and filtering passes into one loop over the output.
+    /// Every pixel is a pure function of `(i, j)`, the configuration and
+    /// the orientation, so any `threads` value produces bit-identical
+    /// output — parallelism is a pure wall-clock optimisation.
+    pub fn render_fov_threads(
+        &self,
+        src: &(impl PixelSource + Sync),
+        orientation: EulerAngles,
+        threads: usize,
+    ) -> FovFrame {
+        let persp = PerspectiveUpdate::new(self.fov, self.viewport, orientation);
+        let edge = EdgeMode::for_projection(self.projection);
+        let pixels = par::fill_grid(self.viewport.width, self.viewport.height, threads, |i, j| {
+            let (u, v) = self.projection.sphere_to_frame(persp.pixel_direction(i, j));
+            sample(src, u, v, self.filter, edge)
+        });
         FovFrame {
-            image: self.render_with_map(src, &map),
+            image: ImageBuffer::from_pixels(self.viewport.width, self.viewport.height, pixels),
             meta: FovFrameMeta::new(orientation, self.fov),
         }
     }
@@ -109,12 +141,35 @@ impl Transformer {
     /// Precomputes the per-pixel source coordinates for one orientation —
     /// the coordinate half of the PT, reusable across frames while the
     /// orientation is unchanged (SAS's FOV videos snap orientations to a
-    /// grid, so consecutive frames usually share a map).
+    /// grid, so consecutive frames usually share a map; the
+    /// [`crate::lut::SamplingMapCache`] automates the reuse).
     pub fn coordinate_map(&self, orientation: EulerAngles) -> Vec<(f64, f64)> {
         let persp = PerspectiveUpdate::new(self.fov, self.viewport, orientation);
-        let mut map = Vec::with_capacity(self.viewport.pixels() as usize);
-        for j in 0..self.viewport.height {
-            for i in 0..self.viewport.width {
+        par::fill_grid(
+            self.viewport.width,
+            self.viewport.height,
+            par::auto_threads(self.viewport.pixels() as usize),
+            |i, j| self.projection.sphere_to_frame(persp.pixel_direction(i, j)),
+        )
+    }
+
+    /// Like [`Transformer::coordinate_map`] but sampling every
+    /// `stride`-th pixel per axis, row-major — the coordinate stream the
+    /// PTE's strided frame analysis consumes. `stride == 1` is the full
+    /// map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn coordinate_map_strided(&self, orientation: EulerAngles, stride: u32) -> Vec<(f64, f64)> {
+        assert!(stride > 0, "stride must be non-zero");
+        if stride == 1 {
+            return self.coordinate_map(orientation);
+        }
+        let persp = PerspectiveUpdate::new(self.fov, self.viewport, orientation);
+        let mut map = Vec::new();
+        for j in (0..self.viewport.height).step_by(stride as usize) {
+            for i in (0..self.viewport.width).step_by(stride as usize) {
                 map.push(self.projection.sphere_to_frame(persp.pixel_direction(i, j)));
             }
         }
@@ -127,14 +182,20 @@ impl Transformer {
     /// # Panics
     ///
     /// Panics if the map's length does not match the viewport.
-    pub fn render_with_map(&self, src: &impl PixelSource, map: &[(f64, f64)]) -> ImageBuffer {
+    pub fn render_with_map(
+        &self,
+        src: &(impl PixelSource + Sync),
+        map: &[(f64, f64)],
+    ) -> ImageBuffer {
         assert_eq!(map.len() as u64, self.viewport.pixels(), "coordinate map size mismatch");
         let edge = EdgeMode::for_projection(self.projection);
         let w = self.viewport.width;
-        ImageBuffer::from_fn(w, self.viewport.height, |i, j| {
-            let (u, v) = map[(j * w + i) as usize];
-            sample(src, u, v, self.filter, edge)
-        })
+        let pixels =
+            par::fill_grid(w, self.viewport.height, par::auto_threads(map.len()), |i, j| {
+                let (u, v) = map[(j * w + i) as usize];
+                sample(src, u, v, self.filter, edge)
+            });
+        ImageBuffer::from_pixels(w, self.viewport.height, pixels)
     }
 }
 
@@ -254,6 +315,44 @@ mod tests {
             let (u, v) = t.map_pixel(i, j, pose);
             let expect = sample(&src, u, v, FilterMode::Nearest, EdgeMode::WrapU);
             assert_eq!(frame.image.get(i, j), expect);
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_bit_identical() {
+        let src = octant_panorama(Projection::Erp, 96, 48);
+        let t = Transformer::new(
+            Projection::Erp,
+            FilterMode::Bilinear,
+            FovSpec::from_degrees(100.0, 100.0),
+            Viewport::new(11, 13),
+        );
+        let pose = EulerAngles::from_degrees(33.0, -8.0, 2.0);
+        let seq = t.render_fov_threads(&src, pose, 1);
+        for threads in [2, 3, 5, 8] {
+            assert_eq!(t.render_fov_threads(&src, pose, threads), seq, "threads = {threads}");
+        }
+        // The map-based path is the same pipeline split in two.
+        let map = t.coordinate_map(pose);
+        assert_eq!(t.render_with_map(&src, &map), seq.image);
+    }
+
+    #[test]
+    fn strided_map_subsamples_the_full_map() {
+        let t = Transformer::new(
+            Projection::Cmp,
+            FilterMode::Nearest,
+            FovSpec::from_degrees(90.0, 90.0),
+            Viewport::new(8, 6),
+        );
+        let pose = EulerAngles::from_degrees(-50.0, 12.0, 0.0);
+        let full = t.coordinate_map(pose);
+        assert_eq!(t.coordinate_map_strided(pose, 1), full);
+        let strided = t.coordinate_map_strided(pose, 2);
+        assert_eq!(strided.len(), 4 * 3);
+        for (k, &(u, v)) in strided.iter().enumerate() {
+            let (i, j) = ((k % 4) * 2, (k / 4) * 2);
+            assert_eq!((u, v), full[j * 8 + i]);
         }
     }
 

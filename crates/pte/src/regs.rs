@@ -209,10 +209,11 @@ impl PteDevice {
             _ => return Err(()),
         };
         let (src_w, src_h) = (self.reg(Reg::SrcWidth), self.reg(Reg::SrcHeight));
-        let (out_w, out_h) = (self.reg(Reg::OutWidth), self.reg(Reg::OutHeight));
-        if src_w == 0 || src_h == 0 || out_w == 0 || out_h == 0 {
+        if src_w == 0 || src_h == 0 {
             return Err(());
         }
+        let viewport =
+            Viewport::try_new(self.reg(Reg::OutWidth), self.reg(Reg::OutHeight)).map_err(|_| ())?;
         let fov_h = self.reg(Reg::FovH) as f64 / Q16;
         let fov_v = self.reg(Reg::FovV) as f64 / Q16;
         let fov = FovSpec::try_from_degrees(fov_h, fov_v).map_err(|_| ())?;
@@ -227,7 +228,7 @@ impl PteDevice {
             .with_projection(projection)
             .with_filter(filter)
             .with_fov(fov)
-            .with_viewport(Viewport::new(out_w, out_h));
+            .with_viewport(viewport);
         Ok((cfg, pose, src_w, src_h))
     }
 }
@@ -287,6 +288,16 @@ mod tests {
         dev.write(Reg::FovH as u32, 200 << 16); // 200° is out of range
         dev.write(Reg::Ctrl as u32, CTRL_START);
         assert_ne!(dev.read(Reg::Status as u32) & STATUS_CFG_ERROR, 0);
+    }
+
+    #[test]
+    fn zero_viewport_sets_cfg_error() {
+        let mut dev = programmed();
+        dev.write(Reg::OutWidth as u32, 0);
+        dev.write(Reg::Ctrl as u32, CTRL_START);
+        let st = dev.read(Reg::Status as u32);
+        assert_ne!(st & STATUS_CFG_ERROR, 0);
+        assert_eq!(st & STATUS_FRAME_DONE, 0);
     }
 
     #[test]

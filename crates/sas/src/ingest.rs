@@ -376,20 +376,17 @@ fn ingest_segment(
             enc.force_intra();
             let mut meta = Vec::with_capacity(times.len());
             let mut frames = Vec::with_capacity(times.len());
-            // Orientations snap to a grid, so consecutive frames usually
-            // reuse the same coordinate map — recompute only on change.
-            let mut cached: Option<(evr_math::EulerAngles, Vec<(f64, f64)>)> = None;
+            // Orientations snap to a grid, so consecutive frames — and
+            // other clusters, segments and worker threads tracking the
+            // same grid points — share coordinate maps through the
+            // process-wide sampling-map cache.
+            let lut = evr_projection::lut::SamplingMapCache::shared();
             for (src, &t) in sources.iter().zip(&times) {
                 let orientation = snap_orientation(traj.orientation_at(t));
-                let map = match &cached {
-                    Some((o, map)) if *o == orientation => map,
-                    _ => {
-                        cached = Some((orientation, fov_renderer.coordinate_map(orientation)));
-                        &cached.as_ref().expect("just set").1
-                    }
-                };
+                let (map, _) = lut.reference_map(fov_renderer, orientation, 1);
+                let coords = map.as_reference().expect("reference lookup yields a reference map");
                 let image =
-                    evr_projection::pixel::downsample2x(&fov_renderer.render_with_map(src, map));
+                    evr_projection::pixel::downsample2x(&fov_renderer.render_with_map(src, coords));
                 meta.push(FovFrameMeta::new(orientation, stream_fov));
                 frames.push(enc.encode_frame(&image));
             }

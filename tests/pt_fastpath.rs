@@ -1,0 +1,162 @@
+//! Parity properties for the PT fast path.
+//!
+//! The scanline-parallel renderers and the sampling-map LUT are pure
+//! wall-clock optimisations: for any thread count and any cached map,
+//! output must be bit-identical to the single-threaded, map-free
+//! renderer. These properties pin that across all three projections,
+//! both filters and randomized orientations, for the f64 reference
+//! pipeline and the fixed-point datapath alike.
+
+use proptest::prelude::*;
+
+use evr_math::{EulerAngles, FxFormat};
+use evr_projection::lut::SamplingMapCache;
+use evr_projection::transform::render_panorama;
+use evr_projection::{
+    FilterMode, FixedTransformer, FovSpec, Projection, Rgb, Transformer, Viewport,
+};
+
+fn test_panorama(projection: Projection) -> evr_projection::pixel::ImageBuffer {
+    render_panorama(projection, 64, 32, |d| {
+        Rgb::new(
+            (d.x * 110.0 + 128.0) as u8,
+            (d.y * 110.0 + 128.0) as u8,
+            (d.z * 110.0 + 128.0) as u8,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Reference pipeline: explicit odd thread counts and the LUT map
+    /// path reproduce the sequential render bit for bit.
+    #[test]
+    fn prop_reference_fast_paths_are_bit_identical(
+        yaw in -180.0f64..180.0,
+        pitch in -80.0f64..80.0,
+        roll in -30.0f64..30.0,
+    ) {
+        let pose = EulerAngles::from_degrees(yaw, pitch, roll);
+        let cache = SamplingMapCache::new();
+        for projection in Projection::ALL {
+            let src = test_panorama(projection);
+            for filter in [FilterMode::Nearest, FilterMode::Bilinear] {
+                let t = Transformer::new(projection, filter, FovSpec::hdk2(), Viewport::new(24, 16));
+                let baseline = t.render_fov_threads(&src, pose, 1);
+                for threads in [3, 5] {
+                    prop_assert_eq!(
+                        &t.render_fov_threads(&src, pose, threads).image,
+                        &baseline.image
+                    );
+                }
+                let (map, _) = cache.reference_map(&t, pose, 1);
+                let coords = map.as_reference().expect("reference map");
+                prop_assert_eq!(&t.render_with_map(&src, coords), &baseline.image);
+                // A second lookup is a hit and must serve the same map.
+                let (again, hit) = cache.reference_map(&t, pose, 1);
+                prop_assert!(hit);
+                prop_assert_eq!(again.as_reference().expect("reference map"), coords);
+            }
+        }
+    }
+
+    /// Fixed-point datapath: same property for the PTE-faithful
+    /// renderer and its cached coordinate stream.
+    #[test]
+    fn prop_fixed_fast_paths_are_bit_identical(
+        yaw in -180.0f64..180.0,
+        pitch in -80.0f64..80.0,
+    ) {
+        let pose = EulerAngles::from_degrees(yaw, pitch, 0.0);
+        let cache = SamplingMapCache::new();
+        for projection in Projection::ALL {
+            let src = test_panorama(projection);
+            for filter in [FilterMode::Nearest, FilterMode::Bilinear] {
+                let t = FixedTransformer::new(
+                    FxFormat::q28_10(),
+                    projection,
+                    filter,
+                    FovSpec::hdk2(),
+                    Viewport::new(24, 16),
+                );
+                let baseline = t.render_fov_threads(&src, pose, 1);
+                for threads in [3, 5] {
+                    prop_assert_eq!(&t.render_fov_threads(&src, pose, threads), &baseline);
+                }
+                let (map, _) = cache.fixed_map(&t, pose);
+                let (_, coords) = map.as_fixed().expect("fixed map");
+                prop_assert_eq!(&t.render_with_map(&src, coords), &baseline);
+            }
+        }
+    }
+
+    /// Pose quantization trades map freshness for reuse, but snapping
+    /// must stay transparent: a quantized cache serves exactly the map
+    /// the transformer would build at the snapped pose.
+    #[test]
+    fn prop_quantized_cache_serves_the_snapped_pose_map(
+        yaw in -179.0f64..179.0,
+        pitch in -60.0f64..60.0,
+    ) {
+        let pose = EulerAngles::from_degrees(yaw, pitch, 0.0);
+        let cache = SamplingMapCache::with_config(1 << 20, 0.5);
+        let t = Transformer::new(
+            Projection::Erp,
+            FilterMode::Bilinear,
+            FovSpec::hdk2(),
+            Viewport::new(16, 12),
+        );
+        let (map, _) = cache.reference_map(&t, pose, 1);
+        let snapped_map = t.coordinate_map(cache.snap(pose));
+        prop_assert_eq!(map.as_reference().expect("reference map"), snapped_map.as_slice());
+    }
+}
+
+/// The analyzer and the renderer share one cache without colliding:
+/// reference (analysis) and fixed (datapath) maps for the same
+/// configuration are distinct entries, and repeat frames hit.
+#[test]
+fn renderer_and_analyzer_share_the_cache_without_collisions() {
+    let pose = EulerAngles::from_degrees(42.0, -7.0, 0.0);
+    let cache = SamplingMapCache::new();
+    let viewport = Viewport::new(20, 12);
+    let t = Transformer::new(Projection::Eac, FilterMode::Bilinear, FovSpec::hdk2(), viewport);
+    let fixed = FixedTransformer::new(
+        FxFormat::q28_10(),
+        Projection::Eac,
+        FilterMode::Bilinear,
+        FovSpec::hdk2(),
+        viewport,
+    );
+
+    let (_, hit) = cache.reference_map(&t, pose, 1);
+    assert!(!hit);
+    let (_, hit) = cache.fixed_map(&fixed, pose);
+    assert!(!hit, "fixed map must not alias the reference entry");
+    let (_, hit) = cache.reference_map(&t, pose, 2);
+    assert!(!hit, "strided analysis map must not alias the full map");
+    let (_, hit) = cache.reference_map(&t, pose, 1);
+    assert!(hit);
+    let (_, hit) = cache.fixed_map(&fixed, pose);
+    assert!(hit);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (2, 3));
+}
+
+/// A capacity-bounded cache evicts rather than grows: resident
+/// coordinates never exceed the configured budget even across many
+/// distinct poses.
+#[test]
+fn bounded_cache_stays_within_its_coordinate_budget() {
+    let viewport = Viewport::new(16, 12);
+    let budget = (viewport.pixels() as usize) * 3;
+    let cache = SamplingMapCache::with_config(budget, 0.0);
+    let t = Transformer::new(Projection::Cmp, FilterMode::Nearest, FovSpec::hdk2(), viewport);
+    for k in 0..10 {
+        let pose = EulerAngles::from_degrees(k as f64 * 11.0, 0.0, 0.0);
+        cache.reference_map(&t, pose, 1);
+        assert!(cache.resident_coords() <= budget);
+    }
+    assert!(cache.len() <= 3);
+}
