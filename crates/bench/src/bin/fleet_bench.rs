@@ -1,0 +1,189 @@
+//! Fleet runner benchmark: the paper's 59-user Fig. 12 sweep (every
+//! Fig. 12 variant over the online-streaming use-case), run once as a
+//! plain serial loop and once through [`FleetRunner`], with a run-time
+//! parity check that the fleet's reports — per-user and merged — are
+//! identical to the serial ones. Emits `BENCH_fleet.json` so the
+//! scaling trajectory has data points (ROADMAP: "serves heavy traffic
+//! from millions of users").
+//!
+//! Exits non-zero if any parity check fails, which is what the CI smoke
+//! step relies on:
+//!
+//! ```text
+//! cargo run --release -p evr-bench --bin fleet_bench -- --smoke json=BENCH_fleet.json
+//! cargo run --release -p evr-bench --bin fleet_bench -- users=59 workers=8 duration=2.0
+//! ```
+//!
+//! Timings vary across machines, so the JSON is not golden-diffed —
+//! only the `parity_ok` flags are load-bearing in CI.
+
+use std::time::Instant;
+
+use evr_bench::header;
+use evr_client::session::PlaybackReport;
+use evr_core::{EvrSystem, FleetRunner, UseCase, Variant};
+use evr_sas::SasConfig;
+use evr_video::library::VideoId;
+
+struct FleetArgs {
+    users: u64,
+    workers: usize,
+    duration_s: f64,
+    json: Option<String>,
+}
+
+impl Default for FleetArgs {
+    fn default() -> Self {
+        FleetArgs {
+            users: evr_trace::dataset::USER_COUNT as u64,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            duration_s: evr_video::library::SCENE_DURATION,
+            json: None,
+        }
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> FleetArgs {
+    let mut out = FleetArgs::default();
+    for arg in args {
+        if arg == "--smoke" || arg == "smoke" || arg == "quick" {
+            // The defaults — the full 59-user, full-length Fig. 12
+            // sweep — already finish in well under a second of sweep
+            // time, so smoke runs them unreduced. Shrinking the content
+            // would shrink the per-user work below the point where the
+            // wall-clock comparison means anything.
+        } else if let Some(v) = arg.strip_prefix("users=") {
+            out.users = v.parse().expect("users=N takes an integer");
+        } else if let Some(v) = arg.strip_prefix("workers=") {
+            out.workers = v.parse().expect("workers=N takes an integer");
+        } else if let Some(v) = arg.strip_prefix("duration=") {
+            out.duration_s = v.parse().expect("duration=S takes seconds");
+        } else if let Some(v) = arg.strip_prefix("json=") {
+            out.json = Some(v.to_string());
+        } else {
+            panic!(
+                "unknown argument {arg:?}; expected `--smoke`, `users=N`, `workers=N`, \
+                 `duration=S` or `json=PATH`"
+            );
+        }
+    }
+    out
+}
+
+struct VariantResult {
+    variant: Variant,
+    serial_s: f64,
+    fleet_s: f64,
+    parity_ok: bool,
+}
+
+fn merge_all(reports: &[PlaybackReport]) -> PlaybackReport {
+    let mut merged = PlaybackReport::empty();
+    for r in reports {
+        merged.merge(r);
+    }
+    merged
+}
+
+/// One Fig. 12 variant: time the serial loop, time the fleet, check
+/// both the per-user report vector and the merged fleet report match.
+fn run_variant_case(sys: &EvrSystem, args: &FleetArgs, variant: Variant) -> VariantResult {
+    let session = sys.session_for(UseCase::OnlineStreaming, variant);
+    let start = Instant::now();
+    let serial: Vec<PlaybackReport> = (0..args.users).map(|u| sys.run_with(&session, u)).collect();
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let runner = FleetRunner::new(args.workers);
+    let start = Instant::now();
+    let fleet = runner.run(args.users, |u| sys.run_with(&session, u));
+    let fleet_s = start.elapsed().as_secs_f64();
+
+    let parity_ok = serial == fleet && merge_all(&serial) == merge_all(&fleet);
+    VariantResult { variant, serial_s, fleet_s, parity_ok }
+}
+
+/// Stable JSON: fixed key order, floats `{:.6}`, one variant per line.
+fn bench_json(args: &FleetArgs, results: &[VariantResult]) -> String {
+    let serial_total: f64 = results.iter().map(|r| r.serial_s).sum();
+    let fleet_total: f64 = results.iter().map(|r| r.fleet_s).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"users\": {}, \"workers\": {}, \"duration_s\": {:.6},\n",
+        args.users, args.workers, args.duration_s
+    ));
+    out.push_str(&format!(
+        "  \"parity_ok\": {},\n  \"variants\": [\n",
+        results.iter().all(|r| r.parity_ok)
+    ));
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"parity_ok\": {}, \"serial_s\": {:.6}, \
+             \"fleet_s\": {:.6}, \"speedup\": {:.6}, \"serial_users_per_s\": {:.6}, \
+             \"fleet_users_per_s\": {:.6}}}{}\n",
+            r.variant,
+            r.parity_ok,
+            r.serial_s,
+            r.fleet_s,
+            r.serial_s / r.fleet_s,
+            args.users as f64 / r.serial_s,
+            args.users as f64 / r.fleet_s,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"total\": {{\"serial_s\": {:.6}, \"fleet_s\": {:.6}, \"speedup\": {:.6}}}\n",
+        serial_total,
+        fleet_total,
+        serial_total / fleet_total
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    header("fleet_bench", "59-user Fig. 12 sweep: serial loop vs deterministic fleet runner");
+    println!(
+        "{} users, {} workers, {:.1}s of content per user",
+        args.users, args.workers, args.duration_s
+    );
+
+    let sys = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), args.duration_s);
+    let mut results = Vec::new();
+    for variant in [Variant::Baseline, Variant::S, Variant::H, Variant::SPlusH] {
+        let r = run_variant_case(&sys, &args, variant);
+        println!(
+            "  {:<8} parity {}  serial {:.2}s ({:.1} users/s), fleet {:.2}s ({:.1} users/s), {:.2}x",
+            r.variant.to_string(),
+            if r.parity_ok { "ok" } else { "FAIL" },
+            r.serial_s,
+            args.users as f64 / r.serial_s,
+            r.fleet_s,
+            args.users as f64 / r.fleet_s,
+            r.serial_s / r.fleet_s,
+        );
+        results.push(r);
+    }
+    let serial_total: f64 = results.iter().map(|r| r.serial_s).sum();
+    let fleet_total: f64 = results.iter().map(|r| r.fleet_s).sum();
+    println!(
+        "  total: serial {:.2}s, fleet {:.2}s, {:.2}x with {} workers",
+        serial_total,
+        fleet_total,
+        serial_total / fleet_total,
+        args.workers
+    );
+
+    if let Some(path) = &args.json {
+        let json = bench_json(&args, &results);
+        std::fs::write(path, &json).expect("write fleet bench JSON");
+        println!("json: {path}");
+    }
+
+    if !results.iter().all(|r| r.parity_ok) {
+        eprintln!("parity FAILED: fleet reports diverged from the serial sweep");
+        std::process::exit(1);
+    }
+}

@@ -33,9 +33,14 @@
 
 pub mod abr;
 pub mod network;
+pub mod pipeline;
 pub mod session;
 
 pub use network::NetworkModel;
+pub use pipeline::{
+    CleanTransport, FaultedTransport, FovPassthrough, GpuBackend, PteBackend, RenderBackend,
+    SegmentLink, StageIo, Transport,
+};
 pub use session::{
     ContentPath, FaultSummary, PlaybackReport, PlaybackSession, Renderer, SelectionPolicy,
     SessionConfig,

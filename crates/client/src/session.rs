@@ -5,22 +5,29 @@
 //! paper's Fig. 4: fetch → decode → FOV check → (PT on GPU or PTE, or
 //! direct display) → display, while tagging every joule into an
 //! [`EnergyLedger`].
+//!
+//! The control flow itself lives in [`crate::pipeline`]: `run`,
+//! [`PlaybackSession::run_tiled`] and [`PlaybackSession::run_resilient`]
+//! are thin configurations of the same staged segment pipeline,
+//! differing only in the [`Transport`](crate::pipeline::Transport) and
+//! [`RenderBackend`](crate::pipeline::RenderBackend) they plug in.
 
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
-use evr_energy::{Activity, Component, DeviceParams, EnergyLedger};
-use evr_faults::{FaultInjector, FaultSetup, LinkState, RequestFate};
-use evr_obs::{names, Observer};
-use evr_projection::FovFrameMeta;
+use evr_energy::{DeviceParams, EnergyLedger};
+use evr_faults::FaultSetup;
+use evr_obs::Observer;
 use evr_pte::{FrameStats, GpuModel, Pte, PteConfig};
-use evr_sas::checker::{CheckOutcome, FovChecker};
-use evr_sas::ingest::FPS;
-use evr_sas::{Request, Response, SasConfig, SasServer};
+use evr_sas::SasConfig;
+use evr_sas::SasServer;
 use evr_trace::HeadTrace;
 use evr_video::codec::{EncodedFrame, EncodedSegment};
 
 use crate::network::NetworkModel;
+use crate::pipeline::{
+    CleanTransport, FaultedTransport, GpuBackend, PteBackend, SegmentPipeline, SessionMetrics,
+    Transport,
+};
 
 /// How the client picks which FOV video to request at a segment boundary.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,11 +71,13 @@ pub enum ContentPath {
 }
 
 impl ContentPath {
-    fn uses_network(self) -> bool {
+    /// Whether content flows over the radio (everything but offline).
+    pub fn uses_network(self) -> bool {
         !matches!(self, ContentPath::Offline)
     }
 
-    fn uses_sas(self) -> bool {
+    /// Whether the client requests FOV videos from a SAS server.
+    pub fn uses_sas(self) -> bool {
         matches!(self, ContentPath::OnlineSas)
     }
 }
@@ -143,6 +152,20 @@ pub struct FaultSummary {
     pub stall_time_s: f64,
 }
 
+impl FaultSummary {
+    /// Folds `other`'s counters and stall clocks into this summary.
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.degraded_segments += other.degraded_segments;
+        self.degraded_frames += other.degraded_frames;
+        self.frozen_frames += other.frozen_frames;
+        self.corrupt_segments += other.corrupt_segments;
+        self.backoff_time_s += other.backoff_time_s;
+        self.stall_time_s += other.stall_time_s;
+    }
+}
+
 /// Results of one playback session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlaybackReport {
@@ -168,15 +191,58 @@ pub struct PlaybackReport {
     pub faults: FaultSummary,
 }
 
+/// `num / den`, or zero (not NaN) when the denominator is zero — the
+/// shared guard behind every report fraction.
+fn fraction(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
 impl PlaybackReport {
+    /// An all-zero report: the identity element of
+    /// [`PlaybackReport::merge`].
+    pub fn empty() -> Self {
+        PlaybackReport {
+            ledger: EnergyLedger::new(),
+            frames_total: 0,
+            fov_hits: 0,
+            fov_misses: 0,
+            fallback_frames: 0,
+            rebuffer_events: 0,
+            rebuffer_time_s: 0.0,
+            bytes_received: 0,
+            duration_s: 0.0,
+            faults: FaultSummary::default(),
+        }
+    }
+
+    /// Folds `other` into this report: ledgers, counters and clocks sum,
+    /// and the merged duration covers both sessions so the fraction
+    /// accessors stay time-weighted. The fleet runner folds per-user
+    /// reports in ascending user order, which keeps the f64 sums
+    /// byte-identical for any worker count.
+    pub fn merge(&mut self, other: &PlaybackReport) {
+        self.ledger.merge(&other.ledger);
+        self.frames_total += other.frames_total;
+        self.fov_hits += other.fov_hits;
+        self.fov_misses += other.fov_misses;
+        self.fallback_frames += other.fallback_frames;
+        self.rebuffer_events += other.rebuffer_events;
+        self.rebuffer_time_s += other.rebuffer_time_s;
+        self.bytes_received += other.bytes_received;
+        self.duration_s += other.duration_s;
+        if self.duration_s > 0.0 {
+            self.ledger.set_duration(self.duration_s);
+        }
+        self.faults.merge(&other.faults);
+    }
+
     /// FOV-miss rate over checked frames (0 when SAS was not used).
     pub fn miss_rate(&self) -> f64 {
-        let checked = self.fov_hits + self.fov_misses;
-        if checked == 0 {
-            0.0
-        } else {
-            self.fov_misses as f64 / checked as f64
-        }
+        fraction(self.fov_misses as f64, (self.fov_hits + self.fov_misses) as f64)
     }
 
     /// Fraction of frames that could not be served from an FOV video —
@@ -184,127 +250,46 @@ impl PlaybackReport {
     /// 5.3%–12.0%): once a segment misses, its remaining frames play from
     /// the original stream and count as missed too.
     pub fn fov_miss_fraction(&self) -> f64 {
-        if self.frames_total == 0 {
-            0.0
-        } else {
-            self.fallback_frames as f64 / self.frames_total as f64
-        }
+        fraction(self.fallback_frames as f64, self.frames_total as f64)
     }
 
     /// FPS degradation: the fraction of presentation time lost to
     /// rebuffer pauses (the paper's Fig. 13 left axis, ≈1%). Zero (not
     /// NaN) for an empty session.
     pub fn fps_drop_fraction(&self) -> f64 {
-        if self.duration_s == 0.0 {
-            0.0
-        } else {
-            self.rebuffer_time_s / self.duration_s
-        }
+        fraction(self.rebuffer_time_s, self.duration_s)
     }
 
     /// Fraction of frames served below full quality (lower rung or
     /// frozen) by the degradation ladder.
     pub fn degraded_fraction(&self) -> f64 {
-        if self.frames_total == 0 {
-            0.0
-        } else {
-            (self.faults.degraded_frames + self.faults.frozen_frames) as f64
-                / self.frames_total as f64
-        }
+        fraction(
+            (self.faults.degraded_frames + self.faults.frozen_frames) as f64,
+            self.frames_total as f64,
+        )
     }
 
     /// Fraction of frames frozen outright.
     pub fn frozen_fraction(&self) -> f64 {
-        if self.frames_total == 0 {
-            0.0
-        } else {
-            self.faults.frozen_frames as f64 / self.frames_total as f64
-        }
+        fraction(self.faults.frozen_frames as f64, self.frames_total as f64)
     }
 
     /// Fraction of presentation time lost to *all* pauses: FOV-miss
     /// rebuffering plus fault stalls (timeouts, backoff, late segments).
     pub fn stall_fraction(&self) -> f64 {
-        if self.duration_s == 0.0 {
-            0.0
-        } else {
-            (self.rebuffer_time_s + self.faults.stall_time_s) / self.duration_s
-        }
-    }
-}
-
-/// Pre-resolved playback metric handles; all detached (free) when the
-/// session's observer is a no-op.
-#[derive(Debug, Clone, Default)]
-struct SessionMetrics {
-    enabled: bool,
-    frames: evr_obs::Counter,
-    fov_hits: evr_obs::Counter,
-    fov_misses: evr_obs::Counter,
-    fallback_frames: evr_obs::Counter,
-    rebuffer_events: evr_obs::Counter,
-    rebuffer_seconds: evr_obs::Gauge,
-    segments: evr_obs::Counter,
-    fetch_bytes: evr_obs::Counter,
-    frame_seconds: evr_obs::Histogram,
-    pt_gpu_frames: evr_obs::Counter,
-    pt_pte_frames: evr_obs::Counter,
-    pte_frames: evr_obs::Counter,
-    pte_active_cycles: evr_obs::Counter,
-    pte_stall_cycles: evr_obs::Counter,
-    pte_pmem_hits: evr_obs::Counter,
-    pte_pmem_misses: evr_obs::Counter,
-    fault_retries: evr_obs::Counter,
-    fault_timeouts: evr_obs::Counter,
-    degraded_frames: evr_obs::Counter,
-    frozen_frames: evr_obs::Counter,
-    backoff_seconds: evr_obs::Gauge,
-    fault_stall_seconds: evr_obs::Histogram,
-}
-
-/// Fault-stall histogram bounds, seconds: backoff waits (tens of ms) up
-/// to multi-second outage-ladder stalls.
-const STALL_BOUNDS_S: [f64; 10] = [0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0];
-
-impl SessionMetrics {
-    fn resolve(observer: &Observer) -> Self {
-        SessionMetrics {
-            enabled: observer.is_enabled(),
-            frames: observer.counter(names::FRAMES),
-            fov_hits: observer.counter(names::FOV_HITS),
-            fov_misses: observer.counter(names::FOV_MISSES),
-            fallback_frames: observer.counter(names::FALLBACK_FRAMES),
-            rebuffer_events: observer.counter(names::REBUFFER_EVENTS),
-            rebuffer_seconds: observer.gauge(names::REBUFFER_SECONDS),
-            segments: observer.counter(names::SEGMENTS),
-            fetch_bytes: observer.counter(names::FETCH_BYTES),
-            frame_seconds: observer.histogram(names::FRAME_SECONDS, &evr_obs::LATENCY_BOUNDS_S),
-            pt_gpu_frames: observer.counter(names::PT_GPU_FRAMES),
-            pt_pte_frames: observer.counter(names::PT_PTE_FRAMES),
-            pte_frames: observer.counter(names::PTE_FRAMES),
-            pte_active_cycles: observer.counter(names::PTE_ACTIVE_CYCLES),
-            pte_stall_cycles: observer.counter(names::PTE_STALL_CYCLES),
-            pte_pmem_hits: observer.counter(names::PTE_PMEM_HITS),
-            pte_pmem_misses: observer.counter(names::PTE_PMEM_MISSES),
-            fault_retries: observer.counter(names::FAULT_RETRIES),
-            fault_timeouts: observer.counter(names::FAULT_TIMEOUTS),
-            degraded_frames: observer.counter(names::DEGRADED_FRAMES),
-            frozen_frames: observer.counter(names::FROZEN_FRAMES),
-            backoff_seconds: observer.gauge(names::BACKOFF_SECONDS),
-            fault_stall_seconds: observer.histogram(names::FAULT_STALL_SECONDS, &STALL_BOUNDS_S),
-        }
+        fraction(self.rebuffer_time_s + self.faults.stall_time_s, self.duration_s)
     }
 }
 
 /// The playback simulator.
 #[derive(Debug, Clone)]
 pub struct PlaybackSession {
-    cfg: SessionConfig,
+    pub(crate) cfg: SessionConfig,
     /// Pre-analysed PTE frame cost (orientation dependence of the memory
     /// pattern is second-order; one representative analysis is reused).
-    pte_frame: FrameStats,
-    observer: Observer,
-    metrics: SessionMetrics,
+    pub(crate) pte_frame: FrameStats,
+    pub(crate) observer: Observer,
+    pub(crate) metrics: SessionMetrics,
 }
 
 impl PlaybackSession {
@@ -341,6 +326,12 @@ impl PlaybackSession {
         &self.cfg
     }
 
+    /// Replays `trace` against `server`'s video: the staged pipeline
+    /// over a [`CleanTransport`].
+    pub fn run(&self, server: &SasServer, trace: &HeadTrace) -> PlaybackReport {
+        self.run_pipeline(server, trace, CleanTransport)
+    }
+
     /// Replays `trace` against tile-based view-guided streaming (the
     /// related-work baseline of paper §2/§9): per segment, in-view tiles
     /// stream at high quality and the rest at low quality, cutting
@@ -355,357 +346,22 @@ impl PlaybackSession {
         tiled: &evr_sas::TiledCatalog,
         trace: &HeadTrace,
     ) -> PlaybackReport {
-        let cfg = &self.cfg;
-        let catalog = server.catalog();
-        assert_eq!(
-            tiled.segment_count(),
-            catalog.segment_count(),
-            "tiled catalog must cover the same segments"
-        );
-        let src_px = cfg.sas.target_src.0 as u64 * cfg.sas.target_src.1 as u64;
-        let slot = 1.0 / FPS;
-
-        let m = &self.metrics;
-        let mut ledger = EnergyLedger::new();
-        let mut frames_total = 0u64;
-        let mut bytes_received = 0u64;
-        for seg in 0..catalog.segment_count() {
-            let _seg_span = self
-                .observer
-                .is_enabled()
-                .then(|| self.observer.span(names::SPAN_SEGMENT, -1, seg as i64));
-            m.segments.inc();
-            let original = catalog.original_segment(seg);
-            let n = original.frames.len() as u64;
-            let seg_start_t = original.start_index as f64 / FPS;
-            let pose = trace.pose_at(seg_start_t);
-            let seg_bytes = tiled.segment_bytes(seg, pose, cfg.sas.device_fov);
-            bytes_received += seg_bytes;
-            m.fetch_bytes.add(seg_bytes);
-            let mut gpu_used = false;
-            for _ in 0..n {
-                // Full-resolution decode of fewer bits, then full PT.
-                self.account_decode(&mut ledger, src_px, seg_bytes / n);
-                gpu_used |= self.account_pt(&mut ledger, slot);
-                if m.enabled {
-                    self.note_pt_metrics();
-                }
-                frames_total += 1;
-                m.frames.inc();
-                m.fallback_frames.inc();
+        match self.cfg.renderer {
+            Renderer::Gpu => {
+                crate::pipeline::run_tiled(self, server, tiled, trace, GpuBackend::new(&self.cfg))
             }
-            if gpu_used {
-                ledger.add(
-                    Component::Compute,
-                    Activity::ProjectiveTransform,
-                    cfg.gpu.session_energy(n as f64 / FPS),
-                );
-            }
-        }
-
-        let duration_s = frames_total as f64 / FPS;
-        ledger.set_duration(duration_s);
-        let d = &cfg.device;
-        ledger.add(Component::Display, Activity::DisplayScan, d.display_energy(duration_s));
-        ledger.add(
-            Component::Memory,
-            Activity::DisplayScan,
-            d.dram_energy(d.display_dram_bytes(duration_s)),
-        );
-        ledger.add(
-            Component::Network,
-            Activity::NetworkRx,
-            d.network_energy(bytes_received, duration_s),
-        );
-        ledger.add(
-            Component::Storage,
-            Activity::StorageIo,
-            d.storage_energy(bytes_received, duration_s),
-        );
-        ledger.add(Component::Compute, Activity::Base, d.base_energy(duration_s));
-        // Tile selection / multi-stream management: about half of SAS's
-        // client-control cost (no per-frame FOV checking).
-        ledger.add(Component::Compute, Activity::Base, 0.5 * d.sas_client_energy(duration_s));
-        ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
-        ledger.mirror_gauges(&self.observer);
-
-        PlaybackReport {
-            ledger,
-            frames_total,
-            fov_hits: 0,
-            fov_misses: 0,
-            fallback_frames: frames_total,
-            rebuffer_events: 0,
-            rebuffer_time_s: 0.0,
-            bytes_received,
-            duration_s,
-            faults: FaultSummary::default(),
+            Renderer::Pte => crate::pipeline::run_tiled(
+                self,
+                server,
+                tiled,
+                trace,
+                PteBackend::new(&self.cfg, self.pte_frame),
+            ),
         }
     }
 
-    /// Replays `trace` against `server`'s video.
-    pub fn run(&self, server: &SasServer, trace: &HeadTrace) -> PlaybackReport {
-        let cfg = &self.cfg;
-        let obs = &self.observer;
-        let m = &self.metrics;
-        let observed = obs.is_enabled();
-        let catalog = server.catalog();
-        let fov_scale = cfg.sas.fov_byte_scale();
-        let src_scale = cfg.sas.src_byte_scale();
-        let src_px = cfg.sas.target_src.0 as u64 * cfg.sas.target_src.1 as u64;
-        let fov_px = cfg.sas.target_fov.0 as u64 * cfg.sas.target_fov.1 as u64;
-        let slot = 1.0 / FPS;
-
-        let mut ledger = EnergyLedger::new();
-        let mut checker = FovChecker::new(cfg.sas.device_fov);
-        let mut fallback_frames = 0u64;
-        let mut frames_total = 0u64;
-        let mut rebuffer_events = 0u64;
-        let mut rebuffer_time_s = 0.0f64;
-        let mut bytes_received = 0u64;
-        let mut storage_read_bytes = 0u64;
-
-        for seg in 0..catalog.segment_count() {
-            let _seg_span = observed.then(|| obs.span(names::SPAN_SEGMENT, -1, seg as i64));
-            m.segments.inc();
-            let original = catalog.original_segment(seg);
-            let n = original.frames.len() as u64;
-            let seg_start_t = original.start_index as f64 / FPS;
-            let seg_duration = n as f64 / FPS;
-            let orig_bytes = catalog.original_target_bytes(seg);
-            let mut gpu_used = false;
-
-            let chosen = if cfg.path.uses_sas() {
-                server.best_cluster(seg, self.selection_pose(trace, seg_start_t))
-            } else {
-                None
-            };
-
-            match chosen {
-                Some(cluster) => {
-                    let (fov_seg, meta) =
-                        match server.handle(Request::FovVideo { segment: seg, cluster }) {
-                            Response::FovVideo { segment, meta, wire_bytes } => {
-                                bytes_received += wire_bytes;
-                                m.fetch_bytes.add(wire_bytes);
-                                (segment, meta)
-                            }
-                            _ => unreachable!("best_cluster returned a listed cluster"),
-                        };
-                    let mut fell_back = false;
-                    #[allow(clippy::needless_range_loop)] // indexes three parallel sequences
-                    for f in 0..n as usize {
-                        let frame_idx = frames_total as i64;
-                        let _frame_span =
-                            observed.then(|| obs.span(names::SPAN_FRAME, frame_idx, seg as i64));
-                        let frame_t0 = observed.then(Instant::now);
-                        let t = seg_start_t + f as f64 * slot;
-                        let pose = trace.pose_at(t);
-                        if !fell_back {
-                            let outcome = {
-                                let _fov_span = observed.then(|| {
-                                    obs.span(names::SPAN_FOV_CHECK, frame_idx, seg as i64)
-                                });
-                                if cfg.oracle_hits {
-                                    checker.check(meta[f].orientation, &meta[f])
-                                } else {
-                                    checker.check(pose, &meta[f])
-                                }
-                            };
-                            match outcome {
-                                CheckOutcome::Hit => {
-                                    if observed {
-                                        m.fov_hits.inc();
-                                        obs.mark(names::MARK_FOV_HIT, frame_idx, seg as i64, 1.0);
-                                    }
-                                    // Direct display: decode the FOV frame only.
-                                    self.account_decode(
-                                        &mut ledger,
-                                        fov_px,
-                                        frame_wire_bytes(&fov_seg.frames[f], fov_scale),
-                                    );
-                                    frames_total += 1;
-                                    if observed {
-                                        m.frames.inc();
-                                        if let Some(t0) = frame_t0 {
-                                            m.frame_seconds.observe(t0.elapsed().as_secs_f64());
-                                        }
-                                    }
-                                    continue;
-                                }
-                                CheckOutcome::Miss => {
-                                    if observed {
-                                        m.fov_misses.inc();
-                                        obs.mark(names::MARK_FOV_MISS, frame_idx, seg as i64, 1.0);
-                                    }
-                                    // Fetch the original segment and fall
-                                    // back for the segment's remainder.
-                                    fell_back = true;
-                                    rebuffer_events += 1;
-                                    let intra = frame_wire_bytes(&original.frames[0], src_scale);
-                                    let pause = cfg.network.rebuffer_time(intra);
-                                    rebuffer_time_s += pause;
-                                    if observed {
-                                        m.rebuffer_events.inc();
-                                        m.rebuffer_seconds.add(pause);
-                                        obs.mark(
-                                            names::MARK_REBUFFER,
-                                            frame_idx,
-                                            seg as i64,
-                                            pause,
-                                        );
-                                    }
-                                    if cfg.path.uses_network() {
-                                        bytes_received += orig_bytes;
-                                        if observed {
-                                            m.fetch_bytes.add(orig_bytes);
-                                        }
-                                    } else {
-                                        storage_read_bytes += orig_bytes;
-                                    }
-                                    // Catch-up decode: the original's GOP
-                                    // starts at the segment boundary, so
-                                    // reaching frame `f` means decoding
-                                    // its whole reference chain first.
-                                    for g in 0..f {
-                                        self.account_decode(
-                                            &mut ledger,
-                                            src_px,
-                                            frame_wire_bytes(&original.frames[g], src_scale),
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                        // Fallback path: decode original + on-device PT.
-                        self.account_decode(
-                            &mut ledger,
-                            src_px,
-                            frame_wire_bytes(&original.frames[f], src_scale),
-                        );
-                        {
-                            let _pt_span =
-                                observed.then(|| obs.span(names::SPAN_PT, frame_idx, seg as i64));
-                            gpu_used |= self.account_pt(&mut ledger, slot);
-                        }
-                        fallback_frames += 1;
-                        frames_total += 1;
-                        if observed {
-                            self.note_pt_metrics();
-                            m.fallback_frames.inc();
-                            m.frames.inc();
-                            if let Some(t0) = frame_t0 {
-                                m.frame_seconds.observe(t0.elapsed().as_secs_f64());
-                            }
-                        }
-                    }
-                }
-                None => {
-                    // No SAS (or nothing materialised): original path.
-                    if cfg.path.uses_network() {
-                        bytes_received += orig_bytes;
-                        if observed {
-                            m.fetch_bytes.add(orig_bytes);
-                        }
-                    } else {
-                        storage_read_bytes += orig_bytes;
-                    }
-                    if observed {
-                        for f in 0..n as usize {
-                            let frame_idx = frames_total as i64;
-                            let _frame_span = obs.span(names::SPAN_FRAME, frame_idx, seg as i64);
-                            let frame_t0 = Instant::now();
-                            self.account_decode(
-                                &mut ledger,
-                                src_px,
-                                frame_wire_bytes(&original.frames[f], src_scale),
-                            );
-                            {
-                                let _pt_span = obs.span(names::SPAN_PT, frame_idx, seg as i64);
-                                gpu_used |= self.account_pt(&mut ledger, slot);
-                            }
-                            self.note_pt_metrics();
-                            fallback_frames += 1;
-                            frames_total += 1;
-                            m.fallback_frames.inc();
-                            m.frames.inc();
-                            m.frame_seconds.observe(frame_t0.elapsed().as_secs_f64());
-                        }
-                    } else {
-                        gpu_used |=
-                            self.play_original_quiet(&mut ledger, original, src_px, src_scale);
-                        fallback_frames += n;
-                        frames_total += n;
-                    }
-                }
-            }
-            // Keeping the GPU context alive costs session power for the
-            // whole segment in which the GPU ran at all (§3: invoking the
-            // GPU "necessarily invokes the entire software stack").
-            if gpu_used {
-                ledger.add(
-                    Component::Compute,
-                    Activity::ProjectiveTransform,
-                    cfg.gpu.session_energy(seg_duration),
-                );
-            }
-        }
-
-        let duration_s = frames_total as f64 / FPS;
-        ledger.set_duration(duration_s);
-
-        // Session-wide components.
-        let d = &cfg.device;
-        ledger.add(Component::Display, Activity::DisplayScan, d.display_energy(duration_s));
-        ledger.add(
-            Component::Memory,
-            Activity::DisplayScan,
-            d.dram_energy(d.display_dram_bytes(duration_s)),
-        );
-        if cfg.path.uses_network() {
-            // Under injected loss the radio moves (and pays for) the
-            // retransmitted bytes too.
-            ledger.add(
-                Component::Network,
-                Activity::NetworkRx,
-                d.network_energy(cfg.network.wire_bytes(bytes_received), duration_s),
-            );
-            // Streamed segments are cached to storage (§3: "involved
-            // mainly for temporary caching").
-            ledger.add(
-                Component::Storage,
-                Activity::StorageIo,
-                d.storage_energy(bytes_received, duration_s),
-            );
-        } else {
-            ledger.add(
-                Component::Storage,
-                Activity::StorageIo,
-                d.storage_energy(storage_read_bytes, duration_s),
-            );
-        }
-        ledger.add(Component::Compute, Activity::Base, d.base_energy(duration_s));
-        if cfg.path.uses_sas() {
-            ledger.add(Component::Compute, Activity::Base, d.sas_client_energy(duration_s));
-        }
-        ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
-        ledger.mirror_gauges(obs);
-
-        PlaybackReport {
-            ledger,
-            frames_total,
-            fov_hits: checker.hits(),
-            fov_misses: checker.misses(),
-            fallback_frames,
-            rebuffer_events,
-            rebuffer_time_s,
-            bytes_received,
-            duration_s,
-            faults: FaultSummary::default(),
-        }
-    }
-
-    /// Replays `trace` against `server`'s video under injected faults.
+    /// Replays `trace` against `server`'s video under injected faults:
+    /// the staged pipeline over a [`FaultedTransport`].
     ///
     /// Per segment the client walks a graceful-degradation ladder: FOV
     /// video → full-quality original → lower-bitrate rung → frame
@@ -722,6 +378,7 @@ impl PlaybackSession {
     /// bit-identical to an un-faulted session.
     ///
     /// [`RetryPolicy`]: evr_faults::RetryPolicy
+    /// [`Activity::Resilience`]: evr_energy::Activity::Resilience
     pub fn run_resilient(
         &self,
         server: &SasServer,
@@ -731,542 +388,34 @@ impl PlaybackSession {
         if setup.is_clean() || !self.cfg.path.uses_network() {
             return self.run(server, trace);
         }
-        let mut injector = FaultInjector::new(setup);
-
-        let cfg = &self.cfg;
-        let obs = &self.observer;
-        let m = &self.metrics;
-        let observed = obs.is_enabled();
-        let catalog = server.catalog();
-        let fov_scale = cfg.sas.fov_byte_scale();
-        let src_scale = cfg.sas.src_byte_scale();
-        let src_px = cfg.sas.target_src.0 as u64 * cfg.sas.target_src.1 as u64;
-        let fov_px = cfg.sas.target_fov.0 as u64 * cfg.sas.target_fov.1 as u64;
-        let slot = 1.0 / FPS;
-
-        let mut ledger = EnergyLedger::new();
-        let mut checker = FovChecker::new(cfg.sas.device_fov);
-        let mut fallback_frames = 0u64;
-        let mut frames_total = 0u64;
-        let mut rebuffer_events = 0u64;
-        let mut rebuffer_time_s = 0.0f64;
-        let mut bytes_received = 0u64;
-        let mut wire_bytes_total = 0u64;
-        let mut faults = FaultSummary::default();
-
-        for seg in 0..catalog.segment_count() {
-            let _seg_span = observed.then(|| obs.span(names::SPAN_SEGMENT, -1, seg as i64));
-            m.segments.inc();
-            let original = catalog.original_segment(seg);
-            let n = original.frames.len() as u64;
-            let seg_start_t = original.start_index as f64 / FPS;
-            let seg_duration = n as f64 / FPS;
-            let orig_bytes = catalog.original_target_bytes(seg);
-            let mut gpu_used = false;
-
-            // The wall clock runs ahead of media time by the accumulated
-            // stalls; outage windows and link profiles are indexed by it.
-            let link = injector.link_for(seg_start_t + faults.stall_time_s);
-            let link_up = link.is_none_or(|l| l.is_up());
-            let net = effective_network(&cfg.network, link);
-
-            // Walk the degradation ladder until a rung delivers.
-            let mut source: Option<SegmentSource<'_>> = None;
-            if cfg.path.uses_sas() {
-                if let Some(cluster) =
-                    server.best_cluster(seg, self.selection_pose(trace, seg_start_t))
-                {
-                    if let Ok(Response::FovVideo { segment: fov_seg, meta, wire_bytes }) =
-                        server.try_handle(Request::FovVideo { segment: seg, cluster })
-                    {
-                        if self.fetch_resilient(
-                            &mut injector,
-                            &net,
-                            link_up,
-                            seg_start_t,
-                            seg,
-                            wire_bytes,
-                            &mut ledger,
-                            &mut faults,
-                        ) {
-                            bytes_received += wire_bytes;
-                            wire_bytes_total += net.wire_bytes(wire_bytes);
-                            m.fetch_bytes.add(wire_bytes);
-                            if injector.corrupts(seg) {
-                                // The transfer was paid for; the leading
-                                // intra decode detects the corruption,
-                                // then the ladder descends.
-                                faults.corrupt_segments += 1;
-                                let d = &cfg.device;
-                                let intra = frame_wire_bytes(&fov_seg.frames[0], fov_scale);
-                                ledger.add(
-                                    Component::Compute,
-                                    Activity::Resilience,
-                                    d.decode_energy(fov_px, intra),
-                                );
-                                ledger.add(
-                                    Component::Memory,
-                                    Activity::Resilience,
-                                    d.dram_energy(d.decode_dram_bytes(fov_px)),
-                                );
-                            } else {
-                                source = Some(SegmentSource::Fov { fov_seg, meta });
-                            }
-                        }
-                    }
-                }
-            }
-            if source.is_none()
-                && self.fetch_resilient(
-                    &mut injector,
-                    &net,
-                    link_up,
-                    seg_start_t,
-                    seg,
-                    orig_bytes,
-                    &mut ledger,
-                    &mut faults,
-                )
-            {
-                bytes_received += orig_bytes;
-                wire_bytes_total += net.wire_bytes(orig_bytes);
-                m.fetch_bytes.add(orig_bytes);
-                source = Some(SegmentSource::Original { byte_scale: 1.0, degraded: false });
-            }
-            if source.is_none() {
-                let low_scale = injector.low_rung_scale();
-                let low_bytes = (orig_bytes as f64 * low_scale).round() as u64;
-                if observed {
-                    obs.mark(names::MARK_DEGRADE, -1, seg as i64, 2.0);
-                }
-                if self.fetch_resilient(
-                    &mut injector,
-                    &net,
-                    link_up,
-                    seg_start_t,
-                    seg,
-                    low_bytes,
-                    &mut ledger,
-                    &mut faults,
-                ) {
-                    bytes_received += low_bytes;
-                    wire_bytes_total += net.wire_bytes(low_bytes);
-                    m.fetch_bytes.add(low_bytes);
-                    source =
-                        Some(SegmentSource::Original { byte_scale: low_scale, degraded: true });
-                }
-            }
-            let source = source.unwrap_or(SegmentSource::Freeze);
-
-            match source {
-                SegmentSource::Fov { fov_seg, meta } => {
-                    let mut fell_back = false;
-                    #[allow(clippy::needless_range_loop)] // indexes three parallel sequences
-                    for f in 0..n as usize {
-                        let frame_idx = frames_total as i64;
-                        let _frame_span =
-                            observed.then(|| obs.span(names::SPAN_FRAME, frame_idx, seg as i64));
-                        let frame_t0 = observed.then(Instant::now);
-                        let t = seg_start_t + f as f64 * slot;
-                        let pose = trace.pose_at(t);
-                        if !fell_back {
-                            let outcome = {
-                                let _fov_span = observed.then(|| {
-                                    obs.span(names::SPAN_FOV_CHECK, frame_idx, seg as i64)
-                                });
-                                if cfg.oracle_hits {
-                                    checker.check(meta[f].orientation, &meta[f])
-                                } else {
-                                    checker.check(pose, &meta[f])
-                                }
-                            };
-                            match outcome {
-                                CheckOutcome::Hit => {
-                                    if observed {
-                                        m.fov_hits.inc();
-                                        obs.mark(names::MARK_FOV_HIT, frame_idx, seg as i64, 1.0);
-                                    }
-                                    self.account_decode(
-                                        &mut ledger,
-                                        fov_px,
-                                        frame_wire_bytes(&fov_seg.frames[f], fov_scale),
-                                    );
-                                    frames_total += 1;
-                                    if observed {
-                                        m.frames.inc();
-                                        if let Some(t0) = frame_t0 {
-                                            m.frame_seconds.observe(t0.elapsed().as_secs_f64());
-                                        }
-                                    }
-                                    continue;
-                                }
-                                CheckOutcome::Miss => {
-                                    if observed {
-                                        m.fov_misses.inc();
-                                        obs.mark(names::MARK_FOV_MISS, frame_idx, seg as i64, 1.0);
-                                    }
-                                    // Mid-segment fallback: fetch the
-                                    // original over the segment's link.
-                                    fell_back = true;
-                                    rebuffer_events += 1;
-                                    let intra = frame_wire_bytes(&original.frames[0], src_scale);
-                                    let pause = net.rebuffer_time(intra);
-                                    rebuffer_time_s += pause;
-                                    if observed {
-                                        m.rebuffer_events.inc();
-                                        m.rebuffer_seconds.add(pause);
-                                        obs.mark(
-                                            names::MARK_REBUFFER,
-                                            frame_idx,
-                                            seg as i64,
-                                            pause,
-                                        );
-                                    }
-                                    bytes_received += orig_bytes;
-                                    wire_bytes_total += net.wire_bytes(orig_bytes);
-                                    if observed {
-                                        m.fetch_bytes.add(orig_bytes);
-                                    }
-                                    for g in 0..f {
-                                        self.account_decode(
-                                            &mut ledger,
-                                            src_px,
-                                            frame_wire_bytes(&original.frames[g], src_scale),
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                        self.account_decode(
-                            &mut ledger,
-                            src_px,
-                            frame_wire_bytes(&original.frames[f], src_scale),
-                        );
-                        {
-                            let _pt_span =
-                                observed.then(|| obs.span(names::SPAN_PT, frame_idx, seg as i64));
-                            gpu_used |= self.account_pt(&mut ledger, slot);
-                        }
-                        fallback_frames += 1;
-                        frames_total += 1;
-                        if observed {
-                            self.note_pt_metrics();
-                            m.fallback_frames.inc();
-                            m.frames.inc();
-                            if let Some(t0) = frame_t0 {
-                                m.frame_seconds.observe(t0.elapsed().as_secs_f64());
-                            }
-                        }
-                    }
-                }
-                SegmentSource::Original { byte_scale, degraded } => {
-                    if degraded {
-                        faults.degraded_frames += n;
-                        if observed {
-                            m.degraded_frames.add(n);
-                        }
-                        faults.degraded_segments += 1;
-                    }
-                    #[allow(clippy::needless_range_loop)] // parallel frame index
-                    for f in 0..n as usize {
-                        let frame_idx = frames_total as i64;
-                        let _frame_span =
-                            observed.then(|| obs.span(names::SPAN_FRAME, frame_idx, seg as i64));
-                        let frame_t0 = observed.then(Instant::now);
-                        let bytes = (frame_wire_bytes(&original.frames[f], src_scale) as f64
-                            * byte_scale) as u64;
-                        self.account_decode(&mut ledger, src_px, bytes);
-                        {
-                            let _pt_span =
-                                observed.then(|| obs.span(names::SPAN_PT, frame_idx, seg as i64));
-                            gpu_used |= self.account_pt(&mut ledger, slot);
-                        }
-                        fallback_frames += 1;
-                        frames_total += 1;
-                        if observed {
-                            self.note_pt_metrics();
-                            m.fallback_frames.inc();
-                            m.frames.inc();
-                            if let Some(t0) = frame_t0 {
-                                m.frame_seconds.observe(t0.elapsed().as_secs_f64());
-                            }
-                        }
-                    }
-                }
-                SegmentSource::Freeze => {
-                    // Every rung failed: the display repeats the last
-                    // image for the whole segment — no decode, no PT.
-                    faults.frozen_frames += n;
-                    faults.degraded_segments += 1;
-                    frames_total += n;
-                    if observed {
-                        m.frozen_frames.add(n);
-                        m.frames.add(n);
-                        obs.mark(names::MARK_DEGRADE, -1, seg as i64, 3.0);
-                    }
-                }
-            }
-            if gpu_used {
-                ledger.add(
-                    Component::Compute,
-                    Activity::ProjectiveTransform,
-                    cfg.gpu.session_energy(seg_duration),
-                );
-            }
-        }
-
-        let duration_s = frames_total as f64 / FPS;
-        ledger.set_duration(duration_s);
-
-        let d = &cfg.device;
-        ledger.add(Component::Display, Activity::DisplayScan, d.display_energy(duration_s));
-        ledger.add(
-            Component::Memory,
-            Activity::DisplayScan,
-            d.dram_energy(d.display_dram_bytes(duration_s)),
-        );
-        // Wire bytes were accumulated per segment against that segment's
-        // sampled link (loss inflation varies over the run).
-        ledger.add(
-            Component::Network,
-            Activity::NetworkRx,
-            d.network_energy(wire_bytes_total, duration_s),
-        );
-        ledger.add(
-            Component::Storage,
-            Activity::StorageIo,
-            d.storage_energy(bytes_received, duration_s),
-        );
-        ledger.add(Component::Compute, Activity::Base, d.base_energy(duration_s));
-        if cfg.path.uses_sas() {
-            ledger.add(Component::Compute, Activity::Base, d.sas_client_energy(duration_s));
-        }
-        ledger.add(Component::Memory, Activity::Base, d.dram_static_energy(duration_s));
-        ledger.mirror_gauges(obs);
-
-        PlaybackReport {
-            ledger,
-            frames_total,
-            fov_hits: checker.hits(),
-            fov_misses: checker.misses(),
-            fallback_frames,
-            rebuffer_events,
-            rebuffer_time_s,
-            bytes_received,
-            duration_s,
-            faults,
-        }
+        self.run_pipeline(server, trace, FaultedTransport::new(setup))
     }
 
-    /// One rung of the degradation ladder: fetch `wire_payload` bytes
-    /// under the injector's retry policy. Returns whether the rung
-    /// delivered; stalls and their radio-idle + base energy are
-    /// accounted as they happen.
-    #[allow(clippy::too_many_arguments)]
-    fn fetch_resilient(
+    /// Dispatches the staged pipeline for the configured renderer.
+    fn run_pipeline<T: Transport>(
         &self,
-        injector: &mut FaultInjector,
-        net: &NetworkModel,
-        link_up: bool,
-        media_t: f64,
-        seg: u32,
-        wire_payload: u64,
-        ledger: &mut EnergyLedger,
-        faults: &mut FaultSummary,
-    ) -> bool {
-        let m = &self.metrics;
-        let obs = &self.observer;
-        let observed = obs.is_enabled();
-        let policy = *injector.retry();
-        for attempt in 0..=policy.max_retries {
-            if attempt > 0 {
-                let b = injector.backoff_s(attempt - 1);
-                faults.retries += 1;
-                faults.backoff_time_s += b;
-                self.account_stall(ledger, faults, b);
-                if observed {
-                    m.fault_retries.inc();
-                    m.backoff_seconds.add(b);
-                }
-            }
-            // Stalls push the wall clock forward, so an outage window
-            // can end while the client is still backing off.
-            let now = media_t + faults.stall_time_s;
-            let delivered = match injector.request_fate(now, seg) {
-                RequestFate::Outage | RequestFate::Dropped => false,
-                RequestFate::Delivered => {
-                    link_up && net.rtt_s + net.transfer_time(wire_payload) <= policy.timeout_s
-                }
-            };
-            if delivered {
-                // A scheduled late delivery stalls playback but does not
-                // trip the timeout (the bytes are flowing).
-                let late = injector.late_delay(seg);
-                if late > 0.0 {
-                    self.account_stall(ledger, faults, late);
-                }
-                return true;
-            }
-            faults.timeouts += 1;
-            self.account_stall(ledger, faults, policy.timeout_s);
-            if observed {
-                m.fault_timeouts.inc();
-                obs.mark(names::MARK_FAULT_TIMEOUT, -1, seg as i64, policy.timeout_s);
-            }
-        }
-        false
-    }
-
-    /// Accounts `dt` seconds of fault-induced stall: playback pauses
-    /// while the radio idles and base power keeps burning.
-    fn account_stall(&self, ledger: &mut EnergyLedger, faults: &mut FaultSummary, dt: f64) {
-        let d = &self.cfg.device;
-        faults.stall_time_s += dt;
-        ledger.add(Component::Network, Activity::Resilience, d.network_energy(0, dt));
-        ledger.add(Component::Compute, Activity::Resilience, d.base_energy(dt));
-        if self.metrics.enabled {
-            self.metrics.fault_stall_seconds.observe(dt);
-        }
-    }
-
-    /// The pose used for stream selection at time `t`, per the configured
-    /// policy. Linear prediction extrapolates from the *past* only (the
-    /// client cannot peek ahead in its own IMU stream).
-    fn selection_pose(&self, trace: &HeadTrace, t: f64) -> evr_math::EulerAngles {
-        match self.cfg.selection {
-            SelectionPolicy::CurrentPose => trace.pose_at(t),
-            SelectionPolicy::LinearPrediction { lookahead_s } => {
-                let dt = 0.1;
-                let now = trace.pose_at(t);
-                let before = trace.pose_at((t - dt).max(0.0));
-                let yaw_vel = (now.yaw - before.yaw).wrapped().0 / dt;
-                let pitch_vel = (now.pitch.0 - before.pitch.0) / dt;
-                evr_math::EulerAngles::new(
-                    evr_math::Radians(now.yaw.0 + yaw_vel * lookahead_s),
-                    evr_math::Radians(now.pitch.0 + pitch_vel * lookahead_s),
-                    now.roll,
-                )
-                .normalized()
-            }
-        }
-    }
-
-    #[inline]
-    fn account_decode(&self, ledger: &mut EnergyLedger, pixels: u64, bytes: u64) {
-        let d = &self.cfg.device;
-        ledger.add(Component::Compute, Activity::Decode, d.decode_energy(pixels, bytes));
-        ledger.add(Component::Memory, Activity::Decode, d.dram_energy(d.decode_dram_bytes(pixels)));
-    }
-
-    /// The uninstrumented decode + PT loop over one original segment;
-    /// returns whether the GPU ran. Kept out of line so the quiet path
-    /// keeps the tight codegen of an unobserved session regardless of how
-    /// much instrumentation surrounds it in [`PlaybackSession::run`].
-    #[inline(never)]
-    fn play_original_quiet(
-        &self,
-        ledger: &mut EnergyLedger,
-        original: &EncodedSegment,
-        src_px: u64,
-        src_scale: f64,
-    ) -> bool {
-        let slot = 1.0 / FPS;
-        let mut gpu_used = false;
-        for frame in &original.frames {
-            self.account_decode(ledger, src_px, frame_wire_bytes(frame, src_scale));
-            gpu_used |= self.account_pt(ledger, slot);
-        }
-        gpu_used
-    }
-
-    /// Mirrors one rendered frame's PT stats into the metric handles.
-    /// Callers invoke this on observed runs only, keeping the quiet path
-    /// identical to an uninstrumented session.
-    fn note_pt_metrics(&self) {
-        let m = &self.metrics;
-        match self.cfg.renderer {
-            Renderer::Gpu => m.pt_gpu_frames.inc(),
-            Renderer::Pte => {
-                // Mirror the (pre-analysed, representative) PTU stats of
-                // this rendered frame into the engine counters.
-                let s = &self.pte_frame;
-                m.pt_pte_frames.inc();
-                m.pte_frames.inc();
-                m.pte_active_cycles.add(s.active_cycles);
-                m.pte_stall_cycles.add(s.stall_cycles);
-                m.pte_pmem_hits.add(s.pmem_hits);
-                m.pte_pmem_misses.add(s.pmem_misses);
-            }
-        }
-    }
-
-    /// Accounts one frame of on-device PT; returns whether the GPU ran.
-    #[inline(always)]
-    fn account_pt(&self, ledger: &mut EnergyLedger, slot: f64) -> bool {
-        let d = &self.cfg.device;
+        server: &SasServer,
+        trace: &HeadTrace,
+        transport: T,
+    ) -> PlaybackReport {
         match self.cfg.renderer {
             Renderer::Gpu => {
-                let cost = self.cfg.gpu.pt_frame(d.panel_pixels);
-                ledger.add(Component::Compute, Activity::ProjectiveTransform, cost.energy_j);
-                ledger.add(
-                    Component::Memory,
-                    Activity::ProjectiveTransform,
-                    d.dram_energy(cost.dram_bytes),
-                );
-                true
+                SegmentPipeline::new(self, server, trace, transport, GpuBackend::new(&self.cfg))
+                    .run()
             }
-            Renderer::Pte => {
-                let s = &self.pte_frame;
-                // Datapath + SRAM + leakage for the whole frame slot (the
-                // PTE stays powered across slots it renders in).
-                let idle = (slot - s.frame_time_s()).max(0.0)
-                    * Pte::new(self.cfg.pte).energy_params().leakage_w;
-                ledger.add(
-                    Component::Compute,
-                    Activity::ProjectiveTransform,
-                    s.compute_energy_j + s.sram_energy_j + s.leakage_energy_j + idle,
-                );
-                ledger.add(
-                    Component::Memory,
-                    Activity::ProjectiveTransform,
-                    d.dram_energy(s.dram_read_bytes + s.dram_write_bytes),
-                );
-                false
-            }
+            Renderer::Pte => SegmentPipeline::new(
+                self,
+                server,
+                trace,
+                transport,
+                PteBackend::new(&self.cfg, self.pte_frame),
+            )
+            .run(),
         }
     }
 }
 
-/// Where a segment's content came from after the degradation ladder ran.
-enum SegmentSource<'a> {
-    /// The requested FOV video (the clean happy path).
-    Fov {
-        /// The encoded FOV stream.
-        fov_seg: &'a EncodedSegment,
-        /// Per-frame orientation metadata.
-        meta: &'a [FovFrameMeta],
-    },
-    /// The original panorama at `byte_scale` of its full wire size;
-    /// `degraded` marks the lower-bitrate rung.
-    Original { byte_scale: f64, degraded: bool },
-    /// Nothing arrived: the last frame stays on screen.
-    Freeze,
-}
-
-/// The per-segment link model: the sampled fault-process state when a
-/// time-varying link is attached, the session's static model otherwise.
-/// A dead link keeps the base model's shape (fetches are failed by the
-/// caller's up-check instead) so rebuffer math stays finite.
-fn effective_network(base: &NetworkModel, link: Option<LinkState>) -> NetworkModel {
-    match link {
-        Some(l) if l.is_up() => {
-            NetworkModel { bandwidth_bps: l.bandwidth_bps, rtt_s: l.rtt_s, loss_prob: l.loss_prob }
-        }
-        _ => *base,
-    }
-}
-
-fn frame_wire_bytes(frame: &EncodedFrame, scale: f64) -> u64 {
+pub(crate) fn frame_wire_bytes(frame: &EncodedFrame, scale: f64) -> u64 {
     (frame.payload_bytes() as f64 * scale) as u64 + (frame.bytes - frame.payload_bytes())
 }
 
@@ -1279,6 +428,7 @@ pub fn segment_wire_bytes(segment: &EncodedSegment, scale: f64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use evr_energy::{Activity, Component};
     use evr_sas::{ingest_video, SasConfig};
     use evr_trace::behavior::{generate_user_trace, params_for};
     use evr_video::library::{scene_for, VideoId};
@@ -1410,6 +560,14 @@ mod tests {
         // Frame latency histogram saw every frame.
         let hist = obs.histogram(names::FRAME_SECONDS, &evr_obs::LATENCY_BOUNDS_S);
         assert_eq!(hist.snapshot().count, r.frames_total);
+        // Per-stage pipeline timings cover every segment.
+        let segments = obs.counter(names::SEGMENTS).get();
+        for stage in ["plan", "fetch", "render", "account"] {
+            let h = obs
+                .histogram(&names::pipeline_stage_seconds(stage), &evr_obs::LATENCY_BOUNDS_S)
+                .snapshot();
+            assert_eq!(h.count, segments, "stage {stage}");
+        }
         // PTE renderer: every fallback frame went through the engine mirror.
         assert_eq!(obs.counter(names::PT_PTE_FRAMES).get(), r.fallback_frames);
         assert_eq!(obs.counter(names::PT_GPU_FRAMES).get(), 0);
@@ -1459,29 +617,65 @@ mod tests {
 
     #[test]
     fn empty_report_fractions_are_zero_not_nan() {
-        let r = PlaybackReport {
-            ledger: EnergyLedger::new(),
-            frames_total: 0,
-            fov_hits: 0,
-            fov_misses: 0,
-            fallback_frames: 0,
-            rebuffer_events: 0,
-            rebuffer_time_s: 0.0,
-            bytes_received: 0,
-            duration_s: 0.0,
-            faults: FaultSummary::default(),
-        };
+        let r = PlaybackReport::empty();
+        assert_eq!(r.miss_rate(), 0.0);
+        assert_eq!(r.fov_miss_fraction(), 0.0);
         assert_eq!(r.fps_drop_fraction(), 0.0);
         assert_eq!(r.stall_fraction(), 0.0);
         assert_eq!(r.degraded_fraction(), 0.0);
         assert_eq!(r.frozen_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let r = run(ContentPath::OnlineSas, Renderer::Pte, &server, &trace);
+        // Identity on the right: r ⊕ 0 = r.
+        let mut right = r.clone();
+        right.merge(&PlaybackReport::empty());
+        assert_eq!(right, r);
+        // Identity on the left: 0 ⊕ r = r.
+        let mut left = PlaybackReport::empty();
+        left.merge(&r);
+        assert_eq!(left, r);
+    }
+
+    #[test]
+    fn asymmetric_merge_sums_counters_and_time_weights_fractions() {
+        let (server, trace) = setup(VideoId::Rhino, 1.0);
+        let a = run(ContentPath::OnlineSas, Renderer::Pte, &server, &trace);
+        let b = run(ContentPath::OnlineBaseline, Renderer::Gpu, &server, &trace);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.frames_total, a.frames_total + b.frames_total);
+        assert_eq!(merged.fov_hits, a.fov_hits + b.fov_hits);
+        assert_eq!(merged.fallback_frames, a.fallback_frames + b.fallback_frames);
+        assert_eq!(merged.bytes_received, a.bytes_received + b.bytes_received);
+        assert!((merged.duration_s - (a.duration_s + b.duration_s)).abs() < 1e-12);
+        assert!(
+            (merged.ledger.total() - (a.ledger.total() + b.ledger.total())).abs() < 1e-9,
+            "ledger sums"
+        );
+        assert!((merged.ledger.duration() - merged.duration_s).abs() < 1e-12);
+        // The merged fraction is frame-weighted, not a mean of means.
+        let expect = (a.fallback_frames + b.fallback_frames) as f64
+            / (a.frames_total + b.frames_total) as f64;
+        assert!((merged.fov_miss_fraction() - expect).abs() < 1e-12);
+        // Merging an empty report into an empty one stays empty and
+        // NaN-free.
+        let mut zero = PlaybackReport::empty();
+        zero.merge(&PlaybackReport::empty());
+        assert_eq!(zero, PlaybackReport::empty());
+        assert_eq!(zero.stall_fraction(), 0.0);
     }
 }
 
 #[cfg(test)]
 mod resilience_tests {
     use super::*;
+    use evr_energy::{Activity, Component};
     use evr_faults::{FaultEvent, FaultPlan, GilbertElliott, LinkProcess, RetryPolicy};
+    use evr_obs::names;
     use evr_sas::{ingest_video, SasConfig};
     use evr_trace::behavior::{generate_user_trace, params_for};
     use evr_video::library::{scene_for, VideoId};
@@ -1617,7 +811,8 @@ mod resilience_tests {
         assert_eq!(obs.counter(names::FROZEN_FRAMES).get(), r.faults.frozen_frames);
         assert!((obs.gauge(names::BACKOFF_SECONDS).get() - r.faults.backoff_time_s).abs() < 1e-12);
         assert!(r.faults.timeouts > 0, "the outage must bite");
-        let stalls = obs.histogram(names::FAULT_STALL_SECONDS, &super::STALL_BOUNDS_S).snapshot();
+        let stalls =
+            obs.histogram(names::FAULT_STALL_SECONDS, &crate::pipeline::STALL_BOUNDS_S).snapshot();
         assert!(stalls.count > 0);
         // The observed run is behaviourally identical to a silent one.
         let silent = PlaybackSession::new(cfg).run_resilient(&server, &trace, &setup);

@@ -9,6 +9,7 @@ use std::path::{Path, PathBuf};
 use evr_client::session::PlaybackReport;
 use evr_energy::EnergyLedger;
 
+use crate::fleet::FleetRunner;
 use crate::system::{EvrSystem, UseCase, Variant};
 
 /// How an experiment sweeps users.
@@ -142,7 +143,7 @@ pub fn run_variant(
     cfg: &ExperimentConfig,
 ) -> AggregateReport {
     let session = system.session_for(use_case, variant);
-    let reports = sweep_users(cfg, |user| system.run_with(&session, user));
+    let reports = fleet_for(system, cfg).run(cfg.users, |user| system.run_with(&session, user));
     AggregateReport::from_reports(reports)
 }
 
@@ -158,37 +159,15 @@ pub fn run_variant_resilient(
     setup: &evr_faults::FaultSetup,
 ) -> AggregateReport {
     let session = system.session_for(use_case, variant);
-    let reports = sweep_users(cfg, |user| system.run_with_resilient(&session, user, setup));
+    let reports = fleet_for(system, cfg)
+        .run(cfg.users, |user| system.run_with_resilient(&session, user, setup));
     AggregateReport::from_reports(reports)
 }
 
-/// Replays every user through `run` on a thread pool, returning the
-/// reports in user order.
-fn sweep_users<F>(cfg: &ExperimentConfig, run: F) -> Vec<PlaybackReport>
-where
-    F: Fn(u64) -> PlaybackReport + Sync,
-{
-    assert!(cfg.users > 0, "experiment needs at least one user");
-    let threads = cfg.threads.clamp(1, 64);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in 0..threads as u64 {
-            let run = &run;
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                let mut user = chunk;
-                while user < cfg.users {
-                    out.push((user, run(user)));
-                    user += threads as u64;
-                }
-                out
-            }));
-        }
-        let mut all: Vec<(u64, PlaybackReport)> =
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect();
-        all.sort_by_key(|(u, _)| *u);
-        all.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
-    })
+/// The fleet runner for one experiment sweep, instrumented with the
+/// system's observer so the `evr_fleet_*` metrics accumulate.
+fn fleet_for(system: &EvrSystem, cfg: &ExperimentConfig) -> FleetRunner {
+    FleetRunner::new(cfg.threads).with_observer(system.observer())
 }
 
 /// Writes the per-run observability artifact for an instrumented run:

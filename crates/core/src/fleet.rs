@@ -1,0 +1,184 @@
+//! Deterministic parallel execution of per-user playback sessions.
+//!
+//! The paper's evaluation replays 59 users per video (§8.1) and the
+//! ROADMAP's north star is a service "serving heavy traffic from
+//! millions of users" — so sweeps must parallelise, but reproducibility
+//! is non-negotiable: a sweep's numbers must not depend on how many
+//! cores the machine happens to have. [`FleetRunner`] gives both, with
+//! the same parity guarantee as `evr-projection`'s scanline pool: the
+//! result is byte-identical to a serial loop for *any* worker count.
+//!
+//! The determinism argument (spelled out in DESIGN.md §12):
+//!
+//! 1. user sessions are pure functions of `(user, config)` — they share
+//!    only immutable state (`&EvrSystem`, `&PlaybackSession`);
+//! 2. workers take users by a static interleave (worker `w` of `n` runs
+//!    users `w, w+n, w+2n, …`) — no work-stealing, no queue ordering;
+//! 3. every report is collected with its user id, sorted by user, and
+//!    merged in ascending user order — so all order-sensitive f64
+//!    accumulation happens on one thread in one fixed order.
+//!
+//! Only wall-clock (and the `evr_fleet_*` metrics that report it)
+//! varies with the worker count.
+
+use std::time::Instant;
+
+use evr_client::session::PlaybackReport;
+use evr_obs::{names, Observer};
+
+/// Runs one independent playback session per user across a scoped
+/// thread pool, returning reports in user order regardless of worker
+/// count or scheduling.
+///
+/// ```
+/// use evr_core::{EvrSystem, FleetRunner, UseCase, Variant};
+/// use evr_sas::SasConfig;
+/// use evr_video::library::VideoId;
+///
+/// let sys = EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 1.0);
+/// let session = sys.session_for(UseCase::OnlineStreaming, Variant::SPlusH);
+/// let serial = FleetRunner::new(1).run(3, |u| sys.run_with(&session, u));
+/// let fleet = FleetRunner::new(8).run(3, |u| sys.run_with(&session, u));
+/// assert_eq!(serial, fleet); // byte-identical, any worker count
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    workers: usize,
+    observer: Observer,
+}
+
+impl FleetRunner {
+    /// A runner with `workers` threads (clamped to 1..=64) and no
+    /// instrumentation.
+    pub fn new(workers: usize) -> Self {
+        FleetRunner { workers: workers.clamp(1, 64), observer: Observer::noop() }
+    }
+
+    /// Attaches an observer: each sweep adds the user count to
+    /// `evr_fleet_users_total` and its wall-clock to
+    /// `evr_fleet_wall_seconds`. The run's *results* are unaffected.
+    pub fn with_observer(mut self, observer: &Observer) -> Self {
+        self.observer = observer.clone();
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Replays users `0..users` through `run`, in parallel, returning
+    /// the reports in user order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is zero, or if a worker panics.
+    pub fn run<F>(&self, users: u64, run: F) -> Vec<PlaybackReport>
+    where
+        F: Fn(u64) -> PlaybackReport + Sync,
+    {
+        assert!(users > 0, "fleet needs at least one user");
+        let threads = (self.workers as u64).min(users) as usize;
+        let t0 = Instant::now();
+        let reports = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads as u64 {
+                let run = &run;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut user = worker;
+                    while user < users {
+                        out.push((user, run(user)));
+                        user += threads as u64;
+                    }
+                    out
+                }));
+            }
+            let mut all: Vec<(u64, PlaybackReport)> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fleet worker panicked"))
+                .collect();
+            all.sort_by_key(|(u, _)| *u);
+            all.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
+        });
+        self.observer.counter(names::FLEET_USERS).add(users);
+        self.observer.gauge(names::FLEET_WALL_SECONDS).add(t0.elapsed().as_secs_f64());
+        reports
+    }
+
+    /// Like [`FleetRunner::run`], but folds the per-user reports into
+    /// one fleet-wide [`PlaybackReport`] via
+    /// [`PlaybackReport::merge`], in ascending user order (so the merged
+    /// ledger is byte-identical for any worker count too).
+    pub fn run_merged<F>(&self, users: u64, run: F) -> PlaybackReport
+    where
+        F: Fn(u64) -> PlaybackReport + Sync,
+    {
+        let mut merged = PlaybackReport::empty();
+        for r in self.run(users, run) {
+            merged.merge(&r);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{EvrSystem, UseCase, Variant};
+    use evr_sas::SasConfig;
+    use evr_video::library::VideoId;
+
+    fn tiny() -> EvrSystem {
+        EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 1.0)
+    }
+
+    #[test]
+    fn reports_are_in_user_order_for_any_worker_count() {
+        let sys = tiny();
+        let session = sys.session_for(UseCase::OnlineStreaming, Variant::SPlusH);
+        let serial = FleetRunner::new(1).run(5, |u| sys.run_with(&session, u));
+        for workers in [2, 3, 8, 64] {
+            let fleet = FleetRunner::new(workers).run(5, |u| sys.run_with(&session, u));
+            assert_eq!(serial, fleet, "{workers} workers");
+        }
+        // Order check against direct serial calls.
+        for (u, r) in serial.iter().enumerate() {
+            assert_eq!(*r, sys.run_with(&session, u as u64), "user {u}");
+        }
+    }
+
+    #[test]
+    fn merged_report_is_worker_count_invariant() {
+        let sys = tiny();
+        let session = sys.session_for(UseCase::OnlineStreaming, Variant::S);
+        let serial = FleetRunner::new(1).run_merged(4, |u| sys.run_with(&session, u));
+        let fleet = FleetRunner::new(8).run_merged(4, |u| sys.run_with(&session, u));
+        assert_eq!(serial, fleet);
+        assert_eq!(serial.frames_total, 4 * sys.run_with(&session, 0).frames_total);
+    }
+
+    #[test]
+    fn fleet_metrics_accumulate() {
+        let obs = Observer::enabled();
+        let sys = tiny();
+        let session = sys.session_for(UseCase::OnlineStreaming, Variant::H);
+        let runner = FleetRunner::new(2).with_observer(&obs);
+        let _ = runner.run(3, |u| sys.run_with(&session, u));
+        let _ = runner.run(2, |u| sys.run_with(&session, u));
+        assert_eq!(obs.counter(names::FLEET_USERS).get(), 5);
+        assert!(obs.gauge(names::FLEET_WALL_SECONDS).get() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        let _ = FleetRunner::new(2).run(0, |_| PlaybackReport::empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(FleetRunner::new(0).workers(), 1);
+        assert_eq!(FleetRunner::new(1000).workers(), 64);
+    }
+}

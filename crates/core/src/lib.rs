@@ -12,6 +12,8 @@
 //!   [`EvrSystem`] wiring an ingested video to client sessions.
 //! * [`experiment`] — multi-user experiment runner with parallel trace
 //!   replay and ledger aggregation.
+//! * [`fleet`] — the deterministic parallel [`FleetRunner`] behind every
+//!   sweep: byte-identical results for any worker count.
 //! * [`figures`] — one function per table/figure of the paper,
 //!   regenerating its data series; the `evr-bench` binaries print them.
 //!
@@ -29,6 +31,7 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod fleet;
 pub mod report;
 pub mod system;
 pub mod tiled;
@@ -36,4 +39,5 @@ pub mod tiled;
 pub use experiment::{
     run_variant, run_variant_resilient, write_run_report, AggregateReport, ExperimentConfig,
 };
+pub use fleet::FleetRunner;
 pub use system::{EvrSystem, UseCase, Variant};

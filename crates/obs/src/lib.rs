@@ -100,6 +100,23 @@ pub mod names {
     pub const PT_LUT_MISSES: &str = "evr_pt_lut_misses_total";
     pub const PT_RENDER_SECONDS: &str = "evr_pt_render_seconds";
 
+    // Fleet runner (evr-core).
+    pub const FLEET_USERS: &str = "evr_fleet_users_total";
+    pub const FLEET_WALL_SECONDS: &str = "evr_fleet_wall_seconds";
+
+    // Staged segment pipeline (evr-client): one wall-clock histogram per
+    // stage, named `evr_pipeline_stage_seconds_<stage>` via
+    // [`pipeline_stage_seconds`].
+    pub const PIPELINE_STAGE_SECONDS_PREFIX: &str = "evr_pipeline_stage_seconds_";
+
+    /// Histogram name for one pipeline stage label.
+    pub fn pipeline_stage_seconds(stage: &str) -> String {
+        let mut name = String::with_capacity(PIPELINE_STAGE_SECONDS_PREFIX.len() + stage.len());
+        name.push_str(PIPELINE_STAGE_SECONDS_PREFIX);
+        name.push_str(stage);
+        name
+    }
+
     // Energy ledger (evr-energy): one gauge per component, named
     // `evr_energy_joules_<component>` via [`energy_gauge`].
     pub const ENERGY_JOULES_PREFIX: &str = "evr_energy_joules_";
