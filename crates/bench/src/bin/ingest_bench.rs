@@ -1,0 +1,237 @@
+//! Cloud-side ingest benchmark: the SAS ingestion pipeline (detect →
+//! cluster → track → pre-render per segment) run once serially and once
+//! per parallel worker count, with a run-time parity check that every
+//! parallel catalog is byte-identical to the serial one; then the
+//! store-backed path — a cold ingest populating the shared FOV
+//! pre-render store and a warm re-ingest served out of it — with the
+//! same parity check plus the store's hit/miss accounting. Emits
+//! `BENCH_ingest.json` so the cloud-scaling trajectory has data points
+//! (ROADMAP: the cloud side ingests every upload once and serves many).
+//!
+//! Exits non-zero if any parity check fails, which is what the CI smoke
+//! step relies on:
+//!
+//! ```text
+//! cargo run --release -p evr-bench --bin ingest_bench -- --smoke json=BENCH_ingest.json
+//! cargo run --release -p evr-bench --bin ingest_bench -- duration=60 workers=8
+//! ```
+//!
+//! Timings vary across machines, so the JSON is not golden-diffed —
+//! only the `parity_ok` flags are load-bearing in CI.
+
+use std::time::Instant;
+
+use evr_bench::header;
+use evr_sas::{ingest_video_with, FovPrerenderStore, IngestOptions, SasCatalog, SasConfig};
+use evr_video::library::{scene_for, VideoId};
+use evr_video::scene::Scene;
+
+struct IngestArgs {
+    duration_s: f64,
+    max_workers: usize,
+    json: Option<String>,
+}
+
+impl Default for IngestArgs {
+    fn default() -> Self {
+        IngestArgs {
+            duration_s: evr_video::library::SCENE_DURATION,
+            max_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            json: None,
+        }
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> IngestArgs {
+    let mut out = IngestArgs::default();
+    for arg in args {
+        if arg == "--smoke" || arg == "smoke" || arg == "quick" {
+            // Ingest cost scales with content length; a few seconds of
+            // content exercises every stage (multiple segments per
+            // worker) while keeping CI wall-clock in check.
+            out.duration_s = 5.0;
+        } else if let Some(v) = arg.strip_prefix("duration=") {
+            out.duration_s = v.parse().expect("duration=S takes seconds");
+        } else if let Some(v) = arg.strip_prefix("workers=") {
+            out.max_workers = v.parse().expect("workers=N takes an integer");
+        } else if let Some(v) = arg.strip_prefix("json=") {
+            out.json = Some(v.to_string());
+        } else {
+            panic!(
+                "unknown argument {arg:?}; expected `--smoke`, `duration=S`, `workers=N` \
+                 or `json=PATH`"
+            );
+        }
+    }
+    out
+}
+
+struct WorkerResult {
+    workers: usize,
+    wall_s: f64,
+    parity_ok: bool,
+}
+
+struct StoreResult {
+    cold_s: f64,
+    warm_s: f64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    resident_bytes: u64,
+    entries: usize,
+    parity_ok: bool,
+}
+
+fn ingest(scene: &Scene, cfg: &SasConfig, duration_s: f64, options: &IngestOptions) -> SasCatalog {
+    ingest_video_with(scene, cfg, duration_s, options).expect("bench ingest must succeed")
+}
+
+/// The worker-count sweep: 1 (the serial reference), then doubling up to
+/// the requested maximum, deduplicated.
+fn worker_counts(max: usize) -> Vec<usize> {
+    let mut counts = vec![1];
+    let mut w = 2;
+    while w < max {
+        counts.push(w);
+        w *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Stable JSON: fixed key order, floats `{:.6}`, one sweep point per line.
+fn bench_json(
+    args: &IngestArgs,
+    serial_s: f64,
+    sweep: &[WorkerResult],
+    store: &StoreResult,
+) -> String {
+    let parity_ok = sweep.iter().all(|r| r.parity_ok) && store.parity_ok;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"duration_s\": {:.6}, \"max_workers\": {}, \"parity_ok\": {},\n",
+        args.duration_s, args.max_workers, parity_ok
+    ));
+    out.push_str("  \"workers\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"parity_ok\": {}, \"wall_s\": {:.6}, \"speedup\": {:.6}}}{}\n",
+            r.workers,
+            r.parity_ok,
+            r.wall_s,
+            serial_s / r.wall_s,
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"store\": {{\"parity_ok\": {}, \"cold_s\": {:.6}, \"warm_s\": {:.6}, \
+         \"warm_speedup\": {:.6}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"resident_bytes\": {}, \"entries\": {}}}\n",
+        store.parity_ok,
+        store.cold_s,
+        store.warm_s,
+        store.cold_s / store.warm_s,
+        store.hits,
+        store.misses,
+        store.evictions,
+        store.resident_bytes,
+        store.entries
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args(std::env::args().skip(1));
+    header("ingest_bench", "SAS segment ingest: serial loop vs deterministic parallel fan-out");
+    println!("{:.1}s of content, up to {} workers", args.duration_s, args.max_workers);
+
+    let scene = scene_for(VideoId::Rs);
+    let cfg = SasConfig::tiny_for_tests();
+
+    // Worker sweep, store-less: every count must reproduce the serial
+    // catalog byte for byte.
+    let mut serial_s = 0.0;
+    let mut reference: Option<SasCatalog> = None;
+    let mut sweep = Vec::new();
+    for workers in worker_counts(args.max_workers) {
+        let options = IngestOptions { workers, ..IngestOptions::default() };
+        let start = Instant::now();
+        let catalog = ingest(&scene, &cfg, args.duration_s, &options);
+        let wall_s = start.elapsed().as_secs_f64();
+        let parity_ok = match &reference {
+            None => {
+                serial_s = wall_s;
+                reference = Some(catalog);
+                true
+            }
+            Some(reference) => *reference == catalog,
+        };
+        println!(
+            "  {workers:>2} workers: {wall_s:.2}s ({:.2}x), parity {}",
+            serial_s / wall_s,
+            if parity_ok { "ok" } else { "FAIL" }
+        );
+        sweep.push(WorkerResult { workers, wall_s, parity_ok });
+    }
+    let reference = reference.expect("sweep ran");
+
+    // Store-backed: a cold ingest renders and publishes every pre-render
+    // once; a warm re-ingest of the same content is pure store hits.
+    let fov_store = FovPrerenderStore::new();
+    let options = IngestOptions {
+        workers: args.max_workers,
+        store: Some(fov_store.clone()),
+        ..IngestOptions::default()
+    };
+    let start = Instant::now();
+    let cold = ingest(&scene, &cfg, args.duration_s, &options);
+    let cold_s = start.elapsed().as_secs_f64();
+    let cold_stats = fov_store.stats();
+    let start = Instant::now();
+    let warm = ingest(&scene, &cfg, args.duration_s, &options);
+    let warm_s = start.elapsed().as_secs_f64();
+    let warm_stats = fov_store.stats();
+    let parity_ok = reference == cold
+        && reference == warm
+        && warm_stats.misses == cold_stats.misses // warm ingest never re-renders
+        && warm_stats.hits > cold_stats.hits;
+    let store = StoreResult {
+        cold_s,
+        warm_s,
+        hits: warm_stats.hits,
+        misses: warm_stats.misses,
+        evictions: warm_stats.evictions,
+        resident_bytes: fov_store.resident_bytes(),
+        entries: fov_store.len(),
+        parity_ok,
+    };
+    println!(
+        "  store: cold {:.2}s, warm {:.2}s ({:.2}x), {} hits / {} misses, \
+         {} entries resident ({} bytes), parity {}",
+        store.cold_s,
+        store.warm_s,
+        store.cold_s / store.warm_s,
+        store.hits,
+        store.misses,
+        store.entries,
+        store.resident_bytes,
+        if store.parity_ok { "ok" } else { "FAIL" }
+    );
+
+    if let Some(path) = &args.json {
+        let json = bench_json(&args, serial_s, &sweep, &store);
+        std::fs::write(path, &json).expect("write ingest bench JSON");
+        println!("json: {path}");
+    }
+
+    if !(sweep.iter().all(|r| r.parity_ok) && store.parity_ok) {
+        eprintln!("parity FAILED: parallel or store-backed ingest diverged from the serial loop");
+        std::process::exit(1);
+    }
+}

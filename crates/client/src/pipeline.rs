@@ -33,6 +33,7 @@
 //! [`PlaybackSession::run_tiled`]: crate::session::PlaybackSession::run_tiled
 //! [`PlaybackSession::run_resilient`]: crate::session::PlaybackSession::run_resilient
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use evr_energy::{Activity, Component, DeviceParams, EnergyLedger};
@@ -42,7 +43,7 @@ use evr_projection::FovFrameMeta;
 use evr_pte::{FrameStats, GpuModel, Pte};
 use evr_sas::checker::{CheckOutcome, FovChecker};
 use evr_sas::ingest::FPS;
-use evr_sas::{Request, Response, SasServer};
+use evr_sas::{PrerenderedFov, Request, Response, SasServer};
 use evr_trace::HeadTrace;
 use evr_video::codec::EncodedSegment;
 
@@ -439,14 +440,40 @@ impl RenderBackend for FovPassthrough {
     fn note_metrics(&self, _m: &SessionMetrics) {}
 }
 
-/// Where a segment's content came from after the degradation ladder ran.
-enum SegmentSource<'a> {
-    /// The requested FOV video (the clean happy path).
-    Fov {
+/// A delivered FOV payload: borrowed straight from the catalog logs, or
+/// an owned, refcounted pre-render out of the server's shared
+/// [`evr_sas::FovPrerenderStore`]. The bytes are identical either way
+/// (the store is populated from the same render), so the decode/render
+/// stage is oblivious to the provenance.
+enum FovPayload<'a> {
+    /// Served by [`SasServer::try_handle`]: borrows the catalog.
+    Borrowed {
         /// The encoded FOV stream.
         fov_seg: &'a EncodedSegment,
         /// Per-frame orientation metadata.
         meta: &'a [FovFrameMeta],
+    },
+    /// Served by [`SasServer::fetch_fov`] out of the pre-render store.
+    Stored(Arc<PrerenderedFov>),
+}
+
+impl FovPayload<'_> {
+    /// The encoded stream and its orientation metadata, wherever they
+    /// live.
+    fn parts(&self) -> (&EncodedSegment, &[FovFrameMeta]) {
+        match self {
+            FovPayload::Borrowed { fov_seg, meta } => (fov_seg, meta),
+            FovPayload::Stored(fov) => (&fov.data, fov.meta.as_slice()),
+        }
+    }
+}
+
+/// Where a segment's content came from after the degradation ladder ran.
+enum SegmentSource<'a> {
+    /// The requested FOV video (the clean happy path).
+    Fov {
+        /// The delivered payload (catalog borrow or store pre-render).
+        payload: FovPayload<'a>,
     },
     /// The original panorama at `byte_scale` of its full wire size;
     /// `degraded` marks the lower-bitrate rung.
@@ -580,17 +607,20 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
             // decode/render: play the delivered frames.
             let t0 = observed.then(Instant::now);
             let gpu_used = match source {
-                SegmentSource::Fov { fov_seg, meta } => self.play_fov(
-                    &mut st,
-                    &link,
-                    seg,
-                    seg_start_t,
-                    original,
-                    orig_bytes,
-                    fov_seg,
-                    meta,
-                    &geom,
-                ),
+                SegmentSource::Fov { payload } => {
+                    let (fov_seg, meta) = payload.parts();
+                    self.play_fov(
+                        &mut st,
+                        &link,
+                        seg,
+                        seg_start_t,
+                        original,
+                        orig_bytes,
+                        fov_seg,
+                        meta,
+                        &geom,
+                    )
+                }
                 SegmentSource::Original { byte_scale, degraded } => {
                     self.play_original(&mut st, seg, original, byte_scale, degraded, &geom)
                 }
@@ -643,9 +673,22 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
 
         let mut source: Option<SegmentSource<'s>> = None;
         if let Some(cluster) = chosen {
-            if let Ok(Response::FovVideo { segment: fov_seg, meta, wire_bytes }) =
-                server.try_handle(Request::FovVideo { segment: seg, cluster })
-            {
+            // Store-backed servers hand out refcounted pre-renders (the
+            // fleet-scale path: many sessions share one resident copy);
+            // store-less servers lend the catalog's bytes directly. The
+            // payload bytes are identical, so the rest of the ladder and
+            // the report are too.
+            let fetched: Option<(FovPayload<'s>, u64)> = if server.has_store() {
+                server.fetch_fov(seg, cluster).ok().map(|(p, w)| (FovPayload::Stored(p), w))
+            } else {
+                match server.try_handle(Request::FovVideo { segment: seg, cluster }) {
+                    Ok(Response::FovVideo { segment: fov_seg, meta, wire_bytes }) => {
+                        Some((FovPayload::Borrowed { fov_seg, meta }, wire_bytes))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some((payload, wire_bytes)) = fetched {
                 let mut io = StageIo {
                     ledger: &mut st.ledger,
                     faults: &mut st.faults,
@@ -665,6 +708,7 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
                         // descends.
                         st.faults.corrupt_segments += 1;
                         let d = &cfg.device;
+                        let (fov_seg, _) = payload.parts();
                         let intra = frame_wire_bytes(&fov_seg.frames[0], geom.fov_scale);
                         st.ledger.add(
                             Component::Compute,
@@ -677,7 +721,7 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
                             d.dram_energy(d.decode_dram_bytes(geom.fov_px)),
                         );
                     } else {
-                        source = Some(SegmentSource::Fov { fov_seg, meta });
+                        source = Some(SegmentSource::Fov { payload });
                     }
                 }
             }

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use evr_client::session::{ContentPath, PlaybackReport, PlaybackSession, Renderer, SessionConfig};
-use evr_sas::{ingest_video, SasConfig, SasServer};
+use evr_sas::{ingest_video_with, FovPrerenderStore, IngestOptions, SasConfig, SasServer};
 use evr_trace::behavior::{generate_user_trace, params_for};
 use evr_trace::HeadTrace;
 use evr_video::library::{scene_for, VideoId};
@@ -127,10 +127,21 @@ pub struct EvrSystem {
 impl EvrSystem {
     /// Ingests `video` (the expensive server-side step, done once) over
     /// `duration_s` seconds of content.
+    ///
+    /// Ingestion fans out across the machine's cores (byte-identical to
+    /// a serial ingest) and publishes every cluster's FOV pre-render
+    /// into the process-wide [`FovPrerenderStore`], which the server
+    /// then serves out of — re-building the same content is a pure
+    /// store hit, and concurrent fleet users share one resident copy.
     pub fn build(video: VideoId, sas: SasConfig, duration_s: f64) -> Self {
         let scene = scene_for(video);
         let duration_s = duration_s.min(scene.duration());
-        let server = SasServer::new(ingest_video(&scene, &sas, duration_s));
+        let store = FovPrerenderStore::shared().clone();
+        let options =
+            IngestOptions { workers: 0, store: Some(store.clone()), ..Default::default() };
+        let catalog = ingest_video_with(&scene, &sas, duration_s, &options)
+            .unwrap_or_else(|e| panic!("ingest of {video:?} failed: {e}"));
+        let server = SasServer::with_store(catalog, store);
         EvrSystem { video, scene, server, sas, duration_s, observer: evr_obs::Observer::noop() }
     }
 
@@ -248,7 +259,10 @@ impl EvrSystem {
         let catalog = self.server.catalog().with_utilization(utilization);
         let mut sas = self.sas;
         sas.object_utilization = utilization;
-        let mut server = SasServer::new(catalog);
+        // Same content fingerprint, fewer indexed streams: the derived
+        // server keeps serving the surviving clusters out of the shared
+        // pre-render store.
+        let mut server = SasServer::with_store(catalog, FovPrerenderStore::shared().clone());
         server.set_observer(&self.observer);
         EvrSystem {
             video: self.video,

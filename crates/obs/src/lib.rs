@@ -86,6 +86,21 @@ pub mod names {
     pub const SAS_ORIGINAL_BYTES: &str = "evr_sas_original_bytes_total";
     pub const SAS_STORE_SEGMENTS: &str = "evr_sas_store_segments";
 
+    // Shared FOV pre-render store (evr-sas). Hits/misses/evictions are
+    // cumulative store counters mirrored as gauges (the store keeps the
+    // source of truth so every holder of a clone reports one number).
+    pub const SAS_PRERENDER_HITS: &str = "evr_sas_prerender_hits";
+    pub const SAS_PRERENDER_MISSES: &str = "evr_sas_prerender_misses";
+    pub const SAS_PRERENDER_EVICTIONS: &str = "evr_sas_prerender_evictions";
+    pub const SAS_PRERENDER_RESIDENT_BYTES: &str = "evr_sas_prerender_resident_bytes";
+    pub const SAS_PRERENDER_ENTRIES: &str = "evr_sas_prerender_entries";
+
+    // Parallel segment ingest (evr-sas).
+    pub const INGEST_SEGMENTS: &str = "evr_ingest_segments_total";
+    pub const INGEST_DEGRADED_SEGMENTS: &str = "evr_ingest_degraded_segments_total";
+    pub const INGEST_WORKERS: &str = "evr_ingest_workers";
+    pub const INGEST_WALL_SECONDS: &str = "evr_ingest_wall_seconds";
+
     // PTE accelerator (evr-pte).
     pub const PTE_FRAMES: &str = "evr_pte_frames_total";
     pub const PTE_ACTIVE_CYCLES: &str = "evr_pte_active_cycles_total";

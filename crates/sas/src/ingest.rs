@@ -1,5 +1,15 @@
 //! The SAS ingestion pipeline: segment → detect → cluster → track →
 //! pre-render FOV videos → encode → store (paper §5.3, Fig. 7).
+//!
+//! Segments fan out across a scoped thread pool with a static interleave
+//! (worker `w` of `n` takes segments `w, w+n, …`), mirroring
+//! `evr-core`'s `FleetRunner`: every segment is a pure function of
+//! `(scene, config, segment index)`, results are collected with their
+//! index, sorted, and appended to the logs in ascending segment order —
+//! so the catalog is byte-identical to a serial ingest for *any* worker
+//! count (DESIGN.md §13). Degenerate segments — zero detections, NaN
+//! detector output, clustering failure — degrade to original-only
+//! serving instead of panicking the pipeline.
 
 use std::collections::BTreeMap;
 
@@ -8,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use evr_math::Vec3;
 use evr_projection::{FilterMode, FovFrameMeta, Transformer, Viewport};
 use evr_semantics::cluster::ClusterTrajectory;
+use evr_semantics::detector::validate_detections;
 use evr_semantics::kmeans::select_k;
 use evr_semantics::tracker::Tracker;
 use evr_video::codec::{CodecConfig, EncodedSegment, Encoder};
@@ -15,6 +26,7 @@ use evr_video::frame::VideoMeta;
 use evr_video::scene::Scene;
 
 use crate::config::SasConfig;
+use crate::prerender::{content_fingerprint, FovPrerenderStore, PrerenderKey, PrerenderedFov};
 use crate::store::{LogStore, RecordId};
 
 /// Playback frame rate of all SAS content (the paper's evaluation runs at
@@ -36,6 +48,56 @@ pub struct FovStream {
     pub meta: RecordId,
 }
 
+/// Why ingestion rejected its inputs outright (per-segment trouble never
+/// surfaces here — degenerate segments degrade to original-only serving
+/// and are listed in [`SasCatalog::degraded_segments`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// The configuration failed [`SasConfig::validate`].
+    InvalidConfig(String),
+    /// The requested duration covers no complete frame.
+    NoFrames,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::InvalidConfig(reason) => {
+                write!(f, "invalid SAS configuration: {reason}")
+            }
+            IngestError::NoFrames => write!(f, "duration covers no frames"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Knobs for [`ingest_video_with`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    /// Worker threads for the segment fan-out; `0` means one per
+    /// available core. The catalog is byte-identical for any value.
+    pub workers: usize,
+    /// Pre-render store consulted before rendering each cluster's FOV
+    /// video and fed with every render — repeated ingests of the same
+    /// content (fleet sweeps, figure scripts) skip the render+encode.
+    pub store: Option<FovPrerenderStore>,
+    /// Receives the `evr_ingest_*` metrics (segment counts, degraded
+    /// segments, worker count, wall-clock) and the store's counters. The
+    /// default no-op observer records nothing; the catalog is identical
+    /// either way.
+    pub observer: evr_obs::Observer,
+}
+
+impl IngestOptions {
+    /// Serial, store-less ingest — the reference configuration the
+    /// parity checks compare everything else against.
+    pub fn serial() -> Self {
+        IngestOptions { workers: 1, ..IngestOptions::default() }
+    }
+}
+
 /// Everything the SAS server holds for one ingested video.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SasCatalog {
@@ -52,6 +114,13 @@ pub struct SasCatalog {
     originals: Vec<RecordId>,
     /// Analysis-scale metadata of the original stream.
     original_meta: VideoMeta,
+    /// Fingerprint of `(scene, frames, config)` — the pre-render store
+    /// key namespace for this content.
+    content_id: u64,
+    /// Segments whose semantics stage rejected the detector output (NaN
+    /// detections, clustering failure): they serve the original video
+    /// only. Ascending, deduplicated.
+    degraded_segments: Vec<u32>,
 }
 
 impl SasCatalog {
@@ -80,31 +149,52 @@ impl SasCatalog {
         self.index.range((segment, 0)..(segment + 1, 0)).map(|((_, c), _)| *c).collect()
     }
 
-    /// Reads an FOV stream's encoded segment and orientation metadata.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the stream's records are missing (catalog corruption).
-    pub fn read_fov(&self, stream: &FovStream) -> (&EncodedSegment, &[FovFrameMeta]) {
-        let data = self.fov_log.read(stream.data).expect("fov data record exists");
-        let meta = self.meta_log.read(stream.meta).expect("fov meta record exists");
-        (data, meta)
+    /// The content fingerprint this catalog was ingested under — the
+    /// namespace its pre-renders live in inside a [`FovPrerenderStore`].
+    pub fn content_id(&self) -> u64 {
+        self.content_id
+    }
+
+    /// Segments whose detector output was rejected during ingest; they
+    /// carry no FOV streams and serve the original video only.
+    pub fn degraded_segments(&self) -> &[u32] {
+        &self.degraded_segments
+    }
+
+    /// Reads an FOV stream's encoded segment and orientation metadata,
+    /// or `None` if the stream's records are missing (catalog
+    /// corruption — the serving path maps this to an error response, it
+    /// must never panic a shared server).
+    pub fn read_fov(&self, stream: &FovStream) -> Option<(&EncodedSegment, &[FovFrameMeta])> {
+        let data = self.fov_log.read(stream.data)?;
+        let meta = self.meta_log.read(stream.meta)?;
+        Some((data, meta.as_slice()))
+    }
+
+    /// The original encoded segment, or `None` if `segment` is out of
+    /// range or its record is missing.
+    pub fn try_original_segment(&self, segment: u32) -> Option<&EncodedSegment> {
+        let id = *self.originals.get(segment as usize)?;
+        self.original_log.read(id)
     }
 
     /// The original encoded segment.
     ///
     /// # Panics
     ///
-    /// Panics if `segment` is out of range.
+    /// Panics if `segment` is out of range — callers serving untrusted
+    /// requests use [`SasCatalog::try_original_segment`].
     pub fn original_segment(&self, segment: u32) -> &EncodedSegment {
-        let id = self.originals[segment as usize];
-        self.original_log.read(id).expect("original record exists")
+        self.try_original_segment(segment)
+            .unwrap_or_else(|| panic!("segment {segment} out of range"))
     }
 
-    /// Wire bytes of an FOV segment at target (paper) scale.
+    /// Wire bytes of an FOV segment at target (paper) scale (0 if the
+    /// record is missing).
     pub fn fov_target_bytes(&self, stream: &FovStream) -> u64 {
-        let seg = self.fov_log.read(stream.data).expect("record exists");
-        seg.scaled_bytes(self.config.fov_byte_scale())
+        self.fov_log
+            .read(stream.data)
+            .map_or(0, |seg| seg.scaled_bytes(self.config.fov_byte_scale()))
     }
 
     /// Wire bytes of an original segment at target (paper) scale.
@@ -196,17 +286,57 @@ impl SasCatalog {
     }
 }
 
-/// Runs the full ingestion pipeline over `duration_s` seconds of `scene`.
+/// Runs the full ingestion pipeline over `duration_s` seconds of `scene`
+/// with default options (one worker per core, no pre-render store).
 ///
 /// # Panics
 ///
 /// Panics if the configuration fails [`SasConfig::validate`] or the
-/// duration covers no complete frame.
+/// duration covers no complete frame — use [`try_ingest_video`] or
+/// [`ingest_video_with`] for fallible ingestion.
 pub fn ingest_video(scene: &Scene, config: &SasConfig, duration_s: f64) -> SasCatalog {
-    config.validate().expect("invalid SAS configuration");
+    ingest_video_with(scene, config, duration_s, &IngestOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`ingest_video`] with default options.
+///
+/// # Errors
+///
+/// Returns [`IngestError`] on an invalid configuration or a duration
+/// covering no complete frame.
+pub fn try_ingest_video(
+    scene: &Scene,
+    config: &SasConfig,
+    duration_s: f64,
+) -> Result<SasCatalog, IngestError> {
+    ingest_video_with(scene, config, duration_s, &IngestOptions::default())
+}
+
+/// Runs the full ingestion pipeline with explicit [`IngestOptions`].
+///
+/// The catalog is byte-identical for any worker count and with or
+/// without a pre-render store (`ingest_bench` enforces this at run
+/// time); only wall-clock changes.
+///
+/// # Errors
+///
+/// Returns [`IngestError`] on an invalid configuration or a duration
+/// covering no complete frame. Per-segment detector trouble never
+/// errors: those segments degrade to original-only serving and are
+/// listed in [`SasCatalog::degraded_segments`].
+pub fn ingest_video_with(
+    scene: &Scene,
+    config: &SasConfig,
+    duration_s: f64,
+    options: &IngestOptions,
+) -> Result<SasCatalog, IngestError> {
+    config.validate().map_err(IngestError::InvalidConfig)?;
     let duration = duration_s.min(scene.duration());
     let total_frames = (duration * FPS).floor() as u64;
-    assert!(total_frames > 0, "duration covers no frames");
+    if total_frames == 0 {
+        return Err(IngestError::NoFrames);
+    }
 
     let (src_w, src_h) = config.analysis_src;
     let original_meta = VideoMeta::new(src_w, src_h, FPS, evr_projection::Projection::Erp);
@@ -223,6 +353,7 @@ pub fn ingest_video(scene: &Scene, config: &SasConfig, duration_s: f64) -> SasCa
         Viewport::new(fov_w * 2, fov_h * 2),
     );
 
+    let content_id = content_fingerprint(scene.name(), total_frames, config);
     let mut catalog = SasCatalog {
         config: *config,
         fov_log: LogStore::new(),
@@ -231,52 +362,42 @@ pub fn ingest_video(scene: &Scene, config: &SasConfig, duration_s: f64) -> SasCa
         index: BTreeMap::new(),
         originals: Vec::new(),
         original_meta,
+        content_id,
+        degraded_segments: Vec::new(),
     };
 
     let seg_len = config.segment_frames as u64;
     let segment_count = total_frames.div_ceil(seg_len);
+    let ctx = SegmentContext {
+        scene,
+        config,
+        fov_renderer: &fov_renderer,
+        stream_fov,
+        seg_len,
+        total_frames,
+        src_w,
+        src_h,
+        content_id,
+        store: options.store.as_ref(),
+    };
 
     // Segments are independent (each starts with an intra frame and a
-    // fresh key-frame clustering), so ingestion fans out across threads;
-    // results append to the logs in segment order.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let results: Vec<SegmentResult> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for worker in 0..threads as u64 {
-            let fov_renderer = &fov_renderer;
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::new();
-                let mut seg = worker;
-                while seg < segment_count {
-                    out.push((
-                        seg,
-                        ingest_segment(
-                            scene,
-                            config,
-                            fov_renderer,
-                            stream_fov,
-                            seg,
-                            seg_len,
-                            total_frames,
-                            src_w,
-                            src_h,
-                        ),
-                    ));
-                    seg += threads as u64;
-                }
-                out
-            }));
-        }
-        let mut all: Vec<(u64, SegmentResult)> =
-            handles.into_iter().flat_map(|h| h.join().expect("ingest worker panicked")).collect();
-        all.sort_by_key(|(s, _)| *s);
-        all.into_iter().map(|(_, r)| r).collect()
-    });
+    // fresh key-frame clustering), so ingestion fans out across threads
+    // by static interleave; results are sorted by segment and appended
+    // to the logs in segment order — byte-identical for any worker
+    // count.
+    let start = std::time::Instant::now();
+    let workers = crate::par::resolve_workers(options.workers, segment_count);
+    let results: Vec<SegmentResult> =
+        crate::par::fan_out(segment_count, workers, |seg| ingest_segment(&ctx, seg));
 
     for (seg, result) in results.into_iter().enumerate() {
         let bytes = result.original.bytes();
         let id = catalog.original_log.append(result.original, bytes);
         catalog.originals.push(id);
+        if result.degraded {
+            catalog.degraded_segments.push(seg as u32);
+        }
         for (cluster, members, segment, meta) in result.fovs {
             let bytes = segment.bytes();
             let data = catalog.fov_log.append(segment, bytes);
@@ -288,12 +409,40 @@ pub fn ingest_video(scene: &Scene, config: &SasConfig, duration_s: f64) -> SasCa
             );
         }
     }
-    catalog
+
+    let obs = &options.observer;
+    if obs.is_enabled() {
+        use evr_obs::names;
+        obs.counter(names::INGEST_SEGMENTS).add(segment_count);
+        obs.counter(names::INGEST_DEGRADED_SEGMENTS).add(catalog.degraded_segments.len() as u64);
+        obs.gauge(names::INGEST_WORKERS).set(workers as f64);
+        obs.gauge(names::INGEST_WALL_SECONDS).set(start.elapsed().as_secs_f64());
+        if let Some(store) = &options.store {
+            store.mirror(obs);
+        }
+    }
+    Ok(catalog)
+}
+
+/// Everything an ingest worker needs, shared immutably across the pool.
+struct SegmentContext<'a> {
+    scene: &'a Scene,
+    config: &'a SasConfig,
+    fov_renderer: &'a Transformer,
+    stream_fov: evr_projection::FovSpec,
+    seg_len: u64,
+    total_frames: u64,
+    src_w: u32,
+    src_h: u32,
+    content_id: u64,
+    store: Option<&'a FovPrerenderStore>,
 }
 
 struct SegmentResult {
     original: EncodedSegment,
     fovs: Vec<(usize, u32, EncodedSegment, Vec<FovFrameMeta>)>,
+    /// The semantics stage rejected this segment's detector output.
+    degraded: bool,
 }
 
 /// Snaps an FOV-video orientation to a 3° grid. Sub-degree centroid
@@ -306,95 +455,134 @@ fn snap_orientation(o: evr_math::EulerAngles) -> evr_math::EulerAngles {
     evr_math::EulerAngles::new(snap(o.yaw), snap(o.pitch), o.roll)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn ingest_segment(
-    scene: &Scene,
-    config: &SasConfig,
-    fov_renderer: &Transformer,
-    stream_fov: evr_projection::FovSpec,
-    seg: u64,
-    seg_len: u64,
-    total_frames: u64,
-    src_w: u32,
-    src_h: u32,
-) -> SegmentResult {
-    {
-        let start = seg * seg_len;
-        let end = (start + seg_len).min(total_frames);
-        let times: Vec<f64> = (start..end).map(|i| i as f64 / FPS).collect();
+fn ingest_segment(ctx: &SegmentContext<'_>, seg: u64) -> SegmentResult {
+    let scene = ctx.scene;
+    let config = ctx.config;
+    let start = seg * ctx.seg_len;
+    let end = (start + ctx.seg_len).min(ctx.total_frames);
+    let times: Vec<f64> = (start..end).map(|i| i as f64 / FPS).collect();
 
-        // Render the segment's source frames once; they feed both the
-        // original encoding and every cluster's FOV rendering.
-        let sources: Vec<_> = times
-            .iter()
-            .map(|&t| scene.render_image(t, evr_projection::Projection::Erp, src_w, src_h))
-            .collect();
+    // Render the segment's source frames once; they feed both the
+    // original encoding and every cluster's FOV rendering.
+    let sources: Vec<_> = times
+        .iter()
+        .map(|&t| scene.render_image(t, evr_projection::Projection::Erp, ctx.src_w, ctx.src_h))
+        .collect();
 
-        // Original segment encoding (GOP-aligned: fresh intra at start).
-        let mut enc = Encoder::new(config.codec);
-        enc.force_intra();
-        let frames: Vec<_> = sources.iter().map(|img| enc.encode_frame(img)).collect();
-        let original = EncodedSegment { start_index: start, frames };
-        let mut result = SegmentResult { original, fovs: Vec::new() };
+    // Original segment encoding (GOP-aligned: fresh intra at start).
+    let mut enc = Encoder::new(config.codec);
+    enc.force_intra();
+    let frames: Vec<_> = sources.iter().map(|img| enc.encode_frame(img)).collect();
+    let original = EncodedSegment { start_index: start, frames };
+    let mut result = SegmentResult { original, fovs: Vec::new(), degraded: false };
 
-        // Key-frame detection + segment-long tracking.
-        let mut tracker = Tracker::new(evr_math::Radians(0.2), 3);
-        for &t in &times {
-            tracker.observe(t, &config.detector.detect(scene, t));
+    // Key-frame detection + segment-long tracking. The detector is an
+    // untrusted stage: one NaN coordinate must not abort ingest, so the
+    // boundary check runs per frame and a rejected frame degrades the
+    // whole segment to original-only serving.
+    let mut tracker = Tracker::new(evr_math::Radians(0.2), 3);
+    for &t in &times {
+        let detections = config.detector.detect(scene, t);
+        if validate_detections(&detections).is_err() {
+            result.degraded = true;
+            return result;
         }
-        let tracks = tracker.into_tracks();
-        if tracks.is_empty() {
-            return result; // nothing to pre-render; clients will fall back
-        }
-
-        // Cluster at the key frame.
-        let key_t = times[0];
-        let points: Vec<Vec3> = tracks.iter().map(|tr| tr.position_at(key_t)).collect();
-        let clustering =
-            select_k(&points, config.cluster_spread, config.max_clusters, 0xC1A5 ^ seg);
-        let mut trajectories =
-            ClusterTrajectory::build_all(&clustering, &tracks, &times, config.smoothing);
-
-        // Object-utilisation knob: keep the largest clusters until the
-        // requested fraction of objects is covered (Fig. 14).
-        trajectories.sort_by_key(|t| std::cmp::Reverse(t.members.len()));
-        let total_objects: usize = trajectories.iter().map(|t| t.members.len()).sum();
-        let budget = (config.object_utilization * total_objects as f64).ceil() as usize;
-        let mut used = 0usize;
-        trajectories.retain(|t| {
-            if used >= budget {
-                return false;
-            }
-            used += t.members.len();
-            true
-        });
-
-        // Pre-render + encode one FOV video per kept cluster.
-        for traj in &trajectories {
-            let mut enc =
-                Encoder::new(CodecConfig::new(config.segment_frames, config.fov_quantizer));
-            enc.force_intra();
-            let mut meta = Vec::with_capacity(times.len());
-            let mut frames = Vec::with_capacity(times.len());
-            // Orientations snap to a grid, so consecutive frames — and
-            // other clusters, segments and worker threads tracking the
-            // same grid points — share coordinate maps through the
-            // process-wide sampling-map cache.
-            let lut = evr_projection::lut::SamplingMapCache::shared();
-            for (src, &t) in sources.iter().zip(&times) {
-                let orientation = snap_orientation(traj.orientation_at(t));
-                let (map, _) = lut.reference_map(fov_renderer, orientation, 1);
-                let coords = map.as_reference().expect("reference lookup yields a reference map");
-                let image =
-                    evr_projection::pixel::downsample2x(&fov_renderer.render_with_map(src, coords));
-                meta.push(FovFrameMeta::new(orientation, stream_fov));
-                frames.push(enc.encode_frame(&image));
-            }
-            let segment = EncodedSegment { start_index: start, frames };
-            result.fovs.push((traj.cluster, traj.members.len() as u32, segment, meta));
-        }
-        result
+        tracker.observe(t, &detections);
     }
+    let tracks = tracker.into_tracks();
+    if tracks.is_empty() {
+        return result; // nothing to pre-render; clients will fall back
+    }
+
+    // Cluster at the key frame. `select_k` rejects degenerate inputs
+    // (empty, non-finite) with an error, not a panic — map it to "no
+    // FOV track for this segment" and serve the original video.
+    let key_t = times[0];
+    let points: Vec<Vec3> = tracks.iter().map(|tr| tr.position_at(key_t)).collect();
+    let Ok(clustering) =
+        select_k(&points, config.cluster_spread, config.max_clusters, 0xC1A5 ^ seg)
+    else {
+        result.degraded = true;
+        return result;
+    };
+    let mut trajectories =
+        ClusterTrajectory::build_all(&clustering, &tracks, &times, config.smoothing);
+
+    // Object-utilisation knob: keep the largest clusters until the
+    // requested fraction of objects is covered (Fig. 14).
+    trajectories.sort_by_key(|t| std::cmp::Reverse(t.members.len()));
+    let total_objects: usize = trajectories.iter().map(|t| t.members.len()).sum();
+    let budget = (config.object_utilization * total_objects as f64).ceil() as usize;
+    let mut used = 0usize;
+    trajectories.retain(|t| {
+        if used >= budget {
+            return false;
+        }
+        used += t.members.len();
+        true
+    });
+
+    // Pre-render + encode one FOV video per kept cluster, through the
+    // pre-render store when one is attached: a hit reuses the stored
+    // segment (byte-identical — the pre-render is a pure function of
+    // the key), a miss renders and publishes it for later ingests and
+    // for serving.
+    for traj in &trajectories {
+        let render = || render_cluster_fov(ctx, traj, &sources, &times, start);
+        let (segment, meta) = match ctx.store {
+            Some(store) => {
+                let key = PrerenderKey {
+                    content: ctx.content_id,
+                    segment: seg as u32,
+                    cluster: traj.cluster,
+                    rung: config.fov_quantizer,
+                };
+                let stored = store.get_or_insert_with(key, || {
+                    let (data, meta) = render();
+                    PrerenderedFov { data, meta }
+                });
+                (stored.data.clone(), stored.meta.clone())
+            }
+            None => render(),
+        };
+        result.fovs.push((traj.cluster, traj.members.len() as u32, segment, meta));
+    }
+    result
+}
+
+/// Renders and encodes one cluster's FOV video — the store-miss path.
+fn render_cluster_fov(
+    ctx: &SegmentContext<'_>,
+    traj: &ClusterTrajectory,
+    sources: &[evr_projection::pixel::ImageBuffer],
+    times: &[f64],
+    start: u64,
+) -> (EncodedSegment, Vec<FovFrameMeta>) {
+    let config = ctx.config;
+    let mut enc = Encoder::new(CodecConfig::new(config.segment_frames, config.fov_quantizer));
+    enc.force_intra();
+    let mut meta = Vec::with_capacity(times.len());
+    let mut frames = Vec::with_capacity(times.len());
+    // Orientations snap to a grid, so consecutive frames — and other
+    // clusters, segments and worker threads tracking the same grid
+    // points — share coordinate maps through the process-wide
+    // sampling-map cache.
+    let lut = evr_projection::lut::SamplingMapCache::shared();
+    for (src, &t) in sources.iter().zip(times) {
+        let orientation = snap_orientation(traj.orientation_at(t));
+        let (map, _) = lut.reference_map(ctx.fov_renderer, orientation, 1);
+        // Reference lookups always yield reference maps; if one ever
+        // does not, truncate the cluster's FOV video (frames and meta
+        // stay in lockstep) rather than panic a shared ingest node.
+        let Some(coords) = map.as_reference() else {
+            break;
+        };
+        let image =
+            evr_projection::pixel::downsample2x(&ctx.fov_renderer.render_with_map(src, coords));
+        meta.push(FovFrameMeta::new(orientation, ctx.stream_fov));
+        frames.push(enc.encode_frame(&image));
+    }
+    (EncodedSegment { start_index: start, frames }, meta)
 }
 
 #[cfg(test)]
@@ -424,7 +612,7 @@ mod tests {
         let clusters = c.clusters_in_segment(0);
         assert!(!clusters.is_empty());
         let stream = c.fov_stream(0, clusters[0]).unwrap();
-        let (data, meta) = c.read_fov(stream);
+        let (data, meta) = c.read_fov(stream).unwrap();
         assert_eq!(data.frames.len(), 8);
         assert_eq!(meta.len(), 8);
         // Stream FOV is the device FOV plus margin.
@@ -439,8 +627,8 @@ mod tests {
         let first = c.fov_stream(0, c.clusters_in_segment(0)[0]).unwrap();
         let last_seg = c.segment_count() - 1;
         let last = c.fov_stream(last_seg, c.clusters_in_segment(last_seg)[0]).unwrap();
-        let (_, m0) = c.read_fov(first);
-        let (_, m1) = c.read_fov(last);
+        let (_, m0) = c.read_fov(first).unwrap();
+        let (_, m1) = c.read_fov(last).unwrap();
         let moved = m0[0].orientation.view_angle_to(m1[m1.len() - 1].orientation);
         assert!(moved.0 > 0.05, "moved {} rad", moved.0);
     }
@@ -484,6 +672,120 @@ mod tests {
         cfg.smoothing = 2.0;
         let _ = ingest_video(&scene_for(VideoId::Rs), &cfg, 1.0);
     }
+
+    #[test]
+    fn try_ingest_reports_errors_instead_of_panicking() {
+        let scene = scene_for(VideoId::Rs);
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.smoothing = 2.0;
+        assert!(matches!(try_ingest_video(&scene, &cfg, 1.0), Err(IngestError::InvalidConfig(_))));
+        let cfg = SasConfig::tiny_for_tests();
+        assert_eq!(try_ingest_video(&scene, &cfg, 0.001), Err(IngestError::NoFrames));
+    }
+
+    #[test]
+    fn parallel_ingest_is_byte_identical_for_any_worker_count() {
+        let scene = scene_for(VideoId::Rs);
+        let cfg = SasConfig::tiny_for_tests();
+        let serial = ingest_video_with(&scene, &cfg, 2.0, &IngestOptions::serial()).unwrap();
+        for workers in [2, 3, 8, 64] {
+            let opts = IngestOptions { workers, ..IngestOptions::default() };
+            let parallel = ingest_video_with(&scene, &cfg, 2.0, &opts).unwrap();
+            assert_eq!(serial, parallel, "{workers} workers diverged from serial");
+        }
+    }
+
+    #[test]
+    fn store_backed_ingest_is_byte_identical_and_hits_on_reingest() {
+        let scene = scene_for(VideoId::Rhino);
+        let cfg = SasConfig::tiny_for_tests();
+        let plain = ingest_video_with(&scene, &cfg, 1.0, &IngestOptions::serial()).unwrap();
+        let store = crate::prerender::FovPrerenderStore::new();
+        let cold_opts =
+            IngestOptions { workers: 2, store: Some(store.clone()), ..IngestOptions::default() };
+        let cold = ingest_video_with(&scene, &cfg, 1.0, &cold_opts).unwrap();
+        assert_eq!(plain, cold, "store-backed ingest diverged");
+        assert!(!store.is_empty(), "ingest should publish pre-renders");
+        let cold_stats = store.stats();
+        // Re-ingesting the same content hits the store for every cluster.
+        let warm = ingest_video_with(&scene, &cfg, 1.0, &cold_opts).unwrap();
+        assert_eq!(plain, warm, "warm ingest diverged");
+        let warm_stats = store.stats();
+        assert!(warm_stats.hits > cold_stats.hits, "warm ingest should hit");
+        assert_eq!(warm_stats.misses, cold_stats.misses, "warm ingest should not miss");
+    }
+
+    #[test]
+    fn zero_detection_segment_serves_original_only() {
+        let scene = scene_for(VideoId::Rs);
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.detector.miss_rate = 1.0; // every real object dropped...
+        cfg.detector.spurious_rate = 0.0; // ...and no spurious boxes either
+        let c = try_ingest_video(&scene, &cfg, 1.0).unwrap();
+        assert!(c.segment_count() > 0);
+        for seg in 0..c.segment_count() {
+            assert!(c.clusters_in_segment(seg).is_empty());
+            assert!(!c.original_segment(seg).frames.is_empty());
+        }
+        // No detections is normal empty content, not degradation.
+        assert!(c.degraded_segments().is_empty());
+    }
+
+    #[test]
+    fn nan_detections_degrade_to_original_serving() {
+        let scene = scene_for(VideoId::Rs);
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.detector.localization_noise = f64::NAN; // NaN through perturbation
+        let c = try_ingest_video(&scene, &cfg, 1.0).unwrap();
+        assert!(c.segment_count() > 0);
+        for seg in 0..c.segment_count() {
+            assert!(c.clusters_in_segment(seg).is_empty(), "segment {seg} kept a FOV stream");
+            assert!(!c.original_segment(seg).frames.is_empty());
+        }
+        assert_eq!(c.degraded_segments().len(), c.segment_count() as usize);
+    }
+
+    #[test]
+    fn single_frame_segment_ingests_and_serves() {
+        // 9 frames at 8 per segment → the last segment holds one frame.
+        let scene = scene_for(VideoId::Rs);
+        let c = try_ingest_video(&scene, &SasConfig::tiny_for_tests(), 9.0 / 30.0).unwrap();
+        assert_eq!(c.segment_count(), 2);
+        assert_eq!(c.original_segment(1).frames.len(), 1);
+        for cluster in c.clusters_in_segment(1) {
+            let stream = c.fov_stream(1, cluster).unwrap();
+            let (data, meta) = c.read_fov(stream).unwrap();
+            assert_eq!(data.frames.len(), 1);
+            assert_eq!(meta.len(), 1);
+        }
+    }
+
+    #[test]
+    fn k_exceeding_point_count_is_clamped_not_fatal() {
+        // One object in RS segments fewer points than max_clusters asks
+        // for; the clamp inside k-means must keep ingest alive.
+        let scene = scene_for(VideoId::Rs);
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.max_clusters = 16;
+        let c = try_ingest_video(&scene, &cfg, 1.0).unwrap();
+        assert!(c.degraded_segments().is_empty());
+        assert!(!c.clusters_in_segment(0).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_reads_are_none_not_panics() {
+        let c = tiny_catalog(VideoId::Rs, 1.0);
+        assert!(c.try_original_segment(10_000).is_none());
+        let bogus = FovStream {
+            segment_index: 0,
+            cluster: 0,
+            members: 1,
+            data: RecordId::dangling(),
+            meta: RecordId::dangling(),
+        };
+        assert!(c.read_fov(&bogus).is_none());
+        assert_eq!(c.fov_target_bytes(&bogus), 0);
+    }
 }
 
 #[cfg(test)]
@@ -505,7 +807,7 @@ mod compaction_tests {
         for seg in 0..reduced.segment_count() {
             for cluster in reduced.clusters_in_segment(seg) {
                 let stream = reduced.fov_stream(seg, cluster).unwrap();
-                let (data, meta) = reduced.read_fov(stream);
+                let (data, meta) = reduced.read_fov(stream).unwrap();
                 assert_eq!(data.frames.len(), meta.len());
             }
         }

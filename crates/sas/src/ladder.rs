@@ -107,8 +107,11 @@ pub fn ingest_ladder(
     let segment_count = total_frames.div_ceil(seg_len);
     let scale = config.src_byte_scale();
 
-    let mut bytes = Vec::with_capacity(segment_count as usize);
-    for seg in 0..segment_count {
+    // Every segment row is a pure function of `(scene, config, seg)`, so
+    // the rung encodings fan out across cores with the deterministic
+    // static interleave of `crate::par` — byte-identical to the serial
+    // loop for any worker count.
+    let bytes = crate::par::fan_out(segment_count, 0, |seg| {
         let start = seg * seg_len;
         let end = (start + seg_len).min(total_frames);
         let sources: Vec<ImageBuffer> = (start..end)
@@ -126,8 +129,8 @@ pub fn ingest_ladder(
             };
             row.push(seg.scaled_bytes(scale));
         }
-        bytes.push(row);
-    }
+        row
+    });
     LadderCatalog {
         quantizers: quantizers.to_vec(),
         bytes,

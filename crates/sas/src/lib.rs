@@ -43,14 +43,20 @@ pub mod checker;
 pub mod config;
 pub mod ingest;
 pub mod ladder;
+pub(crate) mod par;
+pub mod prerender;
 pub mod server;
 pub mod store;
 pub mod tiles;
 
 pub use checker::FovChecker;
 pub use config::SasConfig;
-pub use ingest::{ingest_video, FovStream, SasCatalog};
+pub use ingest::{
+    ingest_video, ingest_video_with, try_ingest_video, FovStream, IngestError, IngestOptions,
+    SasCatalog,
+};
 pub use ladder::{ingest_ladder, LadderCatalog};
+pub use prerender::{FovPrerenderStore, PrerenderKey, PrerenderedFov, StoreStats};
 pub use server::{Request, Response, SasError, SasServer};
 pub use store::LogStore;
 pub use tiles::{ingest_tiled, TileGrid, TiledCatalog};

@@ -1,0 +1,96 @@
+//! The cloud-side fan-out: deterministic static-interleave parallelism
+//! over independent work items.
+//!
+//! Every SAS ingestion flavour — the FOV pipeline ([`crate::ingest`]),
+//! the bitrate ladder ([`crate::ladder`]) and the tiled baseline
+//! ([`crate::tiles`]) — processes temporal segments that are pure
+//! functions of `(scene, config, segment index)`. They all fan out the
+//! same way, mirroring `evr-core`'s `FleetRunner` and `evr-projection`'s
+//! scanline pool (DESIGN.md §13):
+//!
+//! 1. worker `w` of `n` takes items `w, w+n, w+2n, …` — a static
+//!    interleave, no work-stealing, no queue ordering;
+//! 2. every result is collected with its item index, sorted, and
+//!    returned in ascending item order;
+//! 3. all order-sensitive downstream accumulation therefore happens on
+//!    the calling thread in one fixed order.
+//!
+//! The output is byte-identical to a serial loop for *any* worker
+//! count; only wall-clock changes.
+
+/// Resolves a requested worker count: `0` means one per available core;
+/// anything else is clamped to `1..=64`, and never more workers than
+/// items.
+pub(crate) fn resolve_workers(requested: usize, items: u64) -> usize {
+    let workers = match requested {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        n => n.clamp(1, 64),
+    };
+    workers.min(items.max(1) as usize)
+}
+
+/// Runs `work` over items `0..count` across `workers` scoped threads
+/// with a static interleave, returning results in item order.
+///
+/// A panicking worker is resumed on the calling thread (the panic is
+/// not swallowed); `work` itself is expected to be panic-free for
+/// untrusted inputs — that is the ingest pipeline's contract.
+pub(crate) fn fan_out<T, F>(count: u64, workers: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let workers = resolve_workers(workers, count);
+    if workers <= 1 {
+        return (0..count).map(work).collect();
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut item = worker;
+                    while item < count {
+                        out.push((item, work(item)));
+                        item += workers as u64;
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut all: Vec<(u64, T)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect();
+        all.sort_by_key(|(i, _)| *i);
+        all.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order_for_any_worker_count() {
+        let serial: Vec<u64> = (0..37).map(|i| i * 3 + 1).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            assert_eq!(fan_out(37, workers, |i| i * 3 + 1), serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn zero_items_yield_an_empty_vec() {
+        assert!(fan_out(0, 8, |i| i).is_empty());
+    }
+
+    #[test]
+    fn worker_resolution_clamps_and_caps() {
+        assert_eq!(resolve_workers(3, 100), 3);
+        assert_eq!(resolve_workers(1000, 100), 64);
+        assert_eq!(resolve_workers(8, 2), 2);
+        assert!(resolve_workers(0, 1000) >= 1);
+        assert_eq!(resolve_workers(0, 1), 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! The shared FOV pre-render store.
+//!
+//! The paper's SAS cloud pre-renders one FOV video per object cluster so
+//! that *many* concurrent viewers reuse the same artifact (§7.1) — the
+//! whole point of doing semantics work server-side is that its cost
+//! amortises across users. This store is that artifact cache: an
+//! `Arc`-shared, byte-budgeted map from [`PrerenderKey`] —
+//! `(content, segment, cluster, rung)` — to the encoded FOV segment plus
+//! its orientation metadata.
+//!
+//! Two producers feed it and one consumer drains it:
+//!
+//! * ingest inserts (or reuses) each cluster's pre-render, so repeated
+//!   ingests of the same content skip the render+encode entirely;
+//! * a serving [`crate::SasServer`] with an attached store publishes
+//!   segments on first request and hands out `Arc` clones after that.
+//!
+//! The design mirrors `evr-projection`'s `SamplingMapCache` (the LUT
+//! store DESIGN.md §11 describes): FIFO eviction by insertion order
+//! under a byte budget that always keeps the newest entry, entries
+//! shared out as `Arc`s so eviction never invalidates a reader, and a
+//! poison-recovering mutex so a panicking thread elsewhere cannot wedge
+//! the store. Determinism: the store only ever returns byte-identical
+//! copies of what a store-less path would have computed — pre-renders
+//! are pure functions of their key once the content fingerprint pins
+//! the scene, duration and ingest configuration — so serving from it is
+//! bit-exact (pinned by the `ingest_bench` parity check).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use evr_projection::FovFrameMeta;
+use evr_video::codec::EncodedSegment;
+
+use crate::config::SasConfig;
+
+/// Identifies one pre-rendered FOV segment of one piece of content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrerenderKey {
+    /// Content fingerprint from [`content_fingerprint`]: scene, duration
+    /// and ingest configuration.
+    pub content: u64,
+    /// Temporal segment index.
+    pub segment: u32,
+    /// Cluster index within the segment.
+    pub cluster: usize,
+    /// Quality rung — the FOV quantiser the segment was encoded at.
+    pub rung: u8,
+}
+
+/// A pre-rendered FOV segment: the encoded video and its per-frame
+/// orientation metadata, exactly as a catalog stores them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrerenderedFov {
+    /// Encoded FOV video segment.
+    pub data: EncodedSegment,
+    /// Per-frame orientation metadata.
+    pub meta: Vec<FovFrameMeta>,
+}
+
+impl PrerenderedFov {
+    /// Budget cost: encoded bytes plus the orientation records (32 bytes
+    /// each, matching the catalog's metadata-log accounting).
+    pub fn cost_bytes(&self) -> u64 {
+        self.data.bytes() + (self.meta.len() * 32) as u64
+    }
+}
+
+/// Hit/miss/eviction counters for one store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped to keep the byte budget.
+    pub evictions: u64,
+}
+
+impl StoreStats {
+    /// Fraction of lookups answered from the store.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StoreState {
+    entries: HashMap<PrerenderKey, Arc<PrerenderedFov>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<PrerenderKey>,
+    total_bytes: u64,
+    capacity_bytes: u64,
+    stats: StoreStats,
+}
+
+impl StoreState {
+    /// Inserts under the budget. If `key` is already resident (two
+    /// threads raced on the same segment), the resident entry wins so
+    /// every consumer shares one allocation.
+    fn insert(&mut self, key: PrerenderKey, fov: Arc<PrerenderedFov>) -> Arc<PrerenderedFov> {
+        if let Some(existing) = self.entries.get(&key) {
+            return Arc::clone(existing);
+        }
+        self.total_bytes += fov.cost_bytes();
+        self.entries.insert(key, Arc::clone(&fov));
+        self.order.push_back(key);
+        // Evict oldest-first, but always keep the newest entry even if it
+        // alone exceeds the budget — a usable store beats a strict one.
+        while self.total_bytes > self.capacity_bytes && self.order.len() > 1 {
+            if let Some(old) = self.order.pop_front() {
+                if let Some(dropped) = self.entries.remove(&old) {
+                    self.total_bytes -= dropped.cost_bytes();
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+        fov
+    }
+}
+
+/// An `Arc`-shared, byte-budgeted store of pre-rendered FOV segments.
+///
+/// Cloning is cheap and shares the underlying store; [`shared`] returns
+/// the process-wide instance every `EvrSystem` uses by default.
+///
+/// [`shared`]: FovPrerenderStore::shared
+#[derive(Debug, Clone)]
+pub struct FovPrerenderStore {
+    state: Arc<Mutex<StoreState>>,
+}
+
+impl Default for FovPrerenderStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FovPrerenderStore {
+    /// Default byte budget: 64 MiB of encoded FOV segments — hundreds of
+    /// test-scale segments, a sensible slice of a real node's memory.
+    pub const DEFAULT_CAPACITY_BYTES: u64 = 64 * 1024 * 1024;
+
+    /// A store with the default budget.
+    pub fn new() -> Self {
+        Self::with_budget(Self::DEFAULT_CAPACITY_BYTES)
+    }
+
+    /// A store keeping at most `capacity_bytes` of pre-renders (clamped
+    /// to at least one byte; the newest entry is always kept regardless).
+    pub fn with_budget(capacity_bytes: u64) -> Self {
+        FovPrerenderStore {
+            state: Arc::new(Mutex::new(StoreState {
+                entries: HashMap::new(),
+                order: VecDeque::new(),
+                total_bytes: 0,
+                capacity_bytes: capacity_bytes.max(1),
+                stats: StoreStats::default(),
+            })),
+        }
+    }
+
+    /// The process-wide store (one per process, like
+    /// `SamplingMapCache::shared`).
+    pub fn shared() -> &'static FovPrerenderStore {
+        static SHARED: OnceLock<FovPrerenderStore> = OnceLock::new();
+        SHARED.get_or_init(FovPrerenderStore::new)
+    }
+
+    /// The store never holds a lock across user code, so a poisoned
+    /// mutex only means another thread panicked mid-update of counters
+    /// or the map — both stay structurally valid; recover and continue.
+    fn lock(&self) -> MutexGuard<'_, StoreState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a pre-render, counting a hit or miss.
+    pub fn get(&self, key: &PrerenderKey) -> Option<Arc<PrerenderedFov>> {
+        let mut state = self.lock();
+        match state.entries.get(key) {
+            Some(fov) => {
+                let fov = Arc::clone(fov);
+                state.stats.hits += 1;
+                Some(fov)
+            }
+            None => {
+                state.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a pre-render, building and inserting it on a miss. The
+    /// build runs *outside* the lock, so concurrent ingest workers never
+    /// serialise on each other's render; if two race on one key, the
+    /// first insert wins and both share it.
+    pub fn get_or_insert_with(
+        &self,
+        key: PrerenderKey,
+        build: impl FnOnce() -> PrerenderedFov,
+    ) -> Arc<PrerenderedFov> {
+        if let Some(hit) = self.get(&key) {
+            return hit;
+        }
+        let built = Arc::new(build());
+        self.lock().insert(key, built)
+    }
+
+    /// Inserts an already-built pre-render, returning the resident copy
+    /// (the existing one if another thread got there first).
+    pub fn insert(&self, key: PrerenderKey, fov: PrerenderedFov) -> Arc<PrerenderedFov> {
+        self.lock().insert(key, Arc::new(fov))
+    }
+
+    /// Hit/miss/eviction counters so far.
+    pub fn stats(&self) -> StoreStats {
+        self.lock().stats
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock().total_bytes
+    }
+
+    /// Number of resident pre-renders.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the byte accounting (counters keep
+    /// accumulating). Outstanding `Arc`s stay valid.
+    pub fn clear(&self) {
+        let mut state = self.lock();
+        state.entries.clear();
+        state.order.clear();
+        state.total_bytes = 0;
+    }
+
+    /// Mirrors the store's cumulative counters and residency into
+    /// `observer` as `evr_sas_prerender_*` gauges. The store is the
+    /// source of truth (many ingests and servers share one store), so
+    /// mirroring is idempotent — call it whenever a fresh snapshot is
+    /// wanted.
+    pub fn mirror(&self, observer: &evr_obs::Observer) {
+        if !observer.is_enabled() {
+            return;
+        }
+        use evr_obs::names;
+        let (stats, bytes, entries) = {
+            let state = self.lock();
+            (state.stats, state.total_bytes, state.entries.len())
+        };
+        observer.gauge(names::SAS_PRERENDER_HITS).set(stats.hits as f64);
+        observer.gauge(names::SAS_PRERENDER_MISSES).set(stats.misses as f64);
+        observer.gauge(names::SAS_PRERENDER_EVICTIONS).set(stats.evictions as f64);
+        observer.gauge(names::SAS_PRERENDER_RESIDENT_BYTES).set(bytes as f64);
+        observer.gauge(names::SAS_PRERENDER_ENTRIES).set(entries as f64);
+    }
+}
+
+/// Fingerprints the inputs a pre-render is a pure function of: the scene
+/// (scenes are static per name), the frame count actually ingested and
+/// every knob of the ingest configuration (detector seed and noise,
+/// cluster and codec settings — `Debug` covers all fields, so a new knob
+/// can never silently alias two different pre-renders). FNV-1a, stable
+/// across runs and platforms.
+pub fn content_fingerprint(scene_name: &str, total_frames: u64, config: &SasConfig) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    eat(scene_name.as_bytes());
+    eat(&total_frames.to_le_bytes());
+    eat(format!("{config:?}").as_bytes());
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evr_math::{EulerAngles, Radians};
+
+    fn fov(frames: usize, fill: u64) -> PrerenderedFov {
+        use evr_projection::pixel::{ImageBuffer, Rgb};
+        use evr_video::codec::{CodecConfig, Encoder};
+        let mut enc = Encoder::new(CodecConfig::new(frames as u32, 20));
+        enc.force_intra();
+        let shade = (fill % 251) as u8;
+        let img =
+            ImageBuffer::from_fn(16, 8, |x, y| Rgb::new(shade, (x * 16) as u8, (y * 32) as u8));
+        let encoded: Vec<_> = (0..frames).map(|_| enc.encode_frame(&img)).collect();
+        let orientation = EulerAngles::new(Radians(0.0), Radians(0.0), Radians(0.0));
+        let spec = evr_projection::FovSpec::from_degrees(90.0, 90.0);
+        PrerenderedFov {
+            data: EncodedSegment { start_index: 0, frames: encoded },
+            meta: vec![FovFrameMeta::new(orientation, spec); frames],
+        }
+    }
+
+    fn key(segment: u32) -> PrerenderKey {
+        PrerenderKey { content: 7, segment, cluster: 0, rung: 15 }
+    }
+
+    #[test]
+    fn get_or_insert_builds_once_and_hits_after() {
+        let store = FovPrerenderStore::new();
+        let mut builds = 0;
+        let a = store.get_or_insert_with(key(0), || {
+            builds += 1;
+            fov(4, 1)
+        });
+        let b = store.get_or_insert_with(key(0), || {
+            builds += 1;
+            fov(4, 1)
+        });
+        assert_eq!(builds, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1); // only the first call's failed probe
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn eviction_keeps_the_budget_and_the_newest_entry() {
+        let one = fov(4, 1).cost_bytes();
+        let store = FovPrerenderStore::with_budget(one * 2);
+        for seg in 0..5 {
+            store.insert(key(seg), fov(4, seg as u64));
+        }
+        assert!(store.resident_bytes() <= one * 2, "{} > {}", store.resident_bytes(), one * 2);
+        assert!(store.get(&key(4)).is_some(), "newest entry must survive");
+        assert!(store.get(&key(0)).is_none(), "oldest entry must be evicted");
+        assert!(store.stats().evictions >= 3);
+    }
+
+    #[test]
+    fn an_oversized_entry_is_still_kept() {
+        let store = FovPrerenderStore::with_budget(1);
+        store.insert(key(0), fov(4, 9));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&key(0)).is_some());
+    }
+
+    #[test]
+    fn racing_inserts_share_the_resident_copy() {
+        let store = FovPrerenderStore::new();
+        let first = store.insert(key(1), fov(4, 2));
+        let second = store.insert(key(1), fov(4, 2));
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state_and_shared_is_one_instance() {
+        let store = FovPrerenderStore::new();
+        let clone = store.clone();
+        store.insert(key(2), fov(4, 3));
+        assert_eq!(clone.len(), 1);
+        assert!(Arc::ptr_eq(&store.state, &clone.state));
+        assert!(std::ptr::eq(FovPrerenderStore::shared(), FovPrerenderStore::shared()));
+    }
+
+    #[test]
+    fn clear_resets_bytes_but_keeps_counters() {
+        let store = FovPrerenderStore::new();
+        store.insert(key(3), fov(4, 4));
+        let _ = store.get(&key(3));
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.resident_bytes(), 0);
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_content_and_is_stable() {
+        let cfg = SasConfig::tiny_for_tests();
+        let a = content_fingerprint("rs", 60, &cfg);
+        assert_eq!(a, content_fingerprint("rs", 60, &cfg));
+        assert_ne!(a, content_fingerprint("nyc", 60, &cfg));
+        assert_ne!(a, content_fingerprint("rs", 61, &cfg));
+        let mut other = cfg;
+        other.fov_quantizer += 1;
+        assert_ne!(a, content_fingerprint("rs", 60, &other));
+    }
+}

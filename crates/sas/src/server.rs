@@ -6,6 +6,8 @@
 //! most likely interested in", and original-video requests made on an
 //! FOV miss, served as whole segments.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use evr_math::EulerAngles;
@@ -13,6 +15,7 @@ use evr_projection::FovFrameMeta;
 use evr_video::codec::EncodedSegment;
 
 use crate::ingest::SasCatalog;
+use crate::prerender::{FovPrerenderStore, PrerenderKey, PrerenderedFov};
 
 /// A client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +74,15 @@ pub enum SasError {
         /// The requested cluster.
         cluster: usize,
     },
+    /// The stream is listed in the catalog index but its log records are
+    /// missing or unreadable — cloud-side corruption. Clients fall back
+    /// to the original segment, exactly like an FOV miss.
+    CorruptStream {
+        /// The requested segment.
+        segment: u32,
+        /// The requested cluster.
+        cluster: usize,
+    },
     /// The server cannot be reached (outage, dropped request, or a
     /// request timed out on the client side). Produced by the transport
     /// layer rather than the catalog lookup.
@@ -83,6 +95,9 @@ impl std::fmt::Display for SasError {
             SasError::UnknownSegment { segment } => write!(f, "unknown segment {segment}"),
             SasError::UnknownCluster { segment, cluster } => {
                 write!(f, "unknown cluster {cluster} in segment {segment}")
+            }
+            SasError::CorruptStream { segment, cluster } => {
+                write!(f, "corrupt stream for cluster {cluster} in segment {segment}")
             }
             SasError::Unavailable => write!(f, "server unavailable"),
         }
@@ -105,6 +120,7 @@ struct ServerMetrics {
 #[derive(Debug, Clone)]
 pub struct SasServer {
     catalog: SasCatalog,
+    store: Option<FovPrerenderStore>,
     metrics: ServerMetrics,
 }
 
@@ -119,7 +135,71 @@ impl PartialEq for SasServer {
 impl SasServer {
     /// Wraps an ingested catalog.
     pub fn new(catalog: SasCatalog) -> Self {
-        SasServer { catalog, metrics: ServerMetrics::default() }
+        SasServer { catalog, store: None, metrics: ServerMetrics::default() }
+    }
+
+    /// Wraps an ingested catalog with a shared pre-render store attached;
+    /// [`SasServer::fetch_fov`] serves out of the store, re-inserting
+    /// from the catalog on a miss.
+    pub fn with_store(catalog: SasCatalog, store: FovPrerenderStore) -> Self {
+        SasServer { catalog, store: Some(store), metrics: ServerMetrics::default() }
+    }
+
+    /// Attaches (or replaces) the shared pre-render store.
+    pub fn attach_store(&mut self, store: FovPrerenderStore) {
+        self.store = Some(store);
+    }
+
+    /// Whether a pre-render store is attached — clients use this to
+    /// choose between [`SasServer::fetch_fov`] and the borrow-based
+    /// [`SasServer::try_handle`].
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Serves the FOV video of `(segment, cluster)` out of the shared
+    /// pre-render store as an owned, refcounted payload, together with
+    /// its wire size at target (paper) scale.
+    ///
+    /// On a store miss (evicted, or never pre-rendered because ingest ran
+    /// store-less) the stream is read back from the catalog and
+    /// re-inserted, so a popular segment is resident again after its
+    /// first request. The payload bytes are identical to what
+    /// [`SasServer::try_handle`] would borrow from the catalog.
+    pub fn fetch_fov(
+        &self,
+        segment: u32,
+        cluster: usize,
+    ) -> Result<(Arc<PrerenderedFov>, u64), SasError> {
+        self.metrics.fov_requests.inc();
+        if segment >= self.catalog.segment_count() {
+            self.metrics.not_found.inc();
+            return Err(SasError::UnknownSegment { segment });
+        }
+        let Some(stream) = self.catalog.fov_stream(segment, cluster) else {
+            self.metrics.not_found.inc();
+            return Err(SasError::UnknownCluster { segment, cluster });
+        };
+        let store = self.store.as_ref().ok_or(SasError::Unavailable)?;
+        let key = PrerenderKey {
+            content: self.catalog.content_id(),
+            segment,
+            cluster,
+            rung: self.catalog.config().fov_quantizer,
+        };
+        if let Some(hit) = store.get(&key) {
+            let wire_bytes = hit.data.scaled_bytes(self.catalog.config().fov_byte_scale());
+            self.metrics.fov_bytes.add(wire_bytes);
+            return Ok((hit, wire_bytes));
+        }
+        let Some((data, meta)) = self.catalog.read_fov(stream) else {
+            self.metrics.not_found.inc();
+            return Err(SasError::CorruptStream { segment, cluster });
+        };
+        let payload = store.insert(key, PrerenderedFov { data: data.clone(), meta: meta.to_vec() });
+        let wire_bytes = self.catalog.fov_target_bytes(stream);
+        self.metrics.fov_bytes.add(wire_bytes);
+        Ok((payload, wire_bytes))
     }
 
     /// Routes request/response counters into `observer` (`evr_sas_*`
@@ -135,6 +215,9 @@ impl SasServer {
             original_bytes: observer.counter(names::SAS_ORIGINAL_BYTES),
         };
         observer.gauge(names::SAS_STORE_SEGMENTS).set(self.catalog.segment_count() as f64);
+        if let Some(store) = &self.store {
+            store.mirror(observer);
+        }
     }
 
     /// The underlying catalog.
@@ -151,31 +234,27 @@ impl SasServer {
                     self.metrics.not_found.inc();
                     return Err(SasError::UnknownSegment { segment });
                 }
-                match self.catalog.fov_stream(segment, cluster) {
-                    Some(stream) => {
-                        let (data, meta) = self.catalog.read_fov(stream);
-                        let wire_bytes = self.catalog.fov_target_bytes(stream);
-                        self.metrics.fov_bytes.add(wire_bytes);
-                        Ok(Response::FovVideo { segment: data, meta, wire_bytes })
-                    }
-                    None => {
-                        self.metrics.not_found.inc();
-                        Err(SasError::UnknownCluster { segment, cluster })
-                    }
-                }
+                let Some(stream) = self.catalog.fov_stream(segment, cluster) else {
+                    self.metrics.not_found.inc();
+                    return Err(SasError::UnknownCluster { segment, cluster });
+                };
+                let Some((data, meta)) = self.catalog.read_fov(stream) else {
+                    self.metrics.not_found.inc();
+                    return Err(SasError::CorruptStream { segment, cluster });
+                };
+                let wire_bytes = self.catalog.fov_target_bytes(stream);
+                self.metrics.fov_bytes.add(wire_bytes);
+                Ok(Response::FovVideo { segment: data, meta, wire_bytes })
             }
             Request::Original { segment } => {
                 self.metrics.original_requests.inc();
-                if segment >= self.catalog.segment_count() {
+                let Some(data) = self.catalog.try_original_segment(segment) else {
                     self.metrics.not_found.inc();
                     return Err(SasError::UnknownSegment { segment });
-                }
-                let wire_bytes = self.catalog.original_target_bytes(segment);
+                };
+                let wire_bytes = data.scaled_bytes(self.catalog.config().src_byte_scale());
                 self.metrics.original_bytes.add(wire_bytes);
-                Ok(Response::Original {
-                    segment: self.catalog.original_segment(segment),
-                    wire_bytes,
-                })
+                Ok(Response::Original { segment: data, wire_bytes })
             }
         }
     }
@@ -198,7 +277,7 @@ impl SasServer {
         let mut best: Option<(usize, f64)> = None;
         for c in self.catalog.clusters_in_segment(segment) {
             let Some(stream) = self.catalog.fov_stream(segment, c) else { continue };
-            let (_, meta) = self.catalog.read_fov(stream);
+            let Some((_, meta)) = self.catalog.read_fov(stream) else { continue };
             let Some(first) = meta.first() else { continue };
             let dot = first.orientation.view_direction().dot(view);
             if !dot.is_finite() {
@@ -304,7 +383,7 @@ mod tests {
         let clusters = s.catalog().clusters_in_segment(0);
         for &c in &clusters {
             let stream = s.catalog().fov_stream(0, c).unwrap();
-            let (_, meta) = s.catalog().read_fov(stream);
+            let (_, meta) = s.catalog().read_fov(stream).unwrap();
             let pose = meta[0].orientation;
             assert_eq!(s.best_cluster(0, pose), Some(c), "looking straight at cluster {c}");
         }
@@ -330,6 +409,80 @@ mod tests {
         assert_eq!(obs.counter(names::SAS_FOV_BYTES).get(), fov_wire);
         assert!(obs.counter(names::SAS_ORIGINAL_BYTES).get() > 0);
         assert_eq!(obs.gauge(names::SAS_STORE_SEGMENTS).get(), s.catalog().segment_count() as f64);
+    }
+
+    #[test]
+    fn fetch_fov_without_a_store_is_unavailable() {
+        let s = server(VideoId::Rhino);
+        assert!(!s.has_store());
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        assert_eq!(s.fetch_fov(0, cluster), Err(SasError::Unavailable));
+    }
+
+    #[test]
+    fn fetch_fov_misses_cold_then_hits_warm_and_matches_try_handle() {
+        let catalog = ingest_video(&scene_for(VideoId::Rhino), &SasConfig::tiny_for_tests(), 1.0);
+        let store = crate::prerender::FovPrerenderStore::new();
+        let s = SasServer::with_store(catalog, store.clone());
+        assert!(s.has_store());
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+
+        // Cold: the store was not populated at ingest, so the first
+        // request reads the catalog and re-inserts.
+        let (cold, cold_wire) = s.fetch_fov(0, cluster).expect("cold fetch");
+        assert_eq!(store.stats().misses, 1);
+        assert_eq!(store.len(), 1);
+
+        // Warm: second request is a pure store hit, same payload.
+        let (warm, warm_wire) = s.fetch_fov(0, cluster).expect("warm fetch");
+        assert_eq!(store.stats().hits, 1);
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(cold_wire, warm_wire);
+
+        // Store-backed bytes are identical to the borrow-based path.
+        match s.try_handle(Request::FovVideo { segment: 0, cluster }).expect("handle") {
+            Response::FovVideo { segment, meta, wire_bytes } => {
+                assert_eq!(segment, &cold.data);
+                assert_eq!(meta, cold.meta.as_slice());
+                assert_eq!(wire_bytes, cold_wire);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_fov_reports_unknown_streams_as_typed_errors() {
+        let catalog = ingest_video(&scene_for(VideoId::Rs), &SasConfig::tiny_for_tests(), 1.0);
+        let s = SasServer::with_store(catalog, crate::prerender::FovPrerenderStore::new());
+        assert_eq!(s.fetch_fov(0, 99), Err(SasError::UnknownCluster { segment: 0, cluster: 99 }));
+        assert_eq!(s.fetch_fov(999, 0), Err(SasError::UnknownSegment { segment: 999 }));
+        assert_eq!(
+            SasError::CorruptStream { segment: 3, cluster: 1 }.to_string(),
+            "corrupt stream for cluster 1 in segment 3"
+        );
+    }
+
+    #[test]
+    fn store_populated_at_ingest_serves_without_re_reading() {
+        use crate::ingest::{ingest_video_with, IngestOptions};
+        let store = crate::prerender::FovPrerenderStore::new();
+        let options =
+            IngestOptions { workers: 2, store: Some(store.clone()), ..IngestOptions::default() };
+        let catalog = ingest_video_with(
+            &scene_for(VideoId::Rhino),
+            &SasConfig::tiny_for_tests(),
+            1.0,
+            &options,
+        )
+        .expect("ingest");
+        let misses_after_ingest = store.stats().misses;
+        let s = SasServer::with_store(catalog, store.clone());
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        let (payload, wire) = s.fetch_fov(0, cluster).expect("fetch");
+        assert_eq!(store.stats().misses, misses_after_ingest, "served from ingest pre-render");
+        assert!(store.stats().hits >= 1);
+        assert!(!payload.data.frames.is_empty());
+        assert!(wire > 0);
     }
 
     #[test]

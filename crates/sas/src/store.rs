@@ -24,6 +24,13 @@ impl RecordId {
     pub fn index(self) -> u64 {
         self.0
     }
+
+    /// An id that points past any record in any log — what a corrupted
+    /// index entry looks like. Reads through it return `None`; the
+    /// serving path's corruption tests start here.
+    pub fn dangling() -> RecordId {
+        RecordId(u64::MAX)
+    }
 }
 
 /// An append-only record log with stable ids.

@@ -184,8 +184,10 @@ pub fn ingest_tiled(
     let segment_count = total_frames.div_ceil(seg_len);
     let scale = config.src_byte_scale();
 
-    let mut segments = Vec::with_capacity(segment_count as usize);
-    for seg in 0..segment_count {
+    // Each segment's tile matrix is a pure function of
+    // `(scene, config, seg)`; fan out with the deterministic static
+    // interleave of `crate::par` — byte-identical to the serial loop.
+    let segments = crate::par::fan_out(segment_count, 0, |seg| {
         let start = seg * seg_len;
         let end = (start + seg_len).min(total_frames);
         let sources: Vec<ImageBuffer> = (start..end)
@@ -225,8 +227,8 @@ pub fn ingest_tiled(
                 tiles.push(TileBytes { high, low });
             }
         }
-        segments.push(tiles);
-    }
+        tiles
+    });
     TiledCatalog { grid, segments }
 }
 

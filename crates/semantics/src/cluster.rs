@@ -85,12 +85,18 @@ impl ClusterTrajectory {
     }
 
     /// Centroid direction at time `t` (clamped to segment ends).
+    /// Trajectories from [`ClusterTrajectory::build_all`] always carry at
+    /// least one sample; an empty one degrades to forward rather than
+    /// panicking.
     pub fn direction_at(&self, t: f64) -> Vec3 {
+        let Some((last_t, last_dir)) = self.samples.last().copied() else {
+            return Vec3::FORWARD;
+        };
         if t <= self.samples[0].0 {
             return self.samples[0].1;
         }
-        if t >= self.samples.last().unwrap().0 {
-            return self.samples.last().unwrap().1;
+        if t >= last_t {
+            return last_dir;
         }
         for pair in self.samples.windows(2) {
             let (t0, a) = pair[0];
@@ -100,15 +106,18 @@ impl ClusterTrajectory {
                 return a.slerp(b, f);
             }
         }
-        self.samples.last().unwrap().1
+        last_dir
     }
 
     /// The head orientation (yaw/pitch, zero roll) a FOV frame at time `t`
-    /// should be rendered for.
+    /// should be rendered for. Centroids are unit vectors by
+    /// construction; a degenerate one degrades to the forward
+    /// orientation rather than panicking.
     pub fn orientation_at(&self, t: f64) -> EulerAngles {
-        let s =
-            SphericalCoord::from_vector(self.direction_at(t)).expect("centroids are unit vectors");
-        EulerAngles::new(s.lon, s.lat, Radians(0.0))
+        match SphericalCoord::from_vector(self.direction_at(t)) {
+            Ok(s) => EulerAngles::new(s.lon, s.lat, Radians(0.0)),
+            Err(_) => EulerAngles::new(Radians(0.0), Radians(0.0), Radians(0.0)),
+        }
     }
 }
 
@@ -135,7 +144,7 @@ mod tests {
     fn builds_one_trajectory_per_nonempty_cluster() {
         let (tracks, times) = segment_pipeline(VideoId::Rhino);
         let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
-        let clustering = select_k(&points, 0.6, 5, 1);
+        let clustering = select_k(&points, 0.6, 5, 1).unwrap();
         let trajs = ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.3);
         assert!(!trajs.is_empty());
         let total_members: usize = trajs.iter().map(|t| t.members.len()).sum();
@@ -146,7 +155,7 @@ mod tests {
     fn centroid_contains_members_within_spread() {
         let (tracks, times) = segment_pipeline(VideoId::Elephant);
         let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
-        let clustering = select_k(&points, 0.5, 4, 2);
+        let clustering = select_k(&points, 0.5, 4, 2).unwrap();
         for traj in ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.0) {
             for &t in &times {
                 let dir = traj.direction_at(t);
@@ -174,7 +183,7 @@ mod tests {
         }
         let tracks = tracker.into_tracks();
         let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
-        let clustering = select_k(&points, 0.6, 3, 3);
+        let clustering = select_k(&points, 0.6, 3, 3).unwrap();
 
         let jerk = |trajs: &[ClusterTrajectory]| -> f64 {
             trajs
@@ -196,7 +205,7 @@ mod tests {
     fn orientation_has_zero_roll() {
         let (tracks, times) = segment_pipeline(VideoId::Paris);
         let points: Vec<Vec3> = tracks.iter().map(|t| t.last_dir()).collect();
-        let clustering = select_k(&points, 0.6, 4, 5);
+        let clustering = select_k(&points, 0.6, 4, 5).unwrap();
         let trajs = ClusterTrajectory::build_all(&clustering, &tracks, &times, 0.2);
         let o = trajs[0].orientation_at(0.5);
         assert_eq!(o.roll.0, 0.0);

@@ -17,6 +17,8 @@ use serde::{Deserialize, Serialize};
 use evr_math::{Radians, SphericalCoord, Vec3};
 use evr_video::scene::{ObjectClass, ObjectId, Scene};
 
+use crate::error::SemanticsError;
+
 /// One detected object instance in a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Detection {
@@ -101,11 +103,39 @@ impl SyntheticDetector {
     }
 }
 
+/// Checks every detection leaving the detector for non-finite fields —
+/// the `evr-semantics` boundary guard the SAS ingest runs before
+/// clustering, so a corrupt detector output degrades one segment instead
+/// of panicking the pipeline.
+///
+/// # Errors
+///
+/// Returns [`SemanticsError::NonFiniteDetection`] with the index of the
+/// first detection whose direction, angular radius or confidence is NaN
+/// or infinite.
+pub fn validate_detections(detections: &[Detection]) -> Result<(), SemanticsError> {
+    for (index, d) in detections.iter().enumerate() {
+        let finite = d.dir.x.is_finite()
+            && d.dir.y.is_finite()
+            && d.dir.z.is_finite()
+            && d.angular_radius.0.is_finite()
+            && d.confidence.is_finite();
+        if !finite {
+            return Err(SemanticsError::NonFiniteDetection { index });
+        }
+    }
+    Ok(())
+}
+
 fn perturb(dir: Vec3, sigma: f64, rng: &mut SmallRng) -> Vec3 {
     if sigma == 0.0 {
         return dir;
     }
-    let s = SphericalCoord::from_vector(dir).expect("object directions are unit");
+    // Scene object positions are unit vectors by construction; if one
+    // ever is not, serving an unperturbed direction beats panicking.
+    let Ok(s) = SphericalCoord::from_vector(dir) else {
+        return dir;
+    };
     let gauss = |rng: &mut SmallRng| {
         let u1: f64 = rng.gen_range(1e-9..1.0);
         let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
@@ -177,6 +207,46 @@ mod tests {
         let expect = 40 * scene.objects().len();
         let rate = total as f64 / expect as f64;
         assert!((rate - 0.5).abs() < 0.1, "kept {rate}");
+    }
+
+    #[test]
+    fn validate_accepts_clean_detections() {
+        let scene = scene_for(VideoId::Paris);
+        let dets = SyntheticDetector::default_for_eval(2).detect(&scene, 1.0);
+        assert_eq!(validate_detections(&dets), Ok(()));
+    }
+
+    #[test]
+    fn validate_flags_nan_direction_with_its_index() {
+        let scene = scene_for(VideoId::Rs);
+        let mut dets = SyntheticDetector::perfect().detect(&scene, 0.5);
+        dets[1].dir = Vec3::new(f64::NAN, 0.0, 0.0);
+        assert_eq!(
+            validate_detections(&dets),
+            Err(SemanticsError::NonFiniteDetection { index: 1 })
+        );
+        dets[1].dir = Vec3::FORWARD;
+        dets[2].confidence = f64::INFINITY;
+        assert_eq!(
+            validate_detections(&dets),
+            Err(SemanticsError::NonFiniteDetection { index: 2 })
+        );
+    }
+
+    #[test]
+    fn nan_noise_yields_detections_that_fail_validation() {
+        // The fault-injection hook the SAS degenerate-ingest tests use: a
+        // NaN localisation sigma drives NaN through the perturbation.
+        let scene = scene_for(VideoId::Rs);
+        let det = SyntheticDetector {
+            localization_noise: f64::NAN,
+            miss_rate: 0.0,
+            spurious_rate: 0.0,
+            seed: 1,
+        };
+        let dets = det.detect(&scene, 0.0);
+        assert!(!dets.is_empty());
+        assert!(validate_detections(&dets).is_err());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Typed errors for the semantics stages.
+//!
+//! Detector outputs are untrusted input to the SAS cloud pipeline: a
+//! degenerate segment (no detections) or a corrupt one (NaN directions)
+//! must never abort ingest for every other segment and user. Each stage
+//! therefore reports rejection through [`SemanticsError`] and the SAS
+//! ingest maps any of these to "no FOV track for this segment", serving
+//! the original video instead (DESIGN.md §13).
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a semantics stage rejected its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SemanticsError {
+    /// Clustering was asked to run on zero points.
+    NoPoints,
+    /// Clustering was asked for zero clusters.
+    ZeroK,
+    /// A clustering input point has a NaN or infinite coordinate.
+    NonFinitePoint {
+        /// Index of the offending point in the input slice.
+        index: usize,
+    },
+    /// A detection has a non-finite direction, extent or confidence.
+    NonFiniteDetection {
+        /// Index of the offending detection in the input slice.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SemanticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsError::NoPoints => write!(f, "clustering requires at least one point"),
+            SemanticsError::ZeroK => write!(f, "clustering requires at least one cluster"),
+            SemanticsError::NonFinitePoint { index } => {
+                write!(f, "input point {index} has a non-finite coordinate")
+            }
+            SemanticsError::NonFiniteDetection { index } => {
+                write!(f, "detection {index} has a non-finite field")
+            }
+        }
+    }
+}
+
+impl Error for SemanticsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_index() {
+        let text = SemanticsError::NonFinitePoint { index: 7 }.to_string();
+        assert!(text.contains('7'), "{text}");
+        let text = SemanticsError::NonFiniteDetection { index: 3 }.to_string();
+        assert!(text.contains('3'), "{text}");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn Error) {}
+        takes_error(&SemanticsError::NoPoints);
+    }
+}

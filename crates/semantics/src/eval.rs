@@ -57,7 +57,7 @@ pub fn evaluate_detector(
                 .filter(|(k, _)| !matched[*k])
                 .map(|(k, (_, p))| (k, d.dir.dot(*p).clamp(-1.0, 1.0).acos()))
                 .filter(|(_, ang)| *ang <= gate.0)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                .min_by(|a, b| f64::total_cmp(&a.1, &b.1));
             match best {
                 Some((k, ang)) => {
                     matched[k] = true;
@@ -114,7 +114,7 @@ pub fn evaluate_tracks(scene: &Scene, tracks: &[ObjectTrack]) -> TrackingQuality
                 scene
                     .object_positions(*t)
                     .into_iter()
-                    .min_by(|a, b| dir.dot(b.1).partial_cmp(&dir.dot(a.1)).expect("finite"))
+                    .min_by(|a, b| f64::total_cmp(&dir.dot(b.1), &dir.dot(a.1)))
                     .map(|(id, _)| id)
                     .expect("non-empty scene")
             })

@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 
 use evr_math::Vec3;
 
+use crate::error::SemanticsError;
+
 /// Result of clustering `n` points into `k` groups.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Clustering {
@@ -56,13 +58,33 @@ impl Clustering {
     }
 }
 
+/// Rejects empty input, `k == 0` and non-finite coordinates — the three
+/// degenerate shapes a detector-fed pipeline actually produces (a
+/// detection-free segment, a zero cluster budget, NaN localisation).
+fn validate_points(points: &[Vec3], k: usize) -> Result<(), SemanticsError> {
+    if points.is_empty() {
+        return Err(SemanticsError::NoPoints);
+    }
+    if k == 0 {
+        return Err(SemanticsError::ZeroK);
+    }
+    for (index, p) in points.iter().enumerate() {
+        if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()) {
+            return Err(SemanticsError::NonFinitePoint { index });
+        }
+    }
+    Ok(())
+}
+
 /// Spherical k-means with k-means++-style seeding.
 ///
 /// Deterministic for a given `seed`. `k` is clamped to `points.len()`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `points` is empty or `k == 0`.
+/// Returns [`SemanticsError`] if `points` is empty, `k == 0` or any
+/// point has a non-finite coordinate. Detector-derived input is
+/// untrusted, so none of these abort the process.
 ///
 /// # Example
 ///
@@ -70,21 +92,22 @@ impl Clustering {
 /// use evr_semantics::kmeans::kmeans_sphere;
 /// use evr_math::Vec3;
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let pts = vec![
 ///     Vec3::new(0.0, 0.0, 1.0), Vec3::new(0.05, 0.0, 1.0).normalized()?,
 ///     Vec3::new(1.0, 0.0, 0.0), Vec3::new(1.0, 0.05, 0.0).normalized()?,
 /// ];
-/// let c = kmeans_sphere(&pts, 2, 42);
+/// let c = kmeans_sphere(&pts, 2, 42)?;
 /// assert_eq!(c.k(), 2);
 /// // The two forward points share a cluster; the two rightward ones share the other.
 /// assert_eq!(c.assignment[0], c.assignment[1]);
 /// assert_eq!(c.assignment[2], c.assignment[3]);
 /// assert_ne!(c.assignment[0], c.assignment[2]);
-/// # Ok::<(), evr_math::MathError>(())
+/// # Ok(())
+/// # }
 /// ```
-pub fn kmeans_sphere(points: &[Vec3], k: usize, seed: u64) -> Clustering {
-    assert!(!points.is_empty(), "k-means requires at least one point");
-    assert!(k > 0, "k must be non-zero");
+pub fn kmeans_sphere(points: &[Vec3], k: usize, seed: u64) -> Result<Clustering, SemanticsError> {
+    validate_points(points, k)?;
     let k = k.min(points.len());
     let mut rng = SmallRng::seed_from_u64(seed);
 
@@ -125,12 +148,18 @@ pub fn kmeans_sphere(points: &[Vec3], k: usize, seed: u64) -> Clustering {
     for _ in 0..50 {
         let mut changed = false;
         for (i, p) in points.iter().enumerate() {
-            let best = centroids
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| p.dot(**a).partial_cmp(&p.dot(**b)).expect("finite dot"))
-                .map(|(j, _)| j)
-                .expect("k >= 1");
+            // `total_cmp` rather than `partial_cmp(..).expect(..)`: the
+            // inputs are validated finite, but a total order keeps even a
+            // future NaN from panicking mid-serve. Identical ordering for
+            // finite dots.
+            let mut best = 0usize;
+            for (j, c) in centroids.iter().enumerate() {
+                // `is_ge` so ties keep the highest index, matching the
+                // previous `max_by` tie-break exactly.
+                if p.dot(*c).total_cmp(&p.dot(centroids[best])).is_ge() {
+                    best = j;
+                }
+            }
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;
@@ -150,30 +179,70 @@ pub fn kmeans_sphere(points: &[Vec3], k: usize, seed: u64) -> Clustering {
                 }
             }
         }
+        // A cluster left empty by reassignment would keep a stale
+        // centroid, skewing distortion-based k selection. Deterministic
+        // repair: reseed each empty cluster from the point currently
+        // farthest from its own centroid (lowest index wins ties, points
+        // alone in their cluster are ineligible) and iterate again.
+        for j in 0..centroids.len() {
+            if counts[j] > 0 {
+                continue;
+            }
+            let mut far_i = usize::MAX;
+            let mut far_d = f64::NEG_INFINITY;
+            for (i, p) in points.iter().enumerate() {
+                let a = assignment[i];
+                if counts[a] <= 1 {
+                    continue;
+                }
+                let d = p.dot(centroids[a]).clamp(-1.0, 1.0).acos();
+                if d > far_d {
+                    far_d = d;
+                    far_i = i;
+                }
+            }
+            if far_i != usize::MAX {
+                counts[assignment[far_i]] -= 1;
+                assignment[far_i] = j;
+                counts[j] = 1;
+                centroids[j] = points[far_i];
+                changed = true;
+            }
+        }
         if !changed {
             break;
         }
     }
-    Clustering { centroids, assignment }
+    Ok(Clustering { centroids, assignment })
 }
 
 /// Picks the number of clusters: the smallest `k` whose clustering keeps
 /// every point within `max_spread` radians of its centroid (capped at
 /// `max_k`). Matches SAS's goal that one FOV video per cluster can contain
 /// the whole cluster inside the streamed FOV.
-pub fn select_k(points: &[Vec3], max_spread: f64, max_k: usize, seed: u64) -> Clustering {
-    assert!(!points.is_empty(), "k selection requires at least one point");
+///
+/// # Errors
+///
+/// Returns [`SemanticsError`] if `points` is empty or contains a
+/// non-finite coordinate — see [`kmeans_sphere`].
+pub fn select_k(
+    points: &[Vec3],
+    max_spread: f64,
+    max_k: usize,
+    seed: u64,
+) -> Result<Clustering, SemanticsError> {
+    validate_points(points, 1)?;
     let cap = max_k.clamp(1, points.len());
-    let mut best = kmeans_sphere(points, 1, seed);
+    let mut best = kmeans_sphere(points, 1, seed)?;
     for k in 1..=cap {
-        let c = kmeans_sphere(points, k, seed);
+        let c = kmeans_sphere(points, k, seed)?;
         let done = c.max_distortion(points) <= max_spread;
         best = c;
         if done {
             break;
         }
     }
-    best
+    Ok(best)
 }
 
 #[cfg(test)]
@@ -202,7 +271,7 @@ mod tests {
     #[test]
     fn separates_well_separated_groups() {
         let pts = three_groups();
-        let c = kmeans_sphere(&pts, 3, 1);
+        let c = kmeans_sphere(&pts, 3, 1).unwrap();
         assert_eq!(c.assignment[0], c.assignment[1]);
         assert_eq!(c.assignment[0], c.assignment[2]);
         assert_eq!(c.assignment[3], c.assignment[4]);
@@ -213,7 +282,7 @@ mod tests {
 
     #[test]
     fn centroids_are_unit() {
-        let c = kmeans_sphere(&three_groups(), 3, 2);
+        let c = kmeans_sphere(&three_groups(), 3, 2).unwrap();
         for cen in &c.centroids {
             assert!((cen.norm() - 1.0).abs() < 1e-9);
         }
@@ -222,15 +291,15 @@ mod tests {
     #[test]
     fn distortion_decreases_with_k() {
         let pts = three_groups();
-        let d1 = kmeans_sphere(&pts, 1, 5).mean_distortion(&pts);
-        let d3 = kmeans_sphere(&pts, 3, 5).mean_distortion(&pts);
+        let d1 = kmeans_sphere(&pts, 1, 5).unwrap().mean_distortion(&pts);
+        let d3 = kmeans_sphere(&pts, 3, 5).unwrap().mean_distortion(&pts);
         assert!(d3 < d1);
     }
 
     #[test]
     fn select_k_finds_three_groups() {
         let pts = three_groups();
-        let c = select_k(&pts, 0.2, 6, 7);
+        let c = select_k(&pts, 0.2, 6, 7).unwrap();
         assert_eq!(c.k(), 3);
         assert!(c.max_distortion(&pts) <= 0.2);
     }
@@ -239,30 +308,90 @@ mod tests {
     fn select_k_respects_cap() {
         // Spread points demand many clusters, but cap at 2.
         let pts = vec![at(0.0, 0.0), at(90.0, 0.0), at(180.0, 0.0), at(-90.0, 0.0)];
-        let c = select_k(&pts, 0.1, 2, 3);
+        let c = select_k(&pts, 0.1, 2, 3).unwrap();
         assert_eq!(c.k(), 2);
     }
 
     #[test]
     fn k_clamped_to_point_count() {
         let pts = vec![at(0.0, 0.0), at(10.0, 0.0)];
-        let c = kmeans_sphere(&pts, 10, 0);
+        let c = kmeans_sphere(&pts, 10, 0).unwrap();
         assert!(c.k() <= 2);
     }
 
     #[test]
     fn members_partition_points() {
         let pts = three_groups();
-        let c = kmeans_sphere(&pts, 3, 3);
+        let c = kmeans_sphere(&pts, 3, 3).unwrap();
         let mut all: Vec<usize> = (0..c.k()).flat_map(|j| c.members(j)).collect();
         all.sort_unstable();
         assert_eq!(all, (0..pts.len()).collect::<Vec<_>>());
     }
 
     #[test]
-    #[should_panic(expected = "at least one point")]
-    fn empty_points_panic() {
-        let _ = kmeans_sphere(&[], 2, 0);
+    fn empty_points_is_an_error_not_a_panic() {
+        assert_eq!(kmeans_sphere(&[], 2, 0), Err(SemanticsError::NoPoints));
+        assert_eq!(select_k(&[], 0.2, 4, 0), Err(SemanticsError::NoPoints));
+    }
+
+    #[test]
+    fn zero_k_is_an_error() {
+        assert_eq!(kmeans_sphere(&three_groups(), 0, 0), Err(SemanticsError::ZeroK));
+    }
+
+    #[test]
+    fn non_finite_point_is_rejected_with_its_index() {
+        let mut pts = three_groups();
+        pts[4] = Vec3::new(f64::NAN, 0.0, 1.0);
+        assert_eq!(kmeans_sphere(&pts, 2, 0), Err(SemanticsError::NonFinitePoint { index: 4 }));
+        assert_eq!(select_k(&pts, 0.2, 4, 0), Err(SemanticsError::NonFinitePoint { index: 4 }));
+        pts[4] = Vec3::new(0.0, f64::INFINITY, 0.0);
+        assert_eq!(kmeans_sphere(&pts, 2, 0), Err(SemanticsError::NonFinitePoint { index: 4 }));
+    }
+
+    #[test]
+    fn empty_cluster_is_reseeded_from_the_farthest_point() {
+        // Three coincident points plus one distant, k = 3: k-means++ must
+        // duplicate a centroid, and the tie-break then drains one cluster
+        // entirely. Before the repair this returned an empty cluster with
+        // a stale centroid; now every cluster keeps at least one member.
+        let pts = vec![at(0.0, 0.0), at(0.0, 0.0), at(0.0, 0.0), at(150.0, 0.0)];
+        for seed in 0..20 {
+            let c = kmeans_sphere(&pts, 3, seed).unwrap();
+            let mut sizes = vec![0usize; c.k()];
+            for &a in &c.assignment {
+                sizes[a] += 1;
+            }
+            assert!(sizes.iter().all(|&s| s > 0), "seed {seed}: empty cluster in {sizes:?}");
+            // Deterministic: the repair path replays identically.
+            assert_eq!(c, kmeans_sphere(&pts, 3, seed).unwrap());
+        }
+    }
+
+    #[test]
+    fn stale_centroid_no_longer_skews_k_selection() {
+        // Two tight groups plus one duplicated point. Distortion-based k
+        // selection must still settle on a small k with every point near
+        // a *live* centroid (a stale centroid would satisfy nothing).
+        let mut pts = three_groups();
+        pts.push(pts[0]);
+        pts.push(pts[0]);
+        let c = select_k(&pts, 0.2, 6, 11).unwrap();
+        let mut sizes = vec![0usize; c.k()];
+        for &a in &c.assignment {
+            sizes[a] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "empty cluster in {sizes:?}");
+        assert!(c.max_distortion(&pts) <= 0.2);
+    }
+
+    #[test]
+    fn reseeding_does_not_disturb_clean_runs() {
+        // Well-separated groups never leave a cluster empty, so the
+        // repair path must not fire: distortion stays tight.
+        let pts = three_groups();
+        let c = kmeans_sphere(&pts, 3, 1).unwrap();
+        assert!(c.max_distortion(&pts) < 0.1);
     }
 
     proptest! {
@@ -270,7 +399,7 @@ mod tests {
         #[test]
         fn prop_assignment_is_locally_optimal(seed in 0u64..100) {
             let pts = three_groups();
-            let c = kmeans_sphere(&pts, 3, seed);
+            let c = kmeans_sphere(&pts, 3, seed).unwrap();
             // Every point is assigned to its nearest centroid.
             for (p, &a) in pts.iter().zip(&c.assignment) {
                 for (j, cen) in c.centroids.iter().enumerate() {

@@ -35,11 +35,13 @@
 
 pub mod cluster;
 pub mod detector;
+pub mod error;
 pub mod eval;
 pub mod kmeans;
 pub mod tracker;
 
 pub use cluster::ClusterTrajectory;
-pub use detector::{Detection, SyntheticDetector};
+pub use detector::{validate_detections, Detection, SyntheticDetector};
+pub use error::SemanticsError;
 pub use kmeans::{kmeans_sphere, select_k, Clustering};
 pub use tracker::{ObjectTrack, Tracker};

@@ -25,20 +25,25 @@ pub struct ObjectTrack {
 }
 
 impl ObjectTrack {
-    /// Latest known direction.
+    /// Latest known direction. Tracks are born with a sample, so the
+    /// forward fallback is unreachable in practice — it exists so a
+    /// detector-fed serving path can never panic here.
     pub fn last_dir(&self) -> Vec3 {
-        self.samples.last().expect("tracks are never empty").1
+        self.samples.last().map_or(Vec3::FORWARD, |s| s.1)
     }
 
     /// Position at time `t`, interpolating along the great circle between
     /// samples and clamping at the ends.
     pub fn position_at(&self, t: f64) -> Vec3 {
         let samples = &self.samples;
+        let Some((last_t, last_dir)) = samples.last().copied() else {
+            return Vec3::FORWARD;
+        };
         if t <= samples[0].0 {
             return samples[0].1;
         }
-        if t >= samples.last().unwrap().0 {
-            return samples.last().unwrap().1;
+        if t >= last_t {
+            return last_dir;
         }
         for pair in samples.windows(2) {
             let (t0, a) = pair[0];
@@ -48,7 +53,7 @@ impl ObjectTrack {
                 return a.slerp(b, f);
             }
         }
-        samples.last().unwrap().1
+        last_dir
     }
 
     /// Track length in samples.
@@ -130,7 +135,11 @@ impl Tracker {
                 }
             }
         }
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("angles are finite"));
+        // `total_cmp`: angles come out of `acos`, so they are finite for
+        // any sane detection — but a NaN detection direction must not
+        // panic the tracker mid-ingest. (NaN angles also fail the gate
+        // check above, so they never reach this sort today.)
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (_, ti, di) in pairs {
             if track_used[ti] || det_used[di] {
                 continue;
@@ -151,12 +160,15 @@ impl Tracker {
         let max = self.max_misses;
         self.tracks.retain(|tr| tr.misses <= max);
 
-        // Births.
+        // Births. A non-finite direction (rejected upstream by
+        // `validate_detections`, but defended here too) must not seed a
+        // track: it would poison every later distance computation.
         for (di, used) in det_used.iter().enumerate() {
-            if !used {
+            let dir = detections[di].dir;
+            if !used && dir.x.is_finite() && dir.y.is_finite() && dir.z.is_finite() {
                 self.tracks.push(ObjectTrack {
                     track_id: self.next_id,
-                    samples: vec![(t, detections[di].dir)],
+                    samples: vec![(t, dir)],
                     misses: 0,
                 });
                 self.next_id += 1;

@@ -10,7 +10,9 @@
 //! * **Quaternion CSV**: `t,qw,qx,qy,qz` (the dataset's convention)
 //!
 //! The reader auto-detects the format from the column count. Lines
-//! starting with `#` and blank lines are skipped.
+//! starting with `#` and blank lines are skipped. Windows line endings
+//! (CRLF) and a UTF-8 byte-order mark on the first line — both common in
+//! spreadsheet-exported recordings — are accepted transparently.
 
 use std::error::Error;
 use std::fmt;
@@ -32,8 +34,9 @@ pub enum TraceFormat {
 /// Errors produced while parsing a trace file.
 #[derive(Debug)]
 pub struct ReadTraceError {
-    /// 1-based line number of the offending line (0 for structural
-    /// errors such as an empty file).
+    /// 1-based line number of the offending line. For a file with no
+    /// samples this is where scanning stopped: one past the last line
+    /// read, or 1 for a zero-byte file.
     pub line: usize,
     /// What went wrong.
     pub kind: ReadTraceErrorKind,
@@ -68,7 +71,9 @@ impl fmt::Display for ReadTraceError {
             ReadTraceErrorKind::NonMonotonicTime => {
                 write!(f, "line {}: timestamps must be strictly increasing", self.line)
             }
-            ReadTraceErrorKind::Empty => write!(f, "trace file contains no samples"),
+            ReadTraceErrorKind::Empty => {
+                write!(f, "line {}: trace file contains no samples", self.line)
+            }
         }
     }
 }
@@ -137,7 +142,8 @@ pub fn write_csv<W: Write>(
 }
 
 /// Reads a trace from CSV, auto-detecting the format per line (4 columns
-/// = Euler degrees, 5 = quaternion).
+/// = Euler degrees, 5 = quaternion). CRLF line endings and a UTF-8 BOM
+/// on the first line are accepted.
 ///
 /// # Errors
 ///
@@ -146,10 +152,15 @@ pub fn write_csv<W: Write>(
 pub fn read_csv<R: Read>(reader: R) -> Result<HeadTrace, ReadTraceError> {
     let reader = BufReader::new(reader);
     let mut samples: Vec<PoseSample> = Vec::new();
+    let mut line_no = 0;
     for (idx, line) in reader.lines().enumerate() {
-        let line_no = idx + 1;
+        line_no = idx + 1;
         let line =
             line.map_err(|e| ReadTraceError { line: line_no, kind: ReadTraceErrorKind::Io(e) })?;
+        // A UTF-8 byte-order mark (spreadsheet exports) would otherwise
+        // glue itself to the first field or hide a leading `#`.
+        let line = if idx == 0 { line.trim_start_matches('\u{feff}') } else { line.as_str() };
+        // `trim` also strips the `\r` a CRLF file leaves on every line.
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -189,7 +200,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<HeadTrace, ReadTraceError> {
         });
     }
     if samples.is_empty() {
-        return Err(ReadTraceError { line: 0, kind: ReadTraceErrorKind::Empty });
+        return Err(ReadTraceError { line: line_no + 1, kind: ReadTraceErrorKind::Empty });
     }
     Ok(HeadTrace::from_samples(samples))
 }
@@ -268,6 +279,32 @@ mod tests {
 
         let err = read_csv("# only comments\n".as_bytes()).unwrap_err();
         assert!(matches!(err.kind, ReadTraceErrorKind::Empty));
+        assert_eq!(err.line, 2, "empty error points one past the last line read");
+        assert!(err.to_string().contains("line 2"));
+
+        let err = read_csv("".as_bytes()).unwrap_err();
+        assert!(matches!(err.kind, ReadTraceErrorKind::Empty));
+        assert_eq!(err.line, 1, "zero-byte file reports line 1");
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        let data = "# header\r\n0.0,10.0,0.0,0.0\r\n1.0,20.0,0.0,0.0\r\n";
+        let trace = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!((trace.samples()[1].pose.yaw.to_degrees().0 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utf8_bom_on_the_first_line_is_stripped() {
+        // BOM before a data row: the first field must still parse.
+        let data = "\u{feff}0.0,10.0,0.0,0.0\n1.0,20.0,0.0,0.0\n";
+        let trace = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 2);
+        // BOM before a comment marker: the `#` must still be recognised.
+        let data = "\u{feff}# header\r\n0.5,5.0,0.0,0.0\r\n";
+        let trace = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() {
     // Peek at one stream's metadata log: the per-frame orientations.
     let clusters = catalog.clusters_in_segment(0);
     let stream = catalog.fov_stream(0, clusters[0]).expect("cluster exists");
-    let (_, meta) = catalog.read_fov(stream);
+    let (_, meta) = catalog.read_fov(stream).expect("fov records exist");
     println!(
         "  segment 0 / cluster {}: {} frames, first orientation {}",
         clusters[0],

@@ -3,8 +3,12 @@
 
 use proptest::prelude::*;
 
+use evr_client::session::{ContentPath, PlaybackSession, Renderer, SessionConfig};
 use evr_math::EulerAngles;
-use evr_sas::{ingest_video, Request, Response, SasConfig, SasServer};
+use evr_sas::{
+    ingest_video, ingest_video_with, FovPrerenderStore, IngestOptions, Request, Response,
+    SasConfig, SasServer,
+};
 use evr_video::library::{scene_for, VideoId};
 
 fn server() -> SasServer {
@@ -19,7 +23,7 @@ fn every_indexed_stream_is_readable_and_consistent() {
         let original = catalog.original_segment(seg);
         for cluster in catalog.clusters_in_segment(seg) {
             let stream = catalog.fov_stream(seg, cluster).expect("listed");
-            let (data, meta) = catalog.read_fov(stream);
+            let (data, meta) = catalog.read_fov(stream).unwrap();
             // One orientation per frame, aligned to the original segment.
             assert_eq!(data.frames.len(), meta.len());
             assert_eq!(data.start_index, original.start_index);
@@ -65,6 +69,58 @@ fn best_cluster_always_resolves_to_servable_stream() {
             }
         }
     }
+}
+
+#[test]
+fn store_backed_serving_is_byte_identical_to_storeless() {
+    // The same catalog behind a store-less server and a store-backed one
+    // must produce bit-identical playback reports: the store changes
+    // residency and sharing, never content.
+    let catalog = ingest_video(&scene_for(VideoId::Rhino), &SasConfig::tiny_for_tests(), 2.0);
+    let storeless = SasServer::new(catalog.clone());
+    let stored = SasServer::with_store(catalog, FovPrerenderStore::new());
+    let session = PlaybackSession::new(SessionConfig::new(
+        ContentPath::OnlineSas,
+        Renderer::Pte,
+        SasConfig::tiny_for_tests(),
+    ));
+    let sys = evr_core::EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 2.0);
+    for user in 0..3 {
+        let trace = sys.user_trace(user);
+        let a = session.run(&storeless, &trace);
+        let b = session.run(&stored, &trace);
+        assert_eq!(a, b, "user {user}: store-backed report diverged");
+        // Re-running against the warm store stays identical too.
+        let c = session.run(&stored, &trace);
+        assert_eq!(a, c, "user {user}: warm store report diverged");
+    }
+}
+
+#[test]
+fn degraded_catalog_plays_end_to_end_from_originals() {
+    // NaN detector output degrades every segment at ingest; playback
+    // must still run to completion, serving the original panorama.
+    let mut cfg = SasConfig::tiny_for_tests();
+    cfg.detector.localization_noise = f64::NAN;
+    let catalog = ingest_video_with(
+        &scene_for(VideoId::Rs),
+        &cfg,
+        2.0,
+        &IngestOptions { workers: 2, ..IngestOptions::default() },
+    )
+    .expect("degraded ingest still succeeds");
+    assert_eq!(catalog.degraded_segments().len(), catalog.segment_count() as usize);
+    let server = SasServer::with_store(catalog, FovPrerenderStore::new());
+    let session =
+        PlaybackSession::new(SessionConfig::new(ContentPath::OnlineSas, Renderer::Gpu, cfg));
+    let sys = evr_core::EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), 2.0);
+    let report = session.run(&server, &sys.user_trace(1));
+    assert!(report.frames_total > 0, "playback must complete");
+    assert_eq!(report.fov_hits, 0, "no FOV streams exist to hit");
+    assert_eq!(
+        report.fallback_frames, report.frames_total,
+        "every frame comes from the original panorama"
+    );
 }
 
 proptest! {
