@@ -6,6 +6,15 @@
 //! scaling trajectory has data points (ROADMAP: "serves heavy traffic
 //! from millions of users").
 //!
+//! After the variant sweep it runs a worker-count scaling sweep on S+H
+//! (doubling from 1 to `workers=`), fits an Amdahl
+//! [`ScalingSummary`](evr_bench::scaling::ScalingSummary) with
+//! per-stage serial fractions from the worker timeline, embeds it as
+//! the `"scaling"` section of the JSON (the fields `bench_gate`
+//! compares against `benches/baselines/fleet.json`), and writes the
+//! widest timed run as a Chrome Trace Event file
+//! (`*.trace_events.json`, openable in chrome://tracing or Perfetto).
+//!
 //! Exits non-zero if any parity check fails, which is what the CI smoke
 //! step relies on:
 //!
@@ -20,8 +29,10 @@
 use std::time::Instant;
 
 use evr_bench::header;
+use evr_bench::scaling::{stage_scaling, ScalingPoint, ScalingSummary};
 use evr_client::session::PlaybackReport;
 use evr_core::{EvrSystem, FleetRunner, UseCase, Variant};
+use evr_obs::{Observer, Timeline, TimelineEvent, DEFAULT_TIMELINE_CAPACITY};
 use evr_sas::SasConfig;
 use evr_video::library::VideoId;
 
@@ -30,6 +41,7 @@ struct FleetArgs {
     workers: usize,
     duration_s: f64,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 impl Default for FleetArgs {
@@ -39,6 +51,7 @@ impl Default for FleetArgs {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             duration_s: evr_video::library::SCENE_DURATION,
             json: None,
+            trace: None,
         }
     }
 }
@@ -60,10 +73,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> FleetArgs {
             out.duration_s = v.parse().expect("duration=S takes seconds");
         } else if let Some(v) = arg.strip_prefix("json=") {
             out.json = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("trace=") {
+            out.trace = Some(v.to_string());
         } else {
             panic!(
                 "unknown argument {arg:?}; expected `--smoke`, `users=N`, `workers=N`, \
-                 `duration=S` or `json=PATH`"
+                 `duration=S`, `json=PATH` or `trace=PATH`"
             );
         }
     }
@@ -102,8 +117,90 @@ fn run_variant_case(sys: &EvrSystem, args: &FleetArgs, variant: Variant) -> Vari
     VariantResult { variant, serial_s, fleet_s, parity_ok }
 }
 
+/// Doubling worker counts from 1 up to and including `max`.
+fn worker_counts(max: usize) -> Vec<usize> {
+    let mut counts = vec![1usize];
+    let mut w = 2;
+    while w < max {
+        counts.push(w);
+        w *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+struct FleetScaling {
+    summary: ScalingSummary,
+    serial_users_per_s: f64,
+    fleet_users_per_s: f64,
+    timeline: Timeline,
+}
+
+/// One fleet run of the S+H variant with a timeline attached, returning
+/// the captured worker intervals.
+fn timed_run(
+    sys: &mut EvrSystem,
+    args: &FleetArgs,
+    workers: usize,
+) -> (Vec<TimelineEvent>, Timeline) {
+    let timeline = Timeline::bounded(DEFAULT_TIMELINE_CAPACITY);
+    let obs = Observer::enabled().with_timeline(timeline.clone());
+    sys.instrument(&obs);
+    let session = sys.session_for(UseCase::OnlineStreaming, Variant::SPlusH);
+    let runner = FleetRunner::new(workers).with_observer(&obs);
+    let _ = runner.run(args.users, |u| sys.run_with(&session, u));
+    sys.instrument(&Observer::noop());
+    (timeline.events(), timeline)
+}
+
+/// The scaling sweep: untimed S+H fleet runs at doubling worker counts
+/// (so the wall-clock points carry no instrumentation overhead), then
+/// one timed serial run and one timed widest run for the per-stage
+/// Amdahl attribution and the Chrome trace artifact.
+fn run_scaling_sweep(sys: &mut EvrSystem, args: &FleetArgs) -> Option<FleetScaling> {
+    let counts = worker_counts(args.workers);
+    let session = sys.session_for(UseCase::OnlineStreaming, Variant::SPlusH);
+    let mut points = Vec::new();
+    for &w in &counts {
+        let runner = FleetRunner::new(w);
+        let start = Instant::now();
+        let _ = runner.run(args.users, |u| sys.run_with(&session, u));
+        points.push(ScalingPoint { workers: w, wall_s: start.elapsed().as_secs_f64() });
+    }
+    let summary = ScalingSummary::fit(&points)?;
+    let (serial_events, _) = timed_run(sys, args, 1);
+    let (parallel_events, timeline) = timed_run(sys, args, summary.workers);
+    let stages = stage_scaling(&serial_events, &parallel_events, summary.workers);
+    let serial_wall = points.iter().find(|p| p.workers == 1).map_or(f64::NAN, |p| p.wall_s);
+    let widest_wall =
+        points.iter().find(|p| p.workers == summary.workers).map_or(f64::NAN, |p| p.wall_s);
+    Some(FleetScaling {
+        summary: summary.with_stages(stages),
+        serial_users_per_s: args.users as f64 / serial_wall,
+        fleet_users_per_s: args.users as f64 / widest_wall,
+        timeline,
+    })
+}
+
+/// Splices the throughput fields into the summary's JSON object so the
+/// gate can address them as `scaling.fleet_users_per_s`.
+fn scaling_json(s: &FleetScaling) -> String {
+    let summary = s.summary.to_json();
+    let inner = summary.strip_prefix('{').and_then(|t| t.strip_suffix('}')).unwrap_or(&summary);
+    format!(
+        "{{\"variant\": \"S+H\", \"serial_users_per_s\": {:.6}, \"fleet_users_per_s\": {:.6}, {}}}",
+        s.serial_users_per_s, s.fleet_users_per_s, inner
+    )
+}
+
 /// Stable JSON: fixed key order, floats `{:.6}`, one variant per line.
-fn bench_json(args: &FleetArgs, results: &[VariantResult]) -> String {
+fn bench_json(
+    args: &FleetArgs,
+    results: &[VariantResult],
+    scaling: Option<&FleetScaling>,
+) -> String {
     let serial_total: f64 = results.iter().map(|r| r.serial_s).sum();
     let fleet_total: f64 = results.iter().map(|r| r.fleet_s).sum();
     let mut out = String::new();
@@ -133,11 +230,16 @@ fn bench_json(args: &FleetArgs, results: &[VariantResult]) -> String {
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"total\": {{\"serial_s\": {:.6}, \"fleet_s\": {:.6}, \"speedup\": {:.6}}}\n",
+        "  \"total\": {{\"serial_s\": {:.6}, \"fleet_s\": {:.6}, \"speedup\": {:.6}}}",
         serial_total,
         fleet_total,
         serial_total / fleet_total
     ));
+    if let Some(s) = scaling {
+        out.push_str(&format!(",\n  \"scaling\": {}\n", scaling_json(s)));
+    } else {
+        out.push('\n');
+    }
     out.push_str("}\n");
     out
 }
@@ -150,7 +252,7 @@ fn main() {
         args.users, args.workers, args.duration_s
     );
 
-    let sys = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), args.duration_s);
+    let mut sys = EvrSystem::build(VideoId::Rs, SasConfig::tiny_for_tests(), args.duration_s);
     let mut results = Vec::new();
     for variant in [Variant::Baseline, Variant::S, Variant::H, Variant::SPlusH] {
         let r = run_variant_case(&sys, &args, variant);
@@ -176,10 +278,43 @@ fn main() {
         args.workers
     );
 
+    let scaling = run_scaling_sweep(&mut sys, &args);
+    match &scaling {
+        Some(s) => {
+            println!("  {}", s.summary.render_line());
+            println!(
+                "  throughput (S+H): serial {:.1} users/s, fleet {:.1} users/s",
+                s.serial_users_per_s, s.fleet_users_per_s
+            );
+            for st in &s.summary.stages {
+                println!(
+                    "    stage {:<16} serial busy {:.3}s, widest lane {:.3}s, serial fraction {:.3}",
+                    st.stage, st.serial_busy_s, st.parallel_busy_s, st.serial_fraction
+                );
+            }
+        }
+        None => println!("  scaling: skipped (needs workers >= 2)"),
+    }
+
     if let Some(path) = &args.json {
-        let json = bench_json(&args, &results);
+        let json = bench_json(&args, &results, scaling.as_ref());
         std::fs::write(path, &json).expect("write fleet bench JSON");
         println!("json: {path}");
+    }
+
+    // The timeline of the widest timed run becomes the Chrome trace
+    // artifact (chrome://tracing / Perfetto).
+    let trace_path = args.trace.clone().or_else(|| {
+        args.json.as_ref().map(|p| {
+            p.strip_suffix(".json").map_or_else(
+                || format!("{p}.trace_events.json"),
+                |stem| format!("{stem}.trace_events.json"),
+            )
+        })
+    });
+    if let (Some(path), Some(s)) = (&trace_path, &scaling) {
+        s.timeline.write_chrome_trace(path).expect("write fleet trace");
+        println!("trace: {path}");
     }
 
     if !results.iter().all(|r| r.parity_ok) {

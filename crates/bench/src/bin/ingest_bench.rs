@@ -18,10 +18,21 @@
 //!
 //! Timings vary across machines, so the JSON is not golden-diffed —
 //! only the `parity_ok` flags are load-bearing in CI.
+//!
+//! The worker sweep doubles as the scaling model's input: its points
+//! are fitted into an Amdahl
+//! [`ScalingSummary`](evr_bench::scaling::ScalingSummary) with a
+//! per-segment stage attribution from the worker timeline, embedded as
+//! the JSON's `"scaling"` section (what `bench_gate` compares against
+//! `benches/baselines/ingest.json`); the widest timed run is written as
+//! a Chrome Trace Event file (`*.trace_events.json`, openable in
+//! chrome://tracing or Perfetto).
 
 use std::time::Instant;
 
 use evr_bench::header;
+use evr_bench::scaling::{stage_scaling, ScalingPoint, ScalingSummary};
+use evr_obs::{Observer, Timeline, TimelineEvent, DEFAULT_TIMELINE_CAPACITY};
 use evr_sas::{ingest_video_with, FovPrerenderStore, IngestOptions, SasCatalog, SasConfig};
 use evr_video::library::{scene_for, VideoId};
 use evr_video::scene::Scene;
@@ -30,6 +41,7 @@ struct IngestArgs {
     duration_s: f64,
     max_workers: usize,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 impl Default for IngestArgs {
@@ -38,6 +50,7 @@ impl Default for IngestArgs {
             duration_s: evr_video::library::SCENE_DURATION,
             max_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             json: None,
+            trace: None,
         }
     }
 }
@@ -56,10 +69,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> IngestArgs {
             out.max_workers = v.parse().expect("workers=N takes an integer");
         } else if let Some(v) = arg.strip_prefix("json=") {
             out.json = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("trace=") {
+            out.trace = Some(v.to_string());
         } else {
             panic!(
-                "unknown argument {arg:?}; expected `--smoke`, `duration=S`, `workers=N` \
-                 or `json=PATH`"
+                "unknown argument {arg:?}; expected `--smoke`, `duration=S`, `workers=N`, \
+                 `json=PATH` or `trace=PATH`"
             );
         }
     }
@@ -102,12 +117,76 @@ fn worker_counts(max: usize) -> Vec<usize> {
     counts
 }
 
+struct IngestScaling {
+    summary: ScalingSummary,
+    serial_segments_per_s: f64,
+    segments_per_s: f64,
+    timeline: Timeline,
+}
+
+/// One ingest run with a timeline attached, returning the captured
+/// `ingest_segment` intervals.
+fn timed_ingest(
+    scene: &Scene,
+    cfg: &SasConfig,
+    args: &IngestArgs,
+    workers: usize,
+) -> (Vec<TimelineEvent>, Timeline) {
+    let timeline = Timeline::bounded(DEFAULT_TIMELINE_CAPACITY);
+    let options = IngestOptions {
+        workers,
+        observer: Observer::enabled().with_timeline(timeline.clone()),
+        ..IngestOptions::default()
+    };
+    let _ = ingest(scene, cfg, args.duration_s, &options);
+    (timeline.events(), timeline)
+}
+
+/// Fits the Amdahl model over the untimed sweep points, then replays a
+/// timed serial and a timed widest ingest for the per-stage attribution
+/// and the Chrome trace artifact.
+fn run_scaling(
+    scene: &Scene,
+    cfg: &SasConfig,
+    args: &IngestArgs,
+    sweep: &[WorkerResult],
+    segments: u32,
+) -> Option<IngestScaling> {
+    let points: Vec<ScalingPoint> =
+        sweep.iter().map(|r| ScalingPoint { workers: r.workers, wall_s: r.wall_s }).collect();
+    let summary = ScalingSummary::fit(&points)?;
+    let (serial_events, _) = timed_ingest(scene, cfg, args, 1);
+    let (parallel_events, timeline) = timed_ingest(scene, cfg, args, summary.workers);
+    let stages = stage_scaling(&serial_events, &parallel_events, summary.workers);
+    let serial_wall = points.iter().find(|p| p.workers == 1).map_or(f64::NAN, |p| p.wall_s);
+    let widest_wall =
+        points.iter().find(|p| p.workers == summary.workers).map_or(f64::NAN, |p| p.wall_s);
+    Some(IngestScaling {
+        summary: summary.with_stages(stages),
+        serial_segments_per_s: segments as f64 / serial_wall,
+        segments_per_s: segments as f64 / widest_wall,
+        timeline,
+    })
+}
+
+/// Splices the throughput fields into the summary's JSON object so the
+/// gate can address them as `scaling.segments_per_s`.
+fn scaling_json(s: &IngestScaling) -> String {
+    let summary = s.summary.to_json();
+    let inner = summary.strip_prefix('{').and_then(|t| t.strip_suffix('}')).unwrap_or(&summary);
+    format!(
+        "{{\"serial_segments_per_s\": {:.6}, \"segments_per_s\": {:.6}, {}}}",
+        s.serial_segments_per_s, s.segments_per_s, inner
+    )
+}
+
 /// Stable JSON: fixed key order, floats `{:.6}`, one sweep point per line.
 fn bench_json(
     args: &IngestArgs,
     serial_s: f64,
     sweep: &[WorkerResult],
     store: &StoreResult,
+    scaling: Option<&IngestScaling>,
 ) -> String {
     let parity_ok = sweep.iter().all(|r| r.parity_ok) && store.parity_ok;
     let mut out = String::new();
@@ -131,7 +210,7 @@ fn bench_json(
     out.push_str(&format!(
         "  \"store\": {{\"parity_ok\": {}, \"cold_s\": {:.6}, \"warm_s\": {:.6}, \
          \"warm_speedup\": {:.6}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-         \"resident_bytes\": {}, \"entries\": {}}}\n",
+         \"resident_bytes\": {}, \"entries\": {}}}",
         store.parity_ok,
         store.cold_s,
         store.warm_s,
@@ -142,6 +221,11 @@ fn bench_json(
         store.resident_bytes,
         store.entries
     ));
+    if let Some(s) = scaling {
+        out.push_str(&format!(",\n  \"scaling\": {}\n", scaling_json(s)));
+    } else {
+        out.push('\n');
+    }
     out.push_str("}\n");
     out
 }
@@ -224,10 +308,42 @@ fn main() {
         if store.parity_ok { "ok" } else { "FAIL" }
     );
 
+    let scaling = run_scaling(&scene, &cfg, &args, &sweep, reference.segment_count());
+    match &scaling {
+        Some(s) => {
+            println!("  {}", s.summary.render_line());
+            println!(
+                "  throughput: serial {:.1} segments/s, parallel {:.1} segments/s",
+                s.serial_segments_per_s, s.segments_per_s
+            );
+            for st in &s.summary.stages {
+                println!(
+                    "    stage {:<16} serial busy {:.3}s, widest lane {:.3}s, serial fraction {:.3}",
+                    st.stage, st.serial_busy_s, st.parallel_busy_s, st.serial_fraction
+                );
+            }
+        }
+        None => println!("  scaling: skipped (needs workers >= 2)"),
+    }
+
     if let Some(path) = &args.json {
-        let json = bench_json(&args, serial_s, &sweep, &store);
+        let json = bench_json(&args, serial_s, &sweep, &store, scaling.as_ref());
         std::fs::write(path, &json).expect("write ingest bench JSON");
         println!("json: {path}");
+    }
+
+    // Widest timed ingest as a Chrome Trace Event artifact.
+    let trace_path = args.trace.clone().or_else(|| {
+        args.json.as_ref().map(|p| {
+            p.strip_suffix(".json").map_or_else(
+                || format!("{p}.trace_events.json"),
+                |stem| format!("{stem}.trace_events.json"),
+            )
+        })
+    });
+    if let (Some(path), Some(s)) = (&trace_path, &scaling) {
+        s.timeline.write_chrome_trace(path).expect("write ingest trace");
+        println!("trace: {path}");
     }
 
     if !(sweep.iter().all(|r| r.parity_ok) && store.parity_ok) {

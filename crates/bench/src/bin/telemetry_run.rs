@@ -1,8 +1,10 @@
 //! Instrumented experiment run: replays Baseline and S+H online
-//! streaming with a live [`evr_obs::Observer`] threaded through the
-//! whole pipeline, prints the metric summary for each variant and
-//! writes the per-run report artifacts (`*.report.json`,
-//! `*.summary.txt`, `*.trace.jsonl`).
+//! streaming with a live [`evr_obs::Observer`] (timeline attached)
+//! threaded through the whole pipeline, prints the metric summary for
+//! each variant and writes the per-run report artifacts
+//! (`*.report.json`, `*.summary.txt`, `*.trace.jsonl`, plus the
+//! Chrome-loadable `*.trace_events.json` worker timeline and the
+//! slowest-intervals exemplar table inside the summary).
 //!
 //! ```text
 //! cargo run --release -p evr-bench --bin telemetry_run -- quick
@@ -24,7 +26,8 @@ fn main() {
     let cfg = ExperimentConfig { users: scale.users, threads: scale.threads };
     for variant in [Variant::Baseline, Variant::SPlusH] {
         // A fresh observer per variant keeps each artifact self-contained.
-        let obs = evr_obs::Observer::enabled();
+        let timeline = evr_obs::Timeline::bounded(evr_obs::DEFAULT_TIMELINE_CAPACITY);
+        let obs = evr_obs::Observer::enabled().with_timeline(timeline);
         let mut system = EvrSystem::build(video, scale.sas, scale.duration_s);
         system.instrument(&obs);
         let agg = run_variant(&system, UseCase::OnlineStreaming, variant, &cfg);

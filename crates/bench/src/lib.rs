@@ -11,9 +11,15 @@
 //! ```
 //!
 //! Criterion micro-benchmarks for the performance-shaped claims live in
-//! `benches/`.
+//! `benches/`. The CI perf-regression gate is built from [`scaling`]
+//! (Amdahl scaling model), [`json`] (dependency-free report reader) and
+//! [`gate`] (threshold checks), driven by the `bench_gate` binary.
 
 use evr_core::figures::{FigureContext, FigureScale};
+
+pub mod gate;
+pub mod json;
+pub mod scaling;
 
 /// Parses the common CLI convention: no argument = paper scale, `quick`
 /// = smoke scale, `users=N duration=S` = custom.

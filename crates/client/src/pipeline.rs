@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use evr_energy::{Activity, Component, DeviceParams, EnergyLedger};
 use evr_faults::{FaultInjector, FaultSetup, LinkState, RequestFate};
-use evr_obs::{names, Observer};
+use evr_obs::{names, Observer, TraceCtx};
 use evr_projection::FovFrameMeta;
 use evr_pte::{FrameStats, GpuModel, Pte};
 use evr_sas::checker::{CheckOutcome, FovChecker};
@@ -553,6 +553,9 @@ pub(crate) struct SegmentPipeline<'s, T, R> {
     trace: &'s HeadTrace,
     transport: T,
     backend: R,
+    /// Who this run is for; recorded (narrowed per segment) on every
+    /// timeline interval when the observer carries an enabled timeline.
+    ctx: TraceCtx,
 }
 
 impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
@@ -562,8 +565,9 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
         trace: &'s HeadTrace,
         transport: T,
         backend: R,
+        ctx: TraceCtx,
     ) -> Self {
-        SegmentPipeline { session, server, trace, transport, backend }
+        SegmentPipeline { session, server, trace, transport, backend, ctx }
     }
 
     /// Drives the four stages over every segment, then settles the
@@ -575,12 +579,17 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
         let obs = &session.observer;
         let m = &session.metrics;
         let observed = obs.is_enabled();
+        // The timeline is opt-in on top of an enabled observer; `timed`
+        // is hoisted so an untimed run skips every clock read below.
+        let tl = session.observer.timeline();
+        let timed = tl.is_enabled();
         let catalog = server.catalog();
         let geom = Geometry::of(cfg);
         let mut st = RunState::new(cfg.sas.device_fov);
 
         for seg in 0..catalog.segment_count() {
             let _seg_span = observed.then(|| obs.span(names::SPAN_SEGMENT, -1, seg as i64));
+            let mut ctx = self.ctx.with_segment(seg as i64);
             m.segments.inc();
             let original = catalog.original_segment(seg);
             let n = original.frames.len() as u64;
@@ -590,6 +599,7 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
 
             // plan: sample the segment's link, pick the FOV stream.
             let t0 = observed.then(Instant::now);
+            let ts = timed.then(|| tl.now_ns());
             let link =
                 self.transport.segment_link(&cfg.network, seg_start_t, st.faults.stall_time_s);
             let chosen = if cfg.path.uses_sas() {
@@ -598,14 +608,25 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
                 None
             };
             observe_stage(&m.stage_plan, t0);
+            if let Some(ts) = ts {
+                tl.record("plan", ctx, ts, tl.now_ns());
+            }
 
             // fetch: walk the degradation ladder until a rung delivers.
+            // `acquire` stamps the server request id into `ctx`, so the
+            // fetch interval below carries it for the exemplar table.
             let t0 = observed.then(Instant::now);
-            let source = self.acquire(&mut st, &link, seg, seg_start_t, chosen, orig_bytes, &geom);
+            let ts = timed.then(|| tl.now_ns());
+            let source =
+                self.acquire(&mut st, &link, seg, seg_start_t, chosen, orig_bytes, &geom, &mut ctx);
             observe_stage(&m.stage_fetch, t0);
+            if let Some(ts) = ts {
+                tl.record("fetch", ctx, ts, tl.now_ns());
+            }
 
             // decode/render: play the delivered frames.
             let t0 = observed.then(Instant::now);
+            let ts = timed.then(|| tl.now_ns());
             let gpu_used = match source {
                 SegmentSource::Fov { payload } => {
                     let (fov_seg, meta) = payload.parts();
@@ -630,12 +651,16 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
                 }
             };
             observe_stage(&m.stage_render, t0);
+            if let Some(ts) = ts {
+                tl.record("render", ctx, ts, tl.now_ns());
+            }
 
             // account: keeping the GPU context alive costs session power
             // for the whole segment in which the GPU ran at all (§3:
             // invoking the GPU "necessarily invokes the entire software
             // stack").
             let t0 = observed.then(Instant::now);
+            let ts = timed.then(|| tl.now_ns());
             if gpu_used {
                 st.ledger.add(
                     Component::Compute,
@@ -644,6 +669,9 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
                 );
             }
             observe_stage(&m.stage_account, t0);
+            if let Some(ts) = ts {
+                tl.record("account", ctx, ts, tl.now_ns());
+            }
         }
 
         self.finish(st)
@@ -663,6 +691,7 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
         chosen: Option<usize>,
         orig_bytes: u64,
         geom: &Geometry,
+        ctx: &mut TraceCtx,
     ) -> SegmentSource<'s> {
         let session = self.session;
         let server = self.server;
@@ -679,7 +708,17 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
             // payload bytes are identical, so the rest of the ladder and
             // the report are too.
             let fetched: Option<(FovPayload<'s>, u64)> = if server.has_store() {
-                server.fetch_fov(seg, cluster).ok().map(|(p, w)| (FovPayload::Stored(p), w))
+                // Request-scoped tracing: on timed runs the request id
+                // ties this client's fetch interval to the server-side
+                // `sas_fetch_fov` interval it caused.
+                let tl = obs.timeline();
+                if tl.is_enabled() {
+                    ctx.request = tl.next_request_id();
+                }
+                server
+                    .fetch_fov_traced(seg, cluster, *ctx)
+                    .ok()
+                    .map(|(p, w)| (FovPayload::Stored(p), w))
             } else {
                 match server.try_handle(Request::FovVideo { segment: seg, cluster }) {
                     Ok(Response::FovVideo { segment: fov_seg, meta, wire_bytes }) => {
@@ -1068,6 +1107,8 @@ pub(crate) fn run_tiled<R: RenderBackend>(
     let obs = &session.observer;
     let m = &session.metrics;
     let observed = obs.is_enabled();
+    let tl = obs.timeline();
+    let timed = tl.is_enabled();
     let catalog = server.catalog();
     assert_eq!(
         tiled.segment_count(),
@@ -1082,6 +1123,7 @@ pub(crate) fn run_tiled<R: RenderBackend>(
     let mut bytes_received = 0u64;
     for seg in 0..catalog.segment_count() {
         let _seg_span = observed.then(|| obs.span(names::SPAN_SEGMENT, -1, seg as i64));
+        let ctx = TraceCtx::anonymous().with_segment(seg as i64);
         m.segments.inc();
         let original = catalog.original_segment(seg);
         let n = original.frames.len() as u64;
@@ -1090,15 +1132,20 @@ pub(crate) fn run_tiled<R: RenderBackend>(
         // plan + fetch: price the in-view/out-of-view tile split at the
         // segment boundary pose.
         let t0 = observed.then(Instant::now);
+        let ts = timed.then(|| tl.now_ns());
         let pose = trace.pose_at(seg_start_t);
         let seg_bytes = tiled.segment_bytes(seg, pose, cfg.sas.device_fov);
         bytes_received += seg_bytes;
         m.fetch_bytes.add(seg_bytes);
         observe_stage(&m.stage_fetch, t0);
+        if let Some(ts) = ts {
+            tl.record("fetch", ctx, ts, tl.now_ns());
+        }
 
         // decode/render: full-resolution decode of fewer bits, then
         // full PT on every frame.
         let t0 = observed.then(Instant::now);
+        let ts = timed.then(|| tl.now_ns());
         let mut gpu_used = false;
         for _ in 0..n {
             account_decode(&cfg.device, &mut ledger, src_px, seg_bytes / n);
@@ -1111,8 +1158,12 @@ pub(crate) fn run_tiled<R: RenderBackend>(
             m.fallback_frames.inc();
         }
         observe_stage(&m.stage_render, t0);
+        if let Some(ts) = ts {
+            tl.record("render", ctx, ts, tl.now_ns());
+        }
 
         let t0 = observed.then(Instant::now);
+        let ts = timed.then(|| tl.now_ns());
         if gpu_used {
             ledger.add(
                 Component::Compute,
@@ -1121,6 +1172,9 @@ pub(crate) fn run_tiled<R: RenderBackend>(
             );
         }
         observe_stage(&m.stage_account, t0);
+        if let Some(ts) = ts {
+            tl.record("account", ctx, ts, tl.now_ns());
+        }
     }
 
     let duration_s = frames_total as f64 / FPS;

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use evr_energy::{DeviceParams, EnergyLedger};
 use evr_faults::FaultSetup;
-use evr_obs::Observer;
+use evr_obs::{Observer, TraceCtx};
 use evr_pte::{FrameStats, GpuModel, Pte, PteConfig};
 use evr_sas::SasConfig;
 use evr_sas::SasServer;
@@ -329,7 +329,20 @@ impl PlaybackSession {
     /// Replays `trace` against `server`'s video: the staged pipeline
     /// over a [`CleanTransport`].
     pub fn run(&self, server: &SasServer, trace: &HeadTrace) -> PlaybackReport {
-        self.run_pipeline(server, trace, CleanTransport)
+        self.run_traced(server, trace, TraceCtx::anonymous())
+    }
+
+    /// Like [`PlaybackSession::run`], with a caller-supplied
+    /// [`TraceCtx`] stamped on every timeline interval the run records.
+    /// `FleetRunner` passes the user id through here so profiles
+    /// attribute work to users; the report is identical to `run`'s.
+    pub fn run_traced(
+        &self,
+        server: &SasServer,
+        trace: &HeadTrace,
+        ctx: TraceCtx,
+    ) -> PlaybackReport {
+        self.run_pipeline(server, trace, CleanTransport, ctx)
     }
 
     /// Replays `trace` against tile-based view-guided streaming (the
@@ -385,10 +398,23 @@ impl PlaybackSession {
         trace: &HeadTrace,
         setup: &FaultSetup,
     ) -> PlaybackReport {
+        self.run_resilient_traced(server, trace, setup, TraceCtx::anonymous())
+    }
+
+    /// Like [`PlaybackSession::run_resilient`], with a caller-supplied
+    /// [`TraceCtx`] stamped on every timeline interval (see
+    /// [`PlaybackSession::run_traced`]).
+    pub fn run_resilient_traced(
+        &self,
+        server: &SasServer,
+        trace: &HeadTrace,
+        setup: &FaultSetup,
+        ctx: TraceCtx,
+    ) -> PlaybackReport {
         if setup.is_clean() || !self.cfg.path.uses_network() {
-            return self.run(server, trace);
+            return self.run_traced(server, trace, ctx);
         }
-        self.run_pipeline(server, trace, FaultedTransport::new(setup))
+        self.run_pipeline(server, trace, FaultedTransport::new(setup), ctx)
     }
 
     /// Dispatches the staged pipeline for the configured renderer.
@@ -397,18 +423,25 @@ impl PlaybackSession {
         server: &SasServer,
         trace: &HeadTrace,
         transport: T,
+        ctx: TraceCtx,
     ) -> PlaybackReport {
         match self.cfg.renderer {
-            Renderer::Gpu => {
-                SegmentPipeline::new(self, server, trace, transport, GpuBackend::new(&self.cfg))
-                    .run()
-            }
+            Renderer::Gpu => SegmentPipeline::new(
+                self,
+                server,
+                trace,
+                transport,
+                GpuBackend::new(&self.cfg),
+                ctx,
+            )
+            .run(),
             Renderer::Pte => SegmentPipeline::new(
                 self,
                 server,
                 trace,
                 transport,
                 PteBackend::new(&self.cfg, self.pte_frame),
+                ctx,
             )
             .run(),
         }

@@ -170,10 +170,19 @@ fn fleet_for(system: &EvrSystem, cfg: &ExperimentConfig) -> FleetRunner {
     FleetRunner::new(cfg.threads).with_observer(system.observer())
 }
 
+/// Per-stage exemplars kept in the run report's slowest-N table.
+pub const REPORT_EXEMPLARS: usize = 5;
+
 /// Writes the per-run observability artifact for an instrumented run:
 /// `<label>.report.json` (machine-readable counters/gauges/histograms/
 /// trace totals) and `<label>.summary.txt` (the human-readable table),
 /// both under `dir` (created if missing). Returns the two paths.
+///
+/// When the observer carries an enabled timeline, the summary gains a
+/// slowest-[`REPORT_EXEMPLARS`] exemplar table (per-stage worst
+/// offenders with the user/segment/request they ran for) and the full
+/// per-worker timeline is written as `<label>.trace_events.json` in
+/// Chrome Trace Event Format (open in `chrome://tracing` or Perfetto).
 ///
 /// The label is sanitised to `[A-Za-z0-9._-]` so variant names like
 /// `S+H` produce portable file stems.
@@ -192,7 +201,17 @@ pub fn write_run_report(
     let report_path = dir.join(format!("{stem}.report.json"));
     let summary_path = dir.join(format!("{stem}.summary.txt"));
     std::fs::write(&report_path, observer.report_json(label))?;
-    std::fs::write(&summary_path, observer.summary())?;
+    let mut summary = observer.summary();
+    let timeline = observer.timeline();
+    if timeline.is_enabled() {
+        let table = timeline.exemplar_table(REPORT_EXEMPLARS);
+        if !table.is_empty() {
+            summary.push_str("\nslowest intervals per stage (timeline):\n");
+            summary.push_str(&table);
+        }
+        timeline.write_chrome_trace(dir.join(format!("{stem}.trace_events.json")))?;
+    }
+    std::fs::write(&summary_path, summary)?;
     Ok((report_path, summary_path))
 }
 

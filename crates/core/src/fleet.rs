@@ -70,6 +70,14 @@ impl FleetRunner {
     /// Replays users `0..users` through `run`, in parallel, returning
     /// the reports in user order.
     ///
+    /// On an observed runner each worker lane also reports its
+    /// completed users (`evr_fleet_worker_users_total_<w>`) and busy
+    /// seconds (`evr_fleet_worker_busy_seconds_<w>`) — the gap between
+    /// a lane's busy time and the fleet wall time is scheduling idle,
+    /// the first thing to look at when scaling is flat. With a timeline
+    /// attached, every user session is additionally recorded as a
+    /// `user` interval on its worker's lane.
+    ///
     /// # Panics
     ///
     /// Panics if `users` is zero, or if a worker panics.
@@ -79,30 +87,52 @@ impl FleetRunner {
     {
         assert!(users > 0, "fleet needs at least one user");
         let threads = (self.workers as u64).min(users) as usize;
+        let tl = self.observer.timeline();
+        let timed = tl.is_enabled();
         let t0 = Instant::now();
-        let reports = std::thread::scope(|scope| {
+        let (reports, lanes) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads as u64 {
                 let run = &run;
                 handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut user = worker;
-                    while user < users {
-                        out.push((user, run(user)));
-                        user += threads as u64;
-                    }
-                    out
+                    evr_obs::timeline::with_worker(worker as u32, || {
+                        let busy0 = Instant::now();
+                        let mut out = Vec::new();
+                        let mut user = worker;
+                        while user < users {
+                            if timed {
+                                let ts = tl.now_ns();
+                                out.push((user, run(user)));
+                                let ctx = evr_obs::TraceCtx::for_user(user as i64);
+                                tl.record(names::TIMELINE_USER, ctx, ts, tl.now_ns());
+                            } else {
+                                out.push((user, run(user)));
+                            }
+                            user += threads as u64;
+                        }
+                        (out, busy0.elapsed().as_secs_f64())
+                    })
                 }));
             }
-            let mut all: Vec<(u64, PlaybackReport)> = handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("fleet worker panicked"))
-                .collect();
+            let mut lanes = Vec::with_capacity(threads);
+            let mut all: Vec<(u64, PlaybackReport)> = Vec::with_capacity(users as usize);
+            for h in handles {
+                let (out, busy_s) = h.join().expect("fleet worker panicked");
+                lanes.push((out.len() as u64, busy_s));
+                all.extend(out);
+            }
             all.sort_by_key(|(u, _)| *u);
-            all.into_iter().map(|(_, r)| r).collect::<Vec<_>>()
+            (all.into_iter().map(|(_, r)| r).collect::<Vec<_>>(), lanes)
         });
         self.observer.counter(names::FLEET_USERS).add(users);
         self.observer.gauge(names::FLEET_WALL_SECONDS).add(t0.elapsed().as_secs_f64());
+        if self.observer.is_enabled() {
+            for (worker, (lane_users, busy_s)) in lanes.iter().enumerate() {
+                let worker = worker as u32;
+                self.observer.counter(&names::fleet_worker_users(worker)).add(*lane_users);
+                self.observer.gauge(&names::fleet_worker_busy_seconds(worker)).add(*busy_s);
+            }
+        }
         reports
     }
 

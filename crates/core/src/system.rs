@@ -216,9 +216,15 @@ impl EvrSystem {
         PlaybackSession::with_observer(variant.session(use_case, self.sas), self.observer.clone())
     }
 
-    /// Runs one user through a pre-built session.
+    /// Runs one user through a pre-built session. The user id travels
+    /// as the session's [`evr_obs::TraceCtx`], so timed runs attribute
+    /// every recorded interval to this user.
     pub fn run_with(&self, session: &PlaybackSession, user: u64) -> PlaybackReport {
-        session.run(&self.server, &self.user_trace(user))
+        session.run_traced(
+            &self.server,
+            &self.user_trace(user),
+            evr_obs::TraceCtx::for_user(user as i64),
+        )
     }
 
     /// Runs one user's playback under `variant` with faults injected.
@@ -246,7 +252,12 @@ impl EvrSystem {
     ) -> PlaybackReport {
         let mut per_user = setup.clone();
         per_user.seed ^= user.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        session.run_resilient(&self.server, &self.user_trace(user), &per_user)
+        session.run_resilient_traced(
+            &self.server,
+            &self.user_trace(user),
+            &per_user,
+            evr_obs::TraceCtx::for_user(user as i64),
+        )
     }
 
     /// Derives a system whose store keeps only `utilization` of the

@@ -161,11 +161,14 @@ pub(crate) fn report_json(
                     .zip(&h.buckets)
                     .map(|(b, c)| format!("[{},{}]", json_num(*b), c))
                     .collect();
+                // `mean` (sum/count) is exact where the bucket-derived
+                // quantiles are quantized to bucket upper bounds.
                 histograms.push(format!(
-                    "\"{}\":{{\"count\":{},\"sum\":{},\"overflow\":{},\"buckets\":[{}]}}",
+                    "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"overflow\":{},\"buckets\":[{}]}}",
                     json_escape(name),
                     h.count,
                     json_num(h.sum),
+                    json_num(h.mean()),
                     h.buckets.last().copied().unwrap_or(0),
                     buckets.join(","),
                 ));

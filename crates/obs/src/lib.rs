@@ -32,9 +32,11 @@
 
 mod export;
 mod metrics;
+pub mod timeline;
 mod tracer;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot};
+pub use timeline::{Timeline, TimelineEvent, TraceCtx, DEFAULT_TIMELINE_CAPACITY};
 pub use tracer::{Event, EventKind};
 
 use std::io;
@@ -119,6 +121,33 @@ pub mod names {
     pub const FLEET_USERS: &str = "evr_fleet_users_total";
     pub const FLEET_WALL_SECONDS: &str = "evr_fleet_wall_seconds";
 
+    // Per-worker fleet lanes, named `evr_fleet_worker_users_total_<w>`
+    // and `evr_fleet_worker_busy_seconds_<w>` via the helpers below.
+    pub const FLEET_WORKER_USERS_PREFIX: &str = "evr_fleet_worker_users_total_";
+    pub const FLEET_WORKER_BUSY_PREFIX: &str = "evr_fleet_worker_busy_seconds_";
+
+    /// Counter name for one fleet worker's completed-user count.
+    pub fn fleet_worker_users(worker: u32) -> String {
+        format!("{FLEET_WORKER_USERS_PREFIX}{worker}")
+    }
+
+    /// Gauge name for one fleet worker's busy (non-idle) seconds.
+    pub fn fleet_worker_busy_seconds(worker: u32) -> String {
+        format!("{FLEET_WORKER_BUSY_PREFIX}{worker}")
+    }
+
+    // Observability self-monitoring: events lost to the bounded rings.
+    // Mirrored into the registry at snapshot time so every exporter
+    // reports whether the trace is complete.
+    pub const OBS_SPANS_DROPPED: &str = "evr_obs_spans_dropped_total";
+    pub const OBS_TIMELINE_DROPPED: &str = "evr_obs_timeline_events_dropped_total";
+
+    // Timeline stage names (crate::timeline). The pipeline stages reuse
+    // the same labels as their `evr_pipeline_stage_seconds_*` histograms.
+    pub const TIMELINE_USER: &str = "user";
+    pub const TIMELINE_SAS_FETCH: &str = "sas_fetch_fov";
+    pub const TIMELINE_INGEST_SEGMENT: &str = "ingest_segment";
+
     // Staged segment pipeline (evr-client): one wall-clock histogram per
     // stage, named `evr_pipeline_stage_seconds_<stage>` via
     // [`pipeline_stage_seconds`].
@@ -171,12 +200,16 @@ struct Inner {
 #[derive(Debug, Clone, Default)]
 pub struct Observer {
     inner: Option<Arc<Inner>>,
+    /// The per-worker timeline profiler, no-op unless attached with
+    /// [`Observer::with_timeline`]. Lives beside `inner` so the handle
+    /// rides along wherever the observer is threaded.
+    timeline: Timeline,
 }
 
 impl Observer {
     /// An observer that records nothing and costs (almost) nothing.
     pub fn noop() -> Self {
-        Observer { inner: None }
+        Observer { inner: None, timeline: Timeline::noop() }
     }
 
     /// An enabled observer with the default trace capacity.
@@ -195,7 +228,24 @@ impl Observer {
                 registry: metrics::Registry::default(),
                 tracer: tracer::Tracer::new(capacity),
             })),
+            timeline: Timeline::noop(),
         }
+    }
+
+    /// This observer with `timeline` attached; subsequent clones share
+    /// it. The timeline is opt-in (profiling runs, benches) so plain
+    /// instrumented runs pay nothing for it.
+    #[must_use]
+    pub fn with_timeline(mut self, timeline: Timeline) -> Self {
+        self.timeline = timeline;
+        self
+    }
+
+    /// The attached per-worker timeline (no-op unless one was attached
+    /// via [`Observer::with_timeline`]).
+    #[inline]
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
     }
 
     /// Whether this handle records anything.
@@ -261,8 +311,27 @@ impl Observer {
 
     /// Name-sorted snapshot of every registered metric (empty for a
     /// no-op).
+    ///
+    /// Ring-buffer losses are mirrored into the registry here
+    /// ([`names::OBS_SPANS_DROPPED`], and
+    /// [`names::OBS_TIMELINE_DROPPED`] when a timeline is attached), so
+    /// every exporter reports whether the trace window is complete
+    /// instead of dropping events silently.
     pub fn metrics(&self) -> Vec<(String, MetricSnapshot)> {
-        self.inner.as_ref().map_or_else(Vec::new, |i| i.registry.snapshot())
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            let raise_to = |name: &str, value: u64| {
+                let c = i.registry.counter(name);
+                let cur = c.get();
+                if value > cur {
+                    c.add(value - cur);
+                }
+            };
+            raise_to(names::OBS_SPANS_DROPPED, i.tracer.dropped());
+            if self.timeline.is_enabled() {
+                raise_to(names::OBS_TIMELINE_DROPPED, self.timeline.dropped());
+            }
+            i.registry.snapshot()
+        })
     }
 
     /// Trace events as JSON Lines, one object per event.
@@ -416,7 +485,47 @@ mod tests {
         a.inc();
         b.inc();
         assert_eq!(a.get(), 2);
-        assert_eq!(obs.metrics().len(), 1);
+        // One entry for "shared" plus the self-monitoring drop counter
+        // mirrored in at snapshot time.
+        let metrics = obs.metrics();
+        assert_eq!(metrics.iter().filter(|(n, _)| n == "shared").count(), 1);
+        assert_eq!(metrics.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_mirrors_ring_drops_as_counters() {
+        let obs = Observer::with_trace_capacity(2);
+        for i in 0..5 {
+            obs.mark("m", i, -1, 0.0);
+        }
+        assert_eq!(obs.counter(names::OBS_SPANS_DROPPED).get(), 0, "not yet snapshotted");
+        let _ = obs.metrics();
+        assert_eq!(obs.counter(names::OBS_SPANS_DROPPED).get(), 3);
+        // Repeated snapshots don't double-count.
+        let _ = obs.metrics();
+        assert_eq!(obs.counter(names::OBS_SPANS_DROPPED).get(), 3);
+        // No timeline attached: its drop counter is not registered.
+        assert!(obs.metrics().iter().all(|(n, _)| n != names::OBS_TIMELINE_DROPPED));
+
+        let timed = Observer::enabled().with_timeline(Timeline::bounded(2));
+        for _ in 0..7 {
+            timed.timeline().record("s", TraceCtx::anonymous(), 0, 1);
+        }
+        let metrics = timed.metrics();
+        assert!(metrics
+            .iter()
+            .any(|(n, s)| n == names::OBS_TIMELINE_DROPPED && *s == MetricSnapshot::Counter(5)));
+        assert!(timed.prometheus().contains("evr_obs_timeline_events_dropped_total 5"));
+    }
+
+    #[test]
+    fn timeline_is_noop_unless_attached_and_clones_share_it() {
+        let obs = Observer::enabled();
+        assert!(!obs.timeline().is_enabled());
+        let obs = obs.with_timeline(Timeline::bounded(8));
+        let clone = obs.clone();
+        clone.timeline().record("s", TraceCtx::for_user(1), 0, 10);
+        assert_eq!(obs.timeline().events().len(), 1);
     }
 
     #[test]
@@ -510,8 +619,9 @@ mod tests {
         obs.histogram("h", &[1.0]).observe(2.0);
         let report = obs.report_json("unit \"test\"");
         assert!(report.contains("\"label\":\"unit \\\"test\\\"\""));
-        assert!(report.contains("\"counters\":{\"c\":1}"));
+        assert!(report.contains("\"counters\":{\"c\":1,\"evr_obs_spans_dropped_total\":0}"));
         assert!(report.contains("\"gauges\":{\"g\":1}"));
+        assert!(report.contains("\"mean\":2"));
         assert!(report.contains("\"overflow\":1"));
         assert!(report.contains("\"trace\":{\"events_recorded\":0,\"events_dropped\":0}"));
         assert!(report.ends_with("}\n"));

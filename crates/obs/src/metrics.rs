@@ -136,6 +136,14 @@ impl HistogramSnapshot {
     /// of the bucket containing the `q`-quantile observation (the last
     /// finite bound when it falls in the overflow bucket).
     ///
+    /// **Quantization caveat:** because only bucket *upper bounds* are
+    /// returned, every quantile is rounded up to its bucket's bound.
+    /// With coarse buckets this systematically over-reports p50/p99 —
+    /// observations of 1.1 ms under bounds `[1 ms, 10 ms]` report a
+    /// p50 of 10 ms. Treat the result as "no worse than"; for an exact
+    /// central tendency use [`HistogramSnapshot::mean`] (`sum/count`),
+    /// which the exporters emit alongside the quantiles.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.

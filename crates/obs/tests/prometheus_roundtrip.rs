@@ -65,11 +65,13 @@ proptest! {
         }
 
         // No phantom metrics: every # TYPE line corresponds to a
-        // registered name.
+        // registered name (or the self-monitoring drop counter the
+        // snapshot mirrors in).
         for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
             let declared = line.split_whitespace().nth(2).expect("TYPE line has a name");
             prop_assert!(
-                names.iter().any(|(n, _)| n == declared),
+                declared == evr_obs::names::OBS_SPANS_DROPPED
+                    || names.iter().any(|(n, _)| n == declared),
                 "unregistered metric {} in exposition", declared
             );
         }

@@ -388,8 +388,21 @@ pub fn ingest_video_with(
     // count.
     let start = std::time::Instant::now();
     let workers = crate::par::resolve_workers(options.workers, segment_count);
-    let results: Vec<SegmentResult> =
-        crate::par::fan_out(segment_count, workers, |seg| ingest_segment(&ctx, seg));
+    // On a timed observer every segment is also recorded as an
+    // `ingest_segment` timeline interval on its worker's lane, turning
+    // the fan-out into a per-thread Gantt chart.
+    let tl = options.observer.timeline();
+    let results: Vec<SegmentResult> = if tl.is_enabled() {
+        crate::par::fan_out(segment_count, workers, |seg| {
+            let t0 = tl.now_ns();
+            let result = ingest_segment(&ctx, seg);
+            let tctx = evr_obs::TraceCtx::anonymous().with_segment(seg as i64);
+            tl.record(evr_obs::names::TIMELINE_INGEST_SEGMENT, tctx, t0, tl.now_ns());
+            result
+        })
+    } else {
+        crate::par::fan_out(segment_count, workers, |seg| ingest_segment(&ctx, seg))
+    };
 
     for (seg, result) in results.into_iter().enumerate() {
         let bytes = result.original.bytes();

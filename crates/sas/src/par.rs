@@ -49,13 +49,17 @@ where
         let handles: Vec<_> = (0..workers as u64)
             .map(|worker| {
                 scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut item = worker;
-                    while item < count {
-                        out.push((item, work(item)));
-                        item += workers as u64;
-                    }
-                    out
+                    // Tag the thread's timeline lane so intervals the
+                    // work records land on this worker's Gantt row.
+                    evr_obs::timeline::with_worker(worker as u32, || {
+                        let mut out = Vec::new();
+                        let mut item = worker;
+                        while item < count {
+                            out.push((item, work(item)));
+                            item += workers as u64;
+                        }
+                        out
+                    })
                 })
             })
             .collect();

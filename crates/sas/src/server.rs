@@ -114,6 +114,9 @@ struct ServerMetrics {
     not_found: evr_obs::Counter,
     fov_bytes: evr_obs::Counter,
     original_bytes: evr_obs::Counter,
+    /// The observer's timeline, for server-side request intervals
+    /// ([`SasServer::fetch_fov_traced`]); no-op unless one is attached.
+    timeline: evr_obs::Timeline,
 }
 
 /// The SAS server for one ingested video.
@@ -202,6 +205,30 @@ impl SasServer {
         Ok((payload, wire_bytes))
     }
 
+    /// [`SasServer::fetch_fov`] plus request-scoped tracing: on a timed
+    /// observer the serve is recorded as a `sas_fetch_fov` timeline
+    /// interval carrying the caller's [`TraceCtx`] (including the
+    /// request id the client assigned), so the client's fetch stage and
+    /// the server work it caused correlate in the trace. Untimed
+    /// servers pay one branch.
+    ///
+    /// [`TraceCtx`]: evr_obs::TraceCtx
+    pub fn fetch_fov_traced(
+        &self,
+        segment: u32,
+        cluster: usize,
+        ctx: evr_obs::TraceCtx,
+    ) -> Result<(Arc<PrerenderedFov>, u64), SasError> {
+        let tl = &self.metrics.timeline;
+        if !tl.is_enabled() {
+            return self.fetch_fov(segment, cluster);
+        }
+        let t0 = tl.now_ns();
+        let result = self.fetch_fov(segment, cluster);
+        tl.record(evr_obs::names::TIMELINE_SAS_FETCH, ctx, t0, tl.now_ns());
+        result
+    }
+
     /// Routes request/response counters into `observer` (`evr_sas_*`
     /// names) and publishes the store's segment count as a gauge. A
     /// no-op observer detaches the counters again.
@@ -213,6 +240,7 @@ impl SasServer {
             not_found: observer.counter(names::SAS_NOT_FOUND),
             fov_bytes: observer.counter(names::SAS_FOV_BYTES),
             original_bytes: observer.counter(names::SAS_ORIGINAL_BYTES),
+            timeline: observer.timeline().clone(),
         };
         observer.gauge(names::SAS_STORE_SEGMENTS).set(self.catalog.segment_count() as f64);
         if let Some(store) = &self.store {

@@ -151,6 +151,114 @@ fn fault_counters_are_zero_clean_and_live_under_an_outage() {
 }
 
 #[test]
+fn smoke_workload_drops_no_spans_or_timeline_events() {
+    // The trace ring and timeline ring are bounded; the smoke workload
+    // must fit comfortably inside both. `Observer::metrics()` mirrors
+    // the ring drop counts into the registry, so the counters are
+    // checkable (and exported) like any other metric.
+    let timeline = evr_obs::Timeline::bounded(evr_obs::DEFAULT_TIMELINE_CAPACITY);
+    let obs = evr_obs::Observer::enabled().with_timeline(timeline.clone());
+    let mut system = EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 1.0);
+    system.instrument(&obs);
+    let _ = system.run_user_in(UseCase::OnlineStreaming, Variant::SPlusH, 5);
+
+    let _ = obs.metrics(); // snapshot mirrors ring drops into counters
+    assert_eq!(obs.counter(names::OBS_SPANS_DROPPED).get(), 0, "trace ring dropped spans");
+    assert_eq!(obs.counter(names::OBS_TIMELINE_DROPPED).get(), 0, "timeline ring dropped");
+    assert_eq!(timeline.dropped(), 0);
+    let prom = obs.prometheus();
+    assert!(prom.contains("evr_obs_spans_dropped_total 0"), "exported as zero:\n{prom}");
+}
+
+#[test]
+fn timeline_attributes_stages_and_correlates_sas_requests() {
+    let timeline = evr_obs::Timeline::bounded(evr_obs::DEFAULT_TIMELINE_CAPACITY);
+    let obs = evr_obs::Observer::enabled().with_timeline(timeline.clone());
+    let mut system = EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 1.0);
+    system.instrument(&obs);
+    let _ = system.run_user_in(UseCase::OnlineStreaming, Variant::SPlusH, 5);
+
+    let events = timeline.events();
+    assert!(!events.is_empty(), "timeline captured the run");
+    for stage in ["plan", "fetch", "render", "account"] {
+        assert!(events.iter().any(|e| e.stage == stage), "stage {stage} recorded");
+    }
+    for e in &events {
+        assert!(e.end_ns >= e.start_ns, "interval is well-formed: {e:?}");
+        assert_eq!(e.ctx.user, 5, "interval attributed to the user: {e:?}");
+    }
+
+    // Every server-side fetch carries a request id that also appears on
+    // exactly one client-side fetch interval for the same segment —
+    // that is the client/server correlation the request ids exist for.
+    let sas: Vec<_> =
+        events.iter().filter(|e| e.stage == evr_obs::names::TIMELINE_SAS_FETCH).collect();
+    assert!(!sas.is_empty(), "S+H run reaches the SAS server");
+    for s in &sas {
+        assert_ne!(s.ctx.request, 0, "server fetch has a request id");
+        let matching =
+            events.iter().filter(|e| e.stage == "fetch" && e.ctx.request == s.ctx.request).count();
+        assert_eq!(matching, 1, "request {} maps to one client fetch", s.ctx.request);
+    }
+
+    // The exemplar table names the slowest intervals per stage.
+    let table = timeline.exemplar_table(3);
+    for stage in ["fetch", "render", evr_obs::names::TIMELINE_SAS_FETCH] {
+        assert!(table.contains(stage), "exemplar table lists {stage}:\n{table}");
+    }
+
+    // And the Chrome trace export is well-formed enough for Perfetto:
+    // one complete event per interval with microsecond timestamps.
+    let trace = timeline.chrome_trace_json();
+    assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(
+        trace.ends_with("]}\n") || trace.ends_with("]}"),
+        "trace closes: …{}",
+        &trace[trace.len().saturating_sub(8)..]
+    );
+    assert_eq!(trace.matches("\"ph\":\"X\"").count(), events.len());
+    assert!(trace.contains("\"name\":\"render\""));
+}
+
+#[test]
+fn fleet_metrics_are_consistent_across_worker_counts() {
+    use evr_core::FleetRunner;
+    let users = 8u64;
+    let sys = EvrSystem::build(VideoId::Rhino, SasConfig::tiny_for_tests(), 1.0);
+    let session = sys.session_for(UseCase::OnlineStreaming, Variant::SPlusH);
+    let serial = FleetRunner::new(1).run(users, |u| sys.run_with(&session, u));
+    for workers in [1usize, 2, 8] {
+        let obs = evr_obs::Observer::enabled();
+        let runner = FleetRunner::new(workers).with_observer(&obs);
+        let reports = runner.run(users, |u| sys.run_with(&session, u));
+        assert_eq!(reports, serial, "{workers} workers: results are worker-count invariant");
+
+        // Fleet totals are invariant: the user count always lands in
+        // the counter, the wall-clock in the gauge.
+        assert_eq!(obs.counter(names::FLEET_USERS).get(), users, "{workers} workers");
+        assert!(obs.gauge(names::FLEET_WALL_SECONDS).get() > 0.0, "{workers} workers");
+
+        // Per-worker lanes: one pair of metrics per active lane, lane
+        // user counts summing to the fleet total, no phantom lanes.
+        let lanes = workers.min(users as usize);
+        let mut lane_users = 0;
+        for w in 0..lanes as u32 {
+            lane_users += obs.counter(&names::fleet_worker_users(w)).get();
+            assert!(
+                obs.gauge(&names::fleet_worker_busy_seconds(w)).get() > 0.0,
+                "{workers} workers: lane {w} reports busy time"
+            );
+        }
+        assert_eq!(lane_users, users, "{workers} workers: lanes cover every user");
+        let registered: Vec<String> = obs.metrics().into_iter().map(|(name, _)| name).collect();
+        assert!(
+            !registered.contains(&names::fleet_worker_users(lanes as u32)),
+            "{workers} workers: no lane beyond the worker count"
+        );
+    }
+}
+
+#[test]
 fn per_frame_spans_cover_every_frame() {
     let (obs, report) = observed_run(Variant::SPlusH);
     let events = obs.events();
