@@ -1,6 +1,7 @@
 //! The CI perf-regression gate.
 //!
-//! Compares fresh `fleet_bench` / `ingest_bench` JSON reports against
+//! Compares fresh `fleet_bench` / `ingest_bench` / `serve_bench` JSON
+//! reports against
 //! the committed baselines in `benches/baselines/` and exits non-zero
 //! if any noise-tolerant threshold is violated (see
 //! [`evr_bench::gate`]): >15% throughput drop, >0.1 absolute parallel
@@ -25,12 +26,13 @@
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use evr_bench::gate::{check_fleet, check_ingest, GateThresholds};
+use evr_bench::gate::{check_fleet, check_ingest, check_serve, GateThresholds};
 use evr_bench::json::Json;
 
 struct GateArgs {
     fleet: Option<String>,
     ingest: Option<String>,
+    serve: Option<String>,
     baselines: PathBuf,
     update: bool,
 }
@@ -39,6 +41,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
     let mut out = GateArgs {
         fleet: None,
         ingest: None,
+        serve: None,
         baselines: PathBuf::from("benches/baselines"),
         update: false,
     };
@@ -47,6 +50,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
             out.fleet = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("ingest=") {
             out.ingest = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("serve=") {
+            out.serve = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("baselines=") {
             out.baselines = PathBuf::from(v);
         } else if arg == "--update-baseline" {
@@ -54,13 +59,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
         } else {
             eprintln!(
                 "unknown argument {arg:?}; expected `fleet=PATH`, `ingest=PATH`, \
-                 `baselines=DIR` or `--update-baseline`"
+                 `serve=PATH`, `baselines=DIR` or `--update-baseline`"
             );
             exit(2);
         }
     }
-    if out.fleet.is_none() && out.ingest.is_none() {
-        eprintln!("nothing to gate: pass `fleet=PATH` and/or `ingest=PATH`");
+    if out.fleet.is_none() && out.ingest.is_none() && out.serve.is_none() {
+        eprintln!("nothing to gate: pass `fleet=PATH`, `ingest=PATH` and/or `serve=PATH`");
         exit(2);
     }
     out
@@ -118,6 +123,9 @@ fn main() {
     }
     if let Some(ingest) = &args.ingest {
         violations.extend(gate_one(&args, ingest, "ingest.json", check_ingest));
+    }
+    if let Some(serve) = &args.serve {
+        violations.extend(gate_one(&args, serve, "serve.json", check_serve));
     }
     if !violations.is_empty() {
         eprintln!("perf gate FAILED ({} violation(s)):", violations.len());

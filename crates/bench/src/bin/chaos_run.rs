@@ -1,5 +1,6 @@
 //! Chaos run: replays the online-streaming S+H pipeline under a ladder
-//! of fault severities (clean → mild → moderate → severe) and reports
+//! of fault severities (clean → mild → moderate → severe → server) and
+//! reports
 //! how gracefully playback degrades — stalls, degraded/frozen frames,
 //! retries and the energy spent riding out faults.
 //!
@@ -20,6 +21,7 @@ use evr_core::report::chaos_markdown;
 use evr_core::{AggregateReport, EvrSystem, UseCase, Variant};
 use evr_faults::{
     BandwidthProfile, FaultEvent, FaultPlan, FaultSetup, GilbertElliott, LinkProcess,
+    ServerFaultEvent, ServerFaultPlan,
 };
 use evr_sas::SasConfig;
 use evr_video::library::VideoId;
@@ -100,6 +102,30 @@ fn ladder(seed: u64, duration_s: f64) -> Vec<(String, FaultSetup)> {
         .clone()
         .with(FaultEvent::ServerOutage { start_s: 0.1 * duration_s, duration_s: 0.1 * duration_s })
         .with(FaultEvent::RequestDrop { segment: 0 });
+    // Server-side chaos on top of the severe rung: one shard dark, one
+    // shard slow past the shed budget, and an eviction storm inflating
+    // store misses — exercising the serving front's shed/breaker rungs.
+    let server_plan = ServerFaultPlan::healthy()
+        .with(ServerFaultEvent::ShardOutage {
+            shard: 0,
+            start_s: 0.15 * duration_s,
+            duration_s: 0.3 * duration_s,
+        })
+        .with(ServerFaultEvent::ShardOutage {
+            shard: 1,
+            start_s: 0.15 * duration_s,
+            duration_s: 0.3 * duration_s,
+        })
+        .with(ServerFaultEvent::SlowShard {
+            shard: 0,
+            latency_scale: 64.0,
+            start_s: 0.5 * duration_s,
+            duration_s: 0.3 * duration_s,
+        })
+        .with(ServerFaultEvent::StoreEvictionStorm {
+            start_s: 0.55 * duration_s,
+            duration_s: 0.2 * duration_s,
+        });
     vec![
         ("clean".to_string(), FaultSetup::seeded(seed)),
         ("mild".to_string(), FaultSetup::seeded(seed).with_link(mild_link).with_plan(mild_plan)),
@@ -109,7 +135,14 @@ fn ladder(seed: u64, duration_s: f64) -> Vec<(String, FaultSetup)> {
         ),
         (
             "severe".to_string(),
-            FaultSetup::seeded(seed).with_link(severe_link).with_plan(severe_plan),
+            FaultSetup::seeded(seed).with_link(severe_link.clone()).with_plan(severe_plan.clone()),
+        ),
+        (
+            "server".to_string(),
+            FaultSetup::seeded(seed)
+                .with_link(severe_link)
+                .with_plan(severe_plan)
+                .with_server(server_plan),
         ),
     ]
 }
@@ -139,7 +172,8 @@ fn sweep_json(
             "    {{\"severity\": \"{label}\", \"device_j\": {:.6}, \"resilience_j\": {:.6}, \
              \"stall_s\": {:.6}, \"rebuffer_s\": {:.6}, \"degraded_fraction\": {:.6}, \
              \"frozen_fraction\": {:.6}, \"retries\": {:.6}, \"timeouts\": {:.6}, \
-             \"fps_drop\": {:.6}, \"bytes_received\": {:.6}}}{}\n",
+             \"fps_drop\": {:.6}, \"bytes_received\": {:.6}, \"shed\": {:.6}, \
+             \"front_unavailable\": {:.6}}}{}\n",
             agg.ledger.total(),
             resilience,
             agg.fault_stall_s,
@@ -150,6 +184,8 @@ fn sweep_json(
             agg.timeouts,
             agg.fps_drop,
             agg.bytes_received,
+            agg.shed_segments,
+            agg.front_unavailable_segments,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -37,7 +37,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use evr_energy::{Activity, Component, DeviceParams, EnergyLedger};
-use evr_faults::{FaultInjector, FaultSetup, LinkState, RequestFate};
+use evr_faults::{FaultInjector, FaultSetup, FrontGate, LinkState, RequestFate};
 use evr_obs::{names, Observer, TraceCtx};
 use evr_projection::FovFrameMeta;
 use evr_pte::{FrameStats, GpuModel, Pte};
@@ -204,6 +204,15 @@ pub trait Transport {
 
     /// Byte scale of the degraded lower-bitrate rung.
     fn low_rung_scale(&self) -> f64;
+
+    /// Consults the serving front's admission control before the FOV
+    /// rung of segment `seg` (media time `media_t`, `stall_s` of
+    /// accumulated stalls pushing the wall clock). The default — and
+    /// the clean transport — always serves with zero queueing, so the
+    /// gate folds away entirely on the clean path.
+    fn front_gate(&mut self, _media_t: f64, _stall_s: f64, _seg: u32, _content: u64) -> FrontGate {
+        FrontGate::Serve { queue_delay_s: 0.0 }
+    }
 }
 
 /// A fault-free network (or local storage): every request is served
@@ -324,6 +333,12 @@ impl Transport for FaultedTransport {
 
     fn low_rung_scale(&self) -> f64 {
         self.injector.low_rung_scale()
+    }
+
+    fn front_gate(&mut self, media_t: f64, stall_s: f64, seg: u32, content: u64) -> FrontGate {
+        // Stalls push the wall clock, so an outage window can end while
+        // the client is stalled — same convention as `fetch`.
+        self.injector.front_gate(media_t + stall_s, content, seg)
     }
 }
 
@@ -701,7 +716,67 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
         let observed = obs.is_enabled();
 
         let mut source: Option<SegmentSource<'s>> = None;
-        if let Some(cluster) = chosen {
+        // The serving front's admission gate sits before the FOV rung:
+        // a shed response skips straight to the low rung (the shed
+        // payload *is* the low-rung original), an unavailable shard
+        // descends the ladder normally. Clean transports always serve
+        // with zero queueing, so this folds away on the clean path.
+        let mut front_shed = false;
+        let fov_admitted = match chosen {
+            None => false,
+            Some(_) => {
+                let content = server.catalog().content_id();
+                match self.transport.front_gate(seg_start_t, st.faults.stall_time_s, seg, content) {
+                    FrontGate::Serve { queue_delay_s } => {
+                        if queue_delay_s > 0.0 {
+                            let mut io = StageIo {
+                                ledger: &mut st.ledger,
+                                faults: &mut st.faults,
+                                device: &cfg.device,
+                                observer: obs,
+                                metrics: m,
+                            };
+                            io.account_stall(queue_delay_s);
+                        }
+                        true
+                    }
+                    FrontGate::Shed { latency_s } => {
+                        let mut io = StageIo {
+                            ledger: &mut st.ledger,
+                            faults: &mut st.faults,
+                            device: &cfg.device,
+                            observer: obs,
+                            metrics: m,
+                        };
+                        io.account_stall(latency_s);
+                        st.faults.shed_segments += 1;
+                        if observed {
+                            obs.mark(names::MARK_FRONT_SHED, -1, seg as i64, latency_s);
+                        }
+                        front_shed = true;
+                        false
+                    }
+                    FrontGate::Unavailable { latency_s } => {
+                        if latency_s > 0.0 {
+                            let mut io = StageIo {
+                                ledger: &mut st.ledger,
+                                faults: &mut st.faults,
+                                device: &cfg.device,
+                                observer: obs,
+                                metrics: m,
+                            };
+                            io.account_stall(latency_s);
+                        }
+                        st.faults.front_unavailable_segments += 1;
+                        if observed {
+                            obs.mark(names::MARK_FRONT_UNAVAILABLE, -1, seg as i64, latency_s);
+                        }
+                        false
+                    }
+                }
+            }
+        };
+        if let (true, Some(cluster)) = (fov_admitted, chosen) {
             // Store-backed servers hand out refcounted pre-renders (the
             // fleet-scale path: many sessions share one resident copy);
             // store-less servers lend the catalog's bytes directly. The
@@ -765,7 +840,10 @@ impl<'s, T: Transport, R: RenderBackend> SegmentPipeline<'s, T, R> {
                 }
             }
         }
-        if source.is_none() {
+        // A front shed skips the full-quality rung: the front already
+        // answered with the low-rung original, so asking it for the
+        // full original would defeat the load shedding.
+        if source.is_none() && !front_shed {
             if cfg.path.uses_network() {
                 let mut io = StageIo {
                     ledger: &mut st.ledger,

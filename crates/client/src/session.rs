@@ -144,6 +144,12 @@ pub struct FaultSummary {
     pub frozen_frames: u64,
     /// Segments whose FOV video arrived corrupt.
     pub corrupt_segments: u64,
+    /// Segments the serving front shed to the low-rung original under
+    /// load (one more ladder rung, not a failure).
+    pub shed_segments: u64,
+    /// Segments whose FOV request got no front response at all (shard
+    /// outage or open circuit breaker); the ladder descends normally.
+    pub front_unavailable_segments: u64,
     /// Total time spent in backoff waits, seconds.
     pub backoff_time_s: f64,
     /// Total playback stall from faults (timeouts + backoff + late
@@ -161,6 +167,8 @@ impl FaultSummary {
         self.degraded_frames += other.degraded_frames;
         self.frozen_frames += other.frozen_frames;
         self.corrupt_segments += other.corrupt_segments;
+        self.shed_segments += other.shed_segments;
+        self.front_unavailable_segments += other.front_unavailable_segments;
         self.backoff_time_s += other.backoff_time_s;
         self.stall_time_s += other.stall_time_s;
     }

@@ -61,6 +61,11 @@ pub struct AggregateReport {
     pub retries: f64,
     /// Mean request timeouts per user.
     pub timeouts: f64,
+    /// Mean segments shed by the serving front per user.
+    pub shed_segments: f64,
+    /// Mean segments refused by the front (outage / open breaker) per
+    /// user.
+    pub front_unavailable_segments: f64,
     /// Users aggregated.
     pub users: u64,
 }
@@ -81,6 +86,8 @@ impl AggregateReport {
         let mut frozen = 0.0;
         let mut retries = 0.0;
         let mut timeouts = 0.0;
+        let mut shed = 0.0;
+        let mut front_unavailable = 0.0;
         for r in &reports {
             ledger.merge(&r.ledger);
             duration += r.duration_s;
@@ -94,6 +101,8 @@ impl AggregateReport {
             frozen += r.frozen_fraction();
             retries += r.faults.retries as f64;
             timeouts += r.faults.timeouts as f64;
+            shed += r.faults.shed_segments as f64;
+            front_unavailable += r.faults.front_unavailable_segments as f64;
         }
         // Scale the merged ledger down to a per-user mean.
         let mut mean = EnergyLedger::new();
@@ -118,6 +127,8 @@ impl AggregateReport {
             frozen_fraction: frozen / n,
             retries: retries / n,
             timeouts: timeouts / n,
+            shed_segments: shed / n,
+            front_unavailable_segments: front_unavailable / n,
             users: reports.len() as u64,
         }
     }

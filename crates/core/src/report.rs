@@ -407,6 +407,8 @@ mod tests {
             frozen_fraction: 0.25,
             retries: 3.0,
             timeouts: 2.0,
+            shed_segments: 0.0,
+            front_unavailable_segments: 0.0,
             users: 4,
         };
         let md = chaos_markdown(&[("severe".to_string(), agg)]);

@@ -7,9 +7,11 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::breaker::CircuitBreaker;
 use crate::link::{LinkProcess, LinkSampler, LinkState};
 use crate::plan::FaultPlan;
 use crate::retry::RetryPolicy;
+use crate::server::ServerFaultPlan;
 
 /// Everything a resilient playback run needs to know about failure:
 /// the scheduled fault plan, the (optional) time-varying link, the
@@ -21,6 +23,9 @@ pub struct FaultSetup {
     /// Time-varying link; `None` keeps the session's static
     /// `NetworkModel` (the paper's clean 300 Mbps WiFi).
     pub link: Option<LinkProcess>,
+    /// Server-side serving-front model; `None` keeps the always-up,
+    /// infinitely-provisioned server the paper assumes.
+    pub server: Option<ServerFaultPlan>,
     /// Timeout/retry/backoff policy.
     pub retry: RetryPolicy,
     /// Wire-byte fraction of the degraded (lower-rung) original stream
@@ -37,6 +42,7 @@ impl FaultSetup {
         FaultSetup {
             plan: FaultPlan::none(),
             link: None,
+            server: None,
             retry: RetryPolicy::default(),
             low_rung_scale: 0.4,
             seed: 0,
@@ -61,23 +67,33 @@ impl FaultSetup {
         self
     }
 
+    /// Attaches a server-side serving-front model (builder style).
+    pub fn with_server(mut self, server: ServerFaultPlan) -> Self {
+        self.server = Some(server);
+        self
+    }
+
     /// Whether this setup can inject anything at all. Clean setups take
     /// the unmodified fast path in the playback session.
     pub fn is_clean(&self) -> bool {
-        self.plan.is_empty() && self.link.is_none()
+        self.plan.is_empty() && self.link.is_none() && self.server.is_none()
     }
 
     /// Validates every sub-config.
     ///
     /// # Panics
     ///
-    /// Panics if the retry policy or the low-rung scale is out of range.
+    /// Panics if the retry policy, the low-rung scale or the server
+    /// plan is out of range.
     pub fn validate(&self) {
         self.retry.validate();
         assert!(
             self.low_rung_scale > 0.0 && self.low_rung_scale <= 1.0,
             "low_rung_scale must be in (0, 1]"
         );
+        if let Some(server) = &self.server {
+            server.profile().validate();
+        }
     }
 }
 
@@ -92,6 +108,29 @@ pub enum RequestFate {
     Outage,
 }
 
+/// The serving front's answer to one FOV request, as seen by a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrontGate {
+    /// Admitted; `queue_delay_s` is the simulated excess wait beyond
+    /// the healthy service time (zero on an unloaded, healthy shard).
+    Serve {
+        /// Simulated queueing delay the client stalls for, seconds.
+        queue_delay_s: f64,
+    },
+    /// The front shed the request and answered with the low-rung
+    /// original instead — one more ladder rung, not a failure.
+    Shed {
+        /// Simulated latency of the (cheap) shed response, seconds.
+        latency_s: f64,
+    },
+    /// Shard outage or open circuit breaker: no FOV response at all.
+    Unavailable {
+        /// Simulated time burnt learning the shard is down, seconds
+        /// (zero when the local breaker fails fast).
+        latency_s: f64,
+    },
+}
+
 /// Stateful per-run injector; create one per playback run via
 /// [`FaultInjector::new`]. All randomness is a pure function of the
 /// setup's seed.
@@ -99,6 +138,8 @@ pub enum RequestFate {
 pub struct FaultInjector {
     plan: FaultPlan,
     sampler: Option<LinkSampler>,
+    server: Option<ServerFaultPlan>,
+    server_breakers: Vec<CircuitBreaker>,
     retry: RetryPolicy,
     low_rung_scale: f64,
     backoff_rng: SmallRng,
@@ -114,9 +155,25 @@ impl FaultInjector {
     /// Panics if the setup fails validation.
     pub fn new(setup: &FaultSetup) -> Self {
         setup.validate();
+        let server_breakers = setup
+            .server
+            .as_ref()
+            .map(|s| {
+                (0..s.profile().shards)
+                    .map(|shard| {
+                        CircuitBreaker::new(
+                            s.profile().breaker,
+                            setup.seed ^ u64::from(shard).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         FaultInjector {
             plan: setup.plan.clone(),
             sampler: setup.link.as_ref().map(|l| l.sampler(setup.seed)),
+            server: setup.server.clone(),
+            server_breakers,
             retry: setup.retry,
             low_rung_scale: setup.low_rung_scale,
             backoff_rng: SmallRng::seed_from_u64(setup.seed ^ 0x6261_636b_6f66_665f), // "backoff_"
@@ -172,6 +229,47 @@ impl FaultInjector {
     /// The jittered backoff wait before re-attempt `attempt` (0-based).
     pub fn backoff_s(&mut self, attempt: u32) -> f64 {
         self.retry.backoff_s(attempt, &mut self.backoff_rng)
+    }
+
+    /// The attached server-side plan, if any.
+    pub fn server_plan(&self) -> Option<&ServerFaultPlan> {
+        self.server.as_ref()
+    }
+
+    /// Consults the serving-front model for segment `segment` of
+    /// content `content` at simulated time `t`. Tracks a local
+    /// per-shard circuit breaker (one per `(user, shard)`, seeded from
+    /// the setup), so a run is a pure function of the setup — fleet
+    /// workers never share gate state and reports stay byte-identical
+    /// for any worker count.
+    pub fn front_gate(&mut self, t: f64, content: u64, segment: u32) -> FrontGate {
+        let Some(server) = &self.server else {
+            return FrontGate::Serve { queue_delay_s: 0.0 };
+        };
+        let profile = *server.profile();
+        let shard = profile.shard_of(content, segment);
+        let breaker = &mut self.server_breakers[shard as usize];
+        if !breaker.allow(t) {
+            // Breaker open: fail fast, no wire round-trip.
+            return FrontGate::Unavailable { latency_s: 0.0 };
+        }
+        if server.shard_down_at(shard, t) {
+            breaker.on_failure(t);
+            // The client burns a service time learning the shard is
+            // down (connection attempt / error response).
+            return FrontGate::Unavailable { latency_s: profile.service_time_s };
+        }
+        // Excess wait beyond the healthy service time — the healthy
+        // part is already inside the session's RTT/wire model.
+        let queue_delay_s = server.service_time_at(shard, t) - profile.service_time_s;
+        if queue_delay_s > profile.shed_latency_s {
+            // The front sheds rather than queue unboundedly; the shard
+            // answered, so the breaker sees a success.
+            breaker.on_success();
+            return FrontGate::Shed { latency_s: profile.service_time_s };
+        }
+        breaker.on_success();
+        FrontGate::Serve { queue_delay_s }
     }
 }
 
@@ -230,5 +328,76 @@ mod tests {
     fn zero_low_rung_scale_is_rejected() {
         let setup = FaultSetup { low_rung_scale: 0.0, ..FaultSetup::none() };
         let _ = FaultInjector::new(&setup);
+    }
+
+    #[test]
+    fn server_plan_makes_the_setup_unclean() {
+        let setup = FaultSetup::none().with_server(ServerFaultPlan::healthy());
+        assert!(!setup.is_clean());
+        // ...but a healthy front gate still serves everything with no
+        // queueing delay.
+        let mut inj = FaultInjector::new(&setup);
+        for seg in 0..32 {
+            assert_eq!(
+                inj.front_gate(seg as f64, 0xfeed, seg),
+                FrontGate::Serve { queue_delay_s: 0.0 }
+            );
+        }
+    }
+
+    #[test]
+    fn no_server_plan_always_serves() {
+        let mut inj = FaultInjector::new(&FaultSetup::none());
+        assert_eq!(inj.front_gate(1.0, 1, 1), FrontGate::Serve { queue_delay_s: 0.0 });
+    }
+
+    #[test]
+    fn outage_trips_the_local_breaker_then_fails_fast() {
+        use crate::server::{FrontProfile, ServerFaultEvent};
+        let profile = FrontProfile { shards: 1, ..FrontProfile::default() };
+        let plan = ServerFaultPlan::new(profile, Vec::new()).with(ServerFaultEvent::ShardOutage {
+            shard: 0,
+            start_s: 0.0,
+            duration_s: 10.0,
+        });
+        let mut inj = FaultInjector::new(&FaultSetup::seeded(5).with_server(plan));
+        let threshold = profile.breaker.failure_threshold;
+        // First `threshold` requests pay the round-trip; then the
+        // breaker opens and the rest fail fast.
+        for i in 0..threshold {
+            assert_eq!(
+                inj.front_gate(0.001 * f64::from(i), 0, i),
+                FrontGate::Unavailable { latency_s: profile.service_time_s },
+                "request {i} should reach the dead shard"
+            );
+        }
+        assert_eq!(
+            inj.front_gate(0.1, 0, 99),
+            FrontGate::Unavailable { latency_s: 0.0 },
+            "open breaker must fail fast"
+        );
+        // After the outage and cooldown, a probe closes it again.
+        assert_eq!(inj.front_gate(20.0, 0, 100), FrontGate::Serve { queue_delay_s: 0.0 });
+    }
+
+    #[test]
+    fn slow_shard_sheds_past_the_latency_budget() {
+        use crate::server::{FrontProfile, ServerFaultEvent};
+        let profile = FrontProfile { shards: 1, ..FrontProfile::default() };
+        let plan = ServerFaultPlan::new(profile, Vec::new()).with(ServerFaultEvent::SlowShard {
+            shard: 0,
+            latency_scale: 100.0,
+            start_s: 1.0,
+            duration_s: 1.0,
+        });
+        let mut inj = FaultInjector::new(&FaultSetup::seeded(5).with_server(plan));
+        assert_eq!(inj.front_gate(0.5, 0, 1), FrontGate::Serve { queue_delay_s: 0.0 });
+        // 100× the 2 ms service time = 198 ms of queueing, past the
+        // 20 ms budget: shed.
+        assert_eq!(
+            inj.front_gate(1.5, 0, 2),
+            FrontGate::Shed { latency_s: profile.service_time_s }
+        );
+        assert_eq!(inj.front_gate(2.5, 0, 3), FrontGate::Serve { queue_delay_s: 0.0 });
     }
 }

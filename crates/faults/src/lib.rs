@@ -17,18 +17,27 @@
 //! * [`FaultInjector`] / [`FaultSetup`] — the per-run object the client
 //!   consults; all randomness derives from one master seed, so the same
 //!   seed replays the same faults, byte for byte.
+//! * [`ServerFaultPlan`] / [`FrontProfile`] — the server-side story:
+//!   a sharded serving front with bounded queues and scheduled shard
+//!   outages, slow shards and store eviction storms
+//!   ([`ServerFaultEvent`]), guarded per shard by a deterministic
+//!   [`CircuitBreaker`].
 //!
 //! The cardinal invariant: a run under [`FaultSetup::none`] is
 //! bit-identical to the clean playback path. The workspace's property
 //! tests assert this, along with monotonicity of rebuffering, energy
 //! and frozen frames in fault severity.
 
+mod breaker;
 mod injector;
 mod link;
 mod plan;
 mod retry;
+mod server;
 
-pub use injector::{FaultInjector, FaultSetup, RequestFate};
+pub use breaker::{BreakerPolicy, BreakerState, CircuitBreaker};
+pub use injector::{FaultInjector, FaultSetup, FrontGate, RequestFate};
 pub use link::{BandwidthProfile, GilbertElliott, LinkProcess, LinkSampler, LinkState};
 pub use plan::{FaultEvent, FaultPlan};
 pub use retry::RetryPolicy;
+pub use server::{FrontProfile, ServerFaultEvent, ServerFaultPlan};

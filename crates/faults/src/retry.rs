@@ -64,11 +64,16 @@ impl RetryPolicy {
 
     /// The backoff wait before re-attempt `attempt` (0-based), with the
     /// jitter factor drawn from `rng`.
+    ///
+    /// `max_backoff_s` bounds the wait *after* jitter: the upward half
+    /// of the jitter window can no longer push a capped wait past the
+    /// configured ceiling, so `backoff_s <= max_backoff_s` holds for
+    /// every attempt number.
     pub fn backoff_s(&self, attempt: u32, rng: &mut SmallRng) -> f64 {
         let exp = self.base_backoff_s * 2f64.powi(attempt.min(20) as i32);
         let capped = exp.min(self.max_backoff_s);
         let factor = 1.0 - self.jitter / 2.0 + self.jitter * rng.gen::<f64>();
-        capped * factor
+        (capped * factor).min(self.max_backoff_s)
     }
 }
 
@@ -107,5 +112,21 @@ mod tests {
     #[should_panic(expected = "jitter")]
     fn out_of_range_jitter_is_rejected() {
         RetryPolicy { jitter: 1.5, ..RetryPolicy::default() }.validate();
+    }
+
+    #[test]
+    fn cap_holds_after_jitter_for_large_attempts() {
+        // Full jitter: the factor window is [0.5, 1.5], so before the
+        // fix an attempt deep into the exponential regime could wait up
+        // to 1.5 * max_backoff_s. The cap now applies after jitter.
+        let p = RetryPolicy { jitter: 1.0, max_backoff_s: 2.0, ..RetryPolicy::default() };
+        let mut rng = SmallRng::seed_from_u64(99);
+        for attempt in [5, 10, 20, 1_000, u32::MAX] {
+            for _ in 0..64 {
+                let w = p.backoff_s(attempt, &mut rng);
+                assert!(w.is_finite() && w >= 0.0, "attempt {attempt}: {w}");
+                assert!(w <= p.max_backoff_s, "attempt {attempt}: {w} exceeds the cap");
+            }
+        }
     }
 }

@@ -96,6 +96,16 @@ pub mod names {
     pub const SAS_PRERENDER_EVICTIONS: &str = "evr_sas_prerender_evictions";
     pub const SAS_PRERENDER_RESIDENT_BYTES: &str = "evr_sas_prerender_resident_bytes";
     pub const SAS_PRERENDER_ENTRIES: &str = "evr_sas_prerender_entries";
+    pub const SAS_PRERENDER_COALESCED: &str = "evr_sas_prerender_coalesced_total";
+
+    // Sharded serving front (evr-sas front.rs).
+    pub const SAS_FRONT_REQUESTS: &str = "evr_sas_front_requests_total";
+    pub const SAS_FRONT_SERVED: &str = "evr_sas_front_served_total";
+    pub const SAS_FRONT_SHED: &str = "evr_sas_front_shed_total";
+    pub const SAS_FRONT_UNAVAILABLE: &str = "evr_sas_front_unavailable_total";
+    pub const SAS_FRONT_COALESCED: &str = "evr_sas_front_coalesced_total";
+    pub const SAS_FRONT_BREAKER_TRIPS: &str = "evr_sas_front_breaker_trips_total";
+    pub const SAS_FRONT_PEAK_QUEUE_DEPTH: &str = "evr_sas_front_peak_queue_depth";
 
     // Parallel segment ingest (evr-sas).
     pub const INGEST_SEGMENTS: &str = "evr_ingest_segments_total";
@@ -147,6 +157,7 @@ pub mod names {
     pub const TIMELINE_USER: &str = "user";
     pub const TIMELINE_SAS_FETCH: &str = "sas_fetch_fov";
     pub const TIMELINE_INGEST_SEGMENT: &str = "ingest_segment";
+    pub const TIMELINE_FRONT_SERVE: &str = "front_serve";
 
     // Staged segment pipeline (evr-client): one wall-clock histogram per
     // stage, named `evr_pipeline_stage_seconds_<stage>` via
@@ -183,6 +194,8 @@ pub mod names {
     pub const MARK_REBUFFER: &str = "rebuffer";
     pub const MARK_DEGRADE: &str = "degrade";
     pub const MARK_FAULT_TIMEOUT: &str = "fault_timeout";
+    pub const MARK_FRONT_SHED: &str = "front_shed";
+    pub const MARK_FRONT_UNAVAILABLE: &str = "front_unavailable";
 }
 
 #[derive(Debug)]

@@ -41,6 +41,7 @@
 
 pub mod checker;
 pub mod config;
+pub mod front;
 pub mod ingest;
 pub mod ladder;
 pub(crate) mod par;
@@ -51,6 +52,10 @@ pub mod tiles;
 
 pub use checker::FovChecker;
 pub use config::SasConfig;
+pub use front::{
+    Admission, BatchOutcome, BatchReport, Disposition, FrontRequest, SasFront, ShardStats,
+    ShedReason,
+};
 pub use ingest::{
     ingest_video, ingest_video_with, try_ingest_video, FovStream, IngestError, IngestOptions,
     SasCatalog,

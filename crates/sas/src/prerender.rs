@@ -27,7 +27,7 @@
 //! bit-exact (pinned by the `ingest_bench` parity check).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 use evr_projection::FovFrameMeta;
 use evr_video::codec::EncodedSegment;
@@ -75,6 +75,9 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries dropped to keep the byte budget.
     pub evictions: u64,
+    /// Builds avoided by waiting on another thread's in-flight build of
+    /// the same key instead of running the builder again.
+    pub coalesced: u64,
 }
 
 impl StoreStats {
@@ -89,11 +92,19 @@ impl StoreStats {
     }
 }
 
+/// One key's in-flight build: `true` once the builder finished (or
+/// unwound) and waiters should re-check the map.
+type InflightSignal = Arc<(Mutex<bool>, Condvar)>;
+
 #[derive(Debug)]
 struct StoreState {
     entries: HashMap<PrerenderKey, Arc<PrerenderedFov>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<PrerenderKey>,
+    /// Keys some thread is currently building outside the lock; a
+    /// second caller for the same key waits on the signal instead of
+    /// duplicating the (expensive) build.
+    inflight: HashMap<PrerenderKey, InflightSignal>,
     total_bytes: u64,
     capacity_bytes: u64,
     stats: StoreStats,
@@ -158,6 +169,7 @@ impl FovPrerenderStore {
             state: Arc::new(Mutex::new(StoreState {
                 entries: HashMap::new(),
                 order: VecDeque::new(),
+                inflight: HashMap::new(),
                 total_bytes: 0,
                 capacity_bytes: capacity_bytes.max(1),
                 stats: StoreStats::default(),
@@ -197,18 +209,56 @@ impl FovPrerenderStore {
 
     /// Looks up a pre-render, building and inserting it on a miss. The
     /// build runs *outside* the lock, so concurrent ingest workers never
-    /// serialise on each other's render; if two race on one key, the
-    /// first insert wins and both share it.
+    /// serialise on each other's render. Concurrent callers for the
+    /// *same* key coalesce: the first registers an in-flight marker and
+    /// builds; the others wait on it and reuse the resident entry
+    /// (counted in [`StoreStats::coalesced`]) instead of duplicating
+    /// the expensive render. If the builder panics, the marker is
+    /// removed on unwind and one waiter takes over the build.
     pub fn get_or_insert_with(
         &self,
         key: PrerenderKey,
         build: impl FnOnce() -> PrerenderedFov,
     ) -> Arc<PrerenderedFov> {
-        if let Some(hit) = self.get(&key) {
-            return hit;
+        loop {
+            let waiter: Option<InflightSignal> = {
+                let mut state = self.lock();
+                if let Some(fov) = state.entries.get(&key) {
+                    let fov = Arc::clone(fov);
+                    state.stats.hits += 1;
+                    return fov;
+                }
+                match state.inflight.get(&key).map(Arc::clone) {
+                    Some(signal) => {
+                        state.stats.coalesced += 1;
+                        Some(signal)
+                    }
+                    None => {
+                        state.stats.misses += 1;
+                        state.inflight.insert(key, Arc::new((Mutex::new(false), Condvar::new())));
+                        None
+                    }
+                }
+            };
+            match waiter {
+                Some(signal) => {
+                    let (done, cv) = &*signal;
+                    let mut finished = done.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*finished {
+                        finished = cv.wait(finished).unwrap_or_else(|e| e.into_inner());
+                    }
+                    // Builder finished (or unwound): loop and re-check.
+                }
+                None => {
+                    // This thread owns the build. The guard clears the
+                    // marker and wakes waiters even if `build` panics,
+                    // so nobody waits forever on a dead builder.
+                    let _guard = InflightGuard { store: self, key };
+                    let built = Arc::new(build());
+                    return self.lock().insert(key, built);
+                }
+            }
         }
-        let built = Arc::new(build());
-        self.lock().insert(key, built)
     }
 
     /// Inserts an already-built pre-render, returning the resident copy
@@ -265,6 +315,26 @@ impl FovPrerenderStore {
         observer.gauge(names::SAS_PRERENDER_EVICTIONS).set(stats.evictions as f64);
         observer.gauge(names::SAS_PRERENDER_RESIDENT_BYTES).set(bytes as f64);
         observer.gauge(names::SAS_PRERENDER_ENTRIES).set(entries as f64);
+        observer.gauge(names::SAS_PRERENDER_COALESCED).set(stats.coalesced as f64);
+    }
+}
+
+/// Clears one key's in-flight marker and wakes its waiters, on both the
+/// normal path and unwind — a panicking builder must never strand the
+/// threads coalesced behind it.
+struct InflightGuard<'a> {
+    store: &'a FovPrerenderStore,
+    key: PrerenderKey,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let signal = self.store.lock().inflight.remove(&self.key);
+        if let Some(signal) = signal {
+            let (done, cv) = &*signal;
+            *done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cv.notify_all();
+        }
     }
 }
 
@@ -383,6 +453,101 @@ mod tests {
         assert!(store.is_empty());
         assert_eq!(store.resident_bytes(), 0);
         assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_builds_coalesce_into_one() {
+        use std::sync::mpsc;
+        let store = FovPrerenderStore::new();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        let builder = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                store.get_or_insert_with(key(0), move || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap(); // hold the build open
+                    fov(4, 1)
+                })
+            })
+        };
+        entered_rx.recv().unwrap(); // builder is inside build()
+
+        let waiter = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                store.get_or_insert_with(key(0), || panic!("second build must coalesce"))
+            })
+        };
+        // The waiter registers as coalesced *before* blocking; once the
+        // counter ticks we know it is parked behind the in-flight build.
+        while store.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+
+        release_tx.send(()).unwrap();
+        let a = builder.join().unwrap();
+        let b = waiter.join().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "both callers must share the one build");
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1, "only the builder missed");
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.hits, 1, "the waiter re-checked into a hit");
+    }
+
+    #[test]
+    fn panicking_builder_does_not_strand_waiters() {
+        let store = FovPrerenderStore::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.get_or_insert_with(key(0), || panic!("builder died"))
+        }));
+        assert!(result.is_err());
+        // The in-flight marker was cleared on unwind: a fresh caller
+        // becomes the builder instead of deadlocking.
+        let rebuilt = store.get_or_insert_with(key(0), || fov(4, 1));
+        assert_eq!(rebuilt.meta.len(), 4);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_for_get_insert_and_stats() {
+        let store = FovPrerenderStore::new();
+        store.insert(key(0), fov(4, 1));
+        let _ = store.get(&key(0));
+
+        // Panic *while holding the store mutex* on another thread, so
+        // the mutex is poisoned mid-"update" (state is still valid: the
+        // store never holds the lock across user code).
+        let poisoner = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                let _guard = store.state.lock().unwrap();
+                panic!("poison the store lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(store.state.is_poisoned(), "the test must actually poison the mutex");
+
+        // Every public entry point recovers and keeps working.
+        assert!(store.get(&key(0)).is_some());
+        assert!(store.get(&key(9)).is_none());
+        store.insert(key(1), fov(4, 2));
+        let c = store.get_or_insert_with(key(2), || fov(4, 3));
+        assert_eq!(c.meta.len(), 4);
+        assert_eq!(store.len(), 3);
+        assert!(store.resident_bytes() > 0);
+
+        // Stats stayed coherent across the poison: 2 hits (pre- and
+        // post-poison key-0 reads), 2 misses (the key-9 probe and the
+        // get_or_insert build), nothing evicted or coalesced.
+        let stats = store.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.coalesced, 0);
+        store.clear();
+        assert!(store.is_empty());
     }
 
     #[test]

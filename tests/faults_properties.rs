@@ -13,14 +13,21 @@
 //!    monotone in the emitted loss.
 //! 3. **Replay** — any faulty setup is a pure function of its seed:
 //!    running it twice yields the same report, byte for byte.
+//! 4. **Server-side sanity** — shed/outage responses from the serving
+//!    front never push a report's stall, backoff or energy totals
+//!    negative (or NaN), and never change how many frames play.
+//! 5. **Merge algebra** — [`FaultSummary::merge`] is associative, so
+//!    fleet merges are grouping-independent.
 
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
+use evr_client::session::FaultSummary;
 use evr_core::{EvrSystem, UseCase, Variant};
 use evr_faults::{
     BandwidthProfile, FaultEvent, FaultPlan, FaultSetup, GilbertElliott, LinkProcess,
+    ServerFaultEvent, ServerFaultPlan,
 };
 use evr_sas::SasConfig;
 use evr_video::library::VideoId;
@@ -99,5 +106,89 @@ proptest! {
         let a = run();
         let b = run();
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prop_server_faults_keep_totals_finite_and_nonnegative(
+        seed in any::<u64>(),
+        user in 0u64..3,
+        shard in 0u32..4,
+        outage_start in 0.0f64..1.0,
+        outage_len in 0.1f64..1.0,
+        latency_scale in 2.0f64..64.0,
+    ) {
+        let plan = ServerFaultPlan::healthy()
+            .with(ServerFaultEvent::ShardOutage {
+                shard,
+                start_s: outage_start,
+                duration_s: outage_len,
+            })
+            .with(ServerFaultEvent::SlowShard {
+                shard: (shard + 1) % 4,
+                latency_scale,
+                start_s: 0.0,
+                duration_s: 2.0,
+            })
+            .with(ServerFaultEvent::StoreEvictionStorm { start_s: 0.5, duration_s: 1.0 });
+        let setup = FaultSetup::seeded(seed).with_server(plan);
+        let run = || {
+            system().run_user_resilient(UseCase::OnlineStreaming, Variant::SPlusH, user, &setup)
+        };
+        let report = run();
+
+        // Shed and open-circuit responses are ladder rungs, not crashes:
+        // every stall clock and the energy ledger must stay finite and
+        // non-negative no matter how the windows land.
+        prop_assert!(report.faults.stall_time_s.is_finite());
+        prop_assert!(report.faults.stall_time_s >= 0.0);
+        prop_assert!(report.faults.backoff_time_s.is_finite());
+        prop_assert!(report.faults.backoff_time_s >= 0.0);
+        prop_assert!(report.ledger.total().is_finite());
+        prop_assert!(report.ledger.total() >= 0.0);
+        prop_assert!(report.rebuffer_time_s.is_finite());
+        prop_assert!(report.rebuffer_time_s >= 0.0);
+
+        // The front degrades what a segment is served as, never whether
+        // it plays: frame count matches the clean run exactly.
+        let clean = system().run_user_in(UseCase::OnlineStreaming, Variant::SPlusH, user);
+        prop_assert_eq!(report.frames_total, clean.frames_total);
+
+        // And the whole thing replays bit-identically from its seed.
+        prop_assert_eq!(run(), report);
+    }
+
+    #[test]
+    fn prop_fault_summary_merge_is_associative(seed in any::<u64>()) {
+        // Dyadic rationals (k/1024) make every f64 sum exact, so
+        // associativity is exact equality, not approximate.
+        let mut lcg = seed | 1;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut summary = || FaultSummary {
+            retries: next() % 1000,
+            timeouts: next() % 1000,
+            degraded_segments: next() % 1000,
+            degraded_frames: next() % 1000,
+            frozen_frames: next() % 1000,
+            corrupt_segments: next() % 1000,
+            shed_segments: next() % 1000,
+            front_unavailable_segments: next() % 1000,
+            backoff_time_s: (next() % 4096) as f64 / 1024.0,
+            stall_time_s: (next() % 4096) as f64 / 1024.0,
+        };
+        let (a, b, c) = (summary(), summary(), summary());
+
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
     }
 }
