@@ -52,6 +52,17 @@ fn run_checks(label: &str, current: &Json, baseline: &Json, checks: &[Check]) ->
                     violations.push(format!("{label}: missing numeric field '{path}'"));
                     continue;
                 };
+                // A non-positive (or non-finite) baseline is a corrupt
+                // baseline, never a pass: `base * (1 - drop)` would go
+                // <= 0 so any current value clears the floor, and the
+                // `cur / base` in the message would print NaN/inf.
+                if !(base.is_finite() && base > 0.0) {
+                    violations.push(format!(
+                        "{label}: baseline {path} is {base} (not a positive finite number) — \
+                         refresh it with --update-baseline"
+                    ));
+                    continue;
+                }
                 let floor = base * (1.0 - drop);
                 if cur < floor {
                     violations.push(format!(
@@ -66,6 +77,15 @@ fn run_checks(label: &str, current: &Json, baseline: &Json, checks: &[Check]) ->
                     violations.push(format!("{label}: missing numeric field '{path}'"));
                     continue;
                 };
+                // Same corruption guard: a NaN baseline makes every
+                // `cur < floor` comparison false, silently passing.
+                if !base.is_finite() {
+                    violations.push(format!(
+                        "{label}: baseline {path} is {base} (not finite) — \
+                         refresh it with --update-baseline"
+                    ));
+                    continue;
+                }
                 let floor = base - drop;
                 if cur < floor {
                     violations.push(format!(
@@ -228,6 +248,33 @@ mod tests {
         let empty = Json::parse("{}").unwrap();
         let violations = check_fleet(&empty, &baseline, &GateThresholds::default());
         assert_eq!(violations.len(), 3, "{violations:?}");
+    }
+
+    #[test]
+    fn corrupt_baselines_are_violations_not_passes() {
+        // A zeroed/negative baseline used to make the MinRatio floor
+        // <= 0, so any current run silently cleared it (with NaN/inf in
+        // the would-be message). It must gate as a violation.
+        let current = fleet_report(100.0, 0.8, true);
+        for bad in [0.0, -5.0] {
+            let baseline = fleet_report(bad, 0.8, true);
+            let violations = check_fleet(&current, &baseline, &GateThresholds::default());
+            assert_eq!(violations.len(), 1, "baseline {bad}: {violations:?}");
+            assert!(violations[0].contains("fleet_users_per_s"), "{violations:?}");
+            assert!(violations[0].contains("baseline"), "{violations:?}");
+        }
+        // NaN corrupts both check kinds (every comparison is false).
+        let baseline = Json::parse(
+            "{\"parity_ok\":true,\"scaling\":{\"fleet_users_per_s\":NaN,\"efficiency\":NaN}}",
+        );
+        if let Ok(baseline) = baseline {
+            let violations = check_fleet(&current, &baseline, &GateThresholds::default());
+            assert_eq!(violations.len(), 2, "{violations:?}");
+        }
+        let baseline = ingest_report(-1.0, 0.7, true);
+        let current = ingest_report(50.0, 0.7, true);
+        let violations = check_ingest(&current, &baseline, &GateThresholds::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
     }
 
     #[test]

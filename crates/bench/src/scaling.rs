@@ -1,11 +1,24 @@
 //! Scaling-efficiency model for the bench binaries.
 //!
 //! Both `fleet_bench` and `ingest_bench` sweep worker counts over
-//! deterministic workloads. This module turns the measured
-//! `(workers, wall)` points into a [`ScalingSummary`] — speedup,
-//! parallel efficiency, and a serial fraction fitted with Amdahl's
-//! law — plus an optional per-stage breakdown computed from worker
-//! timeline events ([`stage_scaling`]).
+//! deterministic workloads. This module turns `(workers, wall)` points
+//! into a [`ScalingSummary`] — speedup, parallel efficiency, and a
+//! serial fraction fitted with Amdahl's law — plus an optional
+//! per-stage breakdown computed from worker timeline events
+//! ([`stage_scaling`]).
+//!
+//! **Modeled vs measured points.** CI runs in single-core containers,
+//! where a wall-clock worker sweep measures the OS timeslicer, not the
+//! scheduler — every real-thread sweep reads ~1.0x there by physics.
+//! The gated scaling numbers therefore come from the *schedule model*
+//! ([`simulate_chunked_makespan`]): per-item costs are measured once in
+//! the serial run, then the chunked self-scheduler is replayed in
+//! virtual time assuming one core per worker, which is exactly the
+//! quantity the scheduler controls (assignment balance) and is
+//! reproducible on any host. The real wall-clock sweep is still
+//! attached as `measured` points — on a multi-core host the two
+//! converge; in a single-core container `measured` shows thread
+//! overhead while the model shows schedule quality.
 //!
 //! The Amdahl fit inverts `s(w) = 1 / (f + (1 - f)/w)` for the serial
 //! fraction `f` at each measured point with `w > 1`:
@@ -37,7 +50,7 @@ pub struct StageScaling {
     /// Total busy seconds across all workers in the serial run.
     pub serial_busy_s: f64,
     /// Busiest single worker's seconds in the parallel run — the
-    /// stage's critical path under static interleave.
+    /// stage's critical path under the measured schedule.
     pub parallel_busy_s: f64,
     /// Amdahl serial fraction for this stage in isolation.
     pub serial_fraction: f64,
@@ -56,8 +69,57 @@ pub struct ScalingSummary {
     pub serial_fraction: f64,
     /// The raw sweep points the summary was fitted from.
     pub points: Vec<ScalingPoint>,
+    /// Real wall-clock sweep points measured on this host, attached for
+    /// reference when the fitted points are schedule-model output
+    /// (empty otherwise).
+    pub measured: Vec<ScalingPoint>,
     /// Optional per-stage breakdown (empty when no timeline ran).
     pub stages: Vec<StageScaling>,
+}
+
+/// Replays chunked self-scheduling over measured per-item `costs` in
+/// virtual time, one core per worker, and returns the makespan.
+///
+/// Chunk `k` covers items `[k·chunk, (k+1)·chunk)`; the next chunk is
+/// always pulled by the worker with the smallest accumulated busy time
+/// (ties to the lowest lane) — the greedy pull order a free worker
+/// realises on real hardware. `chunk = 0` picks
+/// [`evr_sched::auto_chunk`], the size the runtime scheduler uses.
+/// Deterministic given `costs`; returns 0.0 for an empty workload.
+pub fn simulate_chunked_makespan(costs: &[f64], workers: usize, chunk: u64) -> f64 {
+    if costs.is_empty() {
+        return 0.0;
+    }
+    let workers = workers.clamp(1, costs.len());
+    let chunk = if chunk == 0 { evr_sched::auto_chunk(costs.len() as u64, workers) } else { chunk }
+        .max(1) as usize;
+    let mut lanes = vec![0.0f64; workers];
+    for chunk_costs in costs.chunks(chunk) {
+        let puller = lanes
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(w, _)| w)
+            .unwrap_or(0);
+        lanes[puller] += chunk_costs.iter().sum::<f64>();
+    }
+    lanes.into_iter().fold(0.0, f64::max)
+}
+
+/// The makespan of the old static interleave (lane `w` of `n` runs
+/// items `w, w+n, w+2n, …`) over the same per-item `costs` — the
+/// comparison baseline that shows what chunked pulling buys on uneven
+/// workloads.
+pub fn simulate_interleave_makespan(costs: &[f64], workers: usize) -> f64 {
+    if costs.is_empty() {
+        return 0.0;
+    }
+    let workers = workers.clamp(1, costs.len());
+    let mut lanes = vec![0.0f64; workers];
+    for (i, c) in costs.iter().enumerate() {
+        lanes[i % workers] += c;
+    }
+    lanes.into_iter().fold(0.0, f64::max)
 }
 
 /// Inverts Amdahl's law for the serial fraction given one measured
@@ -92,8 +154,21 @@ impl ScalingSummary {
             efficiency: speedup / widest.workers as f64,
             serial_fraction,
             points: points.to_vec(),
+            measured: Vec::new(),
             stages: Vec::new(),
         })
+    }
+
+    /// Fits the model from the chunked-schedule simulation over measured
+    /// per-item `costs` at the given worker counts (see
+    /// [`simulate_chunked_makespan`]). Returns `None` when the costs or
+    /// counts give nothing to model (no items, no multi-worker count).
+    pub fn fit_modeled(costs: &[f64], worker_counts: &[usize]) -> Option<ScalingSummary> {
+        let points: Vec<ScalingPoint> = worker_counts
+            .iter()
+            .map(|&w| ScalingPoint { workers: w, wall_s: simulate_chunked_makespan(costs, w, 0) })
+            .collect();
+        ScalingSummary::fit(&points)
     }
 
     /// Attaches a per-stage breakdown (builder style).
@@ -103,14 +178,25 @@ impl ScalingSummary {
         self
     }
 
+    /// Attaches the real wall-clock sweep measured on this host
+    /// (builder style; shown as `measured` in the JSON).
+    #[must_use]
+    pub fn with_measured(mut self, measured: Vec<ScalingPoint>) -> ScalingSummary {
+        self.measured = measured;
+        self
+    }
+
     /// Renders the summary as a stable JSON object (fixed key order,
     /// `{:.6}` floats) for embedding in a bench report.
     pub fn to_json(&self) -> String {
-        let points: Vec<String> = self
-            .points
-            .iter()
-            .map(|p| format!("{{\"workers\":{},\"wall_s\":{:.6}}}", p.workers, p.wall_s))
-            .collect();
+        let render_points = |points: &[ScalingPoint]| -> Vec<String> {
+            points
+                .iter()
+                .map(|p| format!("{{\"workers\":{},\"wall_s\":{:.6}}}", p.workers, p.wall_s))
+                .collect()
+        };
+        let points = render_points(&self.points);
+        let measured = render_points(&self.measured);
         let stages: Vec<String> = self
             .stages
             .iter()
@@ -122,12 +208,13 @@ impl ScalingSummary {
             })
             .collect();
         format!(
-            "{{\"workers\":{},\"speedup\":{:.6},\"efficiency\":{:.6},\"serial_fraction\":{:.6},\"points\":[{}],\"stages\":[{}]}}",
+            "{{\"workers\":{},\"speedup\":{:.6},\"efficiency\":{:.6},\"serial_fraction\":{:.6},\"points\":[{}],\"measured\":[{}],\"stages\":[{}]}}",
             self.workers,
             self.speedup,
             self.efficiency,
             self.serial_fraction,
             points.join(","),
+            measured.join(","),
             stages.join(",")
         )
     }
@@ -294,6 +381,53 @@ mod tests {
         let stages = stage_scaling(&serial, &parallel, 4);
         assert_eq!(stages.len(), 1);
         assert_eq!(stages[0].stage, "render");
+    }
+
+    #[test]
+    fn uniform_costs_model_near_linear_scaling() {
+        let costs = vec![1.0; 2000];
+        let s = ScalingSummary::fit_modeled(&costs, &[1, 2, 4, 8]).unwrap();
+        assert_eq!(s.workers, 8);
+        assert!(s.speedup >= 7.0, "modeled speedup {}", s.speedup);
+        assert!(s.efficiency >= 0.875, "modeled efficiency {}", s.efficiency);
+    }
+
+    #[test]
+    fn chunked_model_beats_interleave_on_index_proportional_cost() {
+        // The interleave's blind spot is cost concentrated in one
+        // residue class: every 8th item is 50x as expensive, so the old
+        // `w, w+n, …` policy at 8 workers puts the entire hot class on
+        // lane 0 while chunked pulling spreads it.
+        let costs: Vec<f64> = (0..800).map(|i| if i % 8 == 0 { 50.0 } else { 1.0 }).collect();
+        let serial: f64 = costs.iter().sum();
+        let interleave = simulate_interleave_makespan(&costs, 8);
+        let chunked = simulate_chunked_makespan(&costs, 8, 0);
+        assert!(
+            serial / interleave < 2.0,
+            "interleave should collapse: {:.2}x",
+            serial / interleave
+        );
+        assert!(
+            serial / chunked > 6.0,
+            "chunked should stay near-linear: {:.2}x",
+            serial / chunked
+        );
+    }
+
+    #[test]
+    fn schedule_simulation_is_deterministic_and_conservative() {
+        let costs: Vec<f64> = (0..321).map(|i| ((i * 37) % 101) as f64 / 100.0 + 0.01).collect();
+        let a = simulate_chunked_makespan(&costs, 8, 0);
+        let b = simulate_chunked_makespan(&costs, 8, 0);
+        assert_eq!(a, b, "virtual-time replay must be deterministic");
+        let serial: f64 = costs.iter().sum();
+        // Makespan is bounded below by perfect balance and above by serial.
+        assert!(a >= serial / 8.0 - 1e-9);
+        assert!(a <= serial + 1e-9);
+        // One worker degenerates to the serial sum; empty costs to zero.
+        assert!((simulate_chunked_makespan(&costs, 1, 0) - serial).abs() < 1e-9);
+        assert_eq!(simulate_chunked_makespan(&[], 8, 0), 0.0);
+        assert_eq!(simulate_interleave_makespan(&[], 8), 0.0);
     }
 
     #[test]

@@ -8,18 +8,23 @@
 //! the same parity guarantee as `evr-projection`'s scanline pool: the
 //! result is byte-identical to a serial loop for *any* worker count.
 //!
-//! The determinism argument (spelled out in DESIGN.md §12):
+//! Users are scheduled by the shared chunked self-scheduler in
+//! [`evr_sched`] (the same one the SAS segment fan-out uses). The
+//! determinism argument (spelled out in DESIGN.md §12):
 //!
 //! 1. user sessions are pure functions of `(user, config)` — they share
 //!    only immutable state (`&EvrSystem`, `&PlaybackSession`);
-//! 2. workers take users by a static interleave (worker `w` of `n` runs
-//!    users `w, w+n, w+2n, …`) — no work-stealing, no queue ordering;
+//! 2. workers pull fixed-size contiguous user-index chunks from a
+//!    shared atomic cursor — *which* worker runs which chunk is
+//!    timing-dependent (that is what keeps lanes busy under uneven
+//!    per-user cost), but chunk contents are fixed by index alone;
 //! 3. every report is collected with its user id, sorted by user, and
 //!    merged in ascending user order — so all order-sensitive f64
 //!    accumulation happens on one thread in one fixed order.
 //!
-//! Only wall-clock (and the `evr_fleet_*` metrics that report it)
-//! varies with the worker count.
+//! Only wall-clock and per-lane observability (the `evr_fleet_*`
+//! metrics, the timeline's lane attribution) vary with the worker count
+//! and scheduling; the reports never do.
 
 use std::time::Instant;
 
@@ -48,10 +53,16 @@ pub struct FleetRunner {
 }
 
 impl FleetRunner {
-    /// A runner with `workers` threads (clamped to 1..=64) and no
-    /// instrumentation.
+    /// A runner with `workers` threads and no instrumentation. `0`
+    /// means *auto* — one worker per available core — and every count,
+    /// auto included, is clamped to `1..=64`
+    /// ([`evr_sched::resolve_workers`], the same contract as the SAS
+    /// ingest fan-out).
     pub fn new(workers: usize) -> Self {
-        FleetRunner { workers: workers.clamp(1, 64), observer: Observer::noop() }
+        FleetRunner {
+            workers: evr_sched::resolve_workers(workers, u64::MAX),
+            observer: Observer::noop(),
+        }
     }
 
     /// Attaches an observer: each sweep adds the user count to
@@ -62,7 +73,7 @@ impl FleetRunner {
         self
     }
 
-    /// The configured worker count.
+    /// The configured worker count (auto requests already resolved).
     pub fn workers(&self) -> usize {
         self.workers
     }
@@ -74,9 +85,11 @@ impl FleetRunner {
     /// completed users (`evr_fleet_worker_users_total_<w>`) and busy
     /// seconds (`evr_fleet_worker_busy_seconds_<w>`) — the gap between
     /// a lane's busy time and the fleet wall time is scheduling idle,
-    /// the first thing to look at when scaling is flat. With a timeline
-    /// attached, every user session is additionally recorded as a
-    /// `user` interval on its worker's lane.
+    /// the first thing to look at when scaling is flat. Lane
+    /// *attribution* is timing-dependent under self-scheduling, so
+    /// these metrics (and the timeline's lane rows) are observability,
+    /// never results. With a timeline attached, every user session is
+    /// additionally recorded as a `user` interval on its worker's lane.
     ///
     /// # Panics
     ///
@@ -86,51 +99,28 @@ impl FleetRunner {
         F: Fn(u64) -> PlaybackReport + Sync,
     {
         assert!(users > 0, "fleet needs at least one user");
-        let threads = (self.workers as u64).min(users) as usize;
         let tl = self.observer.timeline();
         let timed = tl.is_enabled();
         let t0 = Instant::now();
-        let (reports, lanes) = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for worker in 0..threads as u64 {
-                let run = &run;
-                handles.push(scope.spawn(move || {
-                    evr_obs::timeline::with_worker(worker as u32, || {
-                        let busy0 = Instant::now();
-                        let mut out = Vec::new();
-                        let mut user = worker;
-                        while user < users {
-                            if timed {
-                                let ts = tl.now_ns();
-                                out.push((user, run(user)));
-                                let ctx = evr_obs::TraceCtx::for_user(user as i64);
-                                tl.record(names::TIMELINE_USER, ctx, ts, tl.now_ns());
-                            } else {
-                                out.push((user, run(user)));
-                            }
-                            user += threads as u64;
-                        }
-                        (out, busy0.elapsed().as_secs_f64())
-                    })
-                }));
+        let (reports, lanes) = evr_sched::run_chunked_observed(users, self.workers, 0, |user| {
+            if timed {
+                let ts = tl.now_ns();
+                let report = run(user);
+                let ctx = evr_obs::TraceCtx::for_user(user as i64);
+                tl.record(names::TIMELINE_USER, ctx, ts, tl.now_ns());
+                report
+            } else {
+                run(user)
             }
-            let mut lanes = Vec::with_capacity(threads);
-            let mut all: Vec<(u64, PlaybackReport)> = Vec::with_capacity(users as usize);
-            for h in handles {
-                let (out, busy_s) = h.join().expect("fleet worker panicked");
-                lanes.push((out.len() as u64, busy_s));
-                all.extend(out);
-            }
-            all.sort_by_key(|(u, _)| *u);
-            (all.into_iter().map(|(_, r)| r).collect::<Vec<_>>(), lanes)
         });
         self.observer.counter(names::FLEET_USERS).add(users);
         self.observer.gauge(names::FLEET_WALL_SECONDS).add(t0.elapsed().as_secs_f64());
         if self.observer.is_enabled() {
-            for (worker, (lane_users, busy_s)) in lanes.iter().enumerate() {
-                let worker = worker as u32;
-                self.observer.counter(&names::fleet_worker_users(worker)).add(*lane_users);
-                self.observer.gauge(&names::fleet_worker_busy_seconds(worker)).add(*busy_s);
+            for lane in &lanes {
+                self.observer.counter(&names::fleet_worker_users(lane.worker)).add(lane.items);
+                self.observer
+                    .gauge(&names::fleet_worker_busy_seconds(lane.worker))
+                    .add(lane.busy_s);
             }
         }
         reports
@@ -189,6 +179,37 @@ mod tests {
     }
 
     #[test]
+    fn chunked_schedule_matches_the_old_static_interleave_bytes() {
+        // The scheduling policy must be invisible in the output: the
+        // chunked runner's per-user and merged reports are pinned
+        // byte-identical to a hand-rolled `w, w+n, w+2n, …` static
+        // interleave (the pre-chunking policy).
+        let sys = tiny();
+        let session = sys.session_for(UseCase::OnlineStreaming, Variant::SPlusH);
+        let users = 7u64;
+        let workers = 3u64;
+        let mut interleaved: Vec<(u64, PlaybackReport)> = Vec::new();
+        for w in 0..workers {
+            let mut u = w;
+            while u < users {
+                interleaved.push((u, sys.run_with(&session, u)));
+                u += workers;
+            }
+        }
+        interleaved.sort_by_key(|(u, _)| *u);
+        let interleaved: Vec<PlaybackReport> = interleaved.into_iter().map(|(_, r)| r).collect();
+        let chunked = FleetRunner::new(workers as usize).run(users, |u| sys.run_with(&session, u));
+        assert_eq!(interleaved, chunked);
+        let mut merged_interleave = PlaybackReport::empty();
+        for r in &interleaved {
+            merged_interleave.merge(r);
+        }
+        let merged_chunked =
+            FleetRunner::new(workers as usize).run_merged(users, |u| sys.run_with(&session, u));
+        assert_eq!(merged_interleave, merged_chunked);
+    }
+
+    #[test]
     fn fleet_metrics_accumulate() {
         let obs = Observer::enabled();
         let sys = tiny();
@@ -207,8 +228,13 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_is_clamped() {
-        assert_eq!(FleetRunner::new(0).workers(), 1);
+    fn worker_count_is_clamped_and_zero_means_auto() {
+        // `0` = auto: one per core, same 1..=64 clamp as the SAS
+        // fan-out's `resolve_workers` (it used to clamp to 1 here while
+        // sas treated 0 as one-per-core — the contracts are unified).
+        let auto = FleetRunner::new(0).workers();
+        assert!((1..=64).contains(&auto), "auto resolved to {auto}");
         assert_eq!(FleetRunner::new(1000).workers(), 64);
+        assert_eq!(FleetRunner::new(1).workers(), 1);
     }
 }

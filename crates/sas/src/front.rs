@@ -23,7 +23,7 @@
 //! into a **serial admission pass** (arrival order, calling thread —
 //! the only place shared mutable state is touched) and a **parallel
 //! execution pass** over the admitted keys (pure catalog/store reads,
-//! fanned out via the same static-interleave helper as ingest and
+//! fanned out via the same chunked-scheduling helper as ingest and
 //! merged back in input order). The report is therefore byte-identical
 //! for any worker count — the same contract as `FleetRunner` and
 //! `par::fan_out`, argued in DESIGN.md §14.

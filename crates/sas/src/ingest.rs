@@ -1,13 +1,13 @@
 //! The SAS ingestion pipeline: segment → detect → cluster → track →
 //! pre-render FOV videos → encode → store (paper §5.3, Fig. 7).
 //!
-//! Segments fan out across a scoped thread pool with a static interleave
-//! (worker `w` of `n` takes segments `w, w+n, …`), mirroring
-//! `evr-core`'s `FleetRunner`: every segment is a pure function of
-//! `(scene, config, segment index)`, results are collected with their
-//! index, sorted, and appended to the logs in ascending segment order —
-//! so the catalog is byte-identical to a serial ingest for *any* worker
-//! count (DESIGN.md §13). Degenerate segments — zero detections, NaN
+//! Segments fan out across a scoped thread pool with `evr-sched`'s
+//! chunked self-scheduling (workers pull fixed-size index chunks from a
+//! shared cursor), mirroring `evr-core`'s `FleetRunner`: every segment
+//! is a pure function of `(scene, config, segment index)`, results are
+//! collected with their chunk index, sorted, and appended to the logs
+//! in ascending segment order — so the catalog is byte-identical to a
+//! serial ingest for *any* worker count (DESIGN.md §13). Degenerate segments — zero detections, NaN
 //! detector output, clustering failure — degrade to original-only
 //! serving instead of panicking the pipeline.
 
@@ -383,9 +383,9 @@ pub fn ingest_video_with(
 
     // Segments are independent (each starts with an intra frame and a
     // fresh key-frame clustering), so ingestion fans out across threads
-    // by static interleave; results are sorted by segment and appended
-    // to the logs in segment order — byte-identical for any worker
-    // count.
+    // through the chunked self-scheduler; results are sorted by segment
+    // and appended to the logs in segment order — byte-identical for
+    // any worker count.
     let start = std::time::Instant::now();
     let workers = crate::par::resolve_workers(options.workers, segment_count);
     // On a timed observer every segment is also recorded as an

@@ -95,6 +95,20 @@ pub fn ingest_ladder(
     quantizers: &[u8],
     duration_s: f64,
 ) -> LadderCatalog {
+    ingest_ladder_with(scene, config, quantizers, duration_s, 0)
+}
+
+/// [`ingest_ladder`] with an explicit worker count (`0` = one per core;
+/// clamped to `1..=64` like every fan-out). The planner used to
+/// hardcode auto, so callers — the ingest bench's pinned sweeps in
+/// particular — could not control its parallelism.
+pub fn ingest_ladder_with(
+    scene: &Scene,
+    config: &SasConfig,
+    quantizers: &[u8],
+    duration_s: f64,
+    workers: usize,
+) -> LadderCatalog {
     assert!(!quantizers.is_empty(), "ladder needs at least one rung");
     assert!(
         quantizers.windows(2).all(|w| w[0] > w[1]),
@@ -108,10 +122,10 @@ pub fn ingest_ladder(
     let scale = config.src_byte_scale();
 
     // Every segment row is a pure function of `(scene, config, seg)`, so
-    // the rung encodings fan out across cores with the deterministic
-    // static interleave of `crate::par` — byte-identical to the serial
-    // loop for any worker count.
-    let bytes = crate::par::fan_out(segment_count, 0, |seg| {
+    // the rung encodings fan out through the deterministic chunked
+    // scheduler of `crate::par` — byte-identical to the serial loop for
+    // any worker count.
+    let bytes = crate::par::fan_out(segment_count, workers, |seg| {
         let start = seg * seg_len;
         let end = (start + seg_len).min(total_frames);
         let sources: Vec<ImageBuffer> = (start..end)

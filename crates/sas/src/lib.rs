@@ -60,8 +60,8 @@ pub use ingest::{
     ingest_video, ingest_video_with, try_ingest_video, FovStream, IngestError, IngestOptions,
     SasCatalog,
 };
-pub use ladder::{ingest_ladder, LadderCatalog};
+pub use ladder::{ingest_ladder, ingest_ladder_with, LadderCatalog};
 pub use prerender::{FovPrerenderStore, PrerenderKey, PrerenderedFov, StoreStats};
 pub use server::{Request, Response, SasError, SasServer};
 pub use store::LogStore;
-pub use tiles::{ingest_tiled, TileGrid, TiledCatalog};
+pub use tiles::{ingest_tiled, ingest_tiled_with, TileGrid, TiledCatalog};

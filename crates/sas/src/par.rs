@@ -1,36 +1,38 @@
-//! The cloud-side fan-out: deterministic static-interleave parallelism
-//! over independent work items.
+//! The cloud-side fan-out: deterministic chunked self-scheduling over
+//! independent work items.
 //!
 //! Every SAS ingestion flavour — the FOV pipeline ([`crate::ingest`]),
 //! the bitrate ladder ([`crate::ladder`]) and the tiled baseline
 //! ([`crate::tiles`]) — processes temporal segments that are pure
-//! functions of `(scene, config, segment index)`. They all fan out the
-//! same way, mirroring `evr-core`'s `FleetRunner` and `evr-projection`'s
-//! scanline pool (DESIGN.md §13):
+//! functions of `(scene, config, segment index)`. They all fan out
+//! through the shared scheduler in [`evr_sched`], the same one
+//! `evr-core`'s `FleetRunner` uses (DESIGN.md §13):
 //!
-//! 1. worker `w` of `n` takes items `w, w+n, w+2n, …` — a static
-//!    interleave, no work-stealing, no queue ordering;
-//! 2. every result is collected with its item index, sorted, and
-//!    returned in ascending item order;
+//! 1. workers pull fixed-size contiguous index chunks from a shared
+//!    atomic cursor — a fast worker takes more chunks, a straggler
+//!    fewer, so uneven per-segment cost no longer elects one lane the
+//!    critical path (the flaw of the old `w, w+n, w+2n, …` static
+//!    interleave);
+//! 2. every chunk's results are collected with the chunk index, sorted,
+//!    and returned in ascending item order;
 //! 3. all order-sensitive downstream accumulation therefore happens on
 //!    the calling thread in one fixed order.
 //!
 //! The output is byte-identical to a serial loop for *any* worker
-//! count; only wall-clock changes.
+//! count and chunk size; only wall-clock (and per-lane observability)
+//! changes.
 
 /// Resolves a requested worker count: `0` means one per available core;
-/// anything else is clamped to `1..=64`, and never more workers than
-/// items.
+/// every path — auto included — is clamped to `1..=64`, and never more
+/// workers than items. Delegates to [`evr_sched::resolve_workers`], the
+/// one contract shared with `FleetRunner`.
 pub(crate) fn resolve_workers(requested: usize, items: u64) -> usize {
-    let workers = match requested {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-        n => n.clamp(1, 64),
-    };
-    workers.min(items.max(1) as usize)
+    evr_sched::resolve_workers(requested, items)
 }
 
 /// Runs `work` over items `0..count` across `workers` scoped threads
-/// with a static interleave, returning results in item order.
+/// with chunked self-scheduling (auto chunk size), returning results in
+/// item order.
 ///
 /// A panicking worker is resumed on the calling thread (the panic is
 /// not swallowed); `work` itself is expected to be panic-free for
@@ -40,36 +42,7 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let workers = resolve_workers(workers, count);
-    if workers <= 1 {
-        return (0..count).map(work).collect();
-    }
-    std::thread::scope(|scope| {
-        let work = &work;
-        let handles: Vec<_> = (0..workers as u64)
-            .map(|worker| {
-                scope.spawn(move || {
-                    // Tag the thread's timeline lane so intervals the
-                    // work records land on this worker's Gantt row.
-                    evr_obs::timeline::with_worker(worker as u32, || {
-                        let mut out = Vec::new();
-                        let mut item = worker;
-                        while item < count {
-                            out.push((item, work(item)));
-                            item += workers as u64;
-                        }
-                        out
-                    })
-                })
-            })
-            .collect();
-        let mut all: Vec<(u64, T)> = handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect();
-        all.sort_by_key(|(i, _)| *i);
-        all.into_iter().map(|(_, r)| r).collect()
-    })
+    evr_sched::run_chunked(count, workers, 0, work)
 }
 
 #[cfg(test)]
@@ -85,6 +58,23 @@ mod tests {
     }
 
     #[test]
+    fn parity_holds_with_uneven_per_item_cost() {
+        // Cost proportional to index — the straggler shape chunked
+        // self-scheduling exists for. Output must not notice.
+        let work = |i: u64| {
+            let mut acc = i;
+            for _ in 0..i * 20 {
+                acc = acc.wrapping_mul(0x5851_f42d_4c95_7f2d).wrapping_add(0x1405_7b7e_f767_814f);
+            }
+            acc
+        };
+        let serial: Vec<u64> = (0..120).map(work).collect();
+        for workers in [2, 8, 64] {
+            assert_eq!(fan_out(120, workers, work), serial, "{workers} workers");
+        }
+    }
+
+    #[test]
     fn zero_items_yield_an_empty_vec() {
         assert!(fan_out(0, 8, |i| i).is_empty());
     }
@@ -96,5 +86,14 @@ mod tests {
         assert_eq!(resolve_workers(8, 2), 2);
         assert!(resolve_workers(0, 1000) >= 1);
         assert_eq!(resolve_workers(0, 1), 1);
+    }
+
+    #[test]
+    fn auto_worker_resolution_honours_the_documented_clamp() {
+        // The `0` (auto) arm must obey the same 1..=64 contract as an
+        // explicit request, even on a >64-core machine — it used to
+        // take `available_parallelism()` unclamped.
+        let auto = resolve_workers(0, u64::MAX);
+        assert!((1..=64).contains(&auto), "auto resolved to {auto}");
     }
 }

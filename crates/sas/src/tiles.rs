@@ -163,6 +163,19 @@ pub fn ingest_tiled(
     low_quantizer: u8,
     duration_s: f64,
 ) -> TiledCatalog {
+    ingest_tiled_with(scene, config, grid, low_quantizer, duration_s, 0)
+}
+
+/// [`ingest_tiled`] with an explicit worker count (`0` = one per core;
+/// clamped to `1..=64` like every fan-out).
+pub fn ingest_tiled_with(
+    scene: &Scene,
+    config: &SasConfig,
+    grid: TileGrid,
+    low_quantizer: u8,
+    duration_s: f64,
+    workers: usize,
+) -> TiledCatalog {
     let (src_w, src_h) = config.analysis_src;
     assert!(
         src_w.is_multiple_of(grid.cols) && src_h.is_multiple_of(grid.rows),
@@ -185,9 +198,9 @@ pub fn ingest_tiled(
     let scale = config.src_byte_scale();
 
     // Each segment's tile matrix is a pure function of
-    // `(scene, config, seg)`; fan out with the deterministic static
-    // interleave of `crate::par` — byte-identical to the serial loop.
-    let segments = crate::par::fan_out(segment_count, 0, |seg| {
+    // `(scene, config, seg)`; fan out through the deterministic chunked
+    // scheduler of `crate::par` — byte-identical to the serial loop.
+    let segments = crate::par::fan_out(segment_count, workers, |seg| {
         let start = seg * seg_len;
         let end = (start + seg_len).min(total_frames);
         let sources: Vec<ImageBuffer> = (start..end)
