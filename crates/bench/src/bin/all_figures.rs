@@ -109,6 +109,20 @@ fn main() {
         );
     }
 
+    header("Tiled variants", "T / T+H vs baseline (clean | mild faults)");
+    for r in f::tiled_variants_table(&ctx) {
+        println!(
+            "{:10} {:4} bw {} device {} | bw {} device {} degraded {}",
+            r.video.to_string(),
+            r.variant.to_string(),
+            pct(r.bandwidth_saving),
+            pct(r.device_saving),
+            pct(r.faulted_bandwidth_saving),
+            pct(r.faulted_device_saving),
+            pct(r.faulted_degraded_fraction)
+        );
+    }
+
     header("§7.2", "PTE prototype");
     for r in f::proto_pte() {
         println!("{} PTU: {:5.1} FPS at {:4.0} mW", r.ptus, r.fps, 1000.0 * r.power_w);

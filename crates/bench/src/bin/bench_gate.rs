@@ -1,7 +1,7 @@
 //! The CI perf-regression gate.
 //!
-//! Compares fresh `fleet_bench` / `ingest_bench` / `serve_bench` JSON
-//! reports against
+//! Compares fresh `fleet_bench` / `ingest_bench` / `serve_bench` /
+//! `tiled_bench` JSON reports against
 //! the committed baselines in `benches/baselines/` and exits non-zero
 //! if any noise-tolerant threshold is violated (see
 //! [`evr_bench::gate`]): >15% throughput drop, >0.1 absolute parallel
@@ -26,13 +26,14 @@
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use evr_bench::gate::{check_fleet, check_ingest, check_serve, GateThresholds};
+use evr_bench::gate::{check_fleet, check_ingest, check_serve, check_tiled, GateThresholds};
 use evr_bench::json::Json;
 
 struct GateArgs {
     fleet: Option<String>,
     ingest: Option<String>,
     serve: Option<String>,
+    tiled: Option<String>,
     baselines: PathBuf,
     update: bool,
 }
@@ -42,6 +43,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
         fleet: None,
         ingest: None,
         serve: None,
+        tiled: None,
         baselines: PathBuf::from("benches/baselines"),
         update: false,
     };
@@ -52,6 +54,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
             out.ingest = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("serve=") {
             out.serve = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("tiled=") {
+            out.tiled = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("baselines=") {
             out.baselines = PathBuf::from(v);
         } else if arg == "--update-baseline" {
@@ -59,13 +63,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
         } else {
             eprintln!(
                 "unknown argument {arg:?}; expected `fleet=PATH`, `ingest=PATH`, \
-                 `serve=PATH`, `baselines=DIR` or `--update-baseline`"
+                 `serve=PATH`, `tiled=PATH`, `baselines=DIR` or `--update-baseline`"
             );
             exit(2);
         }
     }
-    if out.fleet.is_none() && out.ingest.is_none() && out.serve.is_none() {
-        eprintln!("nothing to gate: pass `fleet=PATH`, `ingest=PATH` and/or `serve=PATH`");
+    if out.fleet.is_none() && out.ingest.is_none() && out.serve.is_none() && out.tiled.is_none() {
+        eprintln!(
+            "nothing to gate: pass `fleet=PATH`, `ingest=PATH`, `serve=PATH` and/or `tiled=PATH`"
+        );
         exit(2);
     }
     out
@@ -126,6 +132,9 @@ fn main() {
     }
     if let Some(serve) = &args.serve {
         violations.extend(gate_one(&args, serve, "serve.json", check_serve));
+    }
+    if let Some(tiled) = &args.tiled {
+        violations.extend(gate_one(&args, tiled, "tiled.json", check_tiled));
     }
     if !violations.is_empty() {
         eprintln!("perf gate FAILED ({} violation(s)):", violations.len());

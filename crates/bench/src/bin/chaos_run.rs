@@ -1,8 +1,9 @@
-//! Chaos run: replays the online-streaming S+H pipeline under a ladder
-//! of fault severities (clean → mild → moderate → severe → server) and
-//! reports
-//! how gracefully playback degrades — stalls, degraded/frozen frames,
-//! retries and the energy spent riding out faults.
+//! Chaos run: replays the online-streaming S+H and T+H pipelines under
+//! a ladder of fault severities (clean → mild → moderate → severe →
+//! server) and reports how gracefully playback degrades — stalls,
+//! degraded/frozen frames, retries and the energy spent riding out
+//! faults. The `…+T+H` rows exercise the tiled multi-rate path, whose
+//! per-tile retries degrade single tiles instead of freezing frames.
 //!
 //! Every run is a pure function of the seed: the link process, the loss
 //! channel and the fault plan all draw from seeded deterministic
@@ -200,26 +201,22 @@ fn main() {
 
     let system = EvrSystem::build(VideoId::Rhino, args.sas, args.duration_s);
     let cfg = ExperimentConfig { users: args.users, threads: args.threads };
-    let rows: Vec<(String, AggregateReport)> = ladder(args.seed, args.duration_s)
-        .into_iter()
-        .map(|(label, setup)| {
-            let agg = run_variant_resilient(
-                &system,
-                UseCase::OnlineStreaming,
-                Variant::SPlusH,
-                &cfg,
-                &setup,
-            );
+    let mut rows: Vec<(String, AggregateReport)> = Vec::new();
+    for (label, setup) in ladder(args.seed, args.duration_s) {
+        for (variant, tag) in [(Variant::SPlusH, ""), (Variant::TPlusH, "+T+H")] {
+            let agg =
+                run_variant_resilient(&system, UseCase::OnlineStreaming, variant, &cfg, &setup);
+            let row = format!("{label}{tag}");
             println!(
-                "  {label:<8} stall {:.3} s, degraded {:.1}%, frozen {:.1}%, retries {:.1}",
+                "  {row:<12} stall {:.3} s, degraded {:.1}%, frozen {:.1}%, retries {:.1}",
                 agg.fault_stall_s,
                 100.0 * agg.degraded_fraction,
                 100.0 * agg.frozen_fraction,
                 agg.retries
             );
-            (label, agg)
-        })
-        .collect();
+            rows.push((row, agg));
+        }
+    }
 
     println!();
     print!("{}", chaos_markdown(&rows));

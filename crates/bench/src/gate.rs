@@ -151,6 +151,23 @@ pub fn check_serve(current: &Json, baseline: &Json, t: &GateThresholds) -> Vec<S
     )
 }
 
+/// Gates a `tiled_bench` report. Returns one message per violation;
+/// empty means the gate passes. `parity_ok` covers both the ingest
+/// worker sweep and the tiled fleet runs; the gated throughputs are the
+/// tile-rung encode rate and the rate-allocator rate.
+pub fn check_tiled(current: &Json, baseline: &Json, t: &GateThresholds) -> Vec<String> {
+    run_checks(
+        "tiled",
+        current,
+        baseline,
+        &[
+            Check::MustBeTrue { path: "parity_ok" },
+            Check::MinRatio { path: "scaling.tile_rungs_per_s", drop: t.throughput_drop },
+            Check::MinRatio { path: "scaling.allocations_per_s", drop: t.throughput_drop },
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +189,13 @@ mod tests {
     fn serve_report(requests_per_s: f64, parity_ok: bool) -> Json {
         Json::parse(&format!(
             "{{\"parity_ok\":{parity_ok},\"scaling\":{{\"requests_per_s\":{requests_per_s:.6},\"shed_rate\":0.5}}}}"
+        ))
+        .unwrap()
+    }
+
+    fn tiled_report(tile_rungs_per_s: f64, allocations_per_s: f64, parity_ok: bool) -> Json {
+        Json::parse(&format!(
+            "{{\"parity_ok\":{parity_ok},\"scaling\":{{\"tile_rungs_per_s\":{tile_rungs_per_s:.6},\"allocations_per_s\":{allocations_per_s:.6}}}}}"
         ))
         .unwrap()
     }
@@ -198,6 +222,30 @@ mod tests {
         let violations = check_serve(&slow, &baseline, &GateThresholds::default());
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("requests_per_s"), "{violations:?}");
+    }
+
+    #[test]
+    fn tiled_gate_covers_parity_and_both_throughputs() {
+        let baseline = tiled_report(4000.0, 200_000.0, true);
+        assert!(check_tiled(&baseline, &baseline, &GateThresholds::default()).is_empty());
+
+        let broken = tiled_report(5000.0, 250_000.0, false);
+        let violations = check_tiled(&broken, &baseline, &GateThresholds::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("parity_ok"), "{violations:?}");
+
+        let slow_ingest = tiled_report(3000.0, 200_000.0, true); // -25%
+        let violations = check_tiled(&slow_ingest, &baseline, &GateThresholds::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("tile_rungs_per_s"), "{violations:?}");
+
+        let slow_alloc = tiled_report(4000.0, 150_000.0, true); // -25%
+        let violations = check_tiled(&slow_alloc, &baseline, &GateThresholds::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("allocations_per_s"), "{violations:?}");
+
+        let noisy = tiled_report(3500.0, 175_000.0, true); // -12.5%: inside tolerance
+        assert!(check_tiled(&noisy, &baseline, &GateThresholds::default()).is_empty());
     }
 
     #[test]

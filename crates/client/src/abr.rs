@@ -233,9 +233,106 @@ pub fn simulate_abr_observed(
     outcome
 }
 
+/// One segment's per-tile rung selection from [`allocate_tile_rungs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileAllocation {
+    /// Chosen rung index per tile (0 = coarsest), row-major grid order.
+    pub rungs: Vec<usize>,
+    /// Total wire bytes of the selection.
+    pub total_bytes: u64,
+}
+
+/// How much an upgrade on a peripheral tile is worth relative to the
+/// same solid angle of visible content: the viewer only sees it if the
+/// head moves that way mid-segment.
+const PERIPHERAL_VALUE: f64 = 0.35;
+
+/// Allocates a per-segment byte budget across tiles — the S-PSNR-style
+/// spherically-weighted rate allocator of the `T`/`T+H` variants.
+///
+/// Every tile starts at the coarsest rung (the base layer; panoramic
+/// playback needs *something* everywhere). Upgrades are then granted
+/// greedily by quality value per marginal byte: a tile's value is its
+/// spherical solid-angle weight ([`evr_sas::TileGrid::tile_weights`])
+/// times a viewport factor (visible `1.0`, peripheral
+/// [`PERIPHERAL_VALUE`], out-of-view never upgrades), and each step
+/// picks the affordable upgrade with the best `value / marginal-bytes`
+/// ratio (ties to the lowest tile index). Visible tiles may climb to the
+/// top rung, peripheral tiles to the middle of the ladder.
+///
+/// The returned total never exceeds `budget_bytes` as long as the base
+/// layer itself fits; if even the base layer exceeds the budget, the
+/// base layer is returned unchanged (the caller sees the overrun in
+/// `total_bytes` and stalls accordingly, exactly like a too-slow link).
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, ragged, or of mismatched lengths.
+pub fn allocate_tile_rungs(
+    tile_rung_bytes: &[Vec<u64>],
+    weights: &[f64],
+    classes: &[evr_sas::TileClass],
+    budget_bytes: u64,
+) -> TileAllocation {
+    use evr_sas::TileClass;
+    assert!(!tile_rung_bytes.is_empty(), "allocation needs at least one tile");
+    let rung_count = tile_rung_bytes[0].len();
+    assert!(rung_count > 0, "tiles need at least one rung");
+    assert!(tile_rung_bytes.iter().all(|t| t.len() == rung_count), "ragged rung matrix");
+    assert_eq!(tile_rung_bytes.len(), weights.len(), "weights must match tiles");
+    assert_eq!(tile_rung_bytes.len(), classes.len(), "classes must match tiles");
+
+    let caps: Vec<usize> = classes
+        .iter()
+        .map(|c| match c {
+            TileClass::Visible => rung_count - 1,
+            TileClass::Peripheral => (rung_count - 1) / 2,
+            TileClass::OutOfView => 0,
+        })
+        .collect();
+    let values: Vec<f64> = classes
+        .iter()
+        .zip(weights)
+        .map(|(c, w)| match c {
+            TileClass::Visible => *w,
+            TileClass::Peripheral => *w * PERIPHERAL_VALUE,
+            TileClass::OutOfView => 0.0,
+        })
+        .collect();
+
+    let mut rungs = vec![0usize; tile_rung_bytes.len()];
+    let mut total: u64 = tile_rung_bytes.iter().map(|t| t[0]).sum();
+    loop {
+        let mut best: Option<(usize, u64, f64)> = None; // (tile, new_total, score)
+        for (t, &r) in rungs.iter().enumerate() {
+            if r >= caps[t] {
+                continue;
+            }
+            // Marginal bytes may be negative: the toy codec (like real
+            // DASH packagers) occasionally inverts neighbouring rungs.
+            let new_total = (total as i128 - tile_rung_bytes[t][r] as i128
+                + tile_rung_bytes[t][r + 1] as i128)
+                .max(0) as u64;
+            if new_total > budget_bytes {
+                continue;
+            }
+            let marginal = tile_rung_bytes[t][r + 1].saturating_sub(tile_rung_bytes[t][r]).max(1);
+            let score = values[t] / marginal as f64;
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((t, new_total, score));
+            }
+        }
+        let Some((t, new_total, _)) = best else { break };
+        rungs[t] += 1;
+        total = new_total;
+    }
+    TileAllocation { rungs, total_bytes: total }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use evr_sas::TileClass;
 
     /// 10 segments of 1 s whose rungs cost 1 / 2 / 4 Mbit each.
     fn ladder() -> Vec<Vec<u64>> {
@@ -323,5 +420,103 @@ mod tests {
     fn ragged_ladder_panics() {
         let bad = vec![vec![1, 2], vec![1]];
         let _ = simulate_abr(&bad, 1.0, &BandwidthTrace::constant(1e6), AbrPolicy::default());
+    }
+
+    /// A deterministic xorshift for property-style sweeps (no external
+    /// RNG crates in this workspace).
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_matrix(seed: u64, tiles: usize, rungs: usize) -> Vec<Vec<u64>> {
+        let mut s = seed.max(1);
+        (0..tiles)
+            .map(|_| (0..rungs).map(|r| 500 + xorshift(&mut s) % 2_000 * (r as u64 + 1)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn allocation_never_exceeds_budget_when_base_fits() {
+        let grid = evr_sas::TileGrid::default();
+        let weights = grid.tile_weights();
+        for seed in 1..50u64 {
+            let matrix = random_matrix(seed, grid.len(), 3);
+            let base: u64 = matrix.iter().map(|t| t[0]).sum();
+            let top: u64 = matrix.iter().map(|t| t[2]).sum();
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+            let budget = base + xorshift(&mut s) % (top - base + 1);
+            let classes: Vec<TileClass> = (0..grid.len())
+                .map(|t| match (t + seed as usize) % 3 {
+                    0 => TileClass::Visible,
+                    1 => TileClass::Peripheral,
+                    _ => TileClass::OutOfView,
+                })
+                .collect();
+            let alloc = allocate_tile_rungs(&matrix, &weights, &classes, budget);
+            assert!(
+                alloc.total_bytes <= budget,
+                "seed {seed}: total {} > budget {budget}",
+                alloc.total_bytes
+            );
+            let recomputed: u64 = matrix.iter().zip(&alloc.rungs).map(|(t, &r)| t[r]).sum();
+            assert_eq!(alloc.total_bytes, recomputed, "seed {seed}: total out of sync");
+        }
+    }
+
+    #[test]
+    fn class_caps_bound_every_tile() {
+        let grid = evr_sas::TileGrid::default();
+        let weights = grid.tile_weights();
+        let matrix = random_matrix(7, grid.len(), 3);
+        let classes: Vec<TileClass> = (0..grid.len())
+            .map(|t| match t % 3 {
+                0 => TileClass::Visible,
+                1 => TileClass::Peripheral,
+                _ => TileClass::OutOfView,
+            })
+            .collect();
+        let alloc = allocate_tile_rungs(&matrix, &weights, &classes, u64::MAX);
+        for (t, (&r, c)) in alloc.rungs.iter().zip(&classes).enumerate() {
+            let cap = match c {
+                TileClass::Visible => 2,
+                TileClass::Peripheral => 1,
+                TileClass::OutOfView => 0,
+            };
+            assert_eq!(r, cap, "tile {t} ({c:?}) under unlimited budget");
+        }
+    }
+
+    #[test]
+    fn overrun_base_layer_is_returned_unchanged() {
+        let matrix = vec![vec![100, 200], vec![100, 200]];
+        let weights = vec![1.0, 1.0];
+        let classes = vec![TileClass::Visible, TileClass::Visible];
+        let alloc = allocate_tile_rungs(&matrix, &weights, &classes, 50);
+        assert_eq!(alloc.rungs, vec![0, 0]);
+        assert_eq!(alloc.total_bytes, 200);
+    }
+
+    #[test]
+    fn equal_cost_upgrades_favour_the_larger_solid_angle() {
+        // Two visible tiles, identical rung costs, one polar (small
+        // weight) and one equatorial (large weight): with budget for one
+        // upgrade, the equatorial tile gets it.
+        let grid = evr_sas::TileGrid::default();
+        let weights = grid.tile_weights();
+        let polar = 0usize; // row 0
+        let equatorial = (grid.cols + 1) as usize; // row 1
+        assert!(weights[equatorial] > weights[polar]);
+        let mut matrix = vec![vec![0u64, 0]; grid.len()];
+        matrix[polar] = vec![100, 200];
+        matrix[equatorial] = vec![100, 200];
+        let mut classes = vec![TileClass::OutOfView; grid.len()];
+        classes[polar] = TileClass::Visible;
+        classes[equatorial] = TileClass::Visible;
+        let alloc = allocate_tile_rungs(&matrix, &weights, &classes, 300);
+        assert_eq!(alloc.rungs[equatorial], 1);
+        assert_eq!(alloc.rungs[polar], 0);
     }
 }

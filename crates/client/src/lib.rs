@@ -36,6 +36,7 @@ pub mod network;
 pub mod pipeline;
 pub mod session;
 
+pub use abr::{allocate_tile_rungs, TileAllocation};
 pub use network::NetworkModel;
 pub use pipeline::{
     CleanTransport, FaultedTransport, FovPassthrough, GpuBackend, PteBackend, RenderBackend,

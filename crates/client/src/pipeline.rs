@@ -1282,6 +1282,337 @@ pub(crate) fn run_tiled<R: RenderBackend>(
     }
 }
 
+/// Fetches one tile payload of `wire` bytes through the transport,
+/// folding the bytes into the run's wire/storage accounting on
+/// delivery. The network-free path reads from storage and never fails.
+#[allow(clippy::too_many_arguments)]
+fn fetch_tile<T: Transport>(
+    transport: &mut T,
+    st: &mut RunState,
+    cfg: &SessionConfig,
+    obs: &Observer,
+    m: &SessionMetrics,
+    link: &SegmentLink,
+    media_t: f64,
+    seg: u32,
+    wire: u64,
+) -> bool {
+    if !cfg.path.uses_network() {
+        st.storage_read_bytes += wire;
+        return true;
+    }
+    let mut io = StageIo {
+        ledger: &mut st.ledger,
+        faults: &mut st.faults,
+        device: &cfg.device,
+        observer: obs,
+        metrics: m,
+    };
+    if transport.fetch(&mut io, link, media_t, seg, wire) {
+        st.bytes_received += wire;
+        if T::PER_SEGMENT_WIRE {
+            st.wire_bytes_total += link.net.wire_bytes(wire);
+        }
+        m.fetch_bytes.add(wire);
+        true
+    } else {
+        false
+    }
+}
+
+/// Per-tile multi-rate streaming — the playback loop behind the
+/// first-class `T`/`T+H` variants.
+///
+/// Per segment: classify every tile against the (possibly predicted)
+/// pose, allocate the link's byte budget across encoding rungs with the
+/// spherically-weighted allocator
+/// ([`crate::abr::allocate_tile_rungs`]), consult the serving front's
+/// admission gate once for the whole tile batch, then fetch each tile
+/// through the [`Transport`]'s retry machinery. A tile whose chosen
+/// rung fails retries once at the coarsest rung (that tile degrades); a
+/// tile whose coarsest rung also fails freezes (its last texture
+/// repeats) — partial tile loss never freezes the whole frame. With a
+/// 1×1 grid and an ample link this path is byte-identical to plain
+/// baseline playback (`tests/tiled_variants.rs` pins it).
+pub(crate) fn run_tiled_multirate<T: Transport, R: RenderBackend>(
+    session: &PlaybackSession,
+    server: &SasServer,
+    tiles: &evr_sas::TiledRateCatalog,
+    trace: &HeadTrace,
+    mut transport: T,
+    backend: R,
+) -> PlaybackReport {
+    let cfg = &session.cfg;
+    let obs = &session.observer;
+    let m = &session.metrics;
+    let observed = obs.is_enabled();
+    let tl = obs.timeline();
+    let timed = tl.is_enabled();
+    let catalog = server.catalog();
+    assert_eq!(
+        tiles.segment_count(),
+        catalog.segment_count(),
+        "tiled rate catalog must cover the same segments"
+    );
+    let grid = tiles.grid();
+    let weights = grid.tile_weights();
+    let tile_count = grid.len();
+    let safety = crate::abr::AbrPolicy::default().safety;
+    let geom = Geometry::of(cfg);
+    let mut st = RunState::new(cfg.sas.device_fov);
+
+    for seg in 0..catalog.segment_count() {
+        let _seg_span = observed.then(|| obs.span(names::SPAN_SEGMENT, -1, seg as i64));
+        let ctx = TraceCtx::anonymous().with_segment(seg as i64);
+        m.segments.inc();
+        let original = catalog.original_segment(seg);
+        let n = original.frames.len() as u64;
+        let seg_start_t = original.start_index as f64 / FPS;
+        let seg_duration = n as f64 / FPS;
+
+        // plan: sample the link, classify tiles against the selection
+        // pose, allocate the segment's byte budget across rungs.
+        let t0 = observed.then(Instant::now);
+        let ts = timed.then(|| tl.now_ns());
+        let link = transport.segment_link(&cfg.network, seg_start_t, st.faults.stall_time_s);
+        let pose = selection_pose(cfg, trace, seg_start_t);
+        let classes = grid.classify_tiles(pose, cfg.sas.device_fov, evr_sas::PERIPHERY_MARGIN);
+        let budget = (link.net.bandwidth_bps * seg_duration / 8.0 * safety) as u64;
+        let rung_bytes = tiles.tile_rung_bytes(seg);
+        let mut alloc = crate::abr::allocate_tile_rungs(&rung_bytes, &weights, &classes, budget);
+        observe_stage(&m.stage_plan, t0);
+        if let Some(ts) = ts {
+            tl.record("plan", ctx, ts, tl.now_ns());
+        }
+
+        // fetch: the serving front's admission gate covers the whole
+        // tile batch (a shed batch is answered at the coarsest rung of
+        // every tile — the tile analogue of the shed low-rung
+        // original), then each tile walks its own two-rung ladder.
+        let t0 = observed.then(Instant::now);
+        let ts = timed.then(|| tl.now_ns());
+        let mut shed = false;
+        match transport.front_gate(seg_start_t, st.faults.stall_time_s, seg, catalog.content_id()) {
+            FrontGate::Serve { queue_delay_s } => {
+                if queue_delay_s > 0.0 {
+                    let mut io = StageIo {
+                        ledger: &mut st.ledger,
+                        faults: &mut st.faults,
+                        device: &cfg.device,
+                        observer: obs,
+                        metrics: m,
+                    };
+                    io.account_stall(queue_delay_s);
+                }
+            }
+            FrontGate::Shed { latency_s } => {
+                let mut io = StageIo {
+                    ledger: &mut st.ledger,
+                    faults: &mut st.faults,
+                    device: &cfg.device,
+                    observer: obs,
+                    metrics: m,
+                };
+                io.account_stall(latency_s);
+                st.faults.shed_segments += 1;
+                if observed {
+                    obs.mark(names::MARK_FRONT_SHED, -1, seg as i64, latency_s);
+                }
+                shed = true;
+                for r in alloc.rungs.iter_mut() {
+                    *r = 0;
+                }
+            }
+            FrontGate::Unavailable { latency_s } => {
+                if latency_s > 0.0 {
+                    let mut io = StageIo {
+                        ledger: &mut st.ledger,
+                        faults: &mut st.faults,
+                        device: &cfg.device,
+                        observer: obs,
+                        metrics: m,
+                    };
+                    io.account_stall(latency_s);
+                }
+                st.faults.front_unavailable_segments += 1;
+                if observed {
+                    obs.mark(names::MARK_FRONT_UNAVAILABLE, -1, seg as i64, latency_s);
+                }
+            }
+        }
+
+        // Any degradation below the allocation — shed batch, coarsest-
+        // rung retry, corrupt re-fetch — marks the segment degraded.
+        let mut any_degraded = shed;
+        let mut corruption_checked = false;
+        let mut delivered: Vec<Option<usize>> = Vec::with_capacity(tile_count);
+        for t in 0..tile_count {
+            let want = alloc.rungs[t];
+            let wire = tiles.rung(seg, t, want).wire_bytes;
+            let mut got =
+                fetch_tile(&mut transport, &mut st, cfg, obs, m, &link, seg_start_t, seg, wire)
+                    .then_some(want);
+            if got.is_none() && want > 0 {
+                // Coarsest-rung retry: the tile degrades, not the frame.
+                if observed {
+                    obs.mark(names::MARK_DEGRADE, -1, seg as i64, 2.0);
+                }
+                let low = tiles.rung(seg, t, 0).wire_bytes;
+                if fetch_tile(&mut transport, &mut st, cfg, obs, m, &link, seg_start_t, seg, low) {
+                    got = Some(0);
+                    any_degraded = true;
+                }
+            }
+            // The first delivered tile's leading intra decode detects a
+            // corrupt batch: the transfer was paid for, the decode
+            // energy is charged, and the tile re-fetches its coarsest
+            // rung.
+            if let Some(r) = got {
+                if !corruption_checked {
+                    corruption_checked = true;
+                    if transport.corrupts(seg) {
+                        st.faults.corrupt_segments += 1;
+                        let d = &cfg.device;
+                        let intra = tiles.rung(seg, t, r).frame_bytes[0];
+                        st.ledger.add(
+                            Component::Compute,
+                            Activity::Resilience,
+                            d.decode_energy(geom.src_px, intra),
+                        );
+                        st.ledger.add(
+                            Component::Memory,
+                            Activity::Resilience,
+                            d.dram_energy(d.decode_dram_bytes(geom.src_px)),
+                        );
+                        let low = tiles.rung(seg, t, 0).wire_bytes;
+                        got = if fetch_tile(
+                            &mut transport,
+                            &mut st,
+                            cfg,
+                            obs,
+                            m,
+                            &link,
+                            seg_start_t,
+                            seg,
+                            low,
+                        ) {
+                            any_degraded = true;
+                            Some(0)
+                        } else {
+                            None
+                        };
+                    }
+                }
+            }
+            delivered.push(got);
+        }
+        observe_stage(&m.stage_fetch, t0);
+        if let Some(ts) = ts {
+            tl.record("fetch", ctx, ts, tl.now_ns());
+        }
+
+        // decode/render: full-resolution decode of the delivered tiles'
+        // bytes, then full PT on every frame (tiling never avoids
+        // on-device PT). Frozen tiles contribute no bytes; a segment
+        // with *no* delivered tile freezes outright.
+        let t0 = observed.then(Instant::now);
+        let ts = timed.then(|| tl.now_ns());
+        let mut gpu_used = false;
+        if delivered.iter().all(|d| d.is_none()) {
+            st.faults.frozen_frames += n;
+            st.faults.degraded_segments += 1;
+            st.frames_total += n;
+            if observed {
+                m.frozen_frames.add(n);
+                m.frames.add(n);
+                obs.mark(names::MARK_DEGRADE, -1, seg as i64, 3.0);
+            }
+        } else {
+            let frozen_tiles = delivered.iter().filter(|d| d.is_none()).count();
+            for f in 0..n as usize {
+                let bytes: u64 = delivered
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, d)| d.map(|r| tiles.rung(seg, t, r).frame_bytes[f]))
+                    .sum();
+                account_decode(&cfg.device, &mut st.ledger, geom.src_px, bytes);
+                gpu_used |= backend.render(&mut st.ledger, geom.slot);
+                if m.enabled {
+                    backend.note_metrics(m);
+                }
+                st.fallback_frames += 1;
+                st.frames_total += 1;
+                m.frames.inc();
+                m.fallback_frames.inc();
+            }
+            if any_degraded || frozen_tiles > 0 {
+                st.faults.degraded_frames += n;
+                st.faults.degraded_segments += 1;
+                if observed {
+                    m.degraded_frames.add(n);
+                }
+            }
+        }
+        observe_stage(&m.stage_render, t0);
+        if let Some(ts) = ts {
+            tl.record("render", ctx, ts, tl.now_ns());
+        }
+
+        // account: GPU context power for any segment the GPU ran in.
+        let t0 = observed.then(Instant::now);
+        let ts = timed.then(|| tl.now_ns());
+        if gpu_used {
+            st.ledger.add(
+                Component::Compute,
+                Activity::ProjectiveTransform,
+                cfg.gpu.session_energy(seg_duration),
+            );
+        }
+        observe_stage(&m.stage_account, t0);
+        if let Some(ts) = ts {
+            tl.record("account", ctx, ts, tl.now_ns());
+        }
+    }
+
+    let duration_s = st.frames_total as f64 / FPS;
+    let wire_bytes = if !cfg.path.uses_network() {
+        None
+    } else if T::PER_SEGMENT_WIRE {
+        Some(st.wire_bytes_total)
+    } else {
+        Some(cfg.network.wire_bytes(st.bytes_received))
+    };
+    let storage_bytes =
+        if cfg.path.uses_network() { st.bytes_received } else { st.storage_read_bytes };
+    // Multi-stream tile management costs a share of SAS's client-control
+    // energy that grows with the tile count; a single-tile grid
+    // degenerates to plain baseline playback and pays nothing (which
+    // pins the 1×1 parity test).
+    let sas_scale = 0.5 * (1.0 - 1.0 / tile_count as f64);
+    account_session_tail(
+        cfg,
+        obs,
+        &mut st.ledger,
+        duration_s,
+        wire_bytes,
+        storage_bytes,
+        sas_scale,
+    );
+
+    PlaybackReport {
+        ledger: st.ledger,
+        frames_total: st.frames_total,
+        fov_hits: 0,
+        fov_misses: 0,
+        fallback_frames: st.fallback_frames,
+        rebuffer_events: st.rebuffer_events,
+        rebuffer_time_s: st.rebuffer_time_s,
+        bytes_received: st.bytes_received,
+        duration_s,
+        faults: st.faults,
+    }
+}
+
 /// The session-wide energy components every playback flavour settles at
 /// end of run: display scan, radio (when `wire_bytes` flowed), storage,
 /// base compute (plus `sas_client_scale` of the SAS client-control

@@ -12,6 +12,8 @@
 //! differing only in the [`Transport`](crate::pipeline::Transport) and
 //! [`RenderBackend`](crate::pipeline::RenderBackend) they plug in.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use evr_energy::{DeviceParams, EnergyLedger};
@@ -20,6 +22,7 @@ use evr_obs::{Observer, TraceCtx};
 use evr_pte::{FrameStats, GpuModel, Pte, PteConfig};
 use evr_sas::SasConfig;
 use evr_sas::SasServer;
+use evr_sas::TiledRateCatalog;
 use evr_trace::HeadTrace;
 use evr_video::codec::{EncodedFrame, EncodedSegment};
 
@@ -298,6 +301,10 @@ pub struct PlaybackSession {
     pub(crate) pte_frame: FrameStats,
     pub(crate) observer: Observer,
     pub(crate) metrics: SessionMetrics,
+    /// Per-tile multi-rate catalog: when attached, clean and resilient
+    /// runs play through the tiled multi-rate pipeline (the `T`/`T+H`
+    /// variants) instead of the whole-frame ladder.
+    pub(crate) tiles: Option<Arc<TiledRateCatalog>>,
 }
 
 impl PlaybackSession {
@@ -314,7 +321,22 @@ impl PlaybackSession {
         let pte = Pte::new(cfg.pte);
         let pte_frame = pte.analyze_frame_strided(sw, sh, evr_math::EulerAngles::default(), 4);
         let metrics = SessionMetrics::resolve(&observer);
-        PlaybackSession { cfg, pte_frame, observer, metrics }
+        PlaybackSession { cfg, pte_frame, observer, metrics, tiles: None }
+    }
+
+    /// Attaches a per-tile multi-rate catalog: every subsequent
+    /// [`PlaybackSession::run`]/[`PlaybackSession::run_resilient`]
+    /// replays through the tiled multi-rate pipeline, fetching the
+    /// spherically-weighted per-tile rung selection instead of the
+    /// whole-frame degradation ladder.
+    pub fn with_tiles(mut self, tiles: Arc<TiledRateCatalog>) -> Self {
+        self.tiles = Some(tiles);
+        self
+    }
+
+    /// The attached multi-rate tile catalog, if any.
+    pub fn tiles(&self) -> Option<&Arc<TiledRateCatalog>> {
+        self.tiles.as_ref()
     }
 
     /// Replaces the session's observer (a no-op observer detaches all
@@ -350,6 +372,9 @@ impl PlaybackSession {
         trace: &HeadTrace,
         ctx: TraceCtx,
     ) -> PlaybackReport {
+        if let Some(tiles) = self.tiles.clone() {
+            return self.run_tiled_pipeline(server, &tiles, trace, CleanTransport);
+        }
         self.run_pipeline(server, trace, CleanTransport, ctx)
     }
 
@@ -422,7 +447,39 @@ impl PlaybackSession {
         if setup.is_clean() || !self.cfg.path.uses_network() {
             return self.run_traced(server, trace, ctx);
         }
+        if let Some(tiles) = self.tiles.clone() {
+            return self.run_tiled_pipeline(server, &tiles, trace, FaultedTransport::new(setup));
+        }
         self.run_pipeline(server, trace, FaultedTransport::new(setup), ctx)
+    }
+
+    /// Dispatches the tiled multi-rate pipeline for the configured
+    /// renderer.
+    fn run_tiled_pipeline<T: Transport>(
+        &self,
+        server: &SasServer,
+        tiles: &TiledRateCatalog,
+        trace: &HeadTrace,
+        transport: T,
+    ) -> PlaybackReport {
+        match self.cfg.renderer {
+            Renderer::Gpu => crate::pipeline::run_tiled_multirate(
+                self,
+                server,
+                tiles,
+                trace,
+                transport,
+                GpuBackend::new(&self.cfg),
+            ),
+            Renderer::Pte => crate::pipeline::run_tiled_multirate(
+                self,
+                server,
+                tiles,
+                trace,
+                transport,
+                PteBackend::new(&self.cfg, self.pte_frame),
+            ),
+        }
     }
 
     /// Dispatches the staged pipeline for the configured renderer.

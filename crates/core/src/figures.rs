@@ -17,7 +17,7 @@ use evr_sas::SasConfig;
 use evr_trace::analysis::{coverage_curve, duration_cdf, tracking_episodes};
 use evr_video::library::VideoId;
 
-use crate::experiment::{run_variant, ExperimentConfig};
+use crate::experiment::{run_variant, run_variant_resilient, ExperimentConfig};
 use crate::system::{EvrSystem, UseCase, Variant};
 
 /// How big to run the experiments.
@@ -513,6 +513,81 @@ pub fn fig17() -> Vec<Fig17Row> {
                 resolution: (w, h),
                 projection,
                 reduction_pct: 100.0 * (e_gpu - e_pte) / e_gpu,
+            });
+        }
+    }
+    out
+}
+
+// --- Tiled multi-rate variants (T / T+H) -------------------------------------
+
+/// One row of the tiled-variant table (README variant table): one video
+/// × one tiled variant, clean and under a mild deterministic fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TiledVariantRow {
+    /// The video.
+    pub video: VideoId,
+    /// `T` or `T+H`.
+    pub variant: Variant,
+    /// Clean bandwidth saving vs the plain baseline, `[0, 1]`.
+    pub bandwidth_saving: f64,
+    /// Clean device-energy saving vs the plain baseline.
+    pub device_saving: f64,
+    /// Bandwidth saving under the fault plan, vs the equally faulted
+    /// baseline.
+    pub faulted_bandwidth_saving: f64,
+    /// Device-energy saving under the fault plan.
+    pub faulted_device_saving: f64,
+    /// Fraction of segments degraded under the fault plan (per-tile
+    /// fault isolation keeps this well short of freezing).
+    pub faulted_degraded_fraction: f64,
+}
+
+/// The mild deterministic fault plan behind the faulted columns of
+/// [`tiled_variants_table`]: one dropped request and one corrupt
+/// segment, no link or server chaos.
+pub fn tiled_mild_faults() -> evr_faults::FaultSetup {
+    evr_faults::FaultSetup::seeded(17).with_plan(
+        evr_faults::FaultPlan::none()
+            .with(evr_faults::FaultEvent::RequestDrop { segment: 1 })
+            .with(evr_faults::FaultEvent::SegmentCorruption { segment: 2 }),
+    )
+}
+
+/// The tiled-variant table: `T` and `T+H` vs the plain baseline on
+/// bandwidth and device energy, clean and under [`tiled_mild_faults`].
+///
+/// Reproduces the paper's §2 observation from the *energy* side: tiling
+/// cuts wire bytes (out-of-view tiles ride a downsampled coarse rung)
+/// but barely moves device energy because projective transformation
+/// still runs per frame — only the `+H` accelerator swap recovers it.
+pub fn tiled_variants_table(ctx: &FigureContext) -> Vec<TiledVariantRow> {
+    let scale = ctx.scale();
+    let cfg = scale.experiment();
+    let setup = tiled_mild_faults();
+    let mut out = Vec::new();
+    for &video in &VideoId::EVALUATION {
+        let system = ctx.system(video, scale.sas);
+        let base = run_variant(&system, UseCase::OnlineStreaming, Variant::Baseline, &cfg);
+        let fbase = run_variant_resilient(
+            &system,
+            UseCase::OnlineStreaming,
+            Variant::Baseline,
+            &cfg,
+            &setup,
+        );
+        for variant in Variant::TILED {
+            let clean = run_variant(&system, UseCase::OnlineStreaming, variant, &cfg);
+            let faulted =
+                run_variant_resilient(&system, UseCase::OnlineStreaming, variant, &cfg, &setup);
+            out.push(TiledVariantRow {
+                video,
+                variant,
+                bandwidth_saving: 1.0 - clean.bytes_received / base.bytes_received,
+                device_saving: clean.ledger.device_saving_vs(&base.ledger),
+                faulted_bandwidth_saving: 1.0 - faulted.bytes_received / fbase.bytes_received,
+                faulted_device_saving: faulted.ledger.device_saving_vs(&fbase.ledger),
+                faulted_degraded_fraction: faulted.degraded_fraction,
             });
         }
     }

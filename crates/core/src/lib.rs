@@ -8,8 +8,9 @@
 //! evaluation (§8).
 //!
 //! * [`system`] — [`Variant`] (paper §8.1: `S`, `H`, `S+H` vs the
-//!   baseline), [`UseCase`] (online / live / offline) and the
-//!   [`EvrSystem`] wiring an ingested video to client sessions.
+//!   baseline, plus the tiled multi-rate `T` / `T+H` — DESIGN.md §15),
+//!   [`UseCase`] (online / live / offline) and the [`EvrSystem`]
+//!   wiring an ingested video to client sessions.
 //! * [`experiment`] — multi-user experiment runner with parallel trace
 //!   replay and ledger aggregation.
 //! * [`fleet`] — the deterministic parallel [`FleetRunner`] behind every

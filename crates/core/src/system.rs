@@ -2,9 +2,13 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 use evr_client::session::{ContentPath, PlaybackReport, PlaybackSession, Renderer, SessionConfig};
-use evr_sas::{ingest_video_with, FovPrerenderStore, IngestOptions, SasConfig, SasServer};
+use evr_sas::{
+    ingest_tiled_rates_with, ingest_video_with, FovPrerenderStore, IngestOptions, SasConfig,
+    SasServer, TiledRateCatalog,
+};
 use evr_trace::behavior::{generate_user_trace, params_for};
 use evr_trace::HeadTrace;
 use evr_video::library::{scene_for, VideoId};
@@ -21,6 +25,13 @@ pub enum Variant {
     H,
     /// Both (`S+H`): FOV videos, PTE fallback.
     SPlusH,
+    /// Tiled multi-rate streaming (`T`): the related-work tiling
+    /// baseline promoted to a first-class variant — per-tile rate
+    /// allocation against the link budget, PT on the GPU.
+    T,
+    /// Tiled multi-rate streaming with hardware-accelerated rendering
+    /// (`T+H`): per-tile rate allocation, PTE fallback.
+    TPlusH,
     /// §8.5 comparison: SAS with a perfect on-device DNN head-motion
     /// predictor (inference energy charged by the experiment driver).
     PerfectHmp,
@@ -31,6 +42,15 @@ pub enum Variant {
 impl Variant {
     /// The three EVR variants of Fig. 12, in plot order.
     pub const EVR: [Variant; 3] = [Variant::S, Variant::H, Variant::SPlusH];
+
+    /// The tiled multi-rate variants, in plot order.
+    pub const TILED: [Variant; 2] = [Variant::T, Variant::TPlusH];
+
+    /// Whether this variant plays through the tiled multi-rate
+    /// pipeline (and needs a [`evr_sas::TiledRateCatalog`] attached).
+    pub fn is_tiled(self) -> bool {
+        matches!(self, Variant::T | Variant::TPlusH)
+    }
 
     fn session(self, use_case: UseCase, sas: SasConfig) -> SessionConfig {
         let (path, renderer, oracle) = match (use_case, self) {
@@ -45,6 +65,16 @@ impl Variant {
             }
             (UseCase::OnlineStreaming, Variant::SPlusH) => {
                 (ContentPath::OnlineSas, Renderer::Pte, false)
+            }
+            // The tiled variants stream originals tile by tile (no SAS
+            // pre-rendering); the multi-rate catalog attached by
+            // `EvrSystem::session_for` routes playback through the
+            // tiled pipeline.
+            (UseCase::OnlineStreaming, Variant::T) => {
+                (ContentPath::OnlineBaseline, Renderer::Gpu, false)
+            }
+            (UseCase::OnlineStreaming, Variant::TPlusH) => {
+                (ContentPath::OnlineBaseline, Renderer::Pte, false)
             }
             (UseCase::OnlineStreaming, Variant::PerfectHmp | Variant::IdealHmp) => {
                 (ContentPath::OnlineSas, Renderer::Pte, true)
@@ -73,6 +103,8 @@ impl fmt::Display for Variant {
             Variant::S => "S",
             Variant::H => "H",
             Variant::SPlusH => "S+H",
+            Variant::T => "T",
+            Variant::TPlusH => "T+H",
             Variant::PerfectHmp => "Perfect HMP",
             Variant::IdealHmp => "Perfect HMP w/ No Overhead",
         };
@@ -122,6 +154,9 @@ pub struct EvrSystem {
     sas: SasConfig,
     duration_s: f64,
     observer: evr_obs::Observer,
+    /// Per-tile multi-rate catalog for the `T`/`T+H` variants, built
+    /// lazily on the first tiled session (most sweeps never pay for it).
+    tiles: Mutex<Option<Arc<TiledRateCatalog>>>,
 }
 
 impl EvrSystem {
@@ -142,7 +177,28 @@ impl EvrSystem {
         let catalog = ingest_video_with(&scene, &sas, duration_s, &options)
             .unwrap_or_else(|e| panic!("ingest of {video:?} failed: {e}"));
         let server = SasServer::with_store(catalog, store);
-        EvrSystem { video, scene, server, sas, duration_s, observer: evr_obs::Observer::noop() }
+        EvrSystem {
+            video,
+            scene,
+            server,
+            sas,
+            duration_s,
+            observer: evr_obs::Observer::noop(),
+            tiles: Mutex::new(None),
+        }
+    }
+
+    /// The per-tile multi-rate catalog backing the `T`/`T+H` variants,
+    /// ingesting it on first use (deterministic for any worker count, so
+    /// lazy construction cannot perturb fleet parity).
+    pub fn tiled_rates(&self) -> Arc<TiledRateCatalog> {
+        let mut guard = self.tiles.lock().unwrap();
+        if let Some(tiles) = guard.as_ref() {
+            return tiles.clone();
+        }
+        let tiles = Arc::new(ingest_tiled_rates_with(&self.scene, &self.sas, self.duration_s, 0));
+        *guard = Some(tiles.clone());
+        tiles
     }
 
     /// Threads `observer` through the whole pipeline: the SAS server's
@@ -213,7 +269,15 @@ impl EvrSystem {
     /// Construction pre-analyses the PTE memory pattern, so experiment
     /// sweeps should build once and [`EvrSystem::run_with`] per user.
     pub fn session_for(&self, use_case: UseCase, variant: Variant) -> PlaybackSession {
-        PlaybackSession::with_observer(variant.session(use_case, self.sas), self.observer.clone())
+        let session = PlaybackSession::with_observer(
+            variant.session(use_case, self.sas),
+            self.observer.clone(),
+        );
+        if variant.is_tiled() {
+            session.with_tiles(self.tiled_rates())
+        } else {
+            session
+        }
     }
 
     /// Runs one user through a pre-built session. The user id travels
@@ -282,6 +346,7 @@ impl EvrSystem {
             sas,
             duration_s: self.duration_s,
             observer: self.observer.clone(),
+            tiles: Mutex::new(self.tiles.lock().unwrap().clone()),
         }
     }
 }

@@ -45,7 +45,7 @@ pub fn compare_tiled(system: &EvrSystem, grid: TileGrid, users: u64) -> TiledCom
         system.scene(),
         system.sas_config(),
         grid,
-        (system.sas_config().codec.quantizer * 2).min(50),
+        system.sas_config().resolved_tiled_low_quantizer(),
         system.duration(),
     );
     compare_with_catalog(system, &tiled, users)

@@ -8,6 +8,8 @@ use evr_projection::FovSpec;
 use evr_semantics::SyntheticDetector;
 use evr_video::codec::CodecConfig;
 
+use crate::tiles::TileGrid;
+
 /// Full configuration of the SAS pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SasConfig {
@@ -48,6 +50,13 @@ pub struct SasConfig {
     pub target_src: (u32, u32),
     /// Paper-scale FOV-video resolution.
     pub target_fov: (u32, u32),
+    /// Tile grid for the tiled delivery mode (`T`/`T+H` variants and the
+    /// tiled baseline). Must divide `analysis_src` into 8-aligned tiles.
+    pub tile_grid: TileGrid,
+    /// Quantiser of the tiled low-quality layer; `0` means *auto* —
+    /// twice the original's quantiser, clamped to the codec's 50 cap
+    /// (the historical `compare_tiled` hardcode, now configurable).
+    pub tiled_low_quantizer: u8,
 }
 
 impl Default for SasConfig {
@@ -73,6 +82,9 @@ impl Default for SasConfig {
             analysis_fov: (112, 112),
             target_src: (3840, 2160),
             target_fov: (2560, 1440),
+            // 8×4 over 320×160 → 40×40 tiles, 8-aligned.
+            tile_grid: TileGrid::default(),
+            tiled_low_quantizer: 0,
         }
     }
 }
@@ -87,6 +99,9 @@ impl SasConfig {
             analysis_src: (96, 48),
             analysis_fov: (32, 32),
             max_clusters: 2,
+            // 4×2 over 96×48 → 24×24 tiles (the default 8×4 grid would
+            // cut 12×12 tiles, which are not 8-aligned).
+            tile_grid: TileGrid { cols: 4, rows: 2 },
             ..SasConfig::default()
         }
     }
@@ -106,6 +121,30 @@ impl SasConfig {
     /// FOV encodings.
     pub fn fov_byte_scale(&self) -> f64 {
         pixel_ratio(self.target_fov, self.analysis_fov)
+    }
+
+    /// The effective tiled low-quality quantiser: the configured value,
+    /// or (when `0` = auto) twice the original's quantiser clamped to
+    /// the codec's cap of 50.
+    pub fn resolved_tiled_low_quantizer(&self) -> u8 {
+        if self.tiled_low_quantizer == 0 {
+            (self.codec.quantizer * 2).min(50)
+        } else {
+            self.tiled_low_quantizer
+        }
+    }
+
+    /// The per-tile quantiser ladder for multi-rate tiled ingest,
+    /// coarsest first (the ladder-machinery convention): the low layer,
+    /// a midpoint, and the original's quantiser. Coinciding rungs
+    /// deduplicate, so the ladder is always strictly descending.
+    pub fn tiled_rung_quantizers(&self) -> Vec<u8> {
+        let top = self.codec.quantizer;
+        let low = self.resolved_tiled_low_quantizer().max(top);
+        let mid = top + (low - top) / 2;
+        let mut rungs = vec![low, mid, top];
+        rungs.dedup();
+        rungs
     }
 
     /// Validates internal consistency.
@@ -133,6 +172,12 @@ impl SasConfig {
         }
         if self.max_clusters == 0 {
             return Err("max_clusters must be non-zero".into());
+        }
+        if self.tile_grid.is_empty() {
+            return Err("tile_grid must have at least one tile".into());
+        }
+        if self.tiled_low_quantizer > 50 {
+            return Err("tiled_low_quantizer must be at most 50".into());
         }
         Ok(())
     }

@@ -38,6 +38,7 @@ use evr_faults::{BreakerState, CircuitBreaker, FrontProfile, ServerFaultPlan};
 use crate::par;
 use crate::prerender::PrerenderedFov;
 use crate::server::{SasError, SasServer};
+use crate::tiles::TileRung;
 
 /// One client request as the front sees it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,6 +51,83 @@ pub struct FrontRequest {
     pub cluster: usize,
     /// Simulated arrival time, seconds.
     pub arrival_s: f64,
+}
+
+/// One tile request as the front sees it (the `T`/`T+H` delivery
+/// modes). Tile requests are keyed on their segment exactly like FOV
+/// requests, so sharding, admission control, shedding and coalescing
+/// apply unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileRequest {
+    /// Requesting user (report labelling only — routing ignores it).
+    pub user: u64,
+    /// Temporal segment index.
+    pub segment: u32,
+    /// Tile index within the grid (row-major).
+    pub tile: usize,
+    /// Quality-rung index (coarsest first).
+    pub rung: usize,
+    /// Simulated arrival time, seconds.
+    pub arrival_s: f64,
+}
+
+/// What one [`TileRequest`] in a batch ultimately received.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileDisposition {
+    /// The requested tile encoding.
+    Served {
+        /// The tile's byte accounting at the requested rung.
+        payload: TileRung,
+        /// Total simulated latency (queue + service), seconds.
+        latency_s: f64,
+        /// Whether this request reused another in-flight build of the
+        /// same `(segment, tile, rung)` key.
+        coalesced: bool,
+    },
+    /// Shed to the coarsest rung of the same tile.
+    Shed {
+        /// Why the request was shed.
+        reason: ShedReason,
+        /// Wire size of the shed (coarsest-rung) response, bytes.
+        wire_bytes: u64,
+        /// Simulated latency of the shed response, seconds.
+        latency_s: f64,
+    },
+    /// Shard outage or open breaker.
+    Unavailable,
+    /// The segment/tile/rung does not exist (client error, not load).
+    NotFound {
+        /// The catalog's verdict.
+        error: SasError,
+    },
+}
+
+/// Outcome of one [`TileRequest`] in a batch, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileBatchOutcome {
+    /// The request this outcome answers.
+    pub request: TileRequest,
+    /// What it received.
+    pub disposition: TileDisposition,
+}
+
+/// Deterministic summary of one [`SasFront::serve_tile_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileBatchReport {
+    /// Per-request outcomes, in input order.
+    pub outcomes: Vec<TileBatchOutcome>,
+    /// Requests served at their requested rung.
+    pub served: u64,
+    /// Requests shed to the coarsest rung.
+    pub shed: u64,
+    /// Requests refused entirely (outage / open breaker).
+    pub unavailable: u64,
+    /// Requests for tiles that do not exist.
+    pub not_found: u64,
+    /// Served requests that reused another request's build.
+    pub coalesced: u64,
+    /// Deepest per-shard queue observed during admission.
+    pub peak_queue_depth: u32,
 }
 
 /// Why the front refused to queue a request.
@@ -492,6 +570,119 @@ impl SasFront {
         report
     }
 
+    /// Serves a batch of tile requests with the same three-phase scheme
+    /// as [`SasFront::serve_batch`]: serial admission in input order,
+    /// parallel execution over unique `(segment, tile, rung)` keys, and
+    /// serial reassembly. Byte-identical output for any `workers` value.
+    ///
+    /// Shed responses degrade to the *coarsest rung of the same tile*
+    /// (scaled by the profile's `shed_byte_scale`) rather than the full
+    /// low-rung original — the tiled analogue of the FOV shed path.
+    pub fn serve_tile_batch(&self, requests: &[TileRequest], workers: usize) -> TileBatchReport {
+        self.metrics.requests.add(requests.len() as u64);
+
+        let admissions: Vec<Admission> =
+            requests.iter().map(|r| self.admit(r.segment, r.arrival_s)).collect();
+
+        let mut unique: Vec<(u32, usize, usize)> = Vec::new();
+        let mut key_index: HashMap<(u32, usize, usize), usize> = HashMap::new();
+        for (req, adm) in requests.iter().zip(&admissions) {
+            if matches!(adm, Admission::Serve { .. }) {
+                let key = (req.segment, req.tile, req.rung);
+                key_index.entry(key).or_insert_with(|| {
+                    unique.push(key);
+                    unique.len() - 1
+                });
+            }
+        }
+
+        let tl = &self.metrics.timeline;
+        let built: Vec<Result<TileRung, SasError>> =
+            par::fan_out(unique.len() as u64, workers, |i| {
+                let (segment, tile, rung) = unique[i as usize];
+                if tl.is_enabled() {
+                    let t0 = tl.now_ns();
+                    let result = self.server.fetch_tile(segment, tile, rung);
+                    tl.record(
+                        evr_obs::names::TIMELINE_FRONT_SERVE,
+                        evr_obs::TraceCtx::anonymous().with_segment(i64::from(segment)),
+                        t0,
+                        tl.now_ns(),
+                    );
+                    result
+                } else {
+                    self.server.fetch_tile(segment, tile, rung)
+                }
+            });
+
+        let mut report = TileBatchReport {
+            outcomes: Vec::with_capacity(requests.len()),
+            served: 0,
+            shed: 0,
+            unavailable: 0,
+            not_found: 0,
+            coalesced: 0,
+            peak_queue_depth: self.peak_queue_depth(),
+        };
+        let mut first_use: HashMap<(u32, usize, usize), ()> = HashMap::new();
+        for (req, adm) in requests.iter().zip(&admissions) {
+            let disposition = match *adm {
+                Admission::Serve { queue_delay_s, service_s, .. } => {
+                    let key = (req.segment, req.tile, req.rung);
+                    match &built[key_index[&key]] {
+                        Ok(payload) => {
+                            let coalesced = first_use.insert(key, ()).is_some();
+                            if coalesced {
+                                report.coalesced += 1;
+                            }
+                            report.served += 1;
+                            TileDisposition::Served {
+                                payload: payload.clone(),
+                                latency_s: queue_delay_s + service_s,
+                                coalesced,
+                            }
+                        }
+                        Err(error) => {
+                            report.not_found += 1;
+                            TileDisposition::NotFound { error: *error }
+                        }
+                    }
+                }
+                Admission::Shed { reason, latency_s, .. } => {
+                    report.shed += 1;
+                    TileDisposition::Shed {
+                        reason,
+                        wire_bytes: self.shed_tile_wire_bytes(req.segment, req.tile),
+                        latency_s,
+                    }
+                }
+                Admission::Unavailable { .. } => {
+                    report.unavailable += 1;
+                    TileDisposition::Unavailable
+                }
+            };
+            report.outcomes.push(TileBatchOutcome { request: *req, disposition });
+        }
+
+        self.metrics.served.add(report.served);
+        self.metrics.shed.add(report.shed);
+        self.metrics.unavailable.add(report.unavailable);
+        self.metrics.coalesced.add(report.coalesced);
+        report
+    }
+
+    /// Wire bytes of a shed tile response: the coarsest rung of the
+    /// tile scaled by the profile's `shed_byte_scale`, zero if the tile
+    /// does not exist.
+    fn shed_tile_wire_bytes(&self, segment: u32, tile: usize) -> u64 {
+        let Some(tiles) = self.server.tiles() else { return 0 };
+        if segment >= tiles.segment_count() || tile >= tiles.grid().len() {
+            return 0;
+        }
+        let coarse = tiles.rung(segment, tile, 0).wire_bytes;
+        (coarse as f64 * self.plan.profile().shed_byte_scale).round() as u64
+    }
+
     /// Wire bytes of the shed (low-rung original) response for
     /// `segment` — the full original scaled by the profile's
     /// `shed_byte_scale`, zero if the segment does not exist.
@@ -721,6 +912,87 @@ mod tests {
             f64::from(report.peak_queue_depth)
         );
         assert!(report.answered_latencies_s().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    fn tiled_server() -> SasServer {
+        let mut s = test_server();
+        let tiles = crate::tiles::ingest_tiled_rates(
+            &scene_for(VideoId::Rhino),
+            &SasConfig::tiny_for_tests(),
+            1.0,
+        );
+        s.attach_tiles(Arc::new(tiles));
+        s
+    }
+
+    #[test]
+    fn tile_batches_serve_and_coalesce_like_fov_batches() {
+        let front = SasFront::new(tiled_server(), profile(), 7);
+        let rungs = front.server().tiles().unwrap().rung_count();
+        // Four users want the same tile at the same rung, well under
+        // capacity: one build, three coalesced reuses.
+        let requests: Vec<TileRequest> = (0..4)
+            .map(|i| TileRequest {
+                user: i,
+                segment: 0,
+                tile: 1,
+                rung: rungs - 1,
+                arrival_s: i as f64 * 0.1,
+            })
+            .collect();
+        let report = front.serve_tile_batch(&requests, 4);
+        assert_eq!(report.served, 4);
+        assert_eq!(report.coalesced, 3);
+        assert!(report.outcomes.iter().all(|o| matches!(
+            &o.disposition,
+            TileDisposition::Served { payload, .. } if payload.wire_bytes > 0
+        )));
+    }
+
+    #[test]
+    fn overloaded_tile_batches_shed_identically_across_worker_counts() {
+        let p = profile();
+        let tiles = tiled_server();
+        let grid_len = tiles.tiles().unwrap().grid().len();
+        let capacity_rps = p.shard_capacity_rps() * f64::from(p.shards);
+        let dt = 1.0 / (capacity_rps * 4.0);
+        let requests: Vec<TileRequest> = (0..512)
+            .map(|i| TileRequest {
+                user: i as u64,
+                segment: (i % 3) as u32,
+                tile: i % grid_len,
+                rung: 0,
+                arrival_s: i as f64 * dt,
+            })
+            .collect();
+        let reports: Vec<TileBatchReport> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                let front = SasFront::new(tiled_server(), p, 7);
+                front.serve_tile_batch(&requests, workers)
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "1 vs 2 workers");
+        assert_eq!(reports[0], reports[2], "1 vs 8 workers");
+        let r = &reports[0];
+        assert!(r.shed > 0 && r.served > 0);
+        for o in &r.outcomes {
+            if let TileDisposition::Shed { wire_bytes, .. } = &o.disposition {
+                assert!(*wire_bytes > 0, "shed tiles still answer with the coarsest rung");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_requests_without_a_catalog_are_not_found() {
+        let front = SasFront::new(test_server(), profile(), 7);
+        let requests = vec![TileRequest { user: 0, segment: 0, tile: 0, rung: 0, arrival_s: 0.0 }];
+        let report = front.serve_tile_batch(&requests, 1);
+        assert_eq!(report.not_found, 1);
+        assert!(matches!(
+            report.outcomes[0].disposition,
+            TileDisposition::NotFound { error: SasError::UnknownTile { segment: 0, tile: 0 } }
+        ));
     }
 
     #[test]

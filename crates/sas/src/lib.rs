@@ -54,7 +54,7 @@ pub use checker::FovChecker;
 pub use config::SasConfig;
 pub use front::{
     Admission, BatchOutcome, BatchReport, Disposition, FrontRequest, SasFront, ShardStats,
-    ShedReason,
+    ShedReason, TileBatchOutcome, TileBatchReport, TileDisposition, TileRequest,
 };
 pub use ingest::{
     ingest_video, ingest_video_with, try_ingest_video, FovStream, IngestError, IngestOptions,
@@ -64,4 +64,7 @@ pub use ladder::{ingest_ladder, ingest_ladder_with, LadderCatalog};
 pub use prerender::{FovPrerenderStore, PrerenderKey, PrerenderedFov, StoreStats};
 pub use server::{Request, Response, SasError, SasServer};
 pub use store::LogStore;
-pub use tiles::{ingest_tiled, ingest_tiled_with, TileGrid, TiledCatalog};
+pub use tiles::{
+    ingest_tiled, ingest_tiled_rates, ingest_tiled_rates_with, ingest_tiled_with, TileClass,
+    TileGrid, TileRung, TiledCatalog, TiledRateCatalog, PERIPHERY_MARGIN,
+};

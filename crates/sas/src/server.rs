@@ -16,6 +16,7 @@ use evr_video::codec::EncodedSegment;
 
 use crate::ingest::SasCatalog;
 use crate::prerender::{FovPrerenderStore, PrerenderKey, PrerenderedFov};
+use crate::tiles::{TileRung, TiledRateCatalog};
 
 /// A client request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +84,14 @@ pub enum SasError {
         /// The requested cluster.
         cluster: usize,
     },
+    /// No tiled-rate catalog is attached, or the tile/rung index is out
+    /// of range for the attached grid.
+    UnknownTile {
+        /// The requested segment.
+        segment: u32,
+        /// The requested tile index.
+        tile: usize,
+    },
     /// The server cannot be reached (outage, dropped request, or a
     /// request timed out on the client side). Produced by the transport
     /// layer rather than the catalog lookup.
@@ -98,6 +107,9 @@ impl std::fmt::Display for SasError {
             }
             SasError::CorruptStream { segment, cluster } => {
                 write!(f, "corrupt stream for cluster {cluster} in segment {segment}")
+            }
+            SasError::UnknownTile { segment, tile } => {
+                write!(f, "unknown tile {tile} in segment {segment}")
             }
             SasError::Unavailable => write!(f, "server unavailable"),
         }
@@ -124,6 +136,7 @@ struct ServerMetrics {
 pub struct SasServer {
     catalog: SasCatalog,
     store: Option<FovPrerenderStore>,
+    tiles: Option<Arc<TiledRateCatalog>>,
     metrics: ServerMetrics,
 }
 
@@ -138,19 +151,58 @@ impl PartialEq for SasServer {
 impl SasServer {
     /// Wraps an ingested catalog.
     pub fn new(catalog: SasCatalog) -> Self {
-        SasServer { catalog, store: None, metrics: ServerMetrics::default() }
+        SasServer { catalog, store: None, tiles: None, metrics: ServerMetrics::default() }
     }
 
     /// Wraps an ingested catalog with a shared pre-render store attached;
     /// [`SasServer::fetch_fov`] serves out of the store, re-inserting
     /// from the catalog on a miss.
     pub fn with_store(catalog: SasCatalog, store: FovPrerenderStore) -> Self {
-        SasServer { catalog, store: Some(store), metrics: ServerMetrics::default() }
+        SasServer { catalog, store: Some(store), tiles: None, metrics: ServerMetrics::default() }
     }
 
     /// Attaches (or replaces) the shared pre-render store.
     pub fn attach_store(&mut self, store: FovPrerenderStore) {
         self.store = Some(store);
+    }
+
+    /// Attaches (or replaces) the multi-rate tiled catalog, enabling
+    /// [`SasServer::fetch_tile`] for the `T`/`T+H` delivery modes.
+    pub fn attach_tiles(&mut self, tiles: Arc<TiledRateCatalog>) {
+        self.tiles = Some(tiles);
+    }
+
+    /// Whether a tiled-rate catalog is attached.
+    pub fn has_tiles(&self) -> bool {
+        self.tiles.is_some()
+    }
+
+    /// The attached tiled-rate catalog, if any.
+    pub fn tiles(&self) -> Option<&Arc<TiledRateCatalog>> {
+        self.tiles.as_ref()
+    }
+
+    /// Serves one tile of one segment at one quality rung, returning the
+    /// encoding's byte accounting (target scale). Tile requests are keyed
+    /// like FOV-stream requests so the serving front can coalesce, admit
+    /// and shed them with the same machinery.
+    pub fn fetch_tile(&self, segment: u32, tile: usize, rung: usize) -> Result<TileRung, SasError> {
+        self.metrics.fov_requests.inc();
+        let Some(tiles) = self.tiles.as_ref() else {
+            self.metrics.not_found.inc();
+            return Err(SasError::UnknownTile { segment, tile });
+        };
+        if segment >= tiles.segment_count() {
+            self.metrics.not_found.inc();
+            return Err(SasError::UnknownSegment { segment });
+        }
+        if tile >= tiles.grid().len() || rung >= tiles.rung_count() {
+            self.metrics.not_found.inc();
+            return Err(SasError::UnknownTile { segment, tile });
+        }
+        let r = tiles.rung(segment, tile, rung);
+        self.metrics.fov_bytes.add(r.wire_bytes);
+        Ok(r.clone())
     }
 
     /// Whether a pre-render store is attached — clients use this to
@@ -511,6 +563,34 @@ mod tests {
         assert!(store.stats().hits >= 1);
         assert!(!payload.data.frames.is_empty());
         assert!(wire > 0);
+    }
+
+    #[test]
+    fn fetch_tile_serves_rungs_and_reports_typed_errors() {
+        let mut s = server(VideoId::Rhino);
+        assert!(!s.has_tiles());
+        assert_eq!(s.fetch_tile(0, 0, 0), Err(SasError::UnknownTile { segment: 0, tile: 0 }));
+
+        let cfg = SasConfig::tiny_for_tests();
+        let tiles = crate::tiles::ingest_tiled_rates(&scene_for(VideoId::Rhino), &cfg, 1.0);
+        s.attach_tiles(Arc::new(tiles));
+        assert!(s.has_tiles());
+        let grid = s.tiles().unwrap().grid();
+        let rungs = s.tiles().unwrap().rung_count();
+
+        let r = s.fetch_tile(0, 0, rungs - 1).expect("top rung");
+        assert!(r.wire_bytes > 0);
+        assert!(!r.frame_bytes.is_empty());
+        assert_eq!(s.fetch_tile(999, 0, 0), Err(SasError::UnknownSegment { segment: 999 }));
+        assert_eq!(
+            s.fetch_tile(0, grid.len(), 0),
+            Err(SasError::UnknownTile { segment: 0, tile: grid.len() })
+        );
+        assert_eq!(s.fetch_tile(0, 0, rungs), Err(SasError::UnknownTile { segment: 0, tile: 0 }));
+        assert_eq!(
+            SasError::UnknownTile { segment: 2, tile: 7 }.to_string(),
+            "unknown tile 7 in segment 2"
+        );
     }
 
     #[test]

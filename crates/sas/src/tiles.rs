@@ -1,4 +1,4 @@
-//! Tile-based view-guided streaming — the related-work baseline.
+//! Tile-based view-guided streaming.
 //!
 //! The approaches the paper positions SAS against (§2, §9: Gaddam et al.,
 //! Zare et al., Qian et al., ...) "divide a frame into tiles and use
@@ -7,20 +7,44 @@
 //! content and "the power-hungry PT operation is still a necessary step
 //! on the VR device".
 //!
-//! This module implements that baseline for real: the ERP frame splits
-//! into a tile grid, every tile is encoded independently at a high and a
-//! low quality, and a client streams in-view tiles high / out-of-view
-//! tiles low. `evr-core::tiled` drives the energy comparison.
+//! This module implements tiling for real, at two levels of fidelity:
+//!
+//! * the sealed-off **baseline** ([`TiledCatalog`], two quality layers,
+//!   binary in/out-of-view split) that `evr-core::tiled` compares against
+//!   the paper's variants, and
+//! * the first-class **delivery mode** behind the `T`/`T+H` variants:
+//!   [`TiledRateCatalog`] holds a quantiser ladder per tile (MPEG-DASH-SRD
+//!   style), [`TileGrid::classify_tiles`] splits tiles into
+//!   visible/peripheral/out-of-view, and [`TileGrid::tile_weights`]
+//!   provides the S-PSNR-style spherical weights the client's per-tile
+//!   rate allocator optimises against.
 
 use serde::{Deserialize, Serialize};
 
-use evr_math::{EulerAngles, Radians, SphericalCoord};
+use evr_math::{Degrees, EulerAngles, Radians, SphericalCoord};
 use evr_projection::{FovSpec, ImageBuffer, PixelSource, Rgb};
 use evr_video::codec::{CodecConfig, EncodedSegment, Encoder};
 use evr_video::scene::Scene;
 
 use crate::config::SasConfig;
 use crate::ingest::FPS;
+
+/// Angular margin around the device FOV inside which tiles count as
+/// *peripheral* for rate allocation: likely to enter view within a
+/// segment of ordinary head motion, so worth some bits but not full
+/// quality.
+pub const PERIPHERY_MARGIN: Degrees = Degrees(30.0);
+
+/// A tile's relation to the current viewport, for rate allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TileClass {
+    /// Intersects the device FOV.
+    Visible,
+    /// Outside the FOV but within [`PERIPHERY_MARGIN`] of it.
+    Peripheral,
+    /// Neither visible nor peripheral.
+    OutOfView,
+}
 
 /// The tile grid over an equirectangular frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,10 +80,65 @@ impl TileGrid {
         SphericalCoord::new(Radians(lon), Radians(lat))
     }
 
-    /// Which tiles a device with `fov` at `pose` can see. A tile is
-    /// visible if its centre lies within the FOV extents plus a quarter
-    /// tile of slack per axis (the over-fetch margin tiling systems use).
+    /// The angular extents of tile `(col, row)` as
+    /// `(lon_lo, lon_hi, lat_lo, lat_hi)` in radians. Longitudes span
+    /// `[-π, π]` left to right; latitudes descend with the row index
+    /// (row 0 is the north/top band).
+    pub fn tile_extents(&self, col: u32, row: u32) -> (f64, f64, f64, f64) {
+        let lon_lo = (col as f64 / self.cols as f64 - 0.5) * std::f64::consts::TAU;
+        let lon_hi = ((col as f64 + 1.0) / self.cols as f64 - 0.5) * std::f64::consts::TAU;
+        let lat_hi = (0.5 - row as f64 / self.rows as f64) * std::f64::consts::PI;
+        let lat_lo = (0.5 - (row as f64 + 1.0) / self.rows as f64) * std::f64::consts::PI;
+        (lon_lo, lon_hi, lat_lo, lat_hi)
+    }
+
+    /// Which tiles a device with `fov` at `pose` can see, testing the
+    /// tile's full angular extent rather than just its centre: sample
+    /// latitudes (band edges, midpoint and the pose pitch clamped into
+    /// the band) each check the nearest-point longitude distance to the
+    /// tile's interval, scaled by that latitude's `cos` to account for
+    /// ERP stretching. A pole-facing pose therefore sees the entire
+    /// polar row, and a 1×1 grid is visible from every pose.
     pub fn visible_tiles(&self, pose: EulerAngles, fov: FovSpec) -> Vec<bool> {
+        let mut out = Vec::with_capacity(self.len());
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                out.push(self.tile_in_fov(col, row, pose, fov));
+            }
+        }
+        out
+    }
+
+    fn tile_in_fov(&self, col: u32, row: u32, pose: EulerAngles, fov: FovSpec) -> bool {
+        let half_h = fov.h_radians().0 / 2.0;
+        let half_v = fov.v_radians().0 / 2.0;
+        let (lon_lo, lon_hi, lat_lo, lat_hi) = self.tile_extents(col, row);
+        // Nearest-point longitude distance to the tile's interval, with
+        // wraparound at the ±π seam.
+        let yaw = (pose.yaw.0 + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU)
+            - std::f64::consts::PI;
+        let d_lon = if (lon_lo..=lon_hi).contains(&yaw) {
+            0.0
+        } else {
+            let to_lo = Radians(yaw).angular_distance(Radians(lon_lo)).0;
+            let to_hi = Radians(yaw).angular_distance(Radians(lon_hi)).0;
+            to_lo.min(to_hi)
+        };
+        let lat_mid = (lat_lo + lat_hi) / 2.0;
+        let lat_near = pose.pitch.0.clamp(lat_lo, lat_hi);
+        [lat_lo, lat_mid, lat_hi, lat_near].iter().any(|&lat| {
+            let d_pitch = pose.pitch.angular_distance(Radians(lat)).0;
+            d_pitch <= half_v && d_lon * lat.cos().abs() <= half_h
+        })
+    }
+
+    /// The legacy centre-in-FOV + quarter-tile-margin visibility
+    /// heuristic. It undercounts wide polar tiles (a pole-facing pose
+    /// misses most of the polar row), but the sealed-off tiled baseline
+    /// ([`TiledCatalog::segment_bytes`]) keeps using it so the pinned
+    /// energy-comparison numbers stay byte-identical. New code should
+    /// use [`TileGrid::visible_tiles`].
+    pub fn visible_tiles_center_margin(&self, pose: EulerAngles, fov: FovSpec) -> Vec<bool> {
         let half_h = fov.h_radians().0 / 2.0 + std::f64::consts::FRAC_PI_2 / self.cols as f64;
         let half_v = fov.v_radians().0 / 2.0 + std::f64::consts::FRAC_PI_4 / self.rows as f64;
         let mut out = Vec::with_capacity(self.len());
@@ -70,6 +149,52 @@ impl TileGrid {
                 let d_pitch = pose.pitch.angular_distance(c.lat);
                 let lat_scale = c.lat.0.cos().abs().max(0.5);
                 out.push(d_yaw.0 * lat_scale <= half_h && d_pitch.0 <= half_v);
+            }
+        }
+        out
+    }
+
+    /// Classifies every tile for rate allocation: [`TileClass::Visible`]
+    /// if it intersects `fov`, [`TileClass::Peripheral`] if it
+    /// intersects `fov` expanded by `margin`, [`TileClass::OutOfView`]
+    /// otherwise.
+    pub fn classify_tiles(
+        &self,
+        pose: EulerAngles,
+        fov: FovSpec,
+        margin: Degrees,
+    ) -> Vec<TileClass> {
+        let wide = fov.expanded(margin);
+        let mut out = Vec::with_capacity(self.len());
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let class = if self.tile_in_fov(col, row, pose, fov) {
+                    TileClass::Visible
+                } else if self.tile_in_fov(col, row, pose, wide) {
+                    TileClass::Peripheral
+                } else {
+                    TileClass::OutOfView
+                };
+                out.push(class);
+            }
+        }
+        out
+    }
+
+    /// The solid angle (steradians) each tile subtends on the sphere —
+    /// the S-PSNR-style spherical weight for the rate allocator. A row
+    /// at latitudes `[lat_lo, lat_hi]` covers `sin(lat_hi) - sin(lat_lo)`
+    /// of the unit-sphere height per `2π/cols` of longitude, so polar
+    /// tiles weigh far less than equatorial ones despite equal pixel
+    /// counts. Sums to `4π` over any grid.
+    pub fn tile_weights(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        for row in 0..self.rows {
+            let lat_hi = (0.5 - row as f64 / self.rows as f64) * std::f64::consts::PI;
+            let lat_lo = (0.5 - (row as f64 + 1.0) / self.rows as f64) * std::f64::consts::PI;
+            let w = (std::f64::consts::TAU / self.cols as f64) * (lat_hi.sin() - lat_lo.sin());
+            for _ in 0..self.cols {
+                out.push(w);
             }
         }
         out
@@ -111,7 +236,9 @@ impl TiledCatalog {
     ///
     /// Panics if `seg` is out of range.
     pub fn segment_bytes(&self, seg: u32, pose: EulerAngles, fov: FovSpec) -> u64 {
-        let visible = self.grid.visible_tiles(pose, fov);
+        // Deliberately the legacy heuristic: this baseline's numbers are
+        // pinned by the `tiled/*` golden fingerprints.
+        let visible = self.grid.visible_tiles_center_margin(pose, fov);
         self.segments[seg as usize]
             .iter()
             .zip(&visible)
@@ -245,6 +372,187 @@ pub fn ingest_tiled_with(
     TiledCatalog { grid, segments }
 }
 
+/// One tile at one quality rung for one segment. Byte sizes are at the
+/// target scale of the ingesting [`SasConfig`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileRung {
+    /// Wire bytes for the whole segment at this rung.
+    pub wire_bytes: u64,
+    /// Per-frame wire bytes (header + scaled payload), mirroring the
+    /// client's per-frame decode accounting.
+    pub frame_bytes: Vec<u64>,
+}
+
+/// Per-tile multi-rate encodings for a whole video — the MPEG-DASH-SRD
+/// style catalog behind the `T`/`T+H` variants. Every tile of every
+/// segment carries a quantiser ladder (coarsest first); the client's
+/// rate allocator picks a rung per tile per segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TiledRateCatalog {
+    grid: TileGrid,
+    /// Rung quantisers, coarsest (highest quantiser) first.
+    quantizers: Vec<u8>,
+    /// `segments[seg][tile][rung]`.
+    segments: Vec<Vec<Vec<TileRung>>>,
+}
+
+impl TiledRateCatalog {
+    /// The grid in use.
+    pub fn grid(&self) -> TileGrid {
+        self.grid
+    }
+
+    /// Rung quantisers, coarsest first.
+    pub fn quantizers(&self) -> &[u8] {
+        &self.quantizers
+    }
+
+    /// Rungs per tile.
+    pub fn rung_count(&self) -> usize {
+        self.quantizers.len()
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> u32 {
+        self.segments.len() as u32
+    }
+
+    /// One tile's encoding at one rung.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn rung(&self, seg: u32, tile: usize, rung: usize) -> &TileRung {
+        &self.segments[seg as usize][tile][rung]
+    }
+
+    /// The `[tile][rung]` wire-byte matrix for one segment — the rate
+    /// allocator's input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn tile_rung_bytes(&self, seg: u32) -> Vec<Vec<u64>> {
+        self.segments[seg as usize]
+            .iter()
+            .map(|tile| tile.iter().map(|r| r.wire_bytes).collect())
+            .collect()
+    }
+}
+
+/// Ingests a video for multi-rate tiled delivery: per segment, every
+/// tile of `config.tile_grid` is independently encoded at each rung of
+/// [`SasConfig::tiled_rung_quantizers`]. The top rung is the
+/// full-resolution crop at the production quantiser; every lower rung is
+/// additionally 2× spatially downsampled (quarter the pixel data, like
+/// the low layer of the legacy two-layer catalog), so DASH-SRD-style
+/// rungs trade resolution *and* quantisation — per-tile quantiser steps
+/// alone cannot beat the coder's per-tile entropy floor.
+///
+/// Byte sizes are reported at the target scale of `config`. With a 1×1
+/// grid the top rung's encoding is byte-identical to the untiled
+/// original segments (same codec settings, same intra-forced encoder),
+/// which is what pins the `T`-variant baseline parity.
+///
+/// # Panics
+///
+/// Panics if the analysis frame does not divide into 8-aligned tiles.
+pub fn ingest_tiled_rates(scene: &Scene, config: &SasConfig, duration_s: f64) -> TiledRateCatalog {
+    ingest_tiled_rates_with(scene, config, duration_s, 0)
+}
+
+/// [`ingest_tiled_rates`] with an explicit worker count (`0` = one per
+/// core; clamped to `1..=64` like every fan-out).
+pub fn ingest_tiled_rates_with(
+    scene: &Scene,
+    config: &SasConfig,
+    duration_s: f64,
+    workers: usize,
+) -> TiledRateCatalog {
+    let grid = config.tile_grid;
+    let quantizers = config.tiled_rung_quantizers();
+    assert!(
+        !quantizers.is_empty() && quantizers.windows(2).all(|w| w[0] > w[1]),
+        "rung quantisers must be strictly descending (coarsest first)"
+    );
+    let (src_w, src_h) = config.analysis_src;
+    assert!(
+        src_w.is_multiple_of(grid.cols) && src_h.is_multiple_of(grid.rows),
+        "analysis frame {src_w}x{src_h} must divide into the {}x{} grid",
+        grid.cols,
+        grid.rows
+    );
+    let tile_w = src_w / grid.cols;
+    let tile_h = src_h / grid.rows;
+    assert!(
+        tile_w.is_multiple_of(8) && tile_h.is_multiple_of(8),
+        "tiles of {tile_w}x{tile_h} are not 8-aligned; choose a finer analysis raster"
+    );
+    let duration = duration_s.min(scene.duration());
+    let total_frames = (duration * FPS).floor() as u64;
+    let seg_len = config.segment_frames as u64;
+    let segment_count = total_frames.div_ceil(seg_len);
+    let scale = config.src_byte_scale();
+
+    let segments = crate::par::fan_out(segment_count, workers, |seg| {
+        let start = seg * seg_len;
+        let end = (start + seg_len).min(total_frames);
+        let sources: Vec<ImageBuffer> = (start..end)
+            .map(|i| {
+                scene.render_image(i as f64 / FPS, evr_projection::Projection::Erp, src_w, src_h)
+            })
+            .collect();
+
+        let mut tiles = Vec::with_capacity(grid.len());
+        for row in 0..grid.rows {
+            for col in 0..grid.cols {
+                let crops: Vec<ImageBuffer> = sources
+                    .iter()
+                    .map(|img| {
+                        let view = TileView {
+                            src: img,
+                            x0: col * tile_w,
+                            y0: row * tile_h,
+                            w: tile_w,
+                            h: tile_h,
+                        };
+                        ImageBuffer::from_fn(tile_w, tile_h, |x, y| view.pixel(x, y))
+                    })
+                    .collect();
+                let halved: Vec<ImageBuffer> =
+                    crops.iter().map(evr_projection::pixel::downsample2x).collect();
+                let rungs: Vec<TileRung> = quantizers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &q)| {
+                        let top = i + 1 == quantizers.len();
+                        let (imgs, rung_scale) =
+                            if top { (&crops, scale) } else { (&halved, scale / 4.0) };
+                        let mut enc = Encoder::new(CodecConfig::new(config.segment_frames, q));
+                        enc.force_intra();
+                        let encoded = EncodedSegment {
+                            start_index: start,
+                            frames: imgs.iter().map(|i| enc.encode_frame(i)).collect(),
+                        };
+                        let frame_bytes = encoded
+                            .frames
+                            .iter()
+                            .map(|f| {
+                                let payload = f.payload_bytes();
+                                (payload as f64 * rung_scale) as u64 + (f.bytes - payload)
+                            })
+                            .collect();
+                        TileRung { wire_bytes: encoded.scaled_bytes(rung_scale), frame_bytes }
+                    })
+                    .collect();
+                tiles.push(rungs);
+            }
+        }
+        tiles
+    });
+    TiledRateCatalog { grid, quantizers, segments }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +625,105 @@ mod tests {
         let mut cfg = SasConfig::tiny_for_tests();
         cfg.analysis_src = (96, 48); // 12×12 tiles: divides, but pads the DCT
         let _ = ingest_tiled(&scene_for(VideoId::Rs), &cfg, TileGrid::default(), 30, 0.5);
+    }
+
+    #[test]
+    fn pole_facing_pose_sees_full_polar_row() {
+        // Regression for the centre+quarter-tile heuristic: looking
+        // straight up, every tile of the polar row contains the gaze
+        // point (they all meet at the pole), yet the legacy test missed
+        // most of them because their *centres* sit at 67.5° latitude,
+        // far from the gaze in raw yaw distance.
+        let g = TileGrid::default();
+        let up = EulerAngles::from_degrees(0.0, 90.0, 0.0);
+        let fixed = g.visible_tiles(up, FovSpec::hdk2());
+        for col in 0..g.cols {
+            assert!(fixed[col as usize], "polar tile {col} invisible when looking at the pole");
+        }
+        let legacy = g.visible_tiles_center_margin(up, FovSpec::hdk2());
+        let n = legacy.iter().take(g.cols as usize).filter(|v| **v).count();
+        assert!(n < g.cols as usize, "legacy heuristic unexpectedly fixed ({n} visible)");
+    }
+
+    #[test]
+    fn extent_test_still_excludes_rear_tiles() {
+        let g = TileGrid::default();
+        let visible = g.visible_tiles(EulerAngles::default(), FovSpec::hdk2());
+        let n = visible.iter().filter(|v| **v).count();
+        assert!(n >= 4, "{n} tiles visible");
+        assert!(n < g.len(), "{n} of {} tiles visible", g.len());
+        assert!(!visible[8], "rear mid-latitude tile visible under forward gaze");
+    }
+
+    #[test]
+    fn single_tile_grid_is_always_visible() {
+        let g = TileGrid { cols: 1, rows: 1 };
+        for (yaw, pitch) in [(0.0, 0.0), (90.0, 0.0), (180.0, -45.0), (-135.0, 88.0)] {
+            let pose = EulerAngles::from_degrees(yaw, pitch, 0.0);
+            assert_eq!(g.visible_tiles(pose, FovSpec::hdk2()), vec![true], "pose {yaw}/{pitch}");
+        }
+    }
+
+    #[test]
+    fn tile_weights_sum_to_sphere() {
+        for (cols, rows) in [(1, 1), (8, 4), (4, 2), (6, 5), (16, 8), (3, 7)] {
+            let g = TileGrid { cols, rows };
+            let total: f64 = g.tile_weights().iter().sum();
+            let sphere = 4.0 * std::f64::consts::PI;
+            assert!(
+                (total - sphere).abs() < 1e-9,
+                "{cols}x{rows}: weights sum {total} != {sphere}"
+            );
+            assert!(g.tile_weights().iter().all(|w| *w > 0.0));
+        }
+    }
+
+    #[test]
+    fn classification_nests_visible_inside_peripheral() {
+        let g = TileGrid::default();
+        let pose = EulerAngles::from_degrees(30.0, 10.0, 0.0);
+        let classes = g.classify_tiles(pose, FovSpec::hdk2(), PERIPHERY_MARGIN);
+        let visible = g.visible_tiles(pose, FovSpec::hdk2());
+        for (c, v) in classes.iter().zip(&visible) {
+            assert_eq!(*c == TileClass::Visible, *v);
+        }
+        assert!(classes.contains(&TileClass::OutOfView));
+    }
+
+    #[test]
+    fn multirate_catalog_shape_and_rung_ordering() {
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.analysis_src = (128, 64);
+        cfg.tile_grid = TileGrid::default();
+        let cat = ingest_tiled_rates(&scene_for(VideoId::Rhino), &cfg, 1.0);
+        assert_eq!(cat.grid(), TileGrid::default());
+        assert_eq!(cat.rung_count(), cfg.tiled_rung_quantizers().len());
+        assert!(cat.segment_count() > 0);
+        for seg in 0..cat.segment_count() {
+            let matrix = cat.tile_rung_bytes(seg);
+            for (tile, rungs) in matrix.iter().enumerate() {
+                assert!(rungs.iter().all(|w| *w > 0), "seg {seg} tile {tile}: empty rung");
+                let r = cat.rung(seg, tile, 0);
+                assert_eq!(r.wire_bytes, rungs[0]);
+                assert!(!r.frame_bytes.is_empty());
+            }
+            // Per-tile sizes need not be monotone in the quantiser (the
+            // coder's entropy model occasionally inverts neighbouring
+            // rungs on small tiles), but in aggregate the finest rung
+            // must outweigh the coarsest.
+            let coarse: u64 = matrix.iter().map(|r| r[0]).sum();
+            let fine: u64 = matrix.iter().map(|r| r[cat.rung_count() - 1]).sum();
+            assert!(fine > coarse, "seg {seg}: fine {fine} <= coarse {coarse}");
+        }
+    }
+
+    #[test]
+    fn multirate_ingest_is_worker_independent() {
+        let cfg = SasConfig::tiny_for_tests();
+        let scene = scene_for(VideoId::Rhino);
+        let serial = ingest_tiled_rates_with(&scene, &cfg, 1.0, 1);
+        for workers in [2, 8] {
+            assert_eq!(serial, ingest_tiled_rates_with(&scene, &cfg, 1.0, workers));
+        }
     }
 }

@@ -3,9 +3,10 @@
 //! numbers live in EXPERIMENTS.md.
 
 use evr_core::figures::{
-    fig03, fig05, fig11, fig12, fig13, fig14, fig15, fig17, proto_pte, FigureContext, FigureScale,
+    fig03, fig05, fig11, fig12, fig13, fig14, fig15, fig17, proto_pte, tiled_variants_table,
+    FigureContext, FigureScale,
 };
-use evr_core::UseCase;
+use evr_core::{UseCase, Variant};
 use evr_sas::SasConfig;
 
 fn quick_ctx() -> FigureContext {
@@ -85,6 +86,42 @@ fn fig15_shape() {
         v.iter().map(|r| r.device_saving).sum::<f64>() / v.len() as f64
     };
     assert!(mean(UseCase::OfflinePlayback) >= mean(UseCase::LiveStreaming) - 0.02);
+}
+
+#[test]
+fn tiled_variant_table_shape() {
+    // The tiny 4×2 grid's 90°-wide tiles nearly all intersect the FOV;
+    // bandwidth savings need the finer 8×4 raster (still CI-cheap).
+    let mut scale = FigureScale::quick();
+    scale.users = 2;
+    scale.duration_s = 3.0;
+    scale.sas = SasConfig::tiny_for_tests();
+    scale.sas.analysis_src = (128, 64);
+    scale.sas.tile_grid = evr_sas::TileGrid::default();
+    let rows = tiled_variants_table(&FigureContext::new(scale));
+    assert_eq!(rows.len(), 10); // 5 videos × {T, T+H}
+    for r in &rows {
+        assert!(r.bandwidth_saving > 0.0, "{:?}/{}: {}", r.video, r.variant, r.bandwidth_saving);
+        assert!(
+            r.faulted_bandwidth_saving > 0.0,
+            "{:?}/{}: {}",
+            r.video,
+            r.variant,
+            r.faulted_bandwidth_saving
+        );
+        assert!((0.0..1.0).contains(&r.faulted_degraded_fraction), "{:?}", r.video);
+        if r.variant == Variant::TPlusH {
+            // The accelerator swap, not the tiling, carries the energy win.
+            assert!(r.device_saving > 0.1, "{:?}: {}", r.video, r.device_saving);
+        }
+    }
+    // The paper's §2 point: T alone barely moves device energy.
+    let t_mean =
+        rows.iter().filter(|r| r.variant == Variant::T).map(|r| r.device_saving).sum::<f64>() / 5.0;
+    let th_mean =
+        rows.iter().filter(|r| r.variant == Variant::TPlusH).map(|r| r.device_saving).sum::<f64>()
+            / 5.0;
+    assert!(th_mean > t_mean + 0.05, "T+H {th_mean} vs T {t_mean}");
 }
 
 #[test]
