@@ -1,11 +1,12 @@
 //! The CI perf-regression gate.
 //!
 //! Compares fresh `fleet_bench` / `ingest_bench` / `serve_bench` /
-//! `tiled_bench` JSON reports against
+//! `tiled_bench` / `store_bench` JSON reports against
 //! the committed baselines in `benches/baselines/` and exits non-zero
 //! if any noise-tolerant threshold is violated (see
 //! [`evr_bench::gate`]): >15% throughput drop, >0.1 absolute parallel
-//! efficiency drop, or a parity break in the current run.
+//! efficiency drop, a parity break in the current run, or (store) a
+//! >2% drop in the delta store's residency / wire-byte reductions.
 //!
 //! ```text
 //! # gate a run against the committed baselines
@@ -26,7 +27,9 @@
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use evr_bench::gate::{check_fleet, check_ingest, check_serve, check_tiled, GateThresholds};
+use evr_bench::gate::{
+    check_fleet, check_ingest, check_serve, check_store, check_tiled, GateThresholds,
+};
 use evr_bench::json::Json;
 
 struct GateArgs {
@@ -34,6 +37,7 @@ struct GateArgs {
     ingest: Option<String>,
     serve: Option<String>,
     tiled: Option<String>,
+    store: Option<String>,
     baselines: PathBuf,
     update: bool,
 }
@@ -44,6 +48,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
         ingest: None,
         serve: None,
         tiled: None,
+        store: None,
         baselines: PathBuf::from("benches/baselines"),
         update: false,
     };
@@ -56,6 +61,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
             out.serve = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("tiled=") {
             out.tiled = Some(v.to_string());
+        } else if let Some(v) = arg.strip_prefix("store=") {
+            out.store = Some(v.to_string());
         } else if let Some(v) = arg.strip_prefix("baselines=") {
             out.baselines = PathBuf::from(v);
         } else if arg == "--update-baseline" {
@@ -63,14 +70,21 @@ fn parse_args(args: impl Iterator<Item = String>) -> GateArgs {
         } else {
             eprintln!(
                 "unknown argument {arg:?}; expected `fleet=PATH`, `ingest=PATH`, \
-                 `serve=PATH`, `tiled=PATH`, `baselines=DIR` or `--update-baseline`"
+                 `serve=PATH`, `tiled=PATH`, `store=PATH`, `baselines=DIR` or \
+                 `--update-baseline`"
             );
             exit(2);
         }
     }
-    if out.fleet.is_none() && out.ingest.is_none() && out.serve.is_none() && out.tiled.is_none() {
+    if out.fleet.is_none()
+        && out.ingest.is_none()
+        && out.serve.is_none()
+        && out.tiled.is_none()
+        && out.store.is_none()
+    {
         eprintln!(
-            "nothing to gate: pass `fleet=PATH`, `ingest=PATH`, `serve=PATH` and/or `tiled=PATH`"
+            "nothing to gate: pass `fleet=PATH`, `ingest=PATH`, `serve=PATH`, `tiled=PATH` \
+             and/or `store=PATH`"
         );
         exit(2);
     }
@@ -135,6 +149,9 @@ fn main() {
     }
     if let Some(tiled) = &args.tiled {
         violations.extend(gate_one(&args, tiled, "tiled.json", check_tiled));
+    }
+    if let Some(store) = &args.store {
+        violations.extend(gate_one(&args, store, "store.json", check_store));
     }
     if !violations.is_empty() {
         eprintln!("perf gate FAILED ({} violation(s)):", violations.len());

@@ -180,18 +180,26 @@ pub fn simulate_abr_observed(
     let mut wall = 0.0f64; // wall-clock time
     let mut buffer = 0.0f64; // seconds of video buffered
     let mut started = false; // playback begins after the first segment
-    let mut throughput = link.bps_at(0.0); // start optimistic; EWMA corrects
+                             // No throughput sample exists before the first download completes: a
+                             // real client cannot peek at the link's t=0 rate, so it opens at the
+                             // coarsest rung and lets the first measured download seed the EWMA.
+    let mut throughput: Option<f64> = None;
     let mut rung = 0usize;
     let mut outcome =
         AbrOutcome { stall_time_s: 0.0, stalls: 0, mean_rung: 0.0, switches: 0, bytes: 0 };
 
     for (seg_idx, seg) in segment_ladder.iter().enumerate() {
         // Pick the highest rung that fits the throughput estimate.
-        let budget_bps = throughput * policy.safety;
-        let pick = (0..rungs)
-            .rev()
-            .find(|&r| seg[r] as f64 * 8.0 / segment_duration_s <= budget_bps)
-            .unwrap_or(0);
+        let pick = match throughput {
+            None => 0,
+            Some(estimate) => {
+                let budget_bps = estimate * policy.safety;
+                (0..rungs)
+                    .rev()
+                    .find(|&r| seg[r] as f64 * 8.0 / segment_duration_s <= budget_bps)
+                    .unwrap_or(0)
+            }
+        };
         if pick != rung {
             outcome.switches += 1;
             switches_c.inc();
@@ -225,9 +233,13 @@ pub fn simulate_abr_observed(
             wall += buffer - cap;
             buffer = cap;
         }
-        // Throughput sample from this download.
+        // Throughput sample from this download; the first sample seeds
+        // the estimator outright.
         let sample = bytes as f64 * 8.0 / dl.max(1e-9);
-        throughput = policy.smoothing * throughput + (1.0 - policy.smoothing) * sample;
+        throughput = Some(match throughput {
+            None => sample,
+            Some(estimate) => policy.smoothing * estimate + (1.0 - policy.smoothing) * sample,
+        });
     }
     outcome.mean_rung /= segment_ladder.len() as f64;
     outcome
@@ -344,7 +356,29 @@ mod tests {
         let out =
             simulate_abr(&ladder(), 1.0, &BandwidthTrace::constant(50e6), AbrPolicy::default());
         assert_eq!(out.stalls, 0);
-        assert!(out.mean_rung > 1.8, "mean rung {}", out.mean_rung);
+        // The first segment opens at the coarsest rung (no sample yet);
+        // every later one rides the top, so the mean over 10 is exactly 1.8.
+        assert!(out.mean_rung >= 1.8, "mean rung {}", out.mean_rung);
+    }
+
+    #[test]
+    fn fast_start_link_opens_conservatively() {
+        // A link that opens fat and collapses half a segment in: an
+        // estimator warm-started from `link.bps_at(0.0)` (an oracle peek a
+        // real client cannot make) would grab the top rung immediately and
+        // stall into the collapse. The client must open at the coarsest
+        // rung until it has a measured sample.
+        let link = BandwidthTrace::square_wave(50e6, 1.0e6, 1.0, 10.0);
+        let single = vec![vec![125_000, 250_000, 500_000]];
+        let out = simulate_abr(&single, 1.0, &link, AbrPolicy::default());
+        assert_eq!(out.mean_rung, 0.0, "first pick must be the coarsest rung");
+        assert_eq!(out.bytes, 125_000);
+        assert_eq!(out.stalls, 0);
+        // With more segments the estimator warms up from real samples and
+        // still climbs off the floor once the link allows it.
+        let long: Vec<Vec<u64>> = (0..20).map(|_| vec![125_000, 250_000, 500_000]).collect();
+        let warmed = simulate_abr(&long, 1.0, &link, AbrPolicy::default());
+        assert!(warmed.mean_rung > 0.0, "estimator never warmed up");
     }
 
     #[test]

@@ -34,14 +34,16 @@
 pub mod abr;
 pub mod network;
 pub mod pipeline;
+pub mod refine;
 pub mod session;
 
 pub use abr::{allocate_tile_rungs, TileAllocation};
 pub use network::NetworkModel;
 pub use pipeline::{
-    CleanTransport, FaultedTransport, FovPassthrough, GpuBackend, PteBackend, RenderBackend,
-    SegmentLink, StageIo, Transport,
+    CleanTransport, DeltaWire, FaultedTransport, FovPassthrough, GpuBackend, PteBackend,
+    RenderBackend, SegmentLink, StageIo, Transport,
 };
+pub use refine::{fetch_fov_refined, run_refinement_session, RefineReport, RefinedFetch};
 pub use session::{
     ContentPath, FaultSummary, PlaybackReport, PlaybackSession, Renderer, SelectionPolicy,
     SessionConfig,

@@ -213,6 +213,57 @@ pub trait Transport {
     fn front_gate(&mut self, _media_t: f64, _stall_s: f64, _seg: u32, _content: u64) -> FrontGate {
         FrontGate::Serve { queue_delay_s: 0.0 }
     }
+
+    /// Whether this transport moves delta representations on the wire
+    /// (DESIGN.md §16): FOV upgrades arrive as sparse residuals against
+    /// the rung the client already holds whenever the server's delta is
+    /// smaller, and the client pays the reconstruction energy. Off by
+    /// default — every stock transport ships full encodings, and
+    /// playback reports are pinned bit-identical either way.
+    fn delta_wire(&self) -> bool {
+        false
+    }
+}
+
+/// Opts any transport into the delta wire format
+/// ([`Transport::delta_wire`]) without changing its link, fault or
+/// admission behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaWire<T>(pub T);
+
+impl<T: Transport> Transport for DeltaWire<T> {
+    const PER_SEGMENT_WIRE: bool = T::PER_SEGMENT_WIRE;
+
+    fn segment_link(&mut self, base: &NetworkModel, media_t: f64, stall_s: f64) -> SegmentLink {
+        self.0.segment_link(base, media_t, stall_s)
+    }
+
+    fn fetch(
+        &mut self,
+        io: &mut StageIo<'_>,
+        link: &SegmentLink,
+        media_t: f64,
+        seg: u32,
+        wire_payload: u64,
+    ) -> bool {
+        self.0.fetch(io, link, media_t, seg, wire_payload)
+    }
+
+    fn corrupts(&mut self, seg: u32) -> bool {
+        self.0.corrupts(seg)
+    }
+
+    fn low_rung_scale(&self) -> f64 {
+        self.0.low_rung_scale()
+    }
+
+    fn front_gate(&mut self, media_t: f64, stall_s: f64, seg: u32, content: u64) -> FrontGate {
+        self.0.front_gate(media_t, stall_s, seg, content)
+    }
+
+    fn delta_wire(&self) -> bool {
+        true
+    }
 }
 
 /// A fault-free network (or local storage): every request is served
@@ -1678,7 +1729,7 @@ fn selection_pose(cfg: &SessionConfig, trace: &HeadTrace, t: f64) -> evr_math::E
 }
 
 #[inline]
-fn account_decode(d: &DeviceParams, ledger: &mut EnergyLedger, pixels: u64, bytes: u64) {
+pub(crate) fn account_decode(d: &DeviceParams, ledger: &mut EnergyLedger, pixels: u64, bytes: u64) {
     ledger.add(Component::Compute, Activity::Decode, d.decode_energy(pixels, bytes));
     ledger.add(Component::Memory, Activity::Decode, d.dram_energy(d.decode_dram_bytes(pixels)));
 }

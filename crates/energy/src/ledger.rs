@@ -68,6 +68,9 @@ pub enum Activity {
     /// Fault handling: retry/backoff waits (radio idle + base power
     /// during stalls) and corruption-detection decodes.
     Resilience,
+    /// Reconstructing a delta-encoded segment against its reference on
+    /// the device (the client side of the delta wire format).
+    DeltaReconstruct,
 }
 
 impl fmt::Display for Activity {
@@ -82,6 +85,7 @@ impl fmt::Display for Activity {
             Activity::HeadMotionPrediction => "head-motion-prediction",
             Activity::QualityAssessment => "quality-assessment",
             Activity::Resilience => "resilience",
+            Activity::DeltaReconstruct => "delta-reconstruct",
         };
         f.write_str(s)
     }

@@ -97,6 +97,8 @@ pub mod names {
     pub const SAS_PRERENDER_RESIDENT_BYTES: &str = "evr_sas_prerender_resident_bytes";
     pub const SAS_PRERENDER_ENTRIES: &str = "evr_sas_prerender_entries";
     pub const SAS_PRERENDER_COALESCED: &str = "evr_sas_prerender_coalesced_total";
+    pub const SAS_PRERENDER_RECONSTRUCTS: &str = "evr_sas_prerender_reconstructs_total";
+    pub const SAS_PRERENDER_DELTA_ENTRIES: &str = "evr_sas_prerender_delta_entries";
 
     // Sharded serving front (evr-sas front.rs).
     pub const SAS_FRONT_REQUESTS: &str = "evr_sas_front_requests_total";

@@ -414,7 +414,10 @@ pub fn ingest_video_with(
         for (cluster, members, segment, meta) in result.fovs {
             let bytes = segment.bytes();
             let data = catalog.fov_log.append(segment, bytes);
-            let meta_bytes = (meta.len() * 32) as u64; // orientation records
+            // Orientation records at their actual size, matching
+            // `PrerenderedFov::cost_bytes` so the two accountings agree.
+            let meta_bytes =
+                (meta.len() * std::mem::size_of::<evr_projection::FovFrameMeta>()) as u64;
             let meta_id = catalog.meta_log.append(meta, meta_bytes);
             catalog.index.insert(
                 (seg as u32, cluster),

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use evr_projection::ImageBuffer;
 use evr_video::codec::{CodecConfig, EncodedSegment, Encoder};
+use evr_video::delta::DeltaSegment;
 use evr_video::scene::Scene;
 
 use crate::config::SasConfig;
@@ -25,6 +26,13 @@ pub struct LadderCatalog {
     quantizers: Vec<u8>,
     /// `bytes[segment][rung]`, target scale.
     bytes: Vec<Vec<u64>>,
+    /// `delta_bytes[segment][rung]`, target scale: the cost of each rung
+    /// when lower rungs are delta-encoded against the segment's top rung
+    /// ([`SegmentRepr::delta_or_full`]; the top rung and any rung whose
+    /// delta is not smaller keep their full cost). This is what a
+    /// delta-resident store keeps and what a delta-upgrade moves on the
+    /// wire.
+    delta_bytes: Vec<Vec<u64>>,
     /// Segment duration, seconds.
     segment_duration_s: f64,
 }
@@ -57,6 +65,35 @@ impl LadderCatalog {
     /// The whole `bytes[segment][rung]` matrix.
     pub fn matrix(&self) -> &[Vec<u64>] {
         &self.bytes
+    }
+
+    /// Delta-representation wire bytes of `segment` at `rung` (equal to
+    /// [`bytes`] for the top rung and wherever the delta fell back).
+    ///
+    /// [`bytes`]: LadderCatalog::bytes
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn delta_bytes(&self, segment: u32, rung: usize) -> u64 {
+        self.delta_bytes[segment as usize][rung]
+    }
+
+    /// The whole `delta_bytes[segment][rung]` matrix.
+    pub fn delta_matrix(&self) -> &[Vec<u64>] {
+        &self.delta_bytes
+    }
+
+    /// Fraction of total ladder bytes saved by delta-encoding lower rungs
+    /// against the top rung, in `[0, 1)`.
+    pub fn delta_savings_fraction(&self) -> f64 {
+        let full: u64 = self.bytes.iter().flatten().sum();
+        let delta: u64 = self.delta_bytes.iter().flatten().sum();
+        if full == 0 {
+            0.0
+        } else {
+            1.0 - delta as f64 / full as f64
+        }
     }
 
     /// Mean bitrate of a rung across the video, bits/second.
@@ -124,8 +161,10 @@ pub fn ingest_ladder_with(
     // Every segment row is a pure function of `(scene, config, seg)`, so
     // the rung encodings fan out through the deterministic chunked
     // scheduler of `crate::par` — byte-identical to the serial loop for
-    // any worker count.
-    let bytes = crate::par::fan_out(segment_count, workers, |seg| {
+    // any worker count. Delta costs ride along: the last rung is the top
+    // (finest) one, and each lower rung is delta-encoded against it,
+    // falling back to its full cost whenever the delta is not smaller.
+    let rows = crate::par::fan_out(segment_count, workers, |seg| {
         let start = seg * seg_len;
         let end = (start + seg_len).min(total_frames);
         let sources: Vec<ImageBuffer> = (start..end)
@@ -133,21 +172,42 @@ pub fn ingest_ladder_with(
                 scene.render_image(i as f64 / FPS, evr_projection::Projection::Erp, src_w, src_h)
             })
             .collect();
-        let mut row = Vec::with_capacity(quantizers.len());
-        for &q in quantizers {
-            let mut enc = Encoder::new(CodecConfig::new(config.segment_frames, q));
-            enc.force_intra();
-            let seg = EncodedSegment {
-                start_index: start,
-                frames: sources.iter().map(|img| enc.encode_frame(img)).collect(),
-            };
-            row.push(seg.scaled_bytes(scale));
-        }
-        row
+        let encoded: Vec<EncodedSegment> = quantizers
+            .iter()
+            .map(|&q| {
+                let mut enc = Encoder::new(CodecConfig::new(config.segment_frames, q));
+                enc.force_intra();
+                EncodedSegment {
+                    start_index: start,
+                    frames: sources.iter().map(|img| enc.encode_frame(img)).collect(),
+                }
+            })
+            .collect();
+        let top = encoded.last().expect("at least one rung");
+        let row: Vec<u64> = encoded.iter().map(|seg| seg.scaled_bytes(scale)).collect();
+        // The fallback decision happens at the accounting scale: headers
+        // do not scale with resolution, so the winner at analysis scale
+        // (where the delta's smaller headers dominate) is not always the
+        // winner at target scale (where payloads dominate).
+        let delta_row: Vec<u64> = encoded
+            .iter()
+            .zip(&row)
+            .enumerate()
+            .map(|(r, (seg, &full))| {
+                if r + 1 == encoded.len() {
+                    full // the top rung stays full
+                } else {
+                    DeltaSegment::encode(seg, top).map_or(full, |d| d.scaled_bytes(scale).min(full))
+                }
+            })
+            .collect();
+        (row, delta_row)
     });
+    let (bytes, delta_bytes) = rows.into_iter().unzip();
     LadderCatalog {
         quantizers: quantizers.to_vec(),
         bytes,
+        delta_bytes,
         segment_duration_s: seg_len as f64 / FPS,
     }
 }
@@ -179,6 +239,33 @@ mod tests {
         let f1 = c.rung_byte_fraction(1);
         assert!(f0 > 0.0 && f0 < f1 && f1 < 1.0, "f0 {f0} f1 {f1}");
         assert!((c.rung_byte_fraction(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_bytes_never_exceed_full_and_save_overall() {
+        let c = catalog();
+        for seg in 0..c.segment_count() {
+            for rung in 0..c.quantizers().len() {
+                assert!(
+                    c.delta_bytes(seg, rung) <= c.bytes(seg, rung),
+                    "segment {seg} rung {rung}: delta {} > full {}",
+                    c.delta_bytes(seg, rung),
+                    c.bytes(seg, rung)
+                );
+            }
+            let top = c.quantizers().len() - 1;
+            assert_eq!(c.delta_bytes(seg, top), c.bytes(seg, top), "top rung stays full");
+        }
+        assert!(c.delta_savings_fraction() > 0.0, "{}", c.delta_savings_fraction());
+    }
+
+    #[test]
+    fn ladder_delta_bytes_are_worker_independent() {
+        let scene = scene_for(VideoId::Rhino);
+        let cfg = SasConfig::tiny_for_tests();
+        let serial = ingest_ladder_with(&scene, &cfg, &[30, 18, 10], 1.0, 1);
+        let parallel = ingest_ladder_with(&scene, &cfg, &[30, 18, 10], 1.0, 4);
+        assert_eq!(serial, parallel, "fan-out must be byte-identical");
     }
 
     #[test]

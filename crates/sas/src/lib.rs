@@ -41,6 +41,7 @@
 
 pub mod checker;
 pub mod config;
+pub mod fovladder;
 pub mod front;
 pub mod ingest;
 pub mod ladder;
@@ -52,6 +53,7 @@ pub mod tiles;
 
 pub use checker::FovChecker;
 pub use config::SasConfig;
+pub use fovladder::{fov_rung_quantizers, populate_fov_ladder, FovLadderStats};
 pub use front::{
     Admission, BatchOutcome, BatchReport, Disposition, FrontRequest, SasFront, ShardStats,
     ShedReason, TileBatchOutcome, TileBatchReport, TileDisposition, TileRequest,
@@ -62,7 +64,7 @@ pub use ingest::{
 };
 pub use ladder::{ingest_ladder, ingest_ladder_with, LadderCatalog};
 pub use prerender::{FovPrerenderStore, PrerenderKey, PrerenderedFov, StoreStats};
-pub use server::{Request, Response, SasError, SasServer};
+pub use server::{FovUpgrade, Request, Response, SasError, SasServer};
 pub use store::LogStore;
 pub use tiles::{
     ingest_tiled, ingest_tiled_rates, ingest_tiled_rates_with, ingest_tiled_with, TileClass,

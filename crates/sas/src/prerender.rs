@@ -25,12 +25,20 @@
 //! are pure functions of their key once the content fingerprint pins
 //! the scene, duration and ingest configuration — so serving from it is
 //! bit-exact (pinned by the `ingest_bench` parity check).
+//!
+//! Lower ladder rungs may additionally be **delta-resident**
+//! ([`FovPrerenderStore::insert_delta`]): held as sparse coefficient
+//! residuals against the cluster's full top rung and reconstructed
+//! bit-exactly on lookup ([`evr_video::delta`], DESIGN.md §16). Whenever
+//! the delta is not strictly smaller the full encoding is kept, so
+//! delta residency only ever shrinks `resident_bytes`.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 use evr_projection::FovFrameMeta;
 use evr_video::codec::EncodedSegment;
+use evr_video::delta::DeltaSegment;
 
 use crate::config::SasConfig;
 
@@ -59,10 +67,11 @@ pub struct PrerenderedFov {
 }
 
 impl PrerenderedFov {
-    /// Budget cost: encoded bytes plus the orientation records (32 bytes
-    /// each, matching the catalog's metadata-log accounting).
+    /// Budget cost: encoded bytes plus the orientation records at their
+    /// actual in-memory size — derived, not hard-coded, so the accounting
+    /// cannot silently drift when [`FovFrameMeta`] grows a field.
     pub fn cost_bytes(&self) -> u64 {
-        self.data.bytes() + (self.meta.len() * 32) as u64
+        self.data.bytes() + (self.meta.len() * std::mem::size_of::<FovFrameMeta>()) as u64
     }
 }
 
@@ -78,6 +87,9 @@ pub struct StoreStats {
     /// Builds avoided by waiting on another thread's in-flight build of
     /// the same key instead of running the builder again.
     pub coalesced: u64,
+    /// Lookups served by reconstructing a delta-resident entry from its
+    /// reference rung (each is also counted as a hit).
+    pub reconstructs: u64,
 }
 
 impl StoreStats {
@@ -96,9 +108,70 @@ impl StoreStats {
 /// unwound) and waiters should re-check the map.
 type InflightSignal = Arc<(Mutex<bool>, Condvar)>;
 
+/// How one entry is held at rest.
+#[derive(Debug)]
+enum Resident {
+    /// Independently encoded — shared out as the same `Arc` on every hit.
+    Full(Arc<PrerenderedFov>),
+    /// A lower rung held as sparse residuals against a full reference
+    /// rung. The reference is pinned by `Arc`, so evicting the reference
+    /// *key* never invalidates reconstruction (the bytes linger until the
+    /// last delta referring to them goes too — the accounting undercount
+    /// this can cause after a reference eviction is accepted; FIFO order
+    /// makes it rare, since references are inserted before their deltas).
+    Delta { repr: Arc<DeltaSegment>, meta: Vec<FovFrameMeta>, reference: Arc<PrerenderedFov> },
+}
+
+impl Resident {
+    /// Honest budget cost of what this entry keeps resident itself.
+    fn cost_bytes(&self) -> u64 {
+        match self {
+            Resident::Full(fov) => fov.cost_bytes(),
+            Resident::Delta { repr, meta, .. } => {
+                repr.bytes() + (meta.len() * std::mem::size_of::<FovFrameMeta>()) as u64
+            }
+        }
+    }
+}
+
+/// A resident entry cloned out of the lock, ready to materialise into a
+/// [`PrerenderedFov`] without holding the store mutex.
+enum Snapshot {
+    Ready(Arc<PrerenderedFov>),
+    Reconstruct { repr: Arc<DeltaSegment>, meta: Vec<FovFrameMeta>, reference: Arc<PrerenderedFov> },
+}
+
+impl Snapshot {
+    fn of(entry: &Resident) -> Snapshot {
+        match entry {
+            Resident::Full(fov) => Snapshot::Ready(Arc::clone(fov)),
+            Resident::Delta { repr, meta, reference } => Snapshot::Reconstruct {
+                repr: Arc::clone(repr),
+                meta: meta.clone(),
+                reference: Arc::clone(reference),
+            },
+        }
+    }
+
+    fn is_reconstruct(&self) -> bool {
+        matches!(self, Snapshot::Reconstruct { .. })
+    }
+
+    /// Materialises the full segment; bit-exact for delta entries by
+    /// [`DeltaSegment::reconstruct`]'s contract.
+    fn materialise(self) -> Arc<PrerenderedFov> {
+        match self {
+            Snapshot::Ready(fov) => fov,
+            Snapshot::Reconstruct { repr, meta, reference } => {
+                Arc::new(PrerenderedFov { data: repr.reconstruct(&reference.data), meta })
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 struct StoreState {
-    entries: HashMap<PrerenderKey, Arc<PrerenderedFov>>,
+    entries: HashMap<PrerenderKey, Resident>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<PrerenderKey>,
     /// Keys some thread is currently building outside the lock; a
@@ -116,13 +189,24 @@ impl StoreState {
     /// every consumer shares one allocation.
     fn insert(&mut self, key: PrerenderKey, fov: Arc<PrerenderedFov>) -> Arc<PrerenderedFov> {
         if let Some(existing) = self.entries.get(&key) {
-            return Arc::clone(existing);
+            let snap = Snapshot::of(existing);
+            if snap.is_reconstruct() {
+                self.stats.reconstructs += 1;
+            }
+            return snap.materialise();
         }
-        self.total_bytes += fov.cost_bytes();
-        self.entries.insert(key, Arc::clone(&fov));
+        self.admit(key, Resident::Full(Arc::clone(&fov)));
+        fov
+    }
+
+    /// Admits a new entry (the key must not be resident) and evicts
+    /// oldest-first to keep the budget, always keeping the newest entry
+    /// even if it alone exceeds it — a usable store beats a strict one.
+    fn admit(&mut self, key: PrerenderKey, entry: Resident) {
+        debug_assert!(!self.entries.contains_key(&key));
+        self.total_bytes += entry.cost_bytes();
+        self.entries.insert(key, entry);
         self.order.push_back(key);
-        // Evict oldest-first, but always keep the newest entry even if it
-        // alone exceeds the budget — a usable store beats a strict one.
         while self.total_bytes > self.capacity_bytes && self.order.len() > 1 {
             if let Some(old) = self.order.pop_front() {
                 if let Some(dropped) = self.entries.remove(&old) {
@@ -131,7 +215,6 @@ impl StoreState {
                 }
             }
         }
-        fov
     }
 }
 
@@ -191,20 +274,27 @@ impl FovPrerenderStore {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Looks up a pre-render, counting a hit or miss.
+    /// Looks up a pre-render, counting a hit or miss. Delta-resident
+    /// entries are reconstructed (outside the lock) into the bit-exact
+    /// full segment, counted in [`StoreStats::reconstructs`].
     pub fn get(&self, key: &PrerenderKey) -> Option<Arc<PrerenderedFov>> {
-        let mut state = self.lock();
-        match state.entries.get(key) {
-            Some(fov) => {
-                let fov = Arc::clone(fov);
-                state.stats.hits += 1;
-                Some(fov)
+        let snap = {
+            let mut state = self.lock();
+            match state.entries.get(key).map(Snapshot::of) {
+                Some(snap) => {
+                    state.stats.hits += 1;
+                    if snap.is_reconstruct() {
+                        state.stats.reconstructs += 1;
+                    }
+                    snap
+                }
+                None => {
+                    state.stats.misses += 1;
+                    return None;
+                }
             }
-            None => {
-                state.stats.misses += 1;
-                None
-            }
-        }
+        };
+        Some(snap.materialise())
     }
 
     /// Looks up a pre-render, building and inserting it on a miss. The
@@ -220,21 +310,36 @@ impl FovPrerenderStore {
         key: PrerenderKey,
         build: impl FnOnce() -> PrerenderedFov,
     ) -> Arc<PrerenderedFov> {
+        // Whether this call already counted its probe outcome: one
+        // logical lookup is at most one miss *or* one coalesced wait,
+        // even when a panicked builder makes a waiter loop back and take
+        // over the build (which previously double-counted a miss on top
+        // of the coalesced wait).
+        let mut counted = false;
         loop {
             let waiter: Option<InflightSignal> = {
                 let mut state = self.lock();
-                if let Some(fov) = state.entries.get(&key) {
-                    let fov = Arc::clone(fov);
+                if let Some(snap) = state.entries.get(&key).map(Snapshot::of) {
                     state.stats.hits += 1;
-                    return fov;
+                    if snap.is_reconstruct() {
+                        state.stats.reconstructs += 1;
+                    }
+                    drop(state);
+                    return snap.materialise();
                 }
                 match state.inflight.get(&key).map(Arc::clone) {
                     Some(signal) => {
-                        state.stats.coalesced += 1;
+                        if !counted {
+                            state.stats.coalesced += 1;
+                            counted = true;
+                        }
                         Some(signal)
                     }
                     None => {
-                        state.stats.misses += 1;
+                        if !counted {
+                            state.stats.misses += 1;
+                            counted = true;
+                        }
                         state.inflight.insert(key, Arc::new((Mutex::new(false), Condvar::new())));
                         None
                     }
@@ -267,6 +372,55 @@ impl FovPrerenderStore {
         self.lock().insert(key, Arc::new(fov))
     }
 
+    /// Inserts a lower rung as a delta against the resident full rung at
+    /// `reference`, falling back to a full insert whenever the delta is
+    /// not strictly smaller ([`DeltaSegment::encode_if_smaller`]), the
+    /// reference is absent, or the reference is itself delta-resident
+    /// (deltas only chain one level deep, so reconstruction is a single
+    /// sparse merge). Returns whether the delta representation won.
+    ///
+    /// The encode runs outside the lock; if another thread races the same
+    /// key in meanwhile, the resident entry wins, as with [`insert`].
+    ///
+    /// [`insert`]: FovPrerenderStore::insert
+    pub fn insert_delta(
+        &self,
+        key: PrerenderKey,
+        fov: PrerenderedFov,
+        reference: PrerenderKey,
+    ) -> bool {
+        let reference_arc = {
+            let state = self.lock();
+            match state.entries.get(&key) {
+                Some(existing) => return matches!(existing, Resident::Delta { .. }),
+                None => match state.entries.get(&reference) {
+                    Some(Resident::Full(fov)) => Some(Arc::clone(fov)),
+                    _ => None,
+                },
+            }
+        };
+        let entry = match reference_arc
+            .as_ref()
+            .and_then(|r| DeltaSegment::encode_if_smaller(&fov.data, &r.data))
+        {
+            Some(delta) => Resident::Delta {
+                repr: Arc::new(delta),
+                meta: fov.meta,
+                reference: reference_arc.expect("delta implies a reference"),
+            },
+            None => Resident::Full(Arc::new(fov)),
+        };
+        let won = matches!(entry, Resident::Delta { .. });
+        let mut state = self.lock();
+        match state.entries.get(&key) {
+            Some(existing) => matches!(existing, Resident::Delta { .. }),
+            None => {
+                state.admit(key, entry);
+                won
+            }
+        }
+    }
+
     /// Hit/miss/eviction counters so far.
     pub fn stats(&self) -> StoreStats {
         self.lock().stats
@@ -280,6 +434,11 @@ impl FovPrerenderStore {
     /// Number of resident pre-renders.
     pub fn len(&self) -> usize {
         self.lock().entries.len()
+    }
+
+    /// Number of resident pre-renders held as deltas.
+    pub fn delta_entries(&self) -> usize {
+        self.lock().entries.values().filter(|e| matches!(e, Resident::Delta { .. })).count()
     }
 
     /// Whether the store is empty.
@@ -306,9 +465,11 @@ impl FovPrerenderStore {
             return;
         }
         use evr_obs::names;
-        let (stats, bytes, entries) = {
+        let (stats, bytes, entries, deltas) = {
             let state = self.lock();
-            (state.stats, state.total_bytes, state.entries.len())
+            let deltas =
+                state.entries.values().filter(|e| matches!(e, Resident::Delta { .. })).count();
+            (state.stats, state.total_bytes, state.entries.len(), deltas)
         };
         observer.gauge(names::SAS_PRERENDER_HITS).set(stats.hits as f64);
         observer.gauge(names::SAS_PRERENDER_MISSES).set(stats.misses as f64);
@@ -316,6 +477,8 @@ impl FovPrerenderStore {
         observer.gauge(names::SAS_PRERENDER_RESIDENT_BYTES).set(bytes as f64);
         observer.gauge(names::SAS_PRERENDER_ENTRIES).set(entries as f64);
         observer.gauge(names::SAS_PRERENDER_COALESCED).set(stats.coalesced as f64);
+        observer.gauge(names::SAS_PRERENDER_RECONSTRUCTS).set(stats.reconstructs as f64);
+        observer.gauge(names::SAS_PRERENDER_DELTA_ENTRIES).set(deltas as f64);
     }
 }
 
@@ -508,6 +671,75 @@ mod tests {
         let rebuilt = store.get_or_insert_with(key(0), || fov(4, 1));
         assert_eq!(rebuilt.meta.len(), 4);
         assert_eq!(store.len(), 1);
+        // Two logical lookups happened: the panicked build and the
+        // successful rebuild — one counted miss each, nothing coalesced.
+        let stats = store.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.coalesced, 0);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn waiter_taking_over_a_panicked_build_counts_one_coalesced_no_miss() {
+        use std::sync::mpsc;
+        let store = FovPrerenderStore::new();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+
+        let builder = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    store.get_or_insert_with(key(0), move || {
+                        entered_tx.send(()).unwrap();
+                        release_rx.recv().unwrap(); // hold the build open
+                        panic!("builder died mid-build")
+                    })
+                }))
+            })
+        };
+        entered_rx.recv().unwrap(); // builder is inside build()
+
+        let waiter = {
+            let store = store.clone();
+            std::thread::spawn(move || store.get_or_insert_with(key(0), || fov(4, 1)))
+        };
+        // The waiter is parked behind the in-flight build once the
+        // coalesced counter ticks.
+        while store.stats().coalesced == 0 {
+            std::thread::yield_now();
+        }
+
+        // Let the builder panic; the waiter loops back, takes over the
+        // build and succeeds.
+        release_tx.send(()).unwrap();
+        assert!(builder.join().unwrap().is_err());
+        let rebuilt = waiter.join().unwrap();
+        assert_eq!(rebuilt.meta.len(), 4);
+        assert_eq!(store.len(), 1);
+
+        // One logical lookup per caller: the panicked builder's miss and
+        // the waiter's coalesced wait. The waiter's takeover must NOT
+        // count a second miss (the pre-fix double count), and waking
+        // repeatedly must not inflate `coalesced` either.
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1, "takeover must not re-count a miss");
+        assert_eq!(stats.coalesced, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn cost_bytes_tracks_the_actual_meta_record_size() {
+        // The budget accounting derives the per-record cost from the
+        // actual struct, so growing `FovFrameMeta` can never silently
+        // drift the accounting (the old code hard-coded 32 bytes).
+        let f = fov(4, 1);
+        let record = std::mem::size_of::<FovFrameMeta>() as u64;
+        assert_eq!(f.cost_bytes(), f.data.bytes() + 4 * record);
+        // Pin the current record size: orientation (3 × f64) + fov spec
+        // (2 × f64 degrees) = 40 bytes. If this assert fires, the meta
+        // struct changed shape — update DESIGN.md §16's numbers too.
+        assert_eq!(record, 40);
     }
 
     #[test]
@@ -548,6 +780,68 @@ mod tests {
         assert_eq!(stats.coalesced, 0);
         store.clear();
         assert!(store.is_empty());
+    }
+
+    /// The same content transcoded to a coarser rung — what
+    /// `insert_delta` is designed for.
+    fn lower_rung_of(top: &PrerenderedFov, quantizer: u8) -> PrerenderedFov {
+        PrerenderedFov {
+            data: evr_video::delta::transcode_segment(&top.data, quantizer),
+            meta: top.meta.clone(),
+        }
+    }
+
+    #[test]
+    fn delta_insert_shrinks_residency_and_reconstructs_bit_exactly() {
+        let store = FovPrerenderStore::new();
+        let top = fov(4, 1);
+        let low = lower_rung_of(&top, 40);
+        let top_key = key(0);
+        let low_key = PrerenderKey { rung: 40, ..key(0) };
+        let independent_cost = top.cost_bytes() + low.cost_bytes();
+        store.insert(top_key, top);
+        assert!(store.insert_delta(low_key, low.clone(), top_key), "delta should win");
+        assert_eq!(store.delta_entries(), 1);
+        assert!(
+            store.resident_bytes() < independent_cost,
+            "delta residency must shrink the store: {} >= {independent_cost}",
+            store.resident_bytes()
+        );
+        // Lookup reconstructs the bit-exact independent encoding.
+        let got = store.get(&low_key).expect("resident");
+        assert_eq!(*got, low);
+        assert_eq!(store.stats().reconstructs, 1);
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn delta_insert_without_reference_falls_back_to_full() {
+        let store = FovPrerenderStore::new();
+        let low = fov(4, 2);
+        assert!(!store.insert_delta(key(1), low.clone(), key(0)), "no reference, no delta");
+        assert_eq!(store.delta_entries(), 0);
+        let got = store.get(&key(1)).expect("resident as full");
+        assert_eq!(*got, low);
+        assert_eq!(store.stats().reconstructs, 0);
+    }
+
+    #[test]
+    fn evicting_the_reference_key_does_not_break_delta_reconstruction() {
+        let top = fov(4, 1);
+        let low = lower_rung_of(&top, 40);
+        let store = FovPrerenderStore::with_budget(top.cost_bytes() * 2);
+        let top_key = key(0);
+        let low_key = PrerenderKey { rung: 40, ..key(0) };
+        store.insert(top_key, top);
+        assert!(store.insert_delta(low_key, low.clone(), top_key));
+        // A filler entry pushes the reference key out (FIFO evicts the
+        // oldest first)...
+        store.insert(key(7), fov(4, 9));
+        assert!(store.get(&top_key).is_none(), "reference key must be evicted");
+        // ...but the delta entry pins the reference bytes by Arc, so
+        // reconstruction still works and is still bit-exact.
+        let got = store.get(&low_key).expect("delta entry survives");
+        assert_eq!(*got, low);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use evr_math::EulerAngles;
 use evr_projection::FovFrameMeta;
 use evr_video::codec::EncodedSegment;
+use evr_video::delta::{transcode_segment, DeltaSegment, SegmentRepr};
 
 use crate::ingest::SasCatalog;
 use crate::prerender::{FovPrerenderStore, PrerenderKey, PrerenderedFov};
@@ -57,6 +58,23 @@ pub enum Response<'a> {
     /// The requested stream does not exist (no such segment, or the
     /// cluster was not materialised under the utilisation budget).
     NotFound,
+}
+
+/// What [`SasServer::fetch_fov_upgrade`] moves on the wire: the top FOV
+/// rung, expressed for a client that already holds a lower rung of the
+/// same stream (DESIGN.md §16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FovUpgrade {
+    /// The wire representation: a [`SegmentRepr::Delta`] against the
+    /// client-held reference rung when that is smaller at target scale,
+    /// the full top encoding otherwise.
+    pub repr: SegmentRepr,
+    /// Per-frame orientation metadata (identical across rungs).
+    pub meta: Vec<FovFrameMeta>,
+    /// Wire size at target (paper) scale, bytes.
+    pub wire_bytes: u64,
+    /// Residual coefficients carried (0 for a full fallback).
+    pub residual_coeffs: u64,
 }
 
 /// Why a request could not be served.
@@ -255,6 +273,143 @@ impl SasServer {
         let wire_bytes = self.catalog.fov_target_bytes(stream);
         self.metrics.fov_bytes.add(wire_bytes);
         Ok((payload, wire_bytes))
+    }
+
+    /// The store key of `(segment, cluster)` at `quantizer`.
+    fn fov_key(&self, segment: u32, cluster: usize, quantizer: u8) -> PrerenderKey {
+        PrerenderKey { content: self.catalog.content_id(), segment, cluster, rung: quantizer }
+    }
+
+    /// Counts a typed lookup failure in the not-found metric (store
+    /// absence is a server configuration problem, not a lookup miss).
+    fn note_lookup_error(&self, error: &SasError) {
+        if !matches!(error, SasError::Unavailable) {
+            self.metrics.not_found.inc();
+        }
+    }
+
+    /// The resident top-rung payload of `(segment, cluster)`, read back
+    /// from the catalog and re-inserted on a store miss. Shared by the
+    /// rung and upgrade paths; carries no request metrics of its own.
+    fn top_payload(&self, segment: u32, cluster: usize) -> Result<Arc<PrerenderedFov>, SasError> {
+        if segment >= self.catalog.segment_count() {
+            return Err(SasError::UnknownSegment { segment });
+        }
+        let Some(stream) = self.catalog.fov_stream(segment, cluster) else {
+            return Err(SasError::UnknownCluster { segment, cluster });
+        };
+        let store = self.store.as_ref().ok_or(SasError::Unavailable)?;
+        let key = self.fov_key(segment, cluster, self.catalog.config().fov_quantizer);
+        if let Some(hit) = store.get(&key) {
+            return Ok(hit);
+        }
+        let Some((data, meta)) = self.catalog.read_fov(stream) else {
+            return Err(SasError::CorruptStream { segment, cluster });
+        };
+        Ok(store.insert(key, PrerenderedFov { data: data.clone(), meta: meta.to_vec() }))
+    }
+
+    /// The payload of `(segment, cluster)` at rung `quantizer` —
+    /// transcoded from the top rung on a store miss and admitted
+    /// delta-resident against it ([`FovPrerenderStore::insert_delta`]).
+    fn rung_payload(
+        &self,
+        segment: u32,
+        cluster: usize,
+        quantizer: u8,
+    ) -> Result<Arc<PrerenderedFov>, SasError> {
+        let top_quantizer = self.catalog.config().fov_quantizer;
+        if quantizer == top_quantizer {
+            return self.top_payload(segment, cluster);
+        }
+        let store = self.store.as_ref().ok_or(SasError::Unavailable)?;
+        let key = self.fov_key(segment, cluster, quantizer);
+        if let Some(hit) = store.get(&key) {
+            return Ok(hit);
+        }
+        let top = self.top_payload(segment, cluster)?;
+        let payload = Arc::new(PrerenderedFov {
+            data: transcode_segment(&top.data, quantizer),
+            meta: top.meta.clone(),
+        });
+        // The transcode is deterministic, so if another thread raced the
+        // same key the resident entry holds the same bytes.
+        let top_key = self.fov_key(segment, cluster, top_quantizer);
+        store.insert_delta(key, (*payload).clone(), top_key);
+        Ok(payload)
+    }
+
+    /// Serves the FOV video of `(segment, cluster)` at a lower-quality
+    /// rung `quantizer` (the coarse half of the coarse-then-upgrade
+    /// client path), together with its wire size at target scale.
+    ///
+    /// The rung is transcoded from the top-rung stream on a store miss
+    /// and kept delta-resident against it, so the lower rungs of a
+    /// popular stream cost residual bytes rather than full encodings.
+    /// Requesting the catalog's own `fov_quantizer` is identical to
+    /// [`SasServer::fetch_fov`].
+    pub fn fetch_fov_rung(
+        &self,
+        segment: u32,
+        cluster: usize,
+        quantizer: u8,
+    ) -> Result<(Arc<PrerenderedFov>, u64), SasError> {
+        self.metrics.fov_requests.inc();
+        let payload = self.rung_payload(segment, cluster, quantizer).inspect_err(|e| {
+            self.note_lookup_error(e);
+        })?;
+        let wire_bytes = payload.data.scaled_bytes(self.catalog.config().fov_byte_scale());
+        self.metrics.fov_bytes.add(wire_bytes);
+        Ok((payload, wire_bytes))
+    }
+
+    /// Upgrades a client holding the `reference_quantizer` rung of
+    /// `(segment, cluster)` to the top rung. With `delta_wire` the
+    /// response is a sparse residual delta against the held rung
+    /// whenever that is smaller at target scale — the client
+    /// reconstructs ([`DeltaSegment::reconstruct`], bit-exact) and pays
+    /// the reconstruction energy; otherwise (and whenever the delta is
+    /// not smaller) the full top encoding moves instead.
+    pub fn fetch_fov_upgrade(
+        &self,
+        segment: u32,
+        cluster: usize,
+        reference_quantizer: u8,
+        delta_wire: bool,
+    ) -> Result<FovUpgrade, SasError> {
+        self.metrics.fov_requests.inc();
+        let top = self.top_payload(segment, cluster).inspect_err(|e| {
+            self.note_lookup_error(e);
+        })?;
+        let scale = self.catalog.config().fov_byte_scale();
+        let full_wire = top.data.scaled_bytes(scale);
+        // Like the ladder's fallback rule, the winner is decided at the
+        // accounting (target) scale: headers do not scale with
+        // resolution, so the analysis-scale winner can differ.
+        let delta = if delta_wire {
+            self.rung_payload(segment, cluster, reference_quantizer)
+                .ok()
+                .and_then(|reference| DeltaSegment::encode(&top.data, &reference.data))
+                .filter(|d| d.scaled_bytes(scale) < full_wire)
+        } else {
+            None
+        };
+        let upgrade = match delta {
+            Some(d) => FovUpgrade {
+                wire_bytes: d.scaled_bytes(scale),
+                residual_coeffs: d.residual_coeffs(),
+                meta: top.meta.clone(),
+                repr: SegmentRepr::Delta(d),
+            },
+            None => FovUpgrade {
+                repr: SegmentRepr::Full(top.data.clone()),
+                meta: top.meta.clone(),
+                wire_bytes: full_wire,
+                residual_coeffs: 0,
+            },
+        };
+        self.metrics.fov_bytes.add(upgrade.wire_bytes);
+        Ok(upgrade)
     }
 
     /// [`SasServer::fetch_fov`] plus request-scoped tracing: on a timed
@@ -563,6 +718,77 @@ mod tests {
         assert!(store.stats().hits >= 1);
         assert!(!payload.data.frames.is_empty());
         assert!(wire > 0);
+    }
+
+    #[test]
+    fn fetch_fov_rung_transcodes_once_and_stays_delta_resident() {
+        let catalog = ingest_video(&scene_for(VideoId::Rhino), &SasConfig::tiny_for_tests(), 1.0);
+        let store = crate::prerender::FovPrerenderStore::new();
+        let s = SasServer::with_store(catalog, store.clone());
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        let top_q = s.catalog().config().fov_quantizer;
+        let coarse_q = top_q * 2;
+
+        let (coarse, coarse_wire) = s.fetch_fov_rung(0, cluster, coarse_q).expect("coarse");
+        let (_top, top_wire) = s.fetch_fov(0, cluster).expect("top");
+        assert!(coarse_wire < top_wire, "coarse {coarse_wire} top {top_wire}");
+        assert_eq!(coarse.data.frames.len(), coarse.meta.len());
+        assert_eq!(store.len(), 2, "top + coarse resident");
+        assert_eq!(store.delta_entries(), 1, "coarse rung is delta-resident");
+
+        // Warm rung fetches reconstruct to the same bytes and wire size.
+        let (warm, warm_wire) = s.fetch_fov_rung(0, cluster, coarse_q).expect("warm");
+        assert_eq!(warm.data, coarse.data);
+        assert_eq!(warm_wire, coarse_wire);
+        assert!(store.stats().reconstructs >= 1);
+
+        // The top quantiser routes through the ordinary fetch path.
+        let (via_rung, via_rung_wire) = s.fetch_fov_rung(0, cluster, top_q).expect("top via rung");
+        assert_eq!(via_rung_wire, top_wire);
+        assert!(!via_rung.data.frames.is_empty());
+    }
+
+    #[test]
+    fn fetch_fov_rung_reports_typed_errors() {
+        let s = server(VideoId::Rs);
+        assert_eq!(s.fetch_fov_rung(0, 0, 30), Err(SasError::Unavailable), "no store attached");
+        let catalog = ingest_video(&scene_for(VideoId::Rs), &SasConfig::tiny_for_tests(), 1.0);
+        let s = SasServer::with_store(catalog, crate::prerender::FovPrerenderStore::new());
+        assert_eq!(
+            s.fetch_fov_rung(0, 99, 30),
+            Err(SasError::UnknownCluster { segment: 0, cluster: 99 })
+        );
+        assert_eq!(s.fetch_fov_rung(999, 0, 30), Err(SasError::UnknownSegment { segment: 999 }));
+    }
+
+    #[test]
+    fn fetch_fov_upgrade_delta_reconstructs_the_exact_top_rung() {
+        let catalog = ingest_video(&scene_for(VideoId::Rhino), &SasConfig::tiny_for_tests(), 1.0);
+        let store = crate::prerender::FovPrerenderStore::new();
+        let s = SasServer::with_store(catalog, store.clone());
+        let cluster = s.catalog().clusters_in_segment(0)[0];
+        let coarse_q = s.catalog().config().fov_quantizer * 2;
+
+        let (coarse, _) = s.fetch_fov_rung(0, cluster, coarse_q).expect("coarse");
+        let (top, top_wire) = s.fetch_fov(0, cluster).expect("top");
+
+        // Without the delta wire the full top encoding moves.
+        let full = s.fetch_fov_upgrade(0, cluster, coarse_q, false).expect("full upgrade");
+        assert!(!full.repr.is_delta());
+        assert_eq!(full.wire_bytes, top_wire);
+        assert_eq!(full.residual_coeffs, 0);
+        assert_eq!(full.repr.reconstruct(None), top.data);
+
+        // With it, the upgrade is never larger, and reconstructing
+        // against the client-held coarse rung is bit-exact.
+        let upgrade = s.fetch_fov_upgrade(0, cluster, coarse_q, true).expect("delta upgrade");
+        assert!(upgrade.wire_bytes <= top_wire, "{} > {top_wire}", upgrade.wire_bytes);
+        assert_eq!(upgrade.meta, top.meta);
+        assert_eq!(upgrade.repr.reconstruct(Some(&coarse.data)), top.data);
+        if upgrade.repr.is_delta() {
+            assert!(upgrade.residual_coeffs > 0);
+            assert!(upgrade.wire_bytes < top_wire);
+        }
     }
 
     #[test]

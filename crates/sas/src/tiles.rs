@@ -378,6 +378,13 @@ pub fn ingest_tiled_with(
 pub struct TileRung {
     /// Wire bytes for the whole segment at this rung.
     pub wire_bytes: u64,
+    /// Wire bytes when this rung is delta-encoded against the finest
+    /// same-resolution rung of the same tile ([`evr_video::delta`]).
+    /// Equal to `wire_bytes` for the reference rung itself, for the
+    /// full-resolution top rung (whose resolution differs from the
+    /// downsampled lower rungs, so no shape-compatible reference
+    /// exists), and wherever the delta fell back to full.
+    pub delta_wire_bytes: u64,
     /// Per-frame wire bytes (header + scaled payload), mirroring the
     /// client's per-frame decode accounting.
     pub frame_bytes: Vec<u64>,
@@ -436,6 +443,19 @@ impl TiledRateCatalog {
         self.segments[seg as usize]
             .iter()
             .map(|tile| tile.iter().map(|r| r.wire_bytes).collect())
+            .collect()
+    }
+
+    /// The `[tile][rung]` delta-representation wire-byte matrix for one
+    /// segment (see [`TileRung::delta_wire_bytes`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn tile_rung_delta_bytes(&self, seg: u32) -> Vec<Vec<u64>> {
+        self.segments[seg as usize]
+            .iter()
+            .map(|tile| tile.iter().map(|r| r.delta_wire_bytes).collect())
             .collect()
     }
 }
@@ -521,7 +541,7 @@ pub fn ingest_tiled_rates_with(
                     .collect();
                 let halved: Vec<ImageBuffer> =
                     crops.iter().map(evr_projection::pixel::downsample2x).collect();
-                let rungs: Vec<TileRung> = quantizers
+                let encoded_rungs: Vec<(EncodedSegment, f64)> = quantizers
                     .iter()
                     .enumerate()
                     .map(|(i, &q)| {
@@ -534,6 +554,18 @@ pub fn ingest_tiled_rates_with(
                             start_index: start,
                             frames: imgs.iter().map(|i| enc.encode_frame(i)).collect(),
                         };
+                        (encoded, rung_scale)
+                    })
+                    .collect();
+                // Delta reference: the finest *downsampled* rung — the top
+                // rung is full resolution, so it cannot reference anything
+                // and nothing can reference it across the resolution
+                // break. With fewer than three rungs everything stays full.
+                let reference = (quantizers.len() >= 3).then(|| quantizers.len() - 2);
+                let rungs: Vec<TileRung> = encoded_rungs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (encoded, rung_scale))| {
                         let frame_bytes = encoded
                             .frames
                             .iter()
@@ -542,7 +574,20 @@ pub fn ingest_tiled_rates_with(
                                 (payload as f64 * rung_scale) as u64 + (f.bytes - payload)
                             })
                             .collect();
-                        TileRung { wire_bytes: encoded.scaled_bytes(rung_scale), frame_bytes }
+                        let wire_bytes = encoded.scaled_bytes(*rung_scale);
+                        // Fallback compares at the accounting scale, like
+                        // the ladder: headers do not scale, so the winner
+                        // can differ from the analysis-scale one.
+                        let delta_wire_bytes = match reference {
+                            Some(r) if i < r => {
+                                evr_video::delta::DeltaSegment::encode(encoded, &encoded_rungs[r].0)
+                                    .map_or(wire_bytes, |d| {
+                                        d.scaled_bytes(*rung_scale).min(wire_bytes)
+                                    })
+                            }
+                            _ => wire_bytes,
+                        };
+                        TileRung { wire_bytes, delta_wire_bytes, frame_bytes }
                     })
                     .collect();
                 tiles.push(rungs);
@@ -715,6 +760,37 @@ mod tests {
             let fine: u64 = matrix.iter().map(|r| r[cat.rung_count() - 1]).sum();
             assert!(fine > coarse, "seg {seg}: fine {fine} <= coarse {coarse}");
         }
+    }
+
+    #[test]
+    fn multirate_delta_bytes_bounded_and_reference_rungs_stay_full() {
+        let mut cfg = SasConfig::tiny_for_tests();
+        cfg.analysis_src = (128, 64);
+        cfg.tile_grid = TileGrid::default();
+        let cat = ingest_tiled_rates(&scene_for(VideoId::Rhino), &cfg, 1.0);
+        let rungs = cat.rung_count();
+        assert!(rungs >= 3, "tiny config should produce a 3-rung ladder");
+        let mut any_delta_win = false;
+        for seg in 0..cat.segment_count() {
+            let full = cat.tile_rung_bytes(seg);
+            let delta = cat.tile_rung_delta_bytes(seg);
+            for (tile, (f, d)) in full.iter().zip(&delta).enumerate() {
+                for r in 0..rungs {
+                    assert!(
+                        d[r] <= f[r],
+                        "seg {seg} tile {tile} rung {r}: delta {} > full {}",
+                        d[r],
+                        f[r]
+                    );
+                }
+                // The reference (finest downsampled) rung and the
+                // full-resolution top rung can never be deltas.
+                assert_eq!(d[rungs - 2], f[rungs - 2]);
+                assert_eq!(d[rungs - 1], f[rungs - 1]);
+                any_delta_win |= (0..rungs - 2).any(|r| d[r] < f[r]);
+            }
+        }
+        assert!(any_delta_win, "no tile rung ever delta-won");
     }
 
     #[test]

@@ -93,9 +93,9 @@ pub enum FrameKind {
 /// for blocks in raster order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuantizedPlane {
-    width: u32,
-    height: u32,
-    entries: Vec<(u32, i16)>,
+    pub(crate) width: u32,
+    pub(crate) height: u32,
+    pub(crate) entries: Vec<(u32, i16)>,
 }
 
 impl QuantizedPlane {
@@ -125,9 +125,9 @@ pub struct EncodedFrame {
     /// pre-rendered FOV videos pan with their cluster, and a global-pan
     /// predictor is what keeps such content compressible in real codecs.
     pub motion: (i16, i16),
-    y: QuantizedPlane,
-    cb: QuantizedPlane,
-    cr: QuantizedPlane,
+    pub(crate) y: QuantizedPlane,
+    pub(crate) cb: QuantizedPlane,
+    pub(crate) cr: QuantizedPlane,
 }
 
 impl EncodedFrame {
@@ -351,13 +351,13 @@ impl Decoder {
     }
 }
 
-const FRAME_HEADER_BYTES: u64 = 96;
+pub(crate) const FRAME_HEADER_BYTES: u64 = 96;
 
 /// Quantisation step for coefficient `(u, v)`: a base step scaled up with
 /// frequency, so high-frequency detail quantises coarser (perceptual
 /// weighting, as in JPEG/H.264 default matrices). Chroma uses a slightly
 /// coarser base.
-fn quant_step(q: u8, u: usize, v: usize, is_luma: bool) -> f64 {
+pub(crate) fn quant_step(q: u8, u: usize, v: usize, is_luma: bool) -> f64 {
     let base = q as f64 * if is_luma { 1.0 } else { 1.4 };
     base * (1.0 + 0.45 * (u + v) as f64)
 }
@@ -532,7 +532,7 @@ fn decode_plane(
 
 /// Bit cost of one non-zero quantised coefficient: sign + unary-ish
 /// magnitude prefix + magnitude bits (Exp-Golomb flavoured).
-fn coeff_bits(c: i16) -> u64 {
+pub(crate) fn coeff_bits(c: i16) -> u64 {
     let mag = c.unsigned_abs() as u64;
     2 * (64 - (mag + 1).leading_zeros() as u64) + 1
 }

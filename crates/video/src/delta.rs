@@ -1,0 +1,577 @@
+//! Delta representation for ladder rungs: a lower-rung segment stored as
+//! sparse quantised-coefficient residuals against its top-rung sibling.
+//!
+//! The SAS cloud pre-renders one FOV stream per (cluster, rung) and the
+//! rungs of one cluster are near-duplicates of each other — the same
+//! rendered frames, quantised coarser. Viewport-adaptive delivery schemes
+//! exploit exactly this redundancy (Corbillon et al.; Hosseini &
+//! Swaminathan, MPEG-DASH SRD), and this module does the same at the
+//! coefficient level of [`crate::codec`]:
+//!
+//! * the **reference** is the independently encoded top rung;
+//! * a coefficient of the target rung is *predicted* by requantising the
+//!   reference coefficient at the same global index (scaling by the ratio
+//!   of the quantisation steps) — for most coefficients the prediction is
+//!   exact and the residual quantises away;
+//! * only non-zero residuals are stored, costed with the same entropy
+//!   model as the encoder proper.
+//!
+//! [`DeltaSegment::reconstruct`] is **bit-exact**: it rebuilds the target
+//! [`EncodedSegment`] coefficient-for-coefficient and byte-for-byte, so a
+//! delta-resident store serves the identical stream an independent store
+//! would. [`SegmentRepr::delta_or_full`] enforces the fallback rule —
+//! whenever the delta would not be smaller than the independent encoding,
+//! the full encoding is kept.
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{
+    coeff_bits, quant_step, EncodedFrame, EncodedSegment, QuantizedPlane, FRAME_HEADER_BYTES,
+};
+
+/// Fixed per-frame header of the delta wire format: reference pointer,
+/// frame kind, quantiser pair and motion vector. Smaller than the full
+/// frame header (96 bytes) because the stream-level metadata lives with
+/// the reference.
+pub const DELTA_FRAME_HEADER_BYTES: u64 = 32;
+
+/// A stable digest of an encoded segment, used to pin a delta to the
+/// exact reference it was computed against.
+pub fn segment_digest(segment: &EncodedSegment) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(segment.start_index);
+    eat(segment.frames.len() as u64);
+    for f in &segment.frames {
+        eat(f.bytes);
+        eat(f.quantizer as u64);
+        eat(f.motion.0 as u16 as u64 | ((f.motion.1 as u16 as u64) << 16));
+        eat(f.nonzero_coeffs());
+    }
+    h
+}
+
+/// Sparse coefficient residuals of one plane against the requantised
+/// reference plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct PlaneDelta {
+    width: u32,
+    height: u32,
+    /// `(global index, target − predicted)` pairs, ascending by index,
+    /// zero residuals omitted.
+    residuals: Vec<(u32, i16)>,
+}
+
+impl PlaneDelta {
+    /// Entropy-model bits, mirroring the encoder's accounting: one
+    /// skip/coded flag per block, 6 bits of block addressing per coded
+    /// block, [`coeff_bits`] per non-zero residual.
+    fn bits(&self) -> u64 {
+        let blocks = (self.width.div_ceil(8) as u64) * (self.height.div_ceil(8) as u64);
+        let mut bits = blocks; // skip/coded flags
+        let mut last_block = u32::MAX;
+        for &(idx, r) in &self.residuals {
+            let block = idx / 64;
+            if block != last_block {
+                bits += 6; // block addressing / CBP overhead
+                last_block = block;
+            }
+            bits += coeff_bits(r);
+        }
+        bits
+    }
+}
+
+/// Computes the residuals of `target` against `reference` requantised
+/// from `ref_q` to `tgt_q`. Returns `None` on a plane shape mismatch.
+fn diff_plane(
+    target: &QuantizedPlane,
+    reference: &QuantizedPlane,
+    tgt_q: u8,
+    ref_q: u8,
+    is_luma: bool,
+) -> Option<PlaneDelta> {
+    if target.width != reference.width || target.height != reference.height {
+        return None;
+    }
+    let mut residuals = Vec::new();
+    let mut ti = 0usize;
+    let mut ri = 0usize;
+    // Merge-walk the two ascending sparse streams.
+    while ti < target.entries.len() || ri < reference.entries.len() {
+        let tn = target.entries.get(ti).map(|e| e.0).unwrap_or(u32::MAX);
+        let rn = reference.entries.get(ri).map(|e| e.0).unwrap_or(u32::MAX);
+        let idx = tn.min(rn);
+        let tv = if tn == idx {
+            ti += 1;
+            target.entries[ti - 1].1
+        } else {
+            0
+        };
+        let rv = if rn == idx {
+            ri += 1;
+            reference.entries[ri - 1].1
+        } else {
+            0
+        };
+        let r = tv as i32 - predict_coeff(rv, idx, ref_q, tgt_q, is_luma);
+        if r != 0 {
+            residuals.push((idx, r.clamp(i16::MIN as i32, i16::MAX as i32) as i16));
+        }
+    }
+    Some(PlaneDelta { width: target.width, height: target.height, residuals })
+}
+
+/// Predicts a target-rung coefficient from the reference-rung coefficient
+/// at the same index by rescaling through the dequantised value.
+fn predict_coeff(ref_val: i16, idx: u32, ref_q: u8, tgt_q: u8, is_luma: bool) -> i32 {
+    if ref_val == 0 {
+        return 0;
+    }
+    let pos = (idx % 64) as usize;
+    let (v, u) = (pos / 8, pos % 8);
+    let scale = quant_step(ref_q, u, v, is_luma) / quant_step(tgt_q, u, v, is_luma);
+    (ref_val as f64 * scale).round().clamp(i16::MIN as f64, i16::MAX as f64) as i32
+}
+
+/// Applies residuals back onto the requantised reference, recovering the
+/// target plane exactly (zero-valued coefficients are dropped, matching
+/// the encoder's sparse form).
+fn apply_plane(
+    delta: &PlaneDelta,
+    reference: &QuantizedPlane,
+    tgt_q: u8,
+    ref_q: u8,
+    is_luma: bool,
+) -> QuantizedPlane {
+    let mut entries = Vec::new();
+    let mut di = 0usize;
+    let mut ri = 0usize;
+    while di < delta.residuals.len() || ri < reference.entries.len() {
+        let dn = delta.residuals.get(di).map(|e| e.0).unwrap_or(u32::MAX);
+        let rn = reference.entries.get(ri).map(|e| e.0).unwrap_or(u32::MAX);
+        let idx = dn.min(rn);
+        let dv = if dn == idx {
+            di += 1;
+            delta.residuals[di - 1].1
+        } else {
+            0
+        };
+        let rv = if rn == idx {
+            ri += 1;
+            reference.entries[ri - 1].1
+        } else {
+            0
+        };
+        let val = predict_coeff(rv, idx, ref_q, tgt_q, is_luma) + dv as i32;
+        if val != 0 {
+            entries.push((idx, val as i16));
+        }
+    }
+    QuantizedPlane { width: delta.width, height: delta.height, entries }
+}
+
+/// One frame of a delta segment: the target frame's metadata verbatim plus
+/// per-plane residuals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct DeltaFrame {
+    kind: crate::codec::FrameKind,
+    bytes: u64,
+    quantizer: u8,
+    motion: (i16, i16),
+    y: PlaneDelta,
+    cb: PlaneDelta,
+    cr: PlaneDelta,
+}
+
+impl DeltaFrame {
+    /// Modelled wire bytes of this delta frame.
+    fn delta_bytes(&self) -> u64 {
+        DELTA_FRAME_HEADER_BYTES
+            + (self.y.bits() + self.cb.bits() + self.cr.bits() + 24).div_ceil(8)
+    }
+
+    fn residual_coeffs(&self) -> u64 {
+        (self.y.residuals.len() + self.cb.residuals.len() + self.cr.residuals.len()) as u64
+    }
+}
+
+/// A lower ladder rung stored as residuals against a reference segment.
+///
+/// Created by [`DeltaSegment::encode`]; [`DeltaSegment::reconstruct`]
+/// recovers the independently encoded target bit-exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeltaSegment {
+    /// Index of the first frame in the stream (copied from the target).
+    pub start_index: u64,
+    /// Quantiser of the reference rung the residuals were taken against.
+    pub reference_quantizer: u8,
+    /// [`segment_digest`] of the reference; checked on reconstruction.
+    pub reference_digest: u64,
+    frames: Vec<DeltaFrame>,
+}
+
+impl DeltaSegment {
+    /// Delta-encodes `target` against `reference`. Returns `None` when the
+    /// segments are not shape-compatible (different frame counts or plane
+    /// dimensions) — e.g. tiled rungs rendered at different resolutions.
+    pub fn encode(target: &EncodedSegment, reference: &EncodedSegment) -> Option<DeltaSegment> {
+        if target.frames.len() != reference.frames.len() || target.frames.is_empty() {
+            return None;
+        }
+        let mut frames = Vec::with_capacity(target.frames.len());
+        for (t, r) in target.frames.iter().zip(&reference.frames) {
+            frames.push(DeltaFrame {
+                kind: t.kind,
+                bytes: t.bytes,
+                quantizer: t.quantizer,
+                motion: t.motion,
+                y: diff_plane(&t.y, &r.y, t.quantizer, r.quantizer, true)?,
+                cb: diff_plane(&t.cb, &r.cb, t.quantizer, r.quantizer, false)?,
+                cr: diff_plane(&t.cr, &r.cr, t.quantizer, r.quantizer, false)?,
+            });
+        }
+        Some(DeltaSegment {
+            start_index: target.start_index,
+            reference_quantizer: reference.frames[0].quantizer,
+            reference_digest: segment_digest(reference),
+            frames,
+        })
+    }
+
+    /// [`DeltaSegment::encode`], but only when the delta is strictly
+    /// smaller than the independent encoding — the fallback rule shared
+    /// by [`SegmentRepr::delta_or_full`] and the pre-render store.
+    pub fn encode_if_smaller(
+        target: &EncodedSegment,
+        reference: &EncodedSegment,
+    ) -> Option<DeltaSegment> {
+        DeltaSegment::encode(target, reference).filter(|d| d.bytes() < target.bytes())
+    }
+
+    /// Rebuilds the target segment from `reference`, bit-exactly equal to
+    /// the independently encoded original.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is not the segment this delta was encoded
+    /// against (digest mismatch).
+    pub fn reconstruct(&self, reference: &EncodedSegment) -> EncodedSegment {
+        assert_eq!(
+            segment_digest(reference),
+            self.reference_digest,
+            "delta reconstructed against the wrong reference segment"
+        );
+        let frames = self
+            .frames
+            .iter()
+            .zip(&reference.frames)
+            .map(|(d, r)| EncodedFrame {
+                kind: d.kind,
+                bytes: d.bytes,
+                quantizer: d.quantizer,
+                motion: d.motion,
+                y: apply_plane(&d.y, &r.y, d.quantizer, r.quantizer, true),
+                cb: apply_plane(&d.cb, &r.cb, d.quantizer, r.quantizer, false),
+                cr: apply_plane(&d.cr, &r.cr, d.quantizer, r.quantizer, false),
+            })
+            .collect();
+        EncodedSegment { start_index: self.start_index, frames }
+    }
+
+    /// Modelled wire bytes of the delta representation.
+    pub fn bytes(&self) -> u64 {
+        self.frames.iter().map(DeltaFrame::delta_bytes).sum()
+    }
+
+    /// Wire bytes at a different resolution scale: residual payload scales
+    /// with the pixel ratio, per-frame headers do not (mirrors
+    /// [`EncodedSegment::scaled_bytes`]).
+    pub fn scaled_bytes(&self, pixel_ratio: f64) -> u64 {
+        let headers = self.frames.len() as u64 * DELTA_FRAME_HEADER_BYTES;
+        let payload = self.bytes() - headers;
+        headers + (payload as f64 * pixel_ratio) as u64
+    }
+
+    /// Total non-zero residual coefficients — the client-side
+    /// reconstruction cost proxy charged to the energy ledger.
+    pub fn residual_coeffs(&self) -> u64 {
+        self.frames.iter().map(DeltaFrame::residual_coeffs).sum()
+    }
+
+    /// Number of frames in the segment.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+/// How a segment is materialised at rest: independently encoded, or as a
+/// delta against a reference rung.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SegmentRepr {
+    /// Independently encoded (also the fallback when a delta would not be
+    /// smaller).
+    Full(EncodedSegment),
+    /// Residuals against a reference segment.
+    Delta(DeltaSegment),
+}
+
+impl SegmentRepr {
+    /// Delta-encodes `target` against `reference`, falling back to the
+    /// full encoding whenever the delta is not strictly smaller (or the
+    /// segments are shape-incompatible).
+    pub fn delta_or_full(target: &EncodedSegment, reference: &EncodedSegment) -> SegmentRepr {
+        match DeltaSegment::encode_if_smaller(target, reference) {
+            Some(d) => SegmentRepr::Delta(d),
+            None => SegmentRepr::Full(target.clone()),
+        }
+    }
+
+    /// Recovers the independently encoded segment. For a `Full` repr this
+    /// is the identity and `reference` is ignored; for a `Delta` repr the
+    /// reference is required.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Delta` repr is given no (or the wrong) reference.
+    pub fn reconstruct(&self, reference: Option<&EncodedSegment>) -> EncodedSegment {
+        match self {
+            SegmentRepr::Full(seg) => seg.clone(),
+            SegmentRepr::Delta(d) => {
+                d.reconstruct(reference.expect("delta repr needs its reference segment"))
+            }
+        }
+    }
+
+    /// Resident bytes of this representation.
+    pub fn bytes(&self) -> u64 {
+        match self {
+            SegmentRepr::Full(seg) => seg.bytes(),
+            SegmentRepr::Delta(d) => d.bytes(),
+        }
+    }
+
+    /// Resident bytes at a different resolution scale.
+    pub fn scaled_bytes(&self, pixel_ratio: f64) -> u64 {
+        match self {
+            SegmentRepr::Full(seg) => seg.scaled_bytes(pixel_ratio),
+            SegmentRepr::Delta(d) => d.scaled_bytes(pixel_ratio),
+        }
+    }
+
+    /// Whether the delta representation won over the fallback.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, SegmentRepr::Delta(_))
+    }
+}
+
+/// Entropy-model bits of one quantised plane — the encoder's accounting
+/// (one skip/coded flag per block, 6 bits of block addressing per coded
+/// block, [`coeff_bits`] per coefficient) replayed over the sparse
+/// entries.
+fn plane_bits(plane: &QuantizedPlane) -> u64 {
+    let blocks = (plane.width.div_ceil(8) as u64) * (plane.height.div_ceil(8) as u64);
+    let mut bits = blocks; // skip/coded flags
+    let mut last_block = u32::MAX;
+    for &(idx, v) in &plane.entries {
+        let block = idx / 64;
+        if block != last_block {
+            bits += 6; // block addressing / CBP overhead
+            last_block = block;
+        }
+        bits += coeff_bits(v);
+    }
+    bits
+}
+
+/// Remaps a plane's sparse coefficients from `from_q` steps to `to_q`
+/// steps (the same rescaling rule the delta prediction uses), dropping
+/// coefficients that quantise away.
+fn requantize_plane(plane: &QuantizedPlane, from_q: u8, to_q: u8, is_luma: bool) -> QuantizedPlane {
+    let entries = plane
+        .entries
+        .iter()
+        .filter_map(|&(idx, v)| {
+            let nv = predict_coeff(v, idx, from_q, to_q, is_luma);
+            (nv != 0).then_some((idx, nv as i16))
+        })
+        .collect();
+    QuantizedPlane { width: plane.width, height: plane.height, entries }
+}
+
+/// Re-encodes a segment at a coarser quantiser by requantising in the
+/// coefficient domain (an open-loop transcode): every sparse coefficient
+/// is remapped to the new step size, the GOP structure and motion
+/// vectors are kept verbatim, and the wire cost is re-derived from the
+/// encoder's entropy accounting. This is how lower FOV ladder rungs are
+/// materialised from the top rung without re-rendering the scene — and
+/// because no decode/re-encode round trip injects requantisation noise
+/// into the inter frames, rung sizes stay monotone in the quantiser.
+/// Deterministic: same input segment and quantiser, same output.
+pub fn transcode_segment(segment: &EncodedSegment, quantizer: u8) -> EncodedSegment {
+    let frames = segment
+        .frames
+        .iter()
+        .map(|f| {
+            let y = requantize_plane(&f.y, f.quantizer, quantizer, true);
+            let cb = requantize_plane(&f.cb, f.quantizer, quantizer, false);
+            let cr = requantize_plane(&f.cr, f.quantizer, quantizer, false);
+            let bits = plane_bits(&y) + plane_bits(&cb) + plane_bits(&cr);
+            EncodedFrame {
+                kind: f.kind,
+                bytes: FRAME_HEADER_BYTES + (bits + 24).div_ceil(8),
+                quantizer,
+                motion: f.motion,
+                y,
+                cb,
+                cr,
+            }
+        })
+        .collect();
+    EncodedSegment { start_index: segment.start_index, frames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{CodecConfig, Encoder};
+    use evr_projection::{ImageBuffer, Rgb};
+    use proptest::prelude::*;
+
+    fn textured(w: u32, h: u32, phase: f64) -> ImageBuffer {
+        ImageBuffer::from_fn(w, h, |x, y| {
+            let v = ((x as f64 * 0.4 + phase).sin() * 60.0
+                + (y as f64 * 0.3 - phase).cos() * 60.0
+                + 128.0) as u8;
+            Rgb::new(v, v / 2 + 60, 255 - v)
+        })
+    }
+
+    fn encode_segment(w: u32, h: u32, frames: usize, gop: u32, q: u8) -> EncodedSegment {
+        let mut enc = Encoder::new(CodecConfig::new(gop, q));
+        let frames = (0..frames)
+            .map(|i| {
+                if (i as u32).is_multiple_of(gop) {
+                    enc.force_intra();
+                }
+                enc.encode_frame(&textured(w, h, i as f64 * 0.21))
+            })
+            .collect();
+        EncodedSegment { start_index: 0, frames }
+    }
+
+    #[test]
+    fn delta_reconstruct_is_bit_exact() {
+        let top = encode_segment(48, 32, 6, 6, 8);
+        let low = transcode_segment(&top, 24);
+        let d = DeltaSegment::encode(&low, &top).expect("shape-compatible");
+        assert_eq!(d.reconstruct(&top), low);
+    }
+
+    #[test]
+    fn delta_of_transcoded_rung_is_smaller_than_full() {
+        let top = encode_segment(64, 48, 8, 8, 8);
+        let low = transcode_segment(&top, 28);
+        let repr = SegmentRepr::delta_or_full(&low, &top);
+        assert!(repr.is_delta(), "expected the delta to win");
+        assert!(repr.bytes() < low.bytes());
+        assert_eq!(repr.reconstruct(Some(&top)), low);
+    }
+
+    #[test]
+    fn full_repr_reconstruct_is_identity() {
+        let top = encode_segment(32, 32, 4, 4, 10);
+        let repr = SegmentRepr::Full(top.clone());
+        assert_eq!(repr.reconstruct(None), top);
+        assert_eq!(repr.reconstruct(Some(&top)), top);
+    }
+
+    #[test]
+    fn unrelated_segments_fall_back_to_full() {
+        // A nearly-empty target against a dense unrelated reference: every
+        // reference coefficient needs a cancelling residual, so the delta
+        // costs far more than the independent encoding and the fallback
+        // rule must kick in.
+        let reference = encode_segment(64, 64, 1, 1, 2);
+        let mut enc = Encoder::new(CodecConfig::new(1, 2));
+        let flat = ImageBuffer::from_fn(64, 64, |_, _| Rgb::new(40, 90, 160));
+        let target = EncodedSegment { start_index: 0, frames: vec![enc.encode_frame(&flat)] };
+        let delta = DeltaSegment::encode(&target, &reference).expect("same shape");
+        assert!(delta.bytes() > target.bytes(), "cancelling residuals must cost more");
+        let repr = SegmentRepr::delta_or_full(&target, &reference);
+        assert!(!repr.is_delta(), "unrelated content should not delta-win");
+        assert_eq!(repr.reconstruct(None), target);
+    }
+
+    #[test]
+    fn shape_mismatch_returns_none() {
+        let a = encode_segment(32, 32, 4, 4, 10);
+        let b = encode_segment(16, 16, 4, 4, 10);
+        assert!(DeltaSegment::encode(&b, &a).is_none());
+        let c = encode_segment(32, 32, 3, 3, 10);
+        assert!(DeltaSegment::encode(&c, &a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong reference")]
+    fn reconstruct_against_wrong_reference_panics() {
+        let top = encode_segment(32, 32, 4, 4, 8);
+        let other = encode_segment(32, 32, 4, 4, 9);
+        let low = transcode_segment(&top, 20);
+        let d = DeltaSegment::encode(&low, &top).expect("shape-compatible");
+        let _ = d.reconstruct(&other);
+    }
+
+    #[test]
+    fn transcode_preserves_structure() {
+        let top = encode_segment(48, 32, 5, 5, 6);
+        let low = transcode_segment(&top, 18);
+        assert_eq!(low.frames.len(), top.frames.len());
+        assert_eq!(low.start_index, top.start_index);
+        assert_eq!(low.frames[0].kind, crate::codec::FrameKind::Intra);
+        assert!(low.bytes() < top.bytes(), "coarser rung must be smaller");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Delta encode→reconstruct is bit-exact for arbitrary quantiser
+        /// pairs, GOP structures and degenerate segments (single-frame,
+        /// all-intra).
+        #[test]
+        fn prop_delta_roundtrip_bit_exact(
+            ref_q in 1u8..20,
+            coarsen in 0u8..31,
+            frames in 1usize..7,
+            gop in 1u32..8,
+            phase in 0u32..8,
+        ) {
+            let top = encode_segment(40, 24, frames, gop, ref_q);
+            let tgt_q = (ref_q + coarsen).min(50);
+            let low = transcode_segment(&top, tgt_q);
+            let d = DeltaSegment::encode(&low, &top).expect("same shape");
+            prop_assert_eq!(d.reconstruct(&top), low.clone());
+            // The fallback-full repr must reconstruct to the identity, and
+            // delta_or_full must always round-trip regardless of which
+            // representation won.
+            let repr = SegmentRepr::delta_or_full(&low, &top);
+            prop_assert_eq!(repr.reconstruct(Some(&top)), low);
+            let _ = phase; // reserved: varies the strategy space only
+        }
+
+        /// A delta against the segment itself is all-zero residuals and
+        /// reconstructs exactly.
+        #[test]
+        fn prop_self_delta_is_empty(q in 1u8..30, frames in 1usize..5) {
+            let seg = encode_segment(24, 24, frames, frames as u32, q);
+            let d = DeltaSegment::encode(&seg, &seg).expect("same shape");
+            prop_assert_eq!(d.residual_coeffs(), 0);
+            prop_assert_eq!(d.reconstruct(&seg), seg);
+        }
+    }
+}

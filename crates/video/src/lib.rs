@@ -37,6 +37,7 @@
 
 pub mod codec;
 pub mod complexity;
+pub mod delta;
 pub mod frame;
 pub mod library;
 pub mod quality;
@@ -45,6 +46,7 @@ pub mod scene;
 pub mod yuv;
 
 pub use codec::{CodecConfig, EncodedFrame, EncodedSegment, EncodedVideo, Encoder, FrameKind};
+pub use delta::{transcode_segment, DeltaSegment, SegmentRepr};
 pub use frame::{Frame, VideoMeta};
 pub use library::VideoId;
 pub use quality::{psnr, ssim};
